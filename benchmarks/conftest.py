@@ -1,0 +1,70 @@
+"""Shared benchmark fixtures: datasets and memoized experiment runs.
+
+Experiments are memoized per session so benchmarks that report different
+views of the same run (e.g. Table 2's headline numbers and Table 3's ops
+break-down) execute the underlying systems only once.
+"""
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.harness.experiment import (
+    ExperimentResult,
+    run_experiment,
+    standard_citypersons,
+    standard_kitti,
+)
+from repro.metrics.kitti_eval import HARD, MODERATE
+
+#: Benchmark dataset sizes: big enough for stable numbers, small enough for
+#: a full table regeneration in minutes.
+KITTI_SEQUENCES = 6
+KITTI_FRAMES = 100
+CITYPERSONS_SEQUENCES = 30
+
+_CACHE: Dict[Tuple, ExperimentResult] = {}
+
+
+@pytest.fixture(scope="session")
+def kitti_dataset():
+    return standard_kitti(KITTI_SEQUENCES, KITTI_FRAMES)
+
+
+@pytest.fixture(scope="session")
+def citypersons_dataset():
+    return standard_citypersons(CITYPERSONS_SEQUENCES)
+
+
+@pytest.fixture(scope="session")
+def kitti_experiment(kitti_dataset):
+    """Memoized experiment runner on the shared KITTI dataset."""
+
+    def runner(config: SystemConfig) -> ExperimentResult:
+        key = ("kitti", config)
+        if key not in _CACHE:
+            _CACHE[key] = run_experiment(config, kitti_dataset, (MODERATE, HARD))
+        return _CACHE[key]
+
+    return runner
+
+
+@pytest.fixture(scope="session")
+def citypersons_experiment(citypersons_dataset):
+    """Memoized experiment runner on the shared CityPersons dataset."""
+
+    def runner(config: SystemConfig) -> ExperimentResult:
+        key = ("citypersons", config)
+        if key not in _CACHE:
+            _CACHE[key] = run_experiment(
+                config, citypersons_dataset, (MODERATE,), with_delay=False
+            )
+        return _CACHE[key]
+
+    return runner
+
+
+def run_once(benchmark, func):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

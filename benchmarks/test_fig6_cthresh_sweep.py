@@ -1,0 +1,78 @@
+"""Figure 6: mAP and delay vs the proposal network's output threshold.
+
+The tracker ablation.  Paper findings:
+* with the tracker, mAP is nearly FLAT across C-thresh in [0.01, 0.6];
+* without it (plain cascade), mAP is lower and more sensitive, and no
+  C-thresh recovers the gap (except with the strong ResNet-18 proposal);
+* delay INCREASES with C-thresh for both variants (fewer proposals =>
+  later first detections).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.sweeps import cthresh_sweep
+from repro.harness.tables import format_table
+
+C_VALUES = (0.02, 0.1, 0.3, 0.6)
+MODELS = ("resnet10a", "resnet10c", "resnet18")
+
+
+def test_fig6_cthresh_tracker_ablation(benchmark, kitti_dataset):
+    points = run_once(
+        benchmark,
+        lambda: cthresh_sweep(
+            kitti_dataset, proposal_models=MODELS, c_values=C_VALUES
+        ),
+    )
+
+    rows = [
+        [p.proposal_model, "yes" if p.with_tracker else "no", p.c_thresh,
+         p.mean_ap, p.mean_delay, p.ops_gops]
+        for p in points
+    ]
+    print()
+    print(
+        format_table(
+            ["proposal", "tracker", "C-thresh", "mAP(H)", "mD@0.8(H)", "ops(G)"],
+            rows,
+            title="Figure 6 — C-thresh sweep (KITTI Hard)",
+        )
+    )
+
+    def series(model, with_tracker, attr):
+        pts = sorted(
+            (p for p in points
+             if p.proposal_model == model and p.with_tracker == with_tracker),
+            key=lambda p: p.c_thresh,
+        )
+        return [getattr(p, attr) for p in pts]
+
+    for model in MODELS:
+        tracked_map = series(model, True, "mean_ap")
+        untracked_map = series(model, False, "mean_ap")
+        # With the tracker, mAP varies little across the sweep...
+        assert max(tracked_map) - min(tracked_map) < 0.05, model
+        # ...and is at least as good as the cascade everywhere.
+        for t_ap, u_ap in zip(tracked_map, untracked_map):
+            assert t_ap >= u_ap - 0.01, model
+
+    # Without the tracker, the weak proposal nets can never match the
+    # tracked system, at any threshold (paper: "this gap cannot be
+    # mitigated").  ResNet-18 (strong) is excused, as in the paper.
+    for model in ("resnet10a", "resnet10c"):
+        best_untracked = max(series(model, False, "mean_ap"))
+        best_tracked = max(series(model, True, "mean_ap"))
+        assert best_untracked < best_tracked, model
+
+    # Delay rises as C-thresh increases (both variants, weak proposals).
+    for model in ("resnet10a", "resnet10c"):
+        for with_tracker in (True, False):
+            delays = series(model, with_tracker, "mean_delay")
+            assert delays[-1] >= delays[0] - 0.3, (model, with_tracker)
+
+    # Ops fall monotonically with C-thresh for the cascade.
+    for model in MODELS:
+        ops = series(model, False, "ops_gops")
+        assert all(b <= a + 0.5 for a, b in zip(ops, ops[1:])), model

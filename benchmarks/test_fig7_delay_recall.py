@@ -1,0 +1,63 @@
+"""Figure 7: recall and delay vs precision, per class.
+
+Paper findings: recall and delay are strongly (anti-)correlated as the
+operating precision changes; pedestrians (smaller boxes) are harder than
+cars; the delay curve is noisier than the recall curve because fewer
+instances are involved.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.config import SystemConfig
+from repro.harness.tables import format_table
+from repro.metrics.curves import precision_recall_delay_curves
+
+
+def test_fig7_delay_recall_precision_curves(benchmark, kitti_experiment):
+    result = run_once(
+        benchmark,
+        lambda: kitti_experiment(SystemConfig("catdet", "resnet50", "resnet10a")),
+    )
+    evaluation = result.evaluation("hard")
+
+    curves = {}
+    for class_name in ("Car", "Pedestrian"):
+        points = precision_recall_delay_curves(
+            evaluation.class_eval(class_name), num_points=24
+        )
+        # Restrict to the paper's plotted precision range [0.5, 1.0].
+        curves[class_name] = [p for p in points if p.precision >= 0.5]
+
+    for class_name, points in curves.items():
+        rows = [[p.precision, p.recall, p.mean_delay] for p in points[::3]]
+        print()
+        print(
+            format_table(
+                ["precision", "recall", "delay"],
+                rows,
+                title=f"Figure 7 — {class_name} (KITTI Hard)",
+            )
+        )
+
+    for class_name, points in curves.items():
+        assert len(points) >= 5, f"too few operating points for {class_name}"
+        recalls = np.array([p.recall for p in points])
+        delays = np.array([p.mean_delay for p in points])
+        # Strong anti-correlation between recall and delay across the
+        # precision sweep (paper: "recall and delay have a strong
+        # correlation as the precision changes").
+        corr = np.corrcoef(recalls, delays)[0, 1]
+        assert corr < -0.6, f"{class_name}: corr={corr:.2f}"
+
+    # Pedestrians are harder: lower recall and higher delay at comparable
+    # precision (paper: "pedestrians usually have smaller bounding boxes").
+    def value_near_precision(points, attr, target=0.8):
+        best = min(points, key=lambda p: abs(p.precision - target))
+        return getattr(best, attr)
+
+    assert value_near_precision(curves["Pedestrian"], "recall") <= \
+        value_near_precision(curves["Car"], "recall") + 0.05
+    assert value_near_precision(curves["Pedestrian"], "mean_delay") >= \
+        value_near_precision(curves["Car"], "mean_delay") - 0.5

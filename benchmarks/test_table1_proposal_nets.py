@@ -1,0 +1,58 @@
+"""Table 1: proposal-network architectures and their op counts on KITTI.
+
+Paper values (Gops, 1242x375 input, 300 proposals):
+ResNet-18 138.3 | ResNet-10a 20.7 | ResNet-10b 7.5 | ResNet-10c 4.5
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.tables import format_table
+from repro.simdet.zoo import get_model
+
+PAPER_GOPS = {
+    "resnet18": 138.3,
+    "resnet10a": 20.7,
+    "resnet10b": 7.5,
+    "resnet10c": 4.5,
+}
+
+KITTI_W, KITTI_H = 1242, 375
+
+
+def compute_rows():
+    rows = []
+    for name, paper in PAPER_GOPS.items():
+        entry = get_model(name)
+        ops = entry.rcnn_ops(KITTI_W, KITTI_H).full_frame(300)
+        rows.append(
+            [
+                name,
+                entry.arch.conv1_channels,
+                ops.trunk / 1e9,
+                ops.rpn / 1e9,
+                ops.head / 1e9,
+                ops.total_gops,
+                paper,
+            ]
+        )
+    return rows
+
+
+def test_table1_proposal_net_ops(benchmark):
+    rows = run_once(benchmark, compute_rows)
+    print()
+    print(
+        format_table(
+            ["model", "conv1", "trunk(G)", "rpn(G)", "head(G)", "total(G)", "paper(G)"],
+            rows,
+            precision=1,
+            title="Table 1 — proposal network op counts (KITTI)",
+        )
+    )
+    for row in rows:
+        measured, paper = row[5], row[6]
+        assert measured == pytest.approx(paper, rel=0.12), row[0]
+    # Ordering must match the paper exactly.
+    totals = [row[5] for row in rows]
+    assert totals == sorted(totals, reverse=True)

@@ -1,0 +1,91 @@
+"""Table 2: the KITTI headline comparison.
+
+Paper (ops G / mAP Moderate / mAP Hard / mD@0.8 Moderate / mD@0.8 Hard):
+
+    Res50 single        254.3  0.812  0.740  2.6  3.3
+    Res10a+50 Cascaded   43.2  0.807  0.733  3.2  3.8
+    Res10a+50 CaTDet     49.3  0.814  0.740  2.9  3.7
+    Res10b+50 Cascaded   23.5  0.787  0.730  4.7  5.7
+    Res10b+50 CaTDet     29.3  0.815  0.741  3.3  4.1
+
+Shape targets asserted below: the ops-savings factors, CaTDet matching the
+single model's mAP while the plain cascade drops, and the delay ordering.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.configs import TABLE2_CONFIGS
+from repro.harness.tables import format_table
+
+PAPER = {
+    "resnet50, Faster R-CNN": (254.3, 0.812, 0.740, 2.6, 3.3),
+    "resnet10a, resnet50, Cascaded": (43.2, 0.807, 0.733, 3.2, 3.8),
+    "resnet10a, resnet50, CaTDet": (49.3, 0.814, 0.740, 2.9, 3.7),
+    "resnet10b, resnet50, Cascaded": (23.5, 0.787, 0.730, 4.7, 5.7),
+    "resnet10b, resnet50, CaTDet": (29.3, 0.815, 0.741, 3.3, 4.1),
+}
+
+
+def test_table2_kitti_main_results(benchmark, kitti_experiment):
+    results = run_once(
+        benchmark, lambda: [kitti_experiment(cfg) for cfg in TABLE2_CONFIGS]
+    )
+    rows = []
+    by_label = {}
+    for res in results:
+        paper = PAPER[res.label]
+        rows.append(
+            [
+                res.label,
+                res.ops_gops,
+                paper[0],
+                res.mean_ap("moderate"),
+                paper[1],
+                res.mean_ap("hard"),
+                paper[2],
+                res.mean_delay("moderate"),
+                paper[3],
+                res.mean_delay("hard"),
+                paper[4],
+            ]
+        )
+        by_label[res.label] = res
+    print()
+    print(
+        format_table(
+            [
+                "system", "ops", "(pap)", "mAP_M", "(pap)", "mAP_H", "(pap)",
+                "mD_M", "(pap)", "mD_H", "(pap)",
+            ],
+            rows,
+            precision=3,
+            title="Table 2 — KITTI main results",
+        )
+    )
+
+    single = by_label["resnet50, Faster R-CNN"]
+    catdet_a = by_label["resnet10a, resnet50, CaTDet"]
+    catdet_b = by_label["resnet10b, resnet50, CaTDet"]
+    cascade_a = by_label["resnet10a, resnet50, Cascaded"]
+    cascade_b = by_label["resnet10b, resnet50, Cascaded"]
+
+    # Headline: 5.1x / 8.7x op savings at matched mAP.
+    assert single.ops_gops / catdet_a.ops_gops > 4.0
+    assert single.ops_gops / catdet_b.ops_gops > 6.0
+    # CaTDet matches the single model's mAP (Hard).
+    for catdet in (catdet_a, catdet_b):
+        assert catdet.mean_ap("hard") >= single.mean_ap("hard") - 0.015
+    # The cascade alone drops mAP relative to CaTDet.
+    assert cascade_a.mean_ap("hard") < catdet_a.mean_ap("hard")
+    assert cascade_b.mean_ap("hard") < catdet_b.mean_ap("hard")
+    # Cascades are cheaper than their CaTDet counterparts (no tracker regions).
+    assert cascade_a.ops_gops < catdet_a.ops_gops
+    assert cascade_b.ops_gops < catdet_b.ops_gops
+    # Delay: CaTDet adds little over the single model; cascades add more.
+    assert catdet_a.mean_delay("hard") <= single.mean_delay("hard") + 1.2
+    assert cascade_a.mean_delay("hard") >= catdet_a.mean_delay("hard") - 0.3
+    # Every system's absolute mAP lands within 0.08 of the paper.
+    for res in results:
+        assert res.mean_ap("hard") == pytest.approx(PAPER[res.label][2], abs=0.08)
+        assert res.mean_ap("moderate") == pytest.approx(PAPER[res.label][1], abs=0.08)

@@ -1,0 +1,87 @@
+"""Table 3: operation break-down of the cascaded and CaTDet systems.
+
+Paper (Gops): proposal / refinement, and for CaTDet the per-source
+refinement costs (tracker, proposal net) which sum to MORE than the actual
+refinement total because the two sources propose overlapping regions.
+
+    Res10a+50 Cascaded: total 43.2 = 20.7 + 22.5
+    Res10a+50 CaTDet:   total 49.3 = 20.7 + 28.6 (tracker 11.9 + proposal 22.5)
+    Res10b+50 Cascaded: total 23.5 =  7.5 + 16.0
+    Res10b+50 CaTDet:   total 29.1 =  7.5 + 21.8 (tracker 11.4 + proposal 16.0)
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.configs import TABLE2_CONFIGS
+from repro.harness.tables import format_table
+
+GIGA = 1e9
+
+PAPER = {
+    "resnet10a, resnet50, Cascaded": (43.2, 20.7, 22.5, None, None),
+    "resnet10a, resnet50, CaTDet": (49.3, 20.7, 28.6, 11.9, 22.5),
+    "resnet10b, resnet50, Cascaded": (23.5, 7.5, 16.0, None, None),
+    "resnet10b, resnet50, CaTDet": (29.1, 7.5, 21.8, 11.4, 16.0),
+}
+
+
+def test_table3_ops_breakdown(benchmark, kitti_experiment):
+    configs = [c for c in TABLE2_CONFIGS if c.kind != "single"]
+    results = run_once(benchmark, lambda: [kitti_experiment(c) for c in configs])
+
+    rows = []
+    for res in results:
+        ops = res.ops_account
+        paper = PAPER[res.label]
+        rows.append(
+            [
+                res.label,
+                ops.total / GIGA,
+                paper[0],
+                ops.proposal / GIGA,
+                paper[1],
+                ops.refinement / GIGA,
+                paper[2],
+                (ops.refinement_from_tracker / GIGA) if res.config.kind == "catdet" else None,
+                paper[3],
+                (ops.refinement_from_proposal / GIGA) if res.config.kind == "catdet" else None,
+                paper[4],
+            ]
+        )
+    print()
+    print(
+        format_table(
+            [
+                "system", "total", "(pap)", "proposal", "(pap)", "refine",
+                "(pap)", "from_trk", "(pap)", "from_prop", "(pap)",
+            ],
+            rows,
+            precision=1,
+            title="Table 3 — operation break-down (Gops)",
+        )
+    )
+
+    for res in results:
+        ops = res.ops_account
+        paper = PAPER[res.label]
+        # Proposal component equals the proposal net's full-frame cost.
+        assert ops.proposal / GIGA == pytest.approx(paper[1], rel=0.12)
+        if res.config.kind == "catdet":
+            # The paper's key observation: per-source costs overlap, so
+            # they sum to more than the actual refinement total.
+            assert (
+                ops.refinement_from_tracker + ops.refinement_from_proposal
+                > ops.refinement
+            )
+            # And each source alone is cheaper than the combined run.
+            assert ops.refinement_from_tracker < ops.refinement
+            assert ops.refinement_from_proposal < ops.refinement
+
+    # CaTDet refinement exceeds the matching cascade's (tracker regions).
+    by_label = {r.label: r for r in results}
+    for a, b in (
+        ("resnet10a, resnet50, CaTDet", "resnet10a, resnet50, Cascaded"),
+        ("resnet10b, resnet50, CaTDet", "resnet10b, resnet50, Cascaded"),
+    ):
+        assert by_label[a].ops_account.refinement > by_label[b].ops_account.refinement

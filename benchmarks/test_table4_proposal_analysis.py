@@ -1,0 +1,82 @@
+"""Table 4: the proposal network's role — single-model vs CaTDet(P).
+
+Paper (KITTI Hard): the four proposal nets have wildly different
+single-model mAPs (0.542-0.687) yet give nearly identical CaTDet mAPs
+(0.740-0.742); a better proposal net does, however, clearly lower the delay.
+
+    model       FR-CNN mAP / mD    CaTDet(P) mAP / mD
+    ResNet-18      0.687 / 5.9        0.742 / 3.5
+    ResNet-10a     0.606 / 10.9       0.740 / 3.7
+    ResNet-10b     0.564 / 13.4       0.741 / 4.0
+    ResNet-10c     0.542 / 15.4       0.741 / 4.1
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.config import SystemConfig
+from repro.harness.configs import TABLE4_PROPOSAL_MODELS
+from repro.harness.tables import format_table
+
+PAPER = {
+    "resnet18": (0.687, 5.9, 0.742, 3.5),
+    "resnet10a": (0.606, 10.9, 0.740, 3.7),
+    "resnet10b": (0.564, 13.4, 0.741, 4.0),
+    "resnet10c": (0.542, 15.4, 0.741, 4.1),
+}
+
+
+def test_table4_proposal_network_analysis(benchmark, kitti_experiment):
+    def run_all():
+        out = {}
+        for model in TABLE4_PROPOSAL_MODELS:
+            single = kitti_experiment(SystemConfig("single", model))
+            catdet = kitti_experiment(SystemConfig("catdet", "resnet50", model))
+            out[model] = (single, catdet)
+        return out
+
+    results = run_once(benchmark, run_all)
+
+    rows = []
+    for model, (single, catdet) in results.items():
+        paper = PAPER[model]
+        rows.append(
+            [
+                model,
+                single.mean_ap("hard"), paper[0],
+                single.mean_delay("hard"), paper[1],
+                catdet.mean_ap("hard"), paper[2],
+                catdet.mean_delay("hard"), paper[3],
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["proposal", "1model_mAP", "(pap)", "1model_mD", "(pap)",
+             "catdet_mAP", "(pap)", "catdet_mD", "(pap)"],
+            rows,
+            title="Table 4 — proposal network analysis (KITTI Hard)",
+        )
+    )
+
+    single_maps = [results[m][0].mean_ap("hard") for m in TABLE4_PROPOSAL_MODELS]
+    catdet_maps = [results[m][1].mean_ap("hard") for m in TABLE4_PROPOSAL_MODELS]
+    catdet_delays = [results[m][1].mean_delay("hard") for m in TABLE4_PROPOSAL_MODELS]
+    single_delays = [results[m][0].mean_delay("hard") for m in TABLE4_PROPOSAL_MODELS]
+
+    # Single-model accuracy varies a lot and in the paper's order...
+    assert max(single_maps) - min(single_maps) > 0.10
+    assert single_maps == sorted(single_maps, reverse=True)
+    # ...but CaTDet's mAP is insensitive to the proposal net.
+    assert max(catdet_maps) - min(catdet_maps) < 0.035
+    # mAP is not sensitive to the proposal net, delay is (paper §6.4):
+    # the weakest proposal net must be clearly slower to first detection.
+    assert catdet_delays[-1] > catdet_delays[0] - 0.2
+    # Single-model delay degrades much faster than CaTDet delay.
+    assert single_delays[-1] - single_delays[0] > catdet_delays[-1] - catdet_delays[0]
+    # CaTDet always beats its proposal net used alone.
+    for model in TABLE4_PROPOSAL_MODELS:
+        single, catdet = results[model]
+        assert catdet.mean_ap("hard") > single.mean_ap("hard")
+        assert catdet.mean_delay("hard") < single.mean_delay("hard") + 0.5

@@ -1,0 +1,71 @@
+"""Table 5: the refinement network determines CaTDet's accuracy.
+
+Paper (KITTI Hard, proposal net ResNet-10b):
+
+    model      FR-CNN mAP / mD / ops    CaTDet(R) mAP / mD / ops
+    ResNet-18     0.687 / 5.9 / 138       0.696 / 6.0 / 24.4
+    ResNet-50     0.740 / 3.3 / 254       0.741 / 4.0 / 39.8
+    VGG-16        0.742 / 4.2 / 179       0.743 / 4.4 / 63.9
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.config import SystemConfig
+from repro.harness.configs import TABLE5_REFINEMENT_MODELS
+from repro.harness.tables import format_table
+
+PAPER = {
+    "resnet18": (0.687, 5.9, 138.0, 0.696, 6.0, 24.4),
+    "resnet50": (0.740, 3.3, 254.0, 0.741, 4.0, 39.8),
+    "vgg16": (0.742, 4.2, 179.0, 0.743, 4.4, 63.9),
+}
+
+
+def test_table5_refinement_network_analysis(benchmark, kitti_experiment):
+    def run_all():
+        out = {}
+        for model in TABLE5_REFINEMENT_MODELS:
+            single = kitti_experiment(SystemConfig("single", model))
+            catdet = kitti_experiment(SystemConfig("catdet", model, "resnet10b"))
+            out[model] = (single, catdet)
+        return out
+
+    results = run_once(benchmark, run_all)
+
+    rows = []
+    for model, (single, catdet) in results.items():
+        paper = PAPER[model]
+        rows.append(
+            [
+                model,
+                single.mean_ap("hard"), paper[0],
+                single.ops_gops, paper[2],
+                catdet.mean_ap("hard"), paper[3],
+                catdet.ops_gops, paper[5],
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["refinement", "1model_mAP", "(pap)", "1model_ops", "(pap)",
+             "catdet_mAP", "(pap)", "catdet_ops", "(pap)"],
+            rows,
+            title="Table 5 — refinement network analysis (KITTI Hard)",
+        )
+    )
+
+    for model in TABLE5_REFINEMENT_MODELS:
+        single, catdet = results[model]
+        # CaTDet's accuracy tracks its refinement net's single-model
+        # accuracy closely (paper: within ~1%).
+        assert catdet.mean_ap("hard") == pytest.approx(
+            single.mean_ap("hard"), abs=0.04
+        )
+        # And does so at a fraction of the ops.
+        assert catdet.ops_gops < single.ops_gops / 2.0
+
+    # Stronger refinement nets give more accurate CaTDets.
+    weak = results["resnet18"][1].mean_ap("hard")
+    strong = results["resnet50"][1].mean_ap("hard")
+    assert strong > weak

@@ -1,0 +1,109 @@
+"""Table 7: measured execution time on the GPU platform (Appendix I).
+
+Paper (seconds per frame, Maxwell Titan X):
+
+    system                total   GPU-only
+    Res50 Faster R-CNN    0.193     0.159
+    Res10a-Res50 CaTDet   0.094     0.042
+
+We drive the paper's own linear timing model (T = alpha*W + b) with the
+actual per-frame regions produced by a CaTDet run, including the greedy box
+merging the appendix introduces.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.config import SystemConfig
+from repro.core.systems import CaTDetSystem
+from repro.gpu.timing import (
+    GpuTimingModel,
+    estimate_catdet_timing,
+    estimate_single_model_timing,
+)
+from repro.harness.tables import format_table
+
+GIGA = 1e9
+
+PAPER = {
+    "single": (0.193, 0.159),
+    "catdet": (0.094, 0.042),
+}
+
+
+def compute_timings(kitti_dataset):
+    model = GpuTimingModel()
+    sequence = kitti_dataset.sequences[0]
+
+    from repro.simdet.zoo import get_model
+
+    single_macs = (
+        get_model("resnet50").rcnn_ops(sequence.width, sequence.height)
+        .full_frame(300)
+        .total
+    )
+    single = estimate_single_model_timing(single_macs, model)
+
+    # Re-run CaTDet on one sequence, capturing per-frame regions.
+    system = CaTDetSystem("resnet10a", "resnet50", seed=0)
+    proposal_macs = system._proposal_macs(sequence)
+    head_per_proposal = get_model("resnet50").rcnn_ops(
+        sequence.width, sequence.height
+    ).head_macs_per_proposal
+
+    from repro.boxes.mask import RegionMask
+    from repro.detections import Detections
+    from repro.tracker.catdet_tracker import CaTDetTracker
+
+    tracker = CaTDetTracker(system.tracker_config, image_size=sequence.image_size)
+    frame_timings = []
+    for frame in range(sequence.num_frames):
+        tracked = tracker.predict()
+        proposed = system._regions_for_frame(sequence, frame)
+        regions = Detections.concatenate([tracked, proposed])
+        mask = RegionMask(regions.boxes, sequence.width, sequence.height, 30.0)
+        detections = system.refinement_detector.detect_regions(sequence, frame, mask)
+        tracker.update(detections)
+        timing = estimate_catdet_timing(
+            proposal_macs,
+            mask.expanded_boxes,
+            head_per_proposal * len(regions),
+            model,
+        )
+        frame_timings.append(timing)
+
+    catdet_gpu = float(np.mean([t.gpu_seconds for t in frame_timings]))
+    catdet_total = float(np.mean([t.total_seconds for t in frame_timings]))
+    return single, catdet_total, catdet_gpu
+
+
+def test_table7_gpu_timing(benchmark, kitti_dataset):
+    single, catdet_total, catdet_gpu = run_once(
+        benchmark, lambda: compute_timings(kitti_dataset)
+    )
+    rows = [
+        ["Res50 Faster R-CNN", single.total_seconds, PAPER["single"][0],
+         single.gpu_seconds, PAPER["single"][1]],
+        ["Res10a-Res50 CaTDet", catdet_total, PAPER["catdet"][0],
+         catdet_gpu, PAPER["catdet"][1]],
+    ]
+    print()
+    print(
+        format_table(
+            ["system", "total(s)", "(pap)", "GPU-only(s)", "(pap)"],
+            rows,
+            title="Table 7 — GPU timing model",
+        )
+    )
+
+    # Single-model numbers are calibrated up to the ~11 % op-count gap
+    # between our analytic ResNet-50 model and the paper's count.
+    assert single.gpu_seconds == pytest.approx(PAPER["single"][1], rel=0.25)
+    assert single.total_seconds == pytest.approx(PAPER["single"][0], rel=0.25)
+    # CaTDet: ~2x total and ~4x GPU-only speedup (paper's headline).
+    assert single.total_seconds / catdet_total > 1.5
+    assert single.gpu_seconds / catdet_gpu > 2.5
+    # Within a factor-ish band of the paper's absolute numbers.
+    assert catdet_gpu == pytest.approx(PAPER["catdet"][1], rel=0.6)
+    assert catdet_total == pytest.approx(PAPER["catdet"][0], rel=0.5)

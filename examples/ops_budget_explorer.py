@@ -1,0 +1,83 @@
+"""Ops-budget explorer: map the accuracy/compute frontier of CaTDet.
+
+Sweeps the two knobs the paper highlights in §4.3 — the proposal network
+choice and its output threshold (C-thresh) — and prints the operating
+points, so a deployment can pick the cheapest configuration meeting its
+accuracy/delay requirements.
+
+Usage::
+
+    python examples/ops_budget_explorer.py [--budget-gops 40]
+"""
+
+import argparse
+
+from repro import (
+    HARD,
+    SystemConfig,
+    evaluate_dataset,
+    kitti_like_dataset,
+    run_on_dataset,
+)
+from repro.harness.tables import format_table
+
+PROPOSALS = ("resnet18", "resnet10a", "resnet10b", "resnet10c")
+C_VALUES = (0.05, 0.2, 0.5)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--budget-gops", type=float, default=40.0,
+                        help="per-frame operation budget to filter by")
+    parser.add_argument("--sequences", type=int, default=3)
+    args = parser.parse_args()
+
+    dataset = kitti_like_dataset(num_sequences=args.sequences,
+                                 frames_per_sequence=80)
+
+    points = []
+    for proposal in PROPOSALS:
+        for c_thresh in C_VALUES:
+            config = SystemConfig(
+                "catdet", "resnet50", proposal, c_thresh=c_thresh
+            )
+            run = run_on_dataset(config, dataset)
+            result = evaluate_dataset(dataset, run.detections_by_sequence, HARD)
+            points.append(
+                {
+                    "proposal": proposal,
+                    "c_thresh": c_thresh,
+                    "ops": run.mean_ops_gops(),
+                    "mAP": result.mean_ap(),
+                    "mD": result.mean_delay(0.8),
+                }
+            )
+
+    points.sort(key=lambda p: p["ops"])
+    rows = [
+        [p["proposal"], p["c_thresh"], p["ops"], p["mAP"], p["mD"]]
+        for p in points
+    ]
+    print(
+        format_table(
+            ["proposal", "C-thresh", "ops(G)", "mAP(H)", "mD@0.8(H)"],
+            rows,
+            title="CaTDet operating points, cheapest first",
+        )
+    )
+
+    affordable = [p for p in points if p["ops"] <= args.budget_gops]
+    if affordable:
+        best = max(affordable, key=lambda p: p["mAP"])
+        print(
+            f"\nbest config within {args.budget_gops:.0f} Gops/frame: "
+            f"{best['proposal']} @ C-thresh {best['c_thresh']} -> "
+            f"mAP {best['mAP']:.3f}, delay {best['mD']:.2f} frames, "
+            f"{best['ops']:.1f} Gops"
+        )
+    else:
+        print(f"\nno configuration fits within {args.budget_gops:.0f} Gops/frame")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Pedestrian-detection scenario: CityPersons-style high-resolution video.
+
+Demonstrates the paper's §7 findings: on a harder dataset (small, crowded,
+frequently occluded pedestrians at 2048x1024), the plain cascade loses >5 %
+mAP while CaTDet's tracker recovers most of it — at ~10x fewer operations
+than the single-model detector.  Annotation is sparse (one labeled frame
+per 30-frame snippet), so only mAP is evaluated.
+
+Usage::
+
+    python examples/surveillance_citypersons.py [--sequences N]
+"""
+
+import argparse
+
+from repro import (
+    MODERATE,
+    SystemConfig,
+    citypersons_like_dataset,
+    evaluate_dataset,
+    run_on_dataset,
+)
+from repro.harness.configs import CITYPERSONS_INPUT_SCALE
+from repro.harness.tables import format_table
+
+SYSTEMS = (
+    ("single-model Res50", SystemConfig(
+        "single", "resnet50", num_classes=1, input_scale=CITYPERSONS_INPUT_SCALE)),
+    ("cascade 10a+50", SystemConfig(
+        "cascade", "resnet50", "resnet10a", num_classes=1,
+        input_scale=CITYPERSONS_INPUT_SCALE)),
+    ("CaTDet 10a+50", SystemConfig(
+        "catdet", "resnet50", "resnet10a", num_classes=1,
+        input_scale=CITYPERSONS_INPUT_SCALE)),
+    ("CaTDet 10b+50", SystemConfig(
+        "catdet", "resnet50", "resnet10b", num_classes=1,
+        input_scale=CITYPERSONS_INPUT_SCALE)),
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sequences", type=int, default=24)
+    args = parser.parse_args()
+
+    dataset = citypersons_like_dataset(num_sequences=args.sequences)
+    labeled = sum(len(v) for v in dataset.labeled_frames.values())
+    print(
+        f"CityPersons-like dataset: {dataset.total_frames} frames "
+        f"({labeled} labeled), {dataset.total_objects} person tracks\n"
+    )
+
+    rows = []
+    baseline_ops = None
+    for name, config in SYSTEMS:
+        run = run_on_dataset(config, dataset)
+        result = evaluate_dataset(
+            dataset, run.detections_by_sequence, MODERATE, with_delay=False
+        )
+        if baseline_ops is None:
+            baseline_ops = run.mean_ops_gops()
+        rows.append(
+            [
+                name,
+                result.mean_ap("voc11"),
+                run.mean_ops_gops(),
+                baseline_ops / run.mean_ops_gops(),
+            ]
+        )
+    print(
+        format_table(
+            ["system", "mAP (VOC)", "ops(G)", "saving"],
+            rows,
+            title="CityPersons comparison (paper Table 6 shape)",
+        )
+    )
+    print(
+        "\nNote how the cascade (no tracker) loses several mAP points that "
+        "CaTDet recovers:\nthe detection system runs on every frame of each "
+        "snippet even though only the 20th\nframe is evaluated — the tracker "
+        "carries objects across the unlabeled frames."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Tracker playground: the CaTDet tracker and SORT on the same video.
+
+Runs both trackers over a simulated detector's output on one sequence and
+reports how well each tracker's next-frame predictions line up with the
+ground truth — the quantity that matters for CaTDet, since predictions
+become the refinement network's regions of interest.
+
+Usage::
+
+    python examples/tracker_playground.py
+"""
+
+import numpy as np
+
+from repro.boxes.iou import iou_matrix
+from repro.datasets.kitti import kitti_world_config
+from repro.datasets.synth import generate_sequence
+from repro.harness.tables import format_table
+from repro.simdet.detector import SimulatedDetector
+from repro.simdet.zoo import get_model
+from repro.tracker.catdet_tracker import CaTDetTracker, TrackerConfig
+from repro.tracker.sort import Sort, SortConfig
+
+
+def prediction_quality(tracker_predictions, ground_truth):
+    """Mean best-IoU of predictions against next-frame ground truth."""
+    if len(tracker_predictions) == 0 or ground_truth.shape[0] == 0:
+        return None
+    ious = iou_matrix(ground_truth, tracker_predictions.boxes)
+    return float(ious.max(axis=1).mean())
+
+
+def main() -> None:
+    sequence = generate_sequence(kitti_world_config(), 100, "demo", seed=42)
+    detector = SimulatedDetector(get_model("resnet50").profile, seed=0)
+    print(f"sequence: {sequence.num_frames} frames, {len(sequence.tracks)} tracks\n")
+
+    rows = []
+    for eta in (0.0, 0.7, 0.95):
+        tracker = CaTDetTracker(
+            TrackerConfig(eta=eta), image_size=sequence.image_size
+        )
+        qualities = []
+        for frame in range(sequence.num_frames):
+            predictions = tracker.predict()
+            if frame > 0:
+                quality = prediction_quality(
+                    predictions, sequence.annotations(frame).boxes
+                )
+                if quality is not None:
+                    qualities.append(quality)
+            tracker.update(detector.detect_full_frame(sequence, frame))
+        rows.append([f"CaTDet tracker (eta={eta})", float(np.mean(qualities))])
+
+    # SORT: a tracklet producer; measure its per-frame output vs GT instead.
+    sort = Sort(SortConfig(min_hits=1, max_age=2))
+    qualities = []
+    for frame in range(sequence.num_frames):
+        out = sort.update(detector.detect_full_frame(sequence, frame))
+        quality = prediction_quality(out, sequence.annotations(frame).boxes)
+        if quality is not None:
+            qualities.append(quality)
+    rows.append(["SORT (Kalman, tracklets)", float(np.mean(qualities))])
+
+    print(
+        format_table(
+            ["tracker", "mean best-IoU vs ground truth"],
+            rows,
+            title="Prediction quality (higher = better regions of interest)",
+        )
+    )
+    print(
+        "\nThe paper's observation: the exponential-decay model is robust "
+        "across a wide\nrange of eta (compare eta=0.7 and eta=0.95), while "
+        "needing none of the Kalman\nfilter's per-dataset tuning."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Visual debugging: watch CaTDet work, frame by frame, in the terminal.
+
+Renders a few frames of one sequence as ASCII art: the ground truth (#),
+the regions-of-interest the tracker + proposal net select (.) and the
+refinement network's detections (o).  Also prints the track timeline of
+the sequence so entries/exits and occlusion episodes are visible.
+
+Usage::
+
+    python examples/visual_debug.py [--frames 0 15 40]
+"""
+
+import argparse
+
+from repro.boxes.mask import RegionMask
+from repro.core.systems import CaTDetSystem
+from repro.datasets.kitti import kitti_world_config
+from repro.datasets.synth import generate_sequence
+from repro.detections import Detections
+from repro.tracker.catdet_tracker import CaTDetTracker
+from repro.viz import render_frame, render_track_timeline
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--frames", type=int, nargs="+", default=[1, 20, 45])
+    parser.add_argument("--width", type=int, default=110)
+    args = parser.parse_args()
+
+    sequence = generate_sequence(kitti_world_config(), 60, "viz-demo", seed=11)
+    print(render_track_timeline(sequence, max_tracks=15))
+    print()
+
+    system = CaTDetSystem("resnet10a", "resnet50", seed=0)
+    tracker = CaTDetTracker(system.tracker_config, image_size=sequence.image_size)
+
+    snapshots = {}
+    for frame in range(sequence.num_frames):
+        tracked = tracker.predict()
+        proposed = system._regions_for_frame(sequence, frame)
+        regions = Detections.concatenate([tracked, proposed])
+        mask = RegionMask(regions.boxes, sequence.width, sequence.height, 30.0)
+        detections = system.refinement_detector.detect_regions(sequence, frame, mask)
+        tracker.update(detections)
+        if frame in args.frames:
+            snapshots[frame] = (detections, mask, len(tracker.tracks))
+
+    for frame in args.frames:
+        if frame not in snapshots:
+            continue
+        detections, mask, n_tracks = snapshots[frame]
+        print(render_frame(sequence, frame, detections=detections, mask=mask,
+                           width=args.width))
+        print(f"tracker is carrying {n_tracks} tracks\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""CaTDet reproduction: cascaded tracked detection from video (MLSYS 2019).
+
+Public API highlights::
+
+    from repro import (
+        SystemConfig, build_system, run_on_dataset,
+        kitti_like_dataset, evaluate_dataset, HARD, MODERATE,
+    )
+
+    dataset = kitti_like_dataset()
+    run = run_on_dataset(SystemConfig("catdet", "resnet50", "resnet10a"), dataset)
+    result = evaluate_dataset(dataset, run.detections_by_sequence, HARD)
+    print(result.mean_ap(), result.mean_delay(0.8), run.mean_ops_gops())
+"""
+
+from repro.core import (
+    CascadedSystem,
+    CaTDetSystem,
+    DetectionSystem,
+    KeyFrameSystem,
+    SingleModelSystem,
+    SystemConfig,
+    SystemRunResult,
+    build_system,
+    run_on_dataset,
+)
+from repro.datasets import (
+    Dataset,
+    Sequence,
+    citypersons_like_dataset,
+    kitti_like_dataset,
+)
+from repro.detections import Detections
+from repro.metrics import (
+    EASY,
+    HARD,
+    MODERATE,
+    EvaluationResult,
+    evaluate_dataset,
+)
+from repro.simdet import MODEL_ZOO, get_model
+from repro.tracker import CaTDetTracker, Sort, TrackerConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CascadedSystem",
+    "CaTDetSystem",
+    "DetectionSystem",
+    "KeyFrameSystem",
+    "SingleModelSystem",
+    "SystemConfig",
+    "SystemRunResult",
+    "build_system",
+    "run_on_dataset",
+    "Dataset",
+    "Sequence",
+    "citypersons_like_dataset",
+    "kitti_like_dataset",
+    "Detections",
+    "EASY",
+    "MODERATE",
+    "HARD",
+    "EvaluationResult",
+    "evaluate_dataset",
+    "MODEL_ZOO",
+    "get_model",
+    "CaTDetTracker",
+    "Sort",
+    "TrackerConfig",
+    "__version__",
+]

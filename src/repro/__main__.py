@@ -1,0 +1,148 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``models``              list the model zoo with op counts
+``run``                 run one system on a KITTI-like dataset and report
+``table2`` / ``table6`` regenerate the paper's headline tables
+``sweep``               the Figure-6 C-thresh sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.config import SystemConfig
+from repro.harness.configs import TABLE2_CONFIGS, TABLE6_CONFIGS
+from repro.harness.experiment import (
+    run_experiment,
+    standard_citypersons,
+    standard_kitti,
+)
+from repro.harness.sweeps import cthresh_sweep
+from repro.harness.tables import format_table
+from repro.metrics.kitti_eval import HARD, MODERATE
+from repro.simdet.zoo import MODEL_ZOO
+
+
+def cmd_models(args: argparse.Namespace) -> int:
+    rows = []
+    for name, entry in MODEL_ZOO.items():
+        if entry.detector_type == "retinanet":
+            gops = entry.retinanet_ops(1242, 375).full_frame().total_gops
+        else:
+            gops = entry.rcnn_ops(1242, 375).full_frame(300).total_gops
+        rows.append([name, entry.detector_type, gops])
+    print(format_table(["model", "type", "KITTI Gops"], rows, precision=1))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    dataset = standard_kitti(args.sequences, args.frames)
+    config = SystemConfig(
+        args.kind,
+        args.refinement,
+        args.proposal,
+        c_thresh=args.c_thresh,
+        seed=args.seed,
+    )
+    result = run_experiment(config, dataset)
+    print(f"system: {config.label}")
+    print(f"ops/frame: {result.ops_gops:.1f} G")
+    for diff in ("moderate", "hard"):
+        print(
+            f"[{diff:>8s}] mAP={result.mean_ap(diff):.3f} "
+            f"mD@0.8={result.mean_delay(diff):.2f}"
+        )
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    dataset = standard_kitti(args.sequences, args.frames)
+    rows = []
+    for config in TABLE2_CONFIGS:
+        res = run_experiment(config, dataset)
+        rows.append(
+            [config.label, res.ops_gops, res.mean_ap("moderate"),
+             res.mean_ap("hard"), res.mean_delay("moderate"),
+             res.mean_delay("hard")]
+        )
+    print(format_table(
+        ["system", "ops(G)", "mAP_M", "mAP_H", "mD_M", "mD_H"], rows,
+        title="Table 2 — KITTI main results",
+    ))
+    return 0
+
+
+def cmd_table6(args: argparse.Namespace) -> int:
+    dataset = standard_citypersons(args.sequences)
+    rows = []
+    for config in TABLE6_CONFIGS:
+        res = run_experiment(config, dataset, (MODERATE,), with_delay=False)
+        rows.append(
+            [config.label, res.evaluation("moderate").mean_ap("voc11"), res.ops_gops]
+        )
+    print(format_table(["system", "mAP", "ops(G)"], rows,
+                       title="Table 6 — CityPersons"))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    dataset = standard_kitti(args.sequences, args.frames)
+    points = cthresh_sweep(
+        dataset,
+        proposal_models=tuple(args.models.split(",")),
+        c_values=tuple(float(c) for c in args.c_values.split(",")),
+    )
+    rows = [
+        [p.proposal_model, "yes" if p.with_tracker else "no",
+         p.c_thresh, p.mean_ap, p.mean_delay, p.ops_gops]
+        for p in points
+    ]
+    print(format_table(
+        ["proposal", "tracker", "C-thresh", "mAP(H)", "mD@0.8", "ops(G)"],
+        rows, title="Figure 6 — C-thresh sweep",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the model zoo").set_defaults(func=cmd_models)
+
+    run_p = sub.add_parser("run", help="run one system on KITTI-like data")
+    run_p.add_argument("kind", choices=("single", "cascade", "catdet"))
+    run_p.add_argument("refinement")
+    run_p.add_argument("proposal", nargs="?", default=None)
+    run_p.add_argument("--c-thresh", type=float, default=0.1)
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--sequences", type=int, default=4)
+    run_p.add_argument("--frames", type=int, default=100)
+    run_p.set_defaults(func=cmd_run)
+
+    for name, fn in (("table2", cmd_table2), ("table6", cmd_table6)):
+        p = sub.add_parser(name, help=f"regenerate paper {name}")
+        p.add_argument("--sequences", type=int, default=4 if name == "table2" else 20)
+        if name == "table2":
+            p.add_argument("--frames", type=int, default=100)
+        p.set_defaults(func=fn)
+
+    sweep_p = sub.add_parser("sweep", help="Figure-6 C-thresh sweep")
+    sweep_p.add_argument("--models", default="resnet10a")
+    sweep_p.add_argument("--c-values", default="0.02,0.1,0.3,0.6")
+    sweep_p.add_argument("--sequences", type=int, default=3)
+    sweep_p.add_argument("--frames", type=int, default=80)
+    sweep_p.set_defaults(func=cmd_sweep)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Axis-aligned bounding-box kernel: representation, IoU, NMS, masks, merging.
+
+Boxes are ``(N, 4)`` float arrays in ``[x1, y1, x2, y2]`` pixel coordinates
+(``x2 > x1``, ``y2 > y1``), the convention used by KITTI labels and by most
+detection codebases.
+"""
+
+from repro.boxes.box import (
+    area,
+    as_boxes,
+    box_center_size,
+    center_size_to_boxes,
+    clip_boxes,
+    empty_boxes,
+    expand_boxes,
+    intersect_box,
+    is_valid,
+    scale_boxes,
+    union_box,
+    width_height,
+)
+from repro.boxes.iou import iou_matrix, iou_pairwise, ioa_matrix
+from repro.boxes.nms import nms, class_aware_nms, soft_nms
+from repro.boxes.mask import RegionMask, boxes_coverage_fraction
+from repro.boxes.merge import greedy_merge_boxes, MergeCostModel
+from repro.boxes.anchors import (
+    AnchorCoverage,
+    anchor_coverage,
+    anchor_shapes,
+    generate_anchors,
+)
+
+__all__ = [
+    "area",
+    "as_boxes",
+    "box_center_size",
+    "center_size_to_boxes",
+    "clip_boxes",
+    "empty_boxes",
+    "expand_boxes",
+    "intersect_box",
+    "is_valid",
+    "scale_boxes",
+    "union_box",
+    "width_height",
+    "iou_matrix",
+    "iou_pairwise",
+    "ioa_matrix",
+    "nms",
+    "class_aware_nms",
+    "soft_nms",
+    "RegionMask",
+    "boxes_coverage_fraction",
+    "greedy_merge_boxes",
+    "MergeCostModel",
+    "AnchorCoverage",
+    "anchor_coverage",
+    "anchor_shapes",
+    "generate_anchors",
+]

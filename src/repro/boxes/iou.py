@@ -1,0 +1,72 @@
+"""Vectorized Intersection-over-Union computations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.boxes.box import area
+
+
+def iou_matrix(boxes_a: np.ndarray, boxes_b: np.ndarray) -> np.ndarray:
+    """Pairwise IoU between two box sets.
+
+    Parameters
+    ----------
+    boxes_a : (N, 4) array
+    boxes_b : (M, 4) array
+
+    Returns
+    -------
+    (N, M) array of IoU values in [0, 1].  Degenerate boxes yield IoU 0.
+    """
+    a = np.asarray(boxes_a, dtype=np.float64).reshape(-1, 4)
+    b = np.asarray(boxes_b, dtype=np.float64).reshape(-1, 4)
+    if a.shape[0] == 0 or b.shape[0] == 0:
+        return np.zeros((a.shape[0], b.shape[0]))
+
+    x1 = np.maximum(a[:, None, 0], b[None, :, 0])
+    y1 = np.maximum(a[:, None, 1], b[None, :, 1])
+    x2 = np.minimum(a[:, None, 2], b[None, :, 2])
+    y2 = np.minimum(a[:, None, 3], b[None, :, 3])
+
+    inter = np.maximum(0.0, x2 - x1) * np.maximum(0.0, y2 - y1)
+    union = area(a)[:, None] + area(b)[None, :] - inter
+    with np.errstate(divide="ignore", invalid="ignore"):
+        iou = np.where(union > 0, inter / union, 0.0)
+    return iou
+
+
+def iou_pairwise(boxes_a: np.ndarray, boxes_b: np.ndarray) -> np.ndarray:
+    """Element-wise IoU of two equal-length box sets (``(N,4)`` vs ``(N,4)``)."""
+    a = np.asarray(boxes_a, dtype=np.float64).reshape(-1, 4)
+    b = np.asarray(boxes_b, dtype=np.float64).reshape(-1, 4)
+    if a.shape[0] != b.shape[0]:
+        raise ValueError(f"box sets must have equal length, got {a.shape[0]} and {b.shape[0]}")
+    x1 = np.maximum(a[:, 0], b[:, 0])
+    y1 = np.maximum(a[:, 1], b[:, 1])
+    x2 = np.minimum(a[:, 2], b[:, 2])
+    y2 = np.minimum(a[:, 3], b[:, 3])
+    inter = np.maximum(0.0, x2 - x1) * np.maximum(0.0, y2 - y1)
+    union = area(a) + area(b) - inter
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.where(union > 0, inter / union, 0.0)
+
+
+def ioa_matrix(boxes_a: np.ndarray, boxes_b: np.ndarray) -> np.ndarray:
+    """Pairwise intersection-over-area-of-A.
+
+    ``ioa[i, j]`` is the fraction of box ``a_i`` covered by box ``b_j``; used
+    to decide whether a ground-truth object lies inside a region of interest.
+    """
+    a = np.asarray(boxes_a, dtype=np.float64).reshape(-1, 4)
+    b = np.asarray(boxes_b, dtype=np.float64).reshape(-1, 4)
+    if a.shape[0] == 0 or b.shape[0] == 0:
+        return np.zeros((a.shape[0], b.shape[0]))
+    x1 = np.maximum(a[:, None, 0], b[None, :, 0])
+    y1 = np.maximum(a[:, None, 1], b[None, :, 1])
+    x2 = np.minimum(a[:, None, 2], b[None, :, 2])
+    y2 = np.minimum(a[:, None, 3], b[None, :, 3])
+    inter = np.maximum(0.0, x2 - x1) * np.maximum(0.0, y2 - y1)
+    area_a = area(a)[:, None]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.where(area_a > 0, inter / area_a, 0.0)

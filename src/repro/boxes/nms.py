@@ -1,0 +1,119 @@
+"""Non-maximum suppression variants.
+
+CaTDet applies NMS at two points: inside each simulated detector's output
+head, and after the refinement network where tracker- and proposal-sourced
+duplicates of the same object must be collapsed (Figure 2d of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.boxes.iou import iou_matrix
+
+
+def nms(boxes: np.ndarray, scores: np.ndarray, iou_threshold: float = 0.5) -> np.ndarray:
+    """Greedy non-maximum suppression.
+
+    Parameters
+    ----------
+    boxes : (N, 4) array
+    scores : (N,) array
+    iou_threshold:
+        Boxes with IoU above this value against an already-kept higher-scoring
+        box are suppressed.
+
+    Returns
+    -------
+    Indices of kept boxes, sorted by descending score.
+    """
+    boxes = np.asarray(boxes, dtype=np.float64).reshape(-1, 4)
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    if boxes.shape[0] != scores.shape[0]:
+        raise ValueError(
+            f"boxes and scores must have equal length, got {boxes.shape[0]} and {scores.shape[0]}"
+        )
+    if not (0.0 <= iou_threshold <= 1.0):
+        raise ValueError(f"iou_threshold must lie in [0, 1], got {iou_threshold}")
+    n = boxes.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+
+    order = np.argsort(-scores, kind="stable")
+    ious = iou_matrix(boxes, boxes)
+    suppressed = np.zeros(n, dtype=bool)
+    keep = []
+    for idx in order:
+        if suppressed[idx]:
+            continue
+        keep.append(idx)
+        suppressed |= ious[idx] > iou_threshold
+        suppressed[idx] = True  # a box never suppresses itself out of `keep`
+    return np.asarray(keep, dtype=np.int64)
+
+
+def class_aware_nms(
+    boxes: np.ndarray,
+    scores: np.ndarray,
+    labels: np.ndarray,
+    iou_threshold: float = 0.5,
+) -> np.ndarray:
+    """NMS applied independently per class label.
+
+    Returns kept indices into the original arrays (descending score within
+    each class, classes interleaved by global score order).
+    """
+    boxes = np.asarray(boxes, dtype=np.float64).reshape(-1, 4)
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    labels = np.asarray(labels).reshape(-1)
+    if not (boxes.shape[0] == scores.shape[0] == labels.shape[0]):
+        raise ValueError("boxes, scores and labels must have equal length")
+    keep_mask = np.zeros(boxes.shape[0], dtype=bool)
+    for cls in np.unique(labels):
+        cls_idx = np.flatnonzero(labels == cls)
+        kept = nms(boxes[cls_idx], scores[cls_idx], iou_threshold)
+        keep_mask[cls_idx[kept]] = True
+    kept_all = np.flatnonzero(keep_mask)
+    return kept_all[np.argsort(-scores[kept_all], kind="stable")]
+
+
+def soft_nms(
+    boxes: np.ndarray,
+    scores: np.ndarray,
+    iou_threshold: float = 0.5,
+    sigma: float = 0.5,
+    score_threshold: float = 1e-3,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Gaussian Soft-NMS (Bodla et al., 2017) — provided for ablations.
+
+    Instead of removing overlapping boxes, their scores decay by
+    ``exp(-iou^2 / sigma)``.  Returns ``(kept_indices, decayed_scores)``.
+    """
+    boxes = np.asarray(boxes, dtype=np.float64).reshape(-1, 4)
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1).copy()
+    if boxes.shape[0] != scores.shape[0]:
+        raise ValueError("boxes and scores must have equal length")
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    n = boxes.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0)
+
+    ious = iou_matrix(boxes, boxes)
+    alive = np.ones(n, dtype=bool)
+    keep = []
+    kept_scores = []
+    while alive.any():
+        live_idx = np.flatnonzero(alive)
+        best = live_idx[np.argmax(scores[live_idx])]
+        if scores[best] < score_threshold:
+            break
+        keep.append(best)
+        kept_scores.append(scores[best])
+        alive[best] = False
+        overlapping = ious[best] > iou_threshold
+        decay = np.exp(-(ious[best] ** 2) / sigma)
+        scores = np.where(alive & overlapping, scores * decay, scores)
+    return np.asarray(keep, dtype=np.int64), np.asarray(kept_scores)

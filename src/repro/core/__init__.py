@@ -1,0 +1,34 @@
+"""The paper's detection systems (Figure 1).
+
+* :class:`SingleModelSystem` — one Faster R-CNN (or RetinaNet) on every frame.
+* :class:`CascadedSystem` — cheap proposal network scans the frame, expensive
+  refinement network calibrates only the proposed regions.
+* :class:`CaTDetSystem` — the cascade plus a tracker that feeds historical
+  objects' predicted locations into the refinement network.
+"""
+
+from repro.core.config import SystemConfig, build_system
+from repro.core.results import FrameResult, OpsAccount, SequenceResult, SystemRunResult
+from repro.core.keyframe import KeyFrameSystem
+from repro.core.systems import (
+    CascadedSystem,
+    CaTDetSystem,
+    DetectionSystem,
+    SingleModelSystem,
+)
+from repro.core.pipeline import run_on_dataset
+
+__all__ = [
+    "SystemConfig",
+    "build_system",
+    "FrameResult",
+    "OpsAccount",
+    "SequenceResult",
+    "SystemRunResult",
+    "CascadedSystem",
+    "CaTDetSystem",
+    "DetectionSystem",
+    "KeyFrameSystem",
+    "SingleModelSystem",
+    "run_on_dataset",
+]

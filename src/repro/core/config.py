@@ -1,0 +1,103 @@
+"""Declarative system configuration + factory.
+
+Experiments describe systems as :class:`SystemConfig` values; the factory
+builds the runnable object.  This keeps benchmark tables data-driven.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.systems import (
+    CascadedSystem,
+    CaTDetSystem,
+    DetectionSystem,
+    SingleModelSystem,
+)
+from repro.tracker.catdet_tracker import TrackerConfig
+
+_KINDS = ("single", "cascade", "catdet")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Description of one detection system.
+
+    Parameters
+    ----------
+    kind:
+        ``"single"``, ``"cascade"`` or ``"catdet"``.
+    refinement_model:
+        The (only, for ``single``) expensive model's zoo name.
+    proposal_model:
+        The cheap scanner's zoo name (cascade / catdet only).
+    c_thresh:
+        Proposal-network output threshold.
+    tracker:
+        Tracker hyper-parameters (catdet only).
+    margin:
+        Region-of-interest context margin in pixels.
+    seed:
+        Detector-simulation seed.
+    num_classes:
+        Dataset class count (affects op models marginally).
+    input_scale:
+        Downscale factor applied to frames before the networks (CityPersons
+        runs at reduced resolution, §7).
+    """
+
+    kind: str
+    refinement_model: str
+    proposal_model: Optional[str] = None
+    c_thresh: float = 0.1
+    tracker: TrackerConfig = field(default_factory=TrackerConfig)
+    margin: float = 30.0
+    seed: int = 0
+    num_classes: int = 2
+    input_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
+        if self.kind != "single" and not self.proposal_model:
+            raise ValueError(f"{self.kind!r} systems require a proposal_model")
+
+    @property
+    def label(self) -> str:
+        """Short label in the paper's table style."""
+        if self.kind == "single":
+            return f"{self.refinement_model}, Faster R-CNN"
+        suffix = "CaTDet" if self.kind == "catdet" else "Cascaded"
+        return f"{self.proposal_model}, {self.refinement_model}, {suffix}"
+
+
+def build_system(config: SystemConfig) -> DetectionSystem:
+    """Instantiate the runnable system described by ``config``."""
+    if config.kind == "single":
+        return SingleModelSystem(
+            config.refinement_model,
+            seed=config.seed,
+            num_classes=config.num_classes,
+            input_scale=config.input_scale,
+        )
+    if config.kind == "cascade":
+        return CascadedSystem(
+            config.proposal_model,
+            config.refinement_model,
+            c_thresh=config.c_thresh,
+            margin=config.margin,
+            seed=config.seed,
+            num_classes=config.num_classes,
+            input_scale=config.input_scale,
+        )
+    return CaTDetSystem(
+        config.proposal_model,
+        config.refinement_model,
+        c_thresh=config.c_thresh,
+        margin=config.margin,
+        seed=config.seed,
+        num_classes=config.num_classes,
+        input_scale=config.input_scale,
+        tracker_config=config.tracker,
+    )

@@ -1,0 +1,96 @@
+"""Key-frame detection baseline: detect every k-th frame, track in between.
+
+The related work the paper compares against (e.g. Deep Feature Flow) saves
+compute by running the expensive detector only on key frames and
+propagating results across the gap.  This baseline makes that strategy
+comparable inside our framework: a full single-model pass every ``stride``
+frames, with the CaTDet tracker coasting detections through the skipped
+frames.
+
+It spends *zero* DNN ops on non-key frames — cheaper than CaTDet — but
+pays for it in delay (an object entering right after a key frame waits
+``stride-1`` frames before it can possibly be found) and in accuracy on
+fast-moving objects (coasted boxes drift).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.core.results import FrameResult, OpsAccount, SequenceResult
+from repro.core.systems import DetectionSystem, _resolve, _scaled_dims
+from repro.datasets.types import Sequence
+from repro.detections import Detections
+from repro.simdet.detector import SimulatedDetector
+from repro.simdet.zoo import ZooEntry
+from repro.tracker.catdet_tracker import CaTDetTracker, TrackerConfig
+
+
+class KeyFrameSystem(DetectionSystem):
+    """Detect on every ``stride``-th frame; coast the tracker in between.
+
+    Parameters
+    ----------
+    model:
+        Zoo name or entry of the detector used on key frames.
+    stride:
+        Key-frame interval (1 degenerates to the single-model system).
+    seed:
+        Detector-simulation seed.
+    tracker_config:
+        Tracker hyper-parameters for the in-between propagation.
+    num_classes / input_scale:
+        As for the other systems.
+    """
+
+    def __init__(
+        self,
+        model: Union[str, ZooEntry],
+        *,
+        stride: int = 5,
+        seed: int = 0,
+        tracker_config: TrackerConfig = TrackerConfig(),
+        num_classes: int = 2,
+        input_scale: float = 1.0,
+    ):
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        self.entry = _resolve(model)
+        self.stride = int(stride)
+        self.detector = SimulatedDetector(self.entry.profile, seed, input_scale=input_scale)
+        self.tracker_config = tracker_config
+        self.num_classes = int(num_classes)
+        self.input_scale = float(input_scale)
+        self.name = f"{self.entry.profile.name}-keyframe{stride}"
+
+    def _frame_macs(self, sequence: Sequence) -> float:
+        w, h = _scaled_dims(sequence, self.input_scale)
+        if self.entry.detector_type == "retinanet":
+            return self.entry.retinanet_ops(w, h, self.num_classes).full_frame().total
+        return self.entry.rcnn_ops(w, h, self.num_classes).full_frame(300).total
+
+    def process_sequence(self, sequence: Sequence) -> SequenceResult:
+        macs = self._frame_macs(sequence)
+        tracker = CaTDetTracker(self.tracker_config, image_size=sequence.image_size)
+        result = SequenceResult(sequence_name=sequence.name)
+        for frame in range(sequence.num_frames):
+            predictions = tracker.predict()
+            if frame % self.stride == 0:
+                detections = self.detector.detect_full_frame(sequence, frame)
+                tracker.update(detections)
+                frame_ops = OpsAccount(refinement=macs)
+            else:
+                # Skipped frame: emit the tracker's coasted predictions.
+                detections = predictions
+                tracker.update(detections)
+                frame_ops = OpsAccount()
+            result.frames.append(
+                FrameResult(
+                    frame=frame,
+                    detections=detections,
+                    ops=frame_ops,
+                    num_regions=len(predictions),
+                    coverage_fraction=1.0 if frame % self.stride == 0 else 0.0,
+                )
+            )
+        return result

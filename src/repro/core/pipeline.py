@@ -1,0 +1,44 @@
+"""Dataset-level pipeline: run a system over every sequence."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.core.config import SystemConfig, build_system
+from repro.core.results import SystemRunResult
+from repro.core.systems import DetectionSystem
+from repro.datasets.types import Dataset
+
+
+def run_on_dataset(
+    system: Union[DetectionSystem, SystemConfig],
+    dataset: Dataset,
+    *,
+    max_sequences: Optional[int] = None,
+) -> SystemRunResult:
+    """Process every sequence of ``dataset`` with ``system``.
+
+    Parameters
+    ----------
+    system:
+        A runnable system or a :class:`SystemConfig` to build one from.
+    dataset:
+        The sequences to process.
+    max_sequences:
+        Optional cap for quick runs.
+
+    Returns
+    -------
+    :class:`SystemRunResult` holding per-frame detections + op accounts,
+    ready for :func:`repro.metrics.evaluate_dataset`.
+    """
+    if isinstance(system, SystemConfig):
+        system = build_system(system)
+    result = SystemRunResult(system_name=system.name)
+    sequences = dataset.sequences
+    if max_sequences is not None:
+        sequences = sequences[:max_sequences]
+    for sequence in sequences:
+        system.reset()
+        result.sequences[sequence.name] = system.process_sequence(sequence)
+    return result

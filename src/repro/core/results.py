@@ -1,0 +1,122 @@
+"""Result containers: per-frame detections plus operation accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.detections import Detections
+
+GIGA = 1e9
+
+
+@dataclass
+class OpsAccount:
+    """Operation counts (MACs) for one frame of one system.
+
+    ``refinement_from_tracker`` / ``refinement_from_proposal`` are the
+    hypothetical refinement costs had only that source supplied regions —
+    because the sources overlap, they sum to *more* than ``refinement``
+    (exactly the phenomenon Table 3 reports).
+    """
+
+    proposal: float = 0.0
+    refinement: float = 0.0
+    refinement_from_tracker: float = 0.0
+    refinement_from_proposal: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.proposal + self.refinement
+
+    def __add__(self, other: "OpsAccount") -> "OpsAccount":
+        return OpsAccount(
+            proposal=self.proposal + other.proposal,
+            refinement=self.refinement + other.refinement,
+            refinement_from_tracker=self.refinement_from_tracker
+            + other.refinement_from_tracker,
+            refinement_from_proposal=self.refinement_from_proposal
+            + other.refinement_from_proposal,
+        )
+
+    def scaled(self, factor: float) -> "OpsAccount":
+        return OpsAccount(
+            proposal=self.proposal * factor,
+            refinement=self.refinement * factor,
+            refinement_from_tracker=self.refinement_from_tracker * factor,
+            refinement_from_proposal=self.refinement_from_proposal * factor,
+        )
+
+
+@dataclass
+class FrameResult:
+    """One processed frame: final detections + ops + region stats."""
+
+    frame: int
+    detections: Detections
+    ops: OpsAccount
+    num_regions: int = 0
+    coverage_fraction: float = 0.0
+
+
+@dataclass
+class SequenceResult:
+    """All frames of one sequence processed by one system."""
+
+    sequence_name: str
+    frames: List[FrameResult] = field(default_factory=list)
+
+    @property
+    def detections(self) -> List[Detections]:
+        """Per-frame detections, in frame order."""
+        return [f.detections for f in self.frames]
+
+    @property
+    def num_frames(self) -> int:
+        return len(self.frames)
+
+    def mean_ops(self) -> OpsAccount:
+        """Average per-frame operation account."""
+        if not self.frames:
+            return OpsAccount()
+        total = OpsAccount()
+        for f in self.frames:
+            total = total + f.ops
+        return total.scaled(1.0 / len(self.frames))
+
+
+@dataclass
+class SystemRunResult:
+    """One system run over a whole dataset."""
+
+    system_name: str
+    sequences: Dict[str, SequenceResult] = field(default_factory=dict)
+
+    @property
+    def detections_by_sequence(self) -> Dict[str, List[Detections]]:
+        """The mapping :func:`repro.metrics.evaluate_dataset` consumes."""
+        return {name: seq.detections for name, seq in self.sequences.items()}
+
+    def mean_ops(self) -> OpsAccount:
+        """Per-frame operation account averaged over all frames of all sequences."""
+        total = OpsAccount()
+        n = 0
+        for seq in self.sequences.values():
+            for f in seq.frames:
+                total = total + f.ops
+                n += 1
+        return total.scaled(1.0 / n) if n else total
+
+    def mean_ops_gops(self) -> float:
+        """Average per-frame total ops in Gops — the paper's headline column."""
+        return self.mean_ops().total / GIGA
+
+    def mean_regions_per_frame(self) -> float:
+        counts = [f.num_regions for s in self.sequences.values() for f in s.frames]
+        return float(np.mean(counts)) if counts else 0.0
+
+    def mean_coverage(self) -> float:
+        fracs = [f.coverage_fraction for s in self.sequences.values() for f in s.frames]
+        return float(np.mean(fracs)) if fracs else 0.0

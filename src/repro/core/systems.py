@@ -1,0 +1,294 @@
+"""The three detection systems of Figure 1.
+
+All systems share the same contract: :meth:`process_sequence` walks a video
+sequence frame by frame (strictly causal — CaTDet never looks ahead) and
+returns per-frame detections plus an exact operation account.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.boxes.mask import RegionMask
+from repro.core.results import FrameResult, OpsAccount, SequenceResult
+from repro.datasets.types import Sequence
+from repro.detections import Detections
+from repro.simdet.detector import SimulatedDetector
+from repro.simdet.zoo import ZooEntry, get_model
+from repro.tracker.catdet_tracker import CaTDetTracker, TrackerConfig
+
+
+def _resolve(model: Union[str, ZooEntry]) -> ZooEntry:
+    return get_model(model) if isinstance(model, str) else model
+
+
+def _scaled_dims(sequence: Sequence, input_scale: float) -> tuple:
+    """Network input resolution for a sequence under a downscale factor."""
+    return (
+        max(1, int(round(sequence.width * input_scale))),
+        max(1, int(round(sequence.height * input_scale))),
+    )
+
+
+class DetectionSystem(ABC):
+    """Common interface of single-model, cascaded and CaTDet systems."""
+
+    name: str
+
+    @abstractmethod
+    def process_sequence(self, sequence: Sequence) -> SequenceResult:
+        """Run the system over every frame of ``sequence`` in order."""
+
+    def reset(self) -> None:
+        """Clear any cross-frame state (default: none)."""
+
+
+class SingleModelSystem(DetectionSystem):
+    """One detector on every full frame (Figure 1a).
+
+    Parameters
+    ----------
+    model:
+        Zoo name or entry for the detector.
+    seed:
+        Randomness seed for the simulated detector.
+    num_proposals:
+        RPN proposal count for the op model (300, the standard setting).
+    output_threshold:
+        Minimum confidence kept in the output (0 keeps everything; metrics
+        sweep thresholds themselves).
+    num_classes:
+        Class count for the op model's output layers.
+    """
+
+    def __init__(
+        self,
+        model: Union[str, ZooEntry],
+        seed: int = 0,
+        *,
+        num_proposals: int = 300,
+        output_threshold: float = 0.0,
+        num_classes: int = 2,
+        input_scale: float = 1.0,
+    ):
+        self.entry = _resolve(model)
+        self.input_scale = float(input_scale)
+        self.detector = SimulatedDetector(self.entry.profile, seed, input_scale=input_scale)
+        self.num_proposals = int(num_proposals)
+        self.output_threshold = float(output_threshold)
+        self.num_classes = int(num_classes)
+        self.name = f"{self.entry.profile.name}-single"
+
+    def _frame_macs(self, sequence: Sequence) -> float:
+        w, h = _scaled_dims(sequence, self.input_scale)
+        if self.entry.detector_type == "retinanet":
+            return self.entry.retinanet_ops(w, h, self.num_classes).full_frame().total
+        return self.entry.rcnn_ops(w, h, self.num_classes).full_frame(self.num_proposals).total
+
+    def process_sequence(self, sequence: Sequence) -> SequenceResult:
+        macs = self._frame_macs(sequence)
+        result = SequenceResult(sequence_name=sequence.name)
+        for frame in range(sequence.num_frames):
+            detections = self.detector.detect_full_frame(sequence, frame)
+            if self.output_threshold > 0:
+                detections = detections.above_score(self.output_threshold)
+            result.frames.append(
+                FrameResult(
+                    frame=frame,
+                    detections=detections,
+                    ops=OpsAccount(proposal=0.0, refinement=macs),
+                    num_regions=0,
+                    coverage_fraction=1.0,
+                )
+            )
+        return result
+
+
+class CascadedSystem(DetectionSystem):
+    """Proposal network + refinement network, no tracker (Figure 1b).
+
+    Parameters
+    ----------
+    proposal_model / refinement_model:
+        Zoo names or entries.
+    c_thresh:
+        Output threshold of the proposal network ("C-thresh" in Figure 6):
+        only proposals scoring at least this value reach the refinement
+        network.
+    margin:
+        Pixels of context appended around each region (paper: 30).
+    seed:
+        Randomness seed shared by both simulated detectors.
+    refinement_type:
+        ``"faster_rcnn"`` (regions + per-proposal head) or ``"retinanet"``
+        (dense head over the region mask, Appendix II).
+    """
+
+    def __init__(
+        self,
+        proposal_model: Union[str, ZooEntry],
+        refinement_model: Union[str, ZooEntry],
+        *,
+        c_thresh: float = 0.1,
+        margin: float = 30.0,
+        seed: int = 0,
+        num_classes: int = 2,
+        input_scale: float = 1.0,
+    ):
+        if not (0.0 <= c_thresh <= 1.0):
+            raise ValueError(f"c_thresh must lie in [0, 1], got {c_thresh}")
+        if margin < 0:
+            raise ValueError(f"margin must be >= 0, got {margin}")
+        self.proposal_entry = _resolve(proposal_model)
+        self.refinement_entry = _resolve(refinement_model)
+        self.input_scale = float(input_scale)
+        self.proposal_detector = SimulatedDetector(
+            self.proposal_entry.profile, seed, input_scale=input_scale
+        )
+        self.refinement_detector = SimulatedDetector(
+            self.refinement_entry.profile, seed, input_scale=input_scale
+        )
+        self.c_thresh = float(c_thresh)
+        self.margin = float(margin)
+        self.num_classes = int(num_classes)
+        self.name = (
+            f"{self.proposal_entry.profile.name}+"
+            f"{self.refinement_entry.profile.name}-cascade"
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _proposal_macs(self, sequence: Sequence) -> float:
+        w, h = _scaled_dims(sequence, self.input_scale)
+        return self.proposal_entry.rcnn_ops(w, h, self.num_classes).full_frame(300).total
+
+    def _refinement_macs(
+        self, sequence: Sequence, coverage: float, n_regions: int
+    ) -> float:
+        w, h = _scaled_dims(sequence, self.input_scale)
+        if self.refinement_entry.detector_type == "retinanet":
+            return self.refinement_entry.retinanet_ops(
+                w, h, self.num_classes
+            ).regional(coverage).total
+        return self.refinement_entry.rcnn_ops(
+            w, h, self.num_classes
+        ).regional(coverage, n_regions).total
+
+    def _regions_for_frame(self, sequence: Sequence, frame: int) -> Detections:
+        proposals = self.proposal_detector.detect_full_frame(sequence, frame)
+        return proposals.above_score(self.c_thresh)
+
+    def process_sequence(self, sequence: Sequence) -> SequenceResult:
+        proposal_macs = self._proposal_macs(sequence)
+        result = SequenceResult(sequence_name=sequence.name)
+        for frame in range(sequence.num_frames):
+            regions = self._regions_for_frame(sequence, frame)
+            mask = RegionMask(
+                regions.boxes, sequence.width, sequence.height, self.margin
+            )
+            coverage = mask.coverage_fraction()
+            detections = self.refinement_detector.detect_regions(sequence, frame, mask)
+            refinement_macs = self._refinement_macs(sequence, coverage, len(regions))
+            result.frames.append(
+                FrameResult(
+                    frame=frame,
+                    detections=detections,
+                    ops=OpsAccount(
+                        proposal=proposal_macs,
+                        refinement=refinement_macs,
+                        refinement_from_proposal=refinement_macs,
+                    ),
+                    num_regions=len(regions),
+                    coverage_fraction=coverage,
+                )
+            )
+        return result
+
+
+class CaTDetSystem(CascadedSystem):
+    """The full CaTDet system: cascade + tracker feedback (Figure 1c).
+
+    The tracker receives each frame's *final* (refinement) detections and
+    predicts regions for the next frame; those predictions are unioned with
+    the proposal network's output before refinement.
+
+    Additional parameters
+    ---------------------
+    tracker_config:
+        Tracker hyper-parameters; its ``input_score_threshold`` is the
+        "confidence threshold for the tracker's input" of §4.3.
+    """
+
+    def __init__(
+        self,
+        proposal_model: Union[str, ZooEntry],
+        refinement_model: Union[str, ZooEntry],
+        *,
+        c_thresh: float = 0.1,
+        margin: float = 30.0,
+        seed: int = 0,
+        num_classes: int = 2,
+        input_scale: float = 1.0,
+        tracker_config: TrackerConfig = TrackerConfig(),
+    ):
+        super().__init__(
+            proposal_model,
+            refinement_model,
+            c_thresh=c_thresh,
+            margin=margin,
+            seed=seed,
+            num_classes=num_classes,
+            input_scale=input_scale,
+        )
+        self.tracker_config = tracker_config
+        self.name = (
+            f"{self.proposal_entry.profile.name}+"
+            f"{self.refinement_entry.profile.name}-catdet"
+        )
+
+    def process_sequence(self, sequence: Sequence) -> SequenceResult:
+        proposal_macs = self._proposal_macs(sequence)
+        tracker = CaTDetTracker(self.tracker_config, image_size=sequence.image_size)
+        result = SequenceResult(sequence_name=sequence.name)
+        for frame in range(sequence.num_frames):
+            tracked = tracker.predict()
+            proposed = self._regions_for_frame(sequence, frame)
+            regions = Detections.concatenate([tracked, proposed])
+
+            mask = RegionMask(regions.boxes, sequence.width, sequence.height, self.margin)
+            coverage = mask.coverage_fraction()
+            detections = self.refinement_detector.detect_regions(sequence, frame, mask)
+            tracker.update(detections)
+
+            refinement_macs = self._refinement_macs(sequence, coverage, len(regions))
+            # Hypothetical single-source costs for the Table 3 break-down.
+            tracker_mask = RegionMask(
+                tracked.boxes, sequence.width, sequence.height, self.margin
+            )
+            proposal_mask = RegionMask(
+                proposed.boxes, sequence.width, sequence.height, self.margin
+            )
+            from_tracker = self._refinement_macs(
+                sequence, tracker_mask.coverage_fraction(), len(tracked)
+            )
+            from_proposal = self._refinement_macs(
+                sequence, proposal_mask.coverage_fraction(), len(proposed)
+            )
+            result.frames.append(
+                FrameResult(
+                    frame=frame,
+                    detections=detections,
+                    ops=OpsAccount(
+                        proposal=proposal_macs,
+                        refinement=refinement_macs,
+                        refinement_from_tracker=from_tracker,
+                        refinement_from_proposal=from_proposal,
+                    ),
+                    num_regions=len(regions),
+                    coverage_fraction=coverage,
+                )
+            )
+        return result

@@ -1,0 +1,57 @@
+"""Video datasets: synthetic world generation plus KITTI-format IO.
+
+The synthetic generator produces ground-truth object *tracks* with the
+temporal statistics that drive the paper's measurements: objects persist
+across frames, move smoothly under ego-camera motion, enter/exit the frame,
+and carry occlusion/truncation attributes that make them harder to detect.
+"""
+
+from repro.datasets.types import (
+    ClassSpec,
+    Dataset,
+    FrameAnnotations,
+    ObjectTrack,
+    Sequence,
+)
+from repro.datasets.camera import EgoCamera, EgoMotionConfig
+from repro.datasets.motion_models import TrajectoryConfig, generate_trajectory
+from repro.datasets.synth import SyntheticWorldConfig, generate_sequence, generate_dataset
+from repro.datasets.kitti import (
+    KITTI_CLASSES,
+    kitti_like_dataset,
+    parse_kitti_tracking_labels,
+    write_kitti_tracking_labels,
+)
+from repro.datasets.citypersons import (
+    CITYPERSONS_CLASSES,
+    citypersons_like_dataset,
+)
+from repro.datasets.statistics import (
+    ClassStatistics,
+    DatasetStatistics,
+    compute_statistics,
+)
+
+__all__ = [
+    "ClassSpec",
+    "Dataset",
+    "FrameAnnotations",
+    "ObjectTrack",
+    "Sequence",
+    "EgoCamera",
+    "EgoMotionConfig",
+    "TrajectoryConfig",
+    "generate_trajectory",
+    "SyntheticWorldConfig",
+    "generate_sequence",
+    "generate_dataset",
+    "KITTI_CLASSES",
+    "kitti_like_dataset",
+    "parse_kitti_tracking_labels",
+    "write_kitti_tracking_labels",
+    "CITYPERSONS_CLASSES",
+    "citypersons_like_dataset",
+    "ClassStatistics",
+    "DatasetStatistics",
+    "compute_statistics",
+]

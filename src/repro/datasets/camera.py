@@ -1,0 +1,121 @@
+"""Ego-camera motion model.
+
+A moving camera (the KITTI car) imposes a *global* flow on every object in
+the image: horizontal pan when turning, a mild zoom as the car drives
+forward (objects ahead expand and drift toward the image edges).  The model
+is a smooth random process over (pan_x, pan_y, zoom) per frame; applying it
+to a box transforms the box about the image's focus-of-expansion point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class EgoMotionConfig:
+    """Parameters of the smooth ego-motion process.
+
+    Per-frame pan follows an AR(1) process in pixels/frame; zoom is a
+    multiplicative rate near 1 (e.g. 1.004 = objects grow 0.4 %/frame as
+    the camera approaches).
+    """
+
+    pan_std: float = 2.0
+    pan_smoothness: float = 0.9
+    zoom_rate_mean: float = 1.004
+    zoom_rate_std: float = 0.002
+    zoom_smoothness: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.pan_std < 0:
+            raise ValueError(f"pan_std must be >= 0, got {self.pan_std}")
+        if not (0.0 <= self.pan_smoothness < 1.0):
+            raise ValueError(f"pan_smoothness must lie in [0, 1), got {self.pan_smoothness}")
+        if not (0.0 <= self.zoom_smoothness < 1.0):
+            raise ValueError(f"zoom_smoothness must lie in [0, 1), got {self.zoom_smoothness}")
+        if self.zoom_rate_mean <= 0:
+            raise ValueError(f"zoom_rate_mean must be positive, got {self.zoom_rate_mean}")
+
+
+class EgoCamera:
+    """Pre-sampled ego-motion for one sequence.
+
+    Parameters
+    ----------
+    config:
+        Ego-motion process parameters.
+    num_frames:
+        Number of frames to sample.
+    width, height:
+        Image geometry; the focus of expansion sits at the image center
+        horizontally and at 40 % height (roughly the horizon in KITTI).
+    seed:
+        RNG seed or generator.
+    """
+
+    def __init__(
+        self,
+        config: EgoMotionConfig,
+        num_frames: int,
+        width: float,
+        height: float,
+        seed: SeedLike = None,
+    ):
+        if num_frames <= 0:
+            raise ValueError(f"num_frames must be positive, got {num_frames}")
+        rng = as_generator(seed)
+        self.config = config
+        self.width = float(width)
+        self.height = float(height)
+        self.foe = np.array([self.width / 2.0, self.height * 0.4])
+
+        # AR(1) pan in x and y (y pan much smaller: cameras rarely tilt).
+        rho = config.pan_smoothness
+        innov_scale = config.pan_std * np.sqrt(max(1.0 - rho**2, 1e-12))
+        pan = np.zeros((num_frames, 2))
+        state = rng.normal(scale=config.pan_std, size=2) * np.array([1.0, 0.2])
+        for t in range(num_frames):
+            state = rho * state + rng.normal(scale=innov_scale, size=2) * np.array([1.0, 0.2])
+            pan[t] = state
+        self.pan = pan
+
+        rho_z = config.zoom_smoothness
+        z_innov = config.zoom_rate_std * np.sqrt(max(1.0 - rho_z**2, 1e-12))
+        zoom = np.zeros(num_frames)
+        z_state = 0.0
+        for t in range(num_frames):
+            z_state = rho_z * z_state + rng.normal(scale=z_innov)
+            zoom[t] = config.zoom_rate_mean + z_state
+        self.zoom = np.maximum(zoom, 0.5)
+
+    def transform_box(self, box: np.ndarray, frame: int) -> np.ndarray:
+        """Apply frame ``frame``'s ego-motion step to a box.
+
+        Zoom expands the box about the focus of expansion; pan translates.
+        """
+        box = np.asarray(box, dtype=np.float64).reshape(4)
+        z = self.zoom[frame]
+        fx, fy = self.foe
+        out = box.copy()
+        out[0] = fx + (box[0] - fx) * z
+        out[2] = fx + (box[2] - fx) * z
+        out[1] = fy + (box[1] - fy) * z
+        out[3] = fy + (box[3] - fy) * z
+        out[0] += self.pan[frame, 0]
+        out[2] += self.pan[frame, 0]
+        out[1] += self.pan[frame, 1]
+        out[3] += self.pan[frame, 1]
+        return out
+
+    def flow_at(self, point: np.ndarray, frame: int) -> np.ndarray:
+        """Apparent pixel displacement of a static scene point this frame."""
+        point = np.asarray(point, dtype=np.float64).reshape(2)
+        z = self.zoom[frame]
+        moved = self.foe + (point - self.foe) * z + self.pan[frame]
+        return moved - point

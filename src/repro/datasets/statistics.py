@@ -1,0 +1,135 @@
+"""Dataset statistics: the quantities that drive detection difficulty.
+
+Used to sanity-check that a synthetic world matches its target benchmark's
+character (object counts, size distributions, occlusion/truncation rates,
+track lengths, entry modes) and to document datasets in experiment logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.datasets.types import Dataset, Sequence
+
+
+@dataclass(frozen=True)
+class ClassStatistics:
+    """Instance-level statistics for one class."""
+
+    name: str
+    num_instances: int
+    num_tracks: int
+    width_percentiles: Tuple[float, float, float]   # p25, p50, p75
+    height_percentiles: Tuple[float, float, float]
+    occluded_fraction: float        # instances with occlusion > 0.1
+    heavily_occluded_fraction: float  # instances with occlusion > 0.5
+    truncated_fraction: float       # instances with truncation > 0.1
+    mean_track_length: float
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """Aggregate statistics of a dataset."""
+
+    name: str
+    num_sequences: int
+    num_frames: int
+    num_tracks: int
+    num_instances: int
+    instances_per_frame: float
+    entries_after_start: int        # tracks appearing after frame 0
+    per_class: Tuple[ClassStatistics, ...]
+
+    def class_stats(self, name: str) -> ClassStatistics:
+        for cs in self.per_class:
+            if cs.name == name:
+                return cs
+        raise KeyError(f"no class named {name!r}")
+
+    def summary(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"dataset {self.name}: {self.num_sequences} sequences, "
+            f"{self.num_frames} frames, {self.num_tracks} tracks, "
+            f"{self.num_instances} instances "
+            f"({self.instances_per_frame:.1f}/frame), "
+            f"{self.entries_after_start} mid-sequence entries"
+        ]
+        for cs in self.per_class:
+            w25, w50, w75 = cs.width_percentiles
+            lines.append(
+                f"  {cs.name}: {cs.num_instances} instances in "
+                f"{cs.num_tracks} tracks (len {cs.mean_track_length:.0f}); "
+                f"width p25/50/75 = {w25:.0f}/{w50:.0f}/{w75:.0f} px; "
+                f"occluded {cs.occluded_fraction:.0%} "
+                f"(heavy {cs.heavily_occluded_fraction:.0%}), "
+                f"truncated {cs.truncated_fraction:.0%}"
+            )
+        return "\n".join(lines)
+
+
+def compute_statistics(dataset: Dataset) -> DatasetStatistics:
+    """Walk every annotated frame of ``dataset`` and aggregate statistics."""
+    per_class_rows: Dict[int, Dict[str, List[float]]] = {
+        spec.label: {"w": [], "h": [], "occ": [], "trunc": []}
+        for spec in dataset.classes
+    }
+    per_class_tracks: Dict[int, List[int]] = {spec.label: [] for spec in dataset.classes}
+
+    num_instances = 0
+    num_tracks = 0
+    entries_after_start = 0
+    for sequence in dataset.sequences:
+        for track in sequence.tracks:
+            num_tracks += 1
+            if track.first_frame > 0:
+                entries_after_start += 1
+            per_class_tracks[track.label].append(track.length)
+        for annotations in sequence.iter_annotations():
+            num_instances += len(annotations)
+            for label, rows in per_class_rows.items():
+                mask = annotations.labels == label
+                if not mask.any():
+                    continue
+                boxes = annotations.boxes[mask]
+                rows["w"].extend((boxes[:, 2] - boxes[:, 0]).tolist())
+                rows["h"].extend((boxes[:, 3] - boxes[:, 1]).tolist())
+                rows["occ"].extend(annotations.occlusion[mask].tolist())
+                rows["trunc"].extend(annotations.truncation[mask].tolist())
+
+    per_class: List[ClassStatistics] = []
+    for spec in dataset.classes:
+        rows = per_class_rows[spec.label]
+        widths = np.asarray(rows["w"]) if rows["w"] else np.zeros(1)
+        heights = np.asarray(rows["h"]) if rows["h"] else np.zeros(1)
+        occ = np.asarray(rows["occ"]) if rows["occ"] else np.zeros(1)
+        trunc = np.asarray(rows["trunc"]) if rows["trunc"] else np.zeros(1)
+        lengths = per_class_tracks[spec.label]
+        per_class.append(
+            ClassStatistics(
+                name=spec.name,
+                num_instances=len(rows["w"]),
+                num_tracks=len(lengths),
+                width_percentiles=tuple(np.percentile(widths, [25, 50, 75])),
+                height_percentiles=tuple(np.percentile(heights, [25, 50, 75])),
+                occluded_fraction=float((occ > 0.1).mean()),
+                heavily_occluded_fraction=float((occ > 0.5).mean()),
+                truncated_fraction=float((trunc > 0.1).mean()),
+                mean_track_length=float(np.mean(lengths)) if lengths else 0.0,
+            )
+        )
+
+    total_frames = dataset.total_frames
+    return DatasetStatistics(
+        name=dataset.name,
+        num_sequences=len(dataset.sequences),
+        num_frames=total_frames,
+        num_tracks=num_tracks,
+        num_instances=num_instances,
+        instances_per_frame=num_instances / max(total_frames, 1),
+        entries_after_start=entries_after_start,
+        per_class=tuple(per_class),
+    )

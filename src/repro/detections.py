@@ -1,0 +1,95 @@
+"""Frame-level detection container shared across the library.
+
+A :class:`Detections` holds parallel arrays of boxes, confidence scores and
+integer class labels for one frame.  It is the interchange type between the
+simulated detectors, the tracker, the cascade systems and the metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.boxes.box import as_boxes, empty_boxes
+from repro.boxes.nms import class_aware_nms
+
+
+@dataclass
+class Detections:
+    """Detections for a single frame.
+
+    Parameters
+    ----------
+    boxes : (N, 4) array
+        ``[x1, y1, x2, y2]`` boxes.
+    scores : (N,) array
+        Confidence scores in [0, 1].
+    labels : (N,) int array
+        Class indices.
+    """
+
+    boxes: np.ndarray
+    scores: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.boxes = as_boxes(self.boxes) if np.size(self.boxes) else empty_boxes()
+        self.scores = np.asarray(self.scores, dtype=np.float64).reshape(-1)
+        self.labels = np.asarray(self.labels, dtype=np.int64).reshape(-1)
+        n = self.boxes.shape[0]
+        if self.scores.shape[0] != n or self.labels.shape[0] != n:
+            raise ValueError(
+                "boxes, scores and labels must agree in length, got "
+                f"{n}, {self.scores.shape[0]}, {self.labels.shape[0]}"
+            )
+
+    @classmethod
+    def empty(cls) -> "Detections":
+        """An empty detection set."""
+        return cls(empty_boxes(), np.zeros(0), np.zeros(0, dtype=np.int64))
+
+    @classmethod
+    def concatenate(cls, parts: Sequence["Detections"]) -> "Detections":
+        """Stack several detection sets into one."""
+        parts = [p for p in parts if len(p) > 0]
+        if not parts:
+            return cls.empty()
+        return cls(
+            np.concatenate([p.boxes for p in parts], axis=0),
+            np.concatenate([p.scores for p in parts]),
+            np.concatenate([p.labels for p in parts]),
+        )
+
+    def __len__(self) -> int:
+        return self.boxes.shape[0]
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, float, int]]:
+        for i in range(len(self)):
+            yield self.boxes[i], float(self.scores[i]), int(self.labels[i])
+
+    def select(self, mask_or_indices: np.ndarray) -> "Detections":
+        """Subset by boolean mask or integer indices."""
+        idx = np.asarray(mask_or_indices)
+        return Detections(self.boxes[idx], self.scores[idx], self.labels[idx])
+
+    def above_score(self, threshold: float) -> "Detections":
+        """Keep detections with ``score >= threshold``."""
+        return self.select(self.scores >= threshold)
+
+    def for_class(self, label: int) -> "Detections":
+        """Keep detections of a single class."""
+        return self.select(self.labels == int(label))
+
+    def sorted_by_score(self) -> "Detections":
+        """Return a copy sorted by descending score (stable)."""
+        return self.select(np.argsort(-self.scores, kind="stable"))
+
+    def nms(self, iou_threshold: float = 0.5) -> "Detections":
+        """Apply class-aware NMS and return the surviving detections."""
+        keep = class_aware_nms(self.boxes, self.scores, self.labels, iou_threshold)
+        return self.select(keep)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Detections(n={len(self)})"

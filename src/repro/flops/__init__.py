@@ -1,0 +1,52 @@
+"""Analytic operation-count models for the detector architectures.
+
+The paper reports "arithmetic operations in convolutional layers and
+fully-connected layers" (§6.3).  This package computes those counts exactly
+from the architecture and input geometry: per-layer multiply-accumulate
+counts for the ResNet variants of Table 1, ResNet-50, VGG-16, the Faster
+R-CNN RPN + RoI heads, and RetinaNet's FPN + subnets, including the
+masked-region evaluation used by the refinement network.
+
+Counting convention: one multiply-accumulate = one operation (Gops values in
+the paper are consistent with this for the proposal networks of Table 1).
+"""
+
+from repro.flops.layers import ConvLayer, FCLayer, LayerOps, conv_output_hw, count_ops
+from repro.flops.resnet import (
+    BasicBlockSpec,
+    ResNetArch,
+    RESNET10A,
+    RESNET10B,
+    RESNET10C,
+    RESNET18,
+    RESNET50,
+    resnet_head_layers,
+    resnet_trunk_layers,
+)
+from repro.flops.vgg import VGG16, VGGArch, vgg_head_layers, vgg_trunk_layers
+from repro.flops.rcnn import FasterRCNNOps, OpsBreakdown
+from repro.flops.retinanet import RetinaNetOps
+
+__all__ = [
+    "ConvLayer",
+    "FCLayer",
+    "LayerOps",
+    "conv_output_hw",
+    "count_ops",
+    "BasicBlockSpec",
+    "ResNetArch",
+    "RESNET10A",
+    "RESNET10B",
+    "RESNET10C",
+    "RESNET18",
+    "RESNET50",
+    "resnet_head_layers",
+    "resnet_trunk_layers",
+    "VGG16",
+    "VGGArch",
+    "vgg_head_layers",
+    "vgg_trunk_layers",
+    "FasterRCNNOps",
+    "OpsBreakdown",
+    "RetinaNetOps",
+]

@@ -1,0 +1,136 @@
+"""Per-layer operation counting primitives.
+
+A network is described as a list of layer specs; :func:`count_ops` walks the
+list propagating the spatial resolution and accumulating multiply-accumulate
+counts.  Convolutions use ``same`` padding semantics (output spatial size is
+``ceil(input / stride)``), matching the padded 3x3/7x7 convolutions of the
+architectures modeled here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple, Union
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    """A 2-D convolution layer spec.
+
+    Attributes
+    ----------
+    name:
+        Human-readable layer name (appears in breakdowns).
+    in_channels, out_channels:
+        Channel counts.
+    kernel:
+        Square kernel size.
+    stride:
+        Spatial stride (output is ``ceil(in / stride)`` per axis).
+    """
+
+    name: str
+    in_channels: int
+    out_channels: int
+    kernel: int = 3
+    stride: int = 1
+
+    def __post_init__(self) -> None:
+        if self.in_channels <= 0 or self.out_channels <= 0:
+            raise ValueError(f"{self.name}: channel counts must be positive")
+        if self.kernel <= 0 or self.stride <= 0:
+            raise ValueError(f"{self.name}: kernel and stride must be positive")
+
+    def macs(self, out_h: int, out_w: int) -> int:
+        """Multiply-accumulates for the given output resolution."""
+        return self.kernel * self.kernel * self.in_channels * self.out_channels * out_h * out_w
+
+
+@dataclass(frozen=True)
+class PoolLayer:
+    """A pooling layer — contributes no ops but changes resolution."""
+
+    name: str
+    stride: int = 2
+
+    def __post_init__(self) -> None:
+        if self.stride <= 0:
+            raise ValueError(f"{self.name}: stride must be positive")
+
+
+@dataclass(frozen=True)
+class FCLayer:
+    """A fully-connected layer spec (resolution-independent)."""
+
+    name: str
+    in_features: int
+    out_features: int
+
+    def __post_init__(self) -> None:
+        if self.in_features <= 0 or self.out_features <= 0:
+            raise ValueError(f"{self.name}: feature counts must be positive")
+
+    def macs(self) -> int:
+        return self.in_features * self.out_features
+
+
+LayerSpec = Union[ConvLayer, PoolLayer, FCLayer]
+
+
+@dataclass(frozen=True)
+class LayerOps:
+    """Operation count attributed to one layer."""
+
+    name: str
+    macs: int
+    out_h: int
+    out_w: int
+
+
+def conv_output_hw(h: int, w: int, stride: int) -> Tuple[int, int]:
+    """Output spatial size of a same-padded layer with the given stride."""
+    return math.ceil(h / stride), math.ceil(w / stride)
+
+
+def count_ops(layers: Sequence[LayerSpec], h: int, w: int) -> List[LayerOps]:
+    """Walk a layer list, returning per-layer op counts.
+
+    Parameters
+    ----------
+    layers:
+        Sequence of :class:`ConvLayer`, :class:`PoolLayer` and
+        :class:`FCLayer`.  FC layers must come after all spatial layers.
+    h, w:
+        Input spatial resolution in pixels.
+
+    Notes
+    -----
+    Parallel branches (e.g. residual downsampling shortcuts) are expressed
+    by convention as layers with ``stride`` matching the branch but listed
+    sequentially; callers that need true branching (ResNet blocks) expand
+    blocks into a flat list where shortcut convs carry the block's stride
+    and the mainline resolution is restored afterwards.  The ResNet/VGG
+    builders in this package handle that expansion.
+    """
+    if h <= 0 or w <= 0:
+        raise ValueError(f"input resolution must be positive, got {h}x{w}")
+    out: List[LayerOps] = []
+    cur_h, cur_w = int(h), int(w)
+    for layer in layers:
+        if isinstance(layer, ConvLayer):
+            cur_h, cur_w = conv_output_hw(cur_h, cur_w, layer.stride)
+            out.append(LayerOps(layer.name, layer.macs(cur_h, cur_w), cur_h, cur_w))
+        elif isinstance(layer, PoolLayer):
+            cur_h, cur_w = conv_output_hw(cur_h, cur_w, layer.stride)
+            out.append(LayerOps(layer.name, 0, cur_h, cur_w))
+        elif isinstance(layer, FCLayer):
+            out.append(LayerOps(layer.name, layer.macs(), 1, 1))
+        else:
+            raise TypeError(f"unsupported layer spec: {type(layer).__name__}")
+    return out
+
+
+def total_macs(layers: Sequence[LayerSpec], h: int, w: int) -> int:
+    """Total multiply-accumulates for a layer list at the given resolution."""
+    return sum(entry.macs for entry in count_ops(layers, h, w))

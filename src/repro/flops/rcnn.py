@@ -1,0 +1,194 @@
+"""Faster R-CNN operation model: trunk + RPN + per-proposal RoI head.
+
+Two inference modes, mirroring Figure 4 of the paper:
+
+* **full-frame** (standard Faster R-CNN, used by single-model systems and by
+  the proposal network): trunk over the whole image, RPN over the whole
+  feature map, RoI head on ``n_proposals`` pooled regions (default 300).
+* **regional** (the refinement network): proposals come from the tracker and
+  the proposal network, so the RPN is skipped, the trunk only computes
+  features over the regions-of-interest mask (ops scale with the mask's
+  coverage fraction), and the head runs on however many proposals arrived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+from repro.flops.layers import ConvLayer, FCLayer, LayerSpec, total_macs
+from repro.flops.resnet import ResNetArch, resnet_head_layers, resnet_trunk_layers
+from repro.flops.vgg import VGGArch, vgg_head_layers, vgg_trunk_layers
+
+GIGA = 1e9
+
+ArchLike = Union[ResNetArch, VGGArch]
+
+
+@dataclass(frozen=True)
+class OpsBreakdown:
+    """Operation counts (multiply-accumulates) for one inference pass."""
+
+    trunk: float
+    rpn: float
+    head: float
+
+    @property
+    def total(self) -> float:
+        return self.trunk + self.rpn + self.head
+
+    @property
+    def total_gops(self) -> float:
+        return self.total / GIGA
+
+    def __add__(self, other: "OpsBreakdown") -> "OpsBreakdown":
+        return OpsBreakdown(
+            self.trunk + other.trunk, self.rpn + other.rpn, self.head + other.head
+        )
+
+    def scaled(self, factor: float) -> "OpsBreakdown":
+        return OpsBreakdown(self.trunk * factor, self.rpn * factor, self.head * factor)
+
+
+class FasterRCNNOps:
+    """Analytic op counts for a Faster R-CNN detector on a fixed image size.
+
+    Parameters
+    ----------
+    arch:
+        A :class:`ResNetArch` or :class:`VGGArch` backbone description.
+    image_width, image_height:
+        Input resolution in pixels (no resizing, as in the paper).
+    rpn_channels:
+        Width of the RPN's 3x3 conv (512, the standard setting).
+    num_anchors:
+        Anchors per feature-map location — "3 types of anchors with 4
+        different scales" (§4.2) gives 12.
+    roi_pool:
+        RoI pooling output resolution for conv heads (7).
+    num_classes:
+        Foreground classes (for the final cls/reg layers).
+    """
+
+    def __init__(
+        self,
+        arch: ArchLike,
+        image_width: int,
+        image_height: int,
+        rpn_channels: int = 512,
+        num_anchors: int = 12,
+        roi_pool: int = 7,
+        num_classes: int = 2,
+    ):
+        if image_width <= 0 or image_height <= 0:
+            raise ValueError(
+                f"image size must be positive, got {image_width}x{image_height}"
+            )
+        self.arch = arch
+        self.image_width = int(image_width)
+        self.image_height = int(image_height)
+        self.rpn_channels = int(rpn_channels)
+        self.num_anchors = int(num_anchors)
+        self.roi_pool = int(roi_pool)
+        self.num_classes = int(num_classes)
+
+        if isinstance(arch, ResNetArch):
+            self._trunk_layers = resnet_trunk_layers(arch)
+            self._head_layers: List[LayerSpec] = resnet_head_layers(arch)
+            self._head_input_hw = (roi_pool, roi_pool)
+        elif isinstance(arch, VGGArch):
+            self._trunk_layers = vgg_trunk_layers(arch)
+            self._head_layers = vgg_head_layers(arch)
+            self._head_input_hw = (1, 1)  # FC head: resolution-independent
+        else:
+            raise TypeError(f"unsupported architecture type: {type(arch).__name__}")
+
+        self._trunk_macs = float(
+            total_macs(self._trunk_layers, self.image_height, self.image_width)
+        )
+        self._head_macs_per_proposal = float(
+            total_macs(self._head_layers, *self._head_input_hw)
+        ) + self._final_fc_macs()
+        self._rpn_macs = self._compute_rpn_macs()
+
+    # ------------------------------------------------------------------ #
+
+    def _trunk_out_channels(self) -> int:
+        return self.arch.trunk_out_channels
+
+    def _head_out_channels(self) -> int:
+        return self.arch.head_out_channels
+
+    def _final_fc_macs(self) -> float:
+        """Per-proposal classification + box-regression output layers."""
+        features = self._head_out_channels()
+        cls = FCLayer("cls_score", features, self.num_classes + 1).macs()
+        reg = FCLayer("bbox_pred", features, 4 * (self.num_classes + 1)).macs()
+        return float(cls + reg)
+
+    def _compute_rpn_macs(self) -> float:
+        """RPN 3x3 conv + 1x1 objectness/regression heads over the C4 map."""
+        feat_h = -(-self.image_height // 16)  # ceil division, stride-16 trunk
+        feat_w = -(-self.image_width // 16)
+        conv = ConvLayer(
+            "rpn.conv", self._trunk_out_channels(), self.rpn_channels, kernel=3
+        ).macs(feat_h, feat_w)
+        cls = ConvLayer(
+            "rpn.cls", self.rpn_channels, 2 * self.num_anchors, kernel=1
+        ).macs(feat_h, feat_w)
+        reg = ConvLayer(
+            "rpn.reg", self.rpn_channels, 4 * self.num_anchors, kernel=1
+        ).macs(feat_h, feat_w)
+        return float(conv + cls + reg)
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    @property
+    def trunk_macs(self) -> float:
+        """Full-image feature-extractor ops."""
+        return self._trunk_macs
+
+    @property
+    def rpn_macs(self) -> float:
+        """Region-proposal-network ops (full feature map)."""
+        return self._rpn_macs
+
+    @property
+    def head_macs_per_proposal(self) -> float:
+        """RoI head ops for a single proposal."""
+        return self._head_macs_per_proposal
+
+    def full_frame(self, n_proposals: int = 300) -> OpsBreakdown:
+        """Standard Faster R-CNN pass: trunk + RPN + ``n_proposals`` heads."""
+        if n_proposals < 0:
+            raise ValueError(f"n_proposals must be >= 0, got {n_proposals}")
+        return OpsBreakdown(
+            trunk=self._trunk_macs,
+            rpn=self._rpn_macs,
+            head=self._head_macs_per_proposal * n_proposals,
+        )
+
+    def regional(self, coverage_fraction: float, n_proposals: int) -> OpsBreakdown:
+        """Refinement-network pass over a regions-of-interest mask.
+
+        Parameters
+        ----------
+        coverage_fraction:
+            Fraction of the image covered by the (margin-expanded) union of
+            proposal regions, in [0, 1] — see :class:`repro.boxes.RegionMask`.
+        n_proposals:
+            Number of proposals pooled into the RoI head.
+        """
+        if not (0.0 <= coverage_fraction <= 1.0):
+            raise ValueError(
+                f"coverage_fraction must lie in [0, 1], got {coverage_fraction}"
+            )
+        if n_proposals < 0:
+            raise ValueError(f"n_proposals must be >= 0, got {n_proposals}")
+        return OpsBreakdown(
+            trunk=self._trunk_macs * coverage_fraction,
+            rpn=0.0,
+            head=self._head_macs_per_proposal * n_proposals,
+        )

@@ -1,0 +1,184 @@
+"""ResNet architecture specs and layer-list builders.
+
+Covers the four proposal-network variants of Table 1 (ResNet-18 and the
+slimmed ResNet-10a/b/c) plus the bottleneck ResNet-50 refinement backbone.
+
+The detection models follow the C4 Faster R-CNN layout used by the PyTorch
+implementation the paper builds on: the *trunk* (conv1 through block3, feature
+stride 16) runs over the image; *block4* is the per-proposal RoI head, applied
+to 7x7-pooled features with its native stride 2 (output 4x4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.flops.layers import ConvLayer, FCLayer, LayerSpec, PoolLayer
+
+
+@dataclass(frozen=True)
+class BasicBlockSpec:
+    """One ResNet stage: ``channels`` width repeated ``repeats`` times."""
+
+    channels: int
+    repeats: int = 1
+
+    def __post_init__(self) -> None:
+        if self.channels <= 0:
+            raise ValueError(f"channels must be positive, got {self.channels}")
+        if self.repeats <= 0:
+            raise ValueError(f"repeats must be positive, got {self.repeats}")
+
+
+@dataclass(frozen=True)
+class ResNetArch:
+    """A ResNet-style backbone description.
+
+    Parameters
+    ----------
+    name:
+        e.g. ``"resnet18"``.
+    conv1_channels:
+        Width of the stem 7x7 convolution.
+    stages:
+        Four :class:`BasicBlockSpec`, one per stage (block1..block4).
+    bottleneck:
+        When true, stages use 1x1-3x3-1x1 bottleneck blocks with a 4x
+        expansion (ResNet-50 style); otherwise two 3x3 basic blocks.
+    """
+
+    name: str
+    conv1_channels: int
+    stages: Tuple[BasicBlockSpec, BasicBlockSpec, BasicBlockSpec, BasicBlockSpec]
+    bottleneck: bool = False
+
+    EXPANSION = 4  # bottleneck output expansion factor
+
+    def stage_out_channels(self, stage_index: int) -> int:
+        """Output channel count of a stage (accounting for expansion)."""
+        ch = self.stages[stage_index].channels
+        return ch * self.EXPANSION if self.bottleneck else ch
+
+    @property
+    def trunk_out_channels(self) -> int:
+        """Channels of the C4 feature map fed to the RPN / RoI pooling."""
+        return self.stage_out_channels(2)
+
+    @property
+    def head_out_channels(self) -> int:
+        """Channels after the block4 RoI head."""
+        return self.stage_out_channels(3)
+
+
+def _basic_block_layers(
+    name: str, in_ch: int, out_ch: int, stride: int
+) -> List[LayerSpec]:
+    layers: List[LayerSpec] = [
+        ConvLayer(f"{name}.conv1", in_ch, out_ch, kernel=3, stride=stride),
+        ConvLayer(f"{name}.conv2", out_ch, out_ch, kernel=3, stride=1),
+    ]
+    if stride != 1 or in_ch != out_ch:
+        # Shortcut 1x1 operates at the block's output resolution, so listing
+        # it after the strided conv counts it correctly.
+        layers.append(ConvLayer(f"{name}.downsample", in_ch, out_ch, kernel=1, stride=1))
+    return layers
+
+
+def _bottleneck_block_layers(
+    name: str, in_ch: int, mid_ch: int, stride: int
+) -> List[LayerSpec]:
+    out_ch = mid_ch * ResNetArch.EXPANSION
+    layers: List[LayerSpec] = [
+        # 1x1 reduce runs at the *input* resolution; the 3x3 carries the
+        # stride (torchvision's default), so the reduce is listed as a
+        # strided no-op-resolution trick: we count it before the stride by
+        # giving it stride 1 and letting the 3x3 halve the resolution.
+        ConvLayer(f"{name}.conv1", in_ch, mid_ch, kernel=1, stride=1),
+        ConvLayer(f"{name}.conv2", mid_ch, mid_ch, kernel=3, stride=stride),
+        ConvLayer(f"{name}.conv3", mid_ch, out_ch, kernel=1, stride=1),
+    ]
+    if stride != 1 or in_ch != out_ch:
+        layers.append(ConvLayer(f"{name}.downsample", in_ch, out_ch, kernel=1, stride=1))
+    return layers
+
+
+def _stage_layers(
+    arch: ResNetArch, stage_index: int, in_ch: int, stride: int
+) -> List[LayerSpec]:
+    spec = arch.stages[stage_index]
+    layers: List[LayerSpec] = []
+    current_in = in_ch
+    for rep in range(spec.repeats):
+        block_name = f"{arch.name}.block{stage_index + 1}.{rep}"
+        block_stride = stride if rep == 0 else 1
+        if arch.bottleneck:
+            layers.extend(
+                _bottleneck_block_layers(block_name, current_in, spec.channels, block_stride)
+            )
+            current_in = spec.channels * ResNetArch.EXPANSION
+        else:
+            layers.extend(
+                _basic_block_layers(block_name, current_in, spec.channels, block_stride)
+            )
+            current_in = spec.channels
+    return layers
+
+
+def resnet_trunk_layers(arch: ResNetArch) -> List[LayerSpec]:
+    """Stem + block1..block3 — the full-image feature extractor (stride 16).
+
+    block1 keeps the post-pool resolution (stride 1); block2 and block3
+    halve it, giving the standard C4 feature stride of 16.
+    """
+    layers: List[LayerSpec] = [
+        ConvLayer(f"{arch.name}.conv1", 3, arch.conv1_channels, kernel=7, stride=2),
+        PoolLayer(f"{arch.name}.maxpool", stride=2),
+    ]
+    layers.extend(_stage_layers(arch, 0, arch.conv1_channels, stride=1))
+    layers.extend(_stage_layers(arch, 1, arch.stage_out_channels(0), stride=2))
+    layers.extend(_stage_layers(arch, 2, arch.stage_out_channels(1), stride=2))
+    return layers
+
+
+def resnet_head_layers(arch: ResNetArch) -> List[LayerSpec]:
+    """block4 — the per-proposal RoI head (input: pooled 7x7 C4 features)."""
+    return _stage_layers(arch, 3, arch.stage_out_channels(2), stride=2)
+
+
+def resnet_full_layers(arch: ResNetArch) -> List[LayerSpec]:
+    """Stem + all four stages (classification-style backbone, stride 32)."""
+    return resnet_trunk_layers(arch) + _stage_layers(arch, 3, arch.stage_out_channels(2), stride=2)
+
+
+def _simple(name: str, conv1: int, b1: int, b2: int, b3: int, b4: int, repeats: int) -> ResNetArch:
+    return ResNetArch(
+        name=name,
+        conv1_channels=conv1,
+        stages=(
+            BasicBlockSpec(b1, repeats),
+            BasicBlockSpec(b2, repeats),
+            BasicBlockSpec(b3, repeats),
+            BasicBlockSpec(b4, repeats),
+        ),
+    )
+
+
+#: Table 1 architectures.  "In ResNet-18, all blocks are repeated 2 times";
+#: the ResNet-10 variants repeat each block once.
+RESNET18 = _simple("resnet18", 64, 64, 128, 256, 512, repeats=2)
+RESNET10A = _simple("resnet10a", 48, 48, 96, 168, 512, repeats=1)
+RESNET10B = _simple("resnet10b", 32, 32, 64, 128, 256, repeats=1)
+RESNET10C = _simple("resnet10c", 24, 24, 48, 96, 192, repeats=1)
+
+RESNET50 = ResNetArch(
+    name="resnet50",
+    conv1_channels=64,
+    stages=(
+        BasicBlockSpec(64, 3),
+        BasicBlockSpec(128, 4),
+        BasicBlockSpec(256, 6),
+        BasicBlockSpec(512, 3),
+    ),
+    bottleneck=True,
+)

@@ -1,0 +1,168 @@
+"""RetinaNet operation model (paper Appendix II).
+
+RetinaNet = ResNet backbone + Feature Pyramid Network + class/box subnets
+applied densely at every pyramid level.  As in the appendix, the CaTDet
+variant restricts computation to regions of interest, scaling every dense
+component (backbone, FPN, subnets) by the mask coverage fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.flops.layers import ConvLayer, conv_output_hw
+from repro.flops.resnet import ResNetArch, resnet_full_layers, resnet_trunk_layers
+from repro.flops.layers import count_ops
+
+GIGA = 1e9
+
+
+@dataclass(frozen=True)
+class RetinaNetBreakdown:
+    """Op counts for one RetinaNet pass."""
+
+    backbone: float
+    fpn: float
+    subnets: float
+
+    @property
+    def total(self) -> float:
+        return self.backbone + self.fpn + self.subnets
+
+    @property
+    def total_gops(self) -> float:
+        return self.total / GIGA
+
+
+class RetinaNetOps:
+    """Analytic op counts for RetinaNet on a fixed image size.
+
+    Parameters
+    ----------
+    arch:
+        Backbone :class:`ResNetArch` (the paper uses ResNet-50).
+    image_width, image_height:
+        Input resolution.
+    fpn_channels:
+        Pyramid feature width (256).
+    subnet_depth:
+        Number of 3x3 convs in each of the class/box subnets (4).
+    num_anchors:
+        Anchors per location (9).
+    num_classes:
+        Foreground classes.
+    """
+
+    PYRAMID_STRIDES = (8, 16, 32, 64, 128)  # P3..P7
+
+    def __init__(
+        self,
+        arch: ResNetArch,
+        image_width: int,
+        image_height: int,
+        fpn_channels: int = 256,
+        subnet_depth: int = 4,
+        num_anchors: int = 9,
+        num_classes: int = 2,
+    ):
+        if image_width <= 0 or image_height <= 0:
+            raise ValueError(
+                f"image size must be positive, got {image_width}x{image_height}"
+            )
+        self.arch = arch
+        self.image_width = int(image_width)
+        self.image_height = int(image_height)
+        self.fpn_channels = int(fpn_channels)
+        self.subnet_depth = int(subnet_depth)
+        self.num_anchors = int(num_anchors)
+        self.num_classes = int(num_classes)
+
+        self._backbone_macs = float(
+            sum(
+                entry.macs
+                for entry in count_ops(
+                    resnet_full_layers(arch), self.image_height, self.image_width
+                )
+            )
+        )
+        self._fpn_macs = self._compute_fpn_macs()
+        self._subnet_macs = self._compute_subnet_macs()
+
+    def _level_hw(self, stride: int) -> Tuple[int, int]:
+        return -(-self.image_height // stride), -(-self.image_width // stride)
+
+    def _compute_fpn_macs(self) -> float:
+        """Lateral 1x1 convs on C3..C5 plus 3x3 output convs on P3..P5 and
+        the strided P6/P7 convs."""
+        c_channels = {
+            8: self.arch.stage_out_channels(1),
+            16: self.arch.stage_out_channels(2),
+            32: self.arch.stage_out_channels(3),
+        }
+        macs = 0.0
+        for stride, c_in in c_channels.items():
+            h, w = self._level_hw(stride)
+            macs += ConvLayer("fpn.lateral", c_in, self.fpn_channels, kernel=1).macs(h, w)
+            macs += ConvLayer("fpn.output", self.fpn_channels, self.fpn_channels, kernel=3).macs(h, w)
+        # P6: 3x3 stride-2 conv from C5; P7: 3x3 stride-2 conv from P6.
+        h6, w6 = self._level_hw(64)
+        macs += ConvLayer("fpn.p6", self.arch.stage_out_channels(3), self.fpn_channels, kernel=3).macs(h6, w6)
+        h7, w7 = self._level_hw(128)
+        macs += ConvLayer("fpn.p7", self.fpn_channels, self.fpn_channels, kernel=3).macs(h7, w7)
+        return float(macs)
+
+    def _compute_subnet_macs(self) -> float:
+        """Class + box subnets applied at every pyramid level."""
+        per_location = 0.0
+        # Shared structure: subnet_depth 3x3 convs at fpn_channels, then the
+        # output conv.  Class head outputs A*K, box head outputs A*4.
+        tower = self.subnet_depth * (3 * 3 * self.fpn_channels * self.fpn_channels)
+        cls_out = 3 * 3 * self.fpn_channels * (self.num_anchors * self.num_classes)
+        box_out = 3 * 3 * self.fpn_channels * (self.num_anchors * 4)
+        per_location = 2 * tower + cls_out + box_out
+
+        total = 0.0
+        for stride in self.PYRAMID_STRIDES:
+            h, w = self._level_hw(stride)
+            total += per_location * h * w
+        return float(total)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def backbone_macs(self) -> float:
+        return self._backbone_macs
+
+    @property
+    def fpn_macs(self) -> float:
+        return self._fpn_macs
+
+    @property
+    def subnet_macs(self) -> float:
+        return self._subnet_macs
+
+    def full_frame(self) -> RetinaNetBreakdown:
+        """Dense single-shot pass over the whole image."""
+        return RetinaNetBreakdown(
+            backbone=self._backbone_macs,
+            fpn=self._fpn_macs,
+            subnets=self._subnet_macs,
+        )
+
+    def regional(self, coverage_fraction: float) -> RetinaNetBreakdown:
+        """Pass restricted to the regions-of-interest mask.
+
+        All three components are dense convolutions, so each scales with
+        the coverage fraction (paper Appendix II: reduced ops "for both
+        Feature Pyramid Network and Classifier Subnets").
+        """
+        if not (0.0 <= coverage_fraction <= 1.0):
+            raise ValueError(
+                f"coverage_fraction must lie in [0, 1], got {coverage_fraction}"
+            )
+        return RetinaNetBreakdown(
+            backbone=self._backbone_macs * coverage_fraction,
+            fpn=self._fpn_macs * coverage_fraction,
+            subnets=self._subnet_macs * coverage_fraction,
+        )

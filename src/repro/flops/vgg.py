@@ -1,0 +1,70 @@
+"""VGG-16 architecture spec (Table 5 refinement-network variant).
+
+The VGG-16 Faster R-CNN layout: conv1_1 .. conv5_3 as the full-image trunk
+(feature stride 16 after four pools), and the fc6/fc7 fully-connected pair as
+the per-proposal head on 7x7-pooled features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.flops.layers import ConvLayer, FCLayer, LayerSpec, PoolLayer
+
+
+@dataclass(frozen=True)
+class VGGArch:
+    """A VGG-style backbone: per-stage (channels, conv count)."""
+
+    name: str
+    stages: Tuple[Tuple[int, int], ...]
+    fc_features: int = 4096
+    roi_pool: int = 7
+
+    @property
+    def trunk_out_channels(self) -> int:
+        return self.stages[-1][0]
+
+    @property
+    def head_out_channels(self) -> int:
+        return self.fc_features
+
+
+VGG16 = VGGArch(
+    name="vgg16",
+    stages=((64, 2), (128, 2), (256, 3), (512, 3), (512, 3)),
+)
+
+
+def vgg_trunk_layers(arch: VGGArch) -> List[LayerSpec]:
+    """conv1_1 .. conv5_3 with pools between stages (no pool after stage 5).
+
+    Faster R-CNN drops the fifth pool so the trunk's feature stride is 16.
+    """
+    layers: List[LayerSpec] = []
+    in_ch = 3
+    for stage_idx, (channels, n_convs) in enumerate(arch.stages):
+        for conv_idx in range(n_convs):
+            layers.append(
+                ConvLayer(
+                    f"{arch.name}.conv{stage_idx + 1}_{conv_idx + 1}",
+                    in_ch,
+                    channels,
+                    kernel=3,
+                    stride=1,
+                )
+            )
+            in_ch = channels
+        if stage_idx < len(arch.stages) - 1:
+            layers.append(PoolLayer(f"{arch.name}.pool{stage_idx + 1}", stride=2))
+    return layers
+
+
+def vgg_head_layers(arch: VGGArch) -> List[LayerSpec]:
+    """fc6 + fc7 per-proposal head on ``roi_pool``-sized features."""
+    pooled = arch.trunk_out_channels * arch.roi_pool * arch.roi_pool
+    return [
+        FCLayer(f"{arch.name}.fc6", pooled, arch.fc_features),
+        FCLayer(f"{arch.name}.fc7", arch.fc_features, arch.fc_features),
+    ]

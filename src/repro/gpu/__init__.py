@@ -1,0 +1,20 @@
+"""GPU execution-time model (paper Appendix I).
+
+The paper approximates GPU time of a CNN workload as ``T = alpha * W + b``
+and derives a greedy box-merging heuristic from it.  This package applies
+that model to the systems' per-frame op accounts to regenerate Table 7.
+"""
+
+from repro.gpu.timing import (
+    GpuTimingModel,
+    PipelineTiming,
+    estimate_catdet_timing,
+    estimate_single_model_timing,
+)
+
+__all__ = [
+    "GpuTimingModel",
+    "PipelineTiming",
+    "estimate_catdet_timing",
+    "estimate_single_model_timing",
+]

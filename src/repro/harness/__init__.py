@@ -1,0 +1,71 @@
+"""Experiment harness: standard datasets, runs, sweeps and table formatting.
+
+Every benchmark in ``benchmarks/`` is a thin wrapper over this package, so
+the paper's tables can also be regenerated programmatically::
+
+    from repro.harness import run_experiment, standard_kitti, TABLE2_CONFIGS
+    ds = standard_kitti()
+    rows = [run_experiment(cfg, ds) for cfg in TABLE2_CONFIGS]
+"""
+
+from repro.harness.experiment import (
+    ExperimentResult,
+    run_experiment,
+    standard_citypersons,
+    standard_kitti,
+)
+from repro.harness.configs import (
+    TABLE2_CONFIGS,
+    TABLE4_PROPOSAL_MODELS,
+    TABLE5_REFINEMENT_MODELS,
+    TABLE6_CONFIGS,
+    CITYPERSONS_INPUT_SCALE,
+)
+from repro.harness.calibration import (
+    CalibrationRow,
+    calibration_report,
+    max_absolute_error,
+)
+from repro.harness.io import load_experiment_summary, save_experiment
+from repro.harness.multiseed import (
+    MetricSummary,
+    ReplicatedResult,
+    compare_systems,
+    run_replicated,
+)
+from repro.harness.tables import format_table
+from repro.harness.tuning import (
+    TuningPoint,
+    cheapest_cthresh_for_accuracy,
+    cthresh_for_budget,
+    sweep_operating_points,
+)
+from repro.harness.sweeps import CThreshPoint, cthresh_sweep
+
+__all__ = [
+    "ExperimentResult",
+    "run_experiment",
+    "standard_citypersons",
+    "standard_kitti",
+    "TABLE2_CONFIGS",
+    "TABLE4_PROPOSAL_MODELS",
+    "TABLE5_REFINEMENT_MODELS",
+    "TABLE6_CONFIGS",
+    "CITYPERSONS_INPUT_SCALE",
+    "CalibrationRow",
+    "calibration_report",
+    "max_absolute_error",
+    "MetricSummary",
+    "ReplicatedResult",
+    "compare_systems",
+    "run_replicated",
+    "format_table",
+    "CThreshPoint",
+    "cthresh_sweep",
+    "load_experiment_summary",
+    "save_experiment",
+    "TuningPoint",
+    "cheapest_cthresh_for_accuracy",
+    "cthresh_for_budget",
+    "sweep_operating_points",
+]

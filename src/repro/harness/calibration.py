@@ -1,0 +1,77 @@
+"""Calibration report: compare the model zoo's behavior to paper targets.
+
+The simulated detector profiles in :mod:`repro.simdet.zoo` are calibrated
+so single-model Faster R-CNN accuracies land near the paper's Tables 4/5.
+This module measures where they actually land on a given dataset — the
+tool used during calibration and a regression tripwire afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence as Seq, Tuple
+
+from repro.core.config import SystemConfig
+from repro.datasets.types import Dataset
+from repro.harness.experiment import run_experiment
+from repro.metrics.kitti_eval import HARD, MODERATE
+
+#: Paper single-model Faster R-CNN targets (KITTI Hard mAP, Tables 4/5).
+PAPER_SINGLE_MODEL_HARD_MAP: Dict[str, float] = {
+    "resnet50": 0.740,
+    "vgg16": 0.742,
+    "resnet18": 0.687,
+    "resnet10a": 0.606,
+    "resnet10b": 0.564,
+    "resnet10c": 0.542,
+}
+
+
+@dataclass(frozen=True)
+class CalibrationRow:
+    """One model's measured-vs-target accuracy."""
+
+    model: str
+    measured_map: float
+    target_map: Optional[float]
+
+    @property
+    def error(self) -> Optional[float]:
+        if self.target_map is None:
+            return None
+        return self.measured_map - self.target_map
+
+
+def calibration_report(
+    dataset: Dataset,
+    models: Seq[str] = tuple(PAPER_SINGLE_MODEL_HARD_MAP),
+    *,
+    difficulty: str = "hard",
+    seed: int = 0,
+) -> Tuple[CalibrationRow, ...]:
+    """Measure single-model mAP for each model and diff against the paper.
+
+    Returns one row per model; ``error`` is measured − target (None when
+    the paper reports no value for that model).
+    """
+    rows = []
+    for model in models:
+        result = run_experiment(
+            SystemConfig("single", model, seed=seed), dataset, (MODERATE, HARD)
+        )
+        rows.append(
+            CalibrationRow(
+                model=model,
+                measured_map=result.mean_ap(difficulty),
+                target_map=PAPER_SINGLE_MODEL_HARD_MAP.get(model),
+            )
+        )
+    return tuple(rows)
+
+
+def max_absolute_error(rows: Seq[CalibrationRow]) -> float:
+    """Largest |measured − target| over rows with a target."""
+    errors = [abs(r.error) for r in rows if r.error is not None]
+    if not errors:
+        raise ValueError("no rows with targets")
+    return max(errors)

@@ -1,0 +1,47 @@
+"""The system configurations evaluated in the paper's tables."""
+
+from __future__ import annotations
+
+from repro.core.config import SystemConfig
+
+#: CityPersons frames are processed at reduced resolution (the paper's
+#: ResNet-50 op count of 597 G implies ~0.72x linear scale relative to the
+#: native 2048x1024 — see EXPERIMENTS.md).
+CITYPERSONS_INPUT_SCALE = 0.72
+
+#: Table 2: the six KITTI headline systems.
+TABLE2_CONFIGS = (
+    SystemConfig("single", "resnet50"),
+    SystemConfig("cascade", "resnet50", "resnet10a"),
+    SystemConfig("catdet", "resnet50", "resnet10a"),
+    SystemConfig("cascade", "resnet50", "resnet10b"),
+    SystemConfig("catdet", "resnet50", "resnet10b"),
+)
+
+#: Table 4: proposal-network choices (refinement fixed to ResNet-50).
+TABLE4_PROPOSAL_MODELS = ("resnet18", "resnet10a", "resnet10b", "resnet10c")
+
+#: Table 5: refinement-network choices (proposal fixed to ResNet-10b).
+TABLE5_REFINEMENT_MODELS = ("resnet18", "resnet50", "vgg16")
+
+#: Table 6: CityPersons systems (Person-only dataset, reduced resolution).
+TABLE6_CONFIGS = tuple(
+    SystemConfig(
+        kind,
+        "resnet50",
+        proposal,
+        num_classes=1,
+        input_scale=CITYPERSONS_INPUT_SCALE,
+    )
+    if proposal
+    else SystemConfig(
+        kind, "resnet50", num_classes=1, input_scale=CITYPERSONS_INPUT_SCALE
+    )
+    for kind, proposal in (
+        ("single", None),
+        ("cascade", "resnet10a"),
+        ("catdet", "resnet10a"),
+        ("cascade", "resnet10b"),
+        ("catdet", "resnet10b"),
+    )
+)

@@ -1,0 +1,90 @@
+"""Run one system on one dataset and collect every reported metric."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Optional, Tuple
+
+from repro.core.config import SystemConfig
+from repro.core.pipeline import run_on_dataset
+from repro.core.results import OpsAccount, SystemRunResult
+from repro.datasets.citypersons import citypersons_like_dataset
+from repro.datasets.kitti import kitti_like_dataset
+from repro.datasets.types import Dataset
+from repro.metrics.evaluate import EvaluationResult, evaluate_dataset
+from repro.metrics.kitti_eval import HARD, MODERATE, DifficultyFilter
+
+GIGA = 1e9
+
+#: Benchmark-default dataset sizes: scaled down from the full benchmarks to
+#: keep a full table regeneration in minutes; pass bigger numbers for
+#: publication-grade runs.
+_KITTI_DEFAULT = (6, 100)         # sequences, frames each
+_CITYPERSONS_DEFAULT = 30         # 30-frame snippets
+
+
+@lru_cache(maxsize=4)
+def standard_kitti(
+    num_sequences: int = _KITTI_DEFAULT[0],
+    frames_per_sequence: int = _KITTI_DEFAULT[1],
+) -> Dataset:
+    """The shared KITTI-like evaluation dataset (cached)."""
+    return kitti_like_dataset(
+        num_sequences=num_sequences, frames_per_sequence=frames_per_sequence
+    )
+
+
+@lru_cache(maxsize=4)
+def standard_citypersons(num_sequences: int = _CITYPERSONS_DEFAULT) -> Dataset:
+    """The shared CityPersons-like evaluation dataset (cached)."""
+    return citypersons_like_dataset(num_sequences=num_sequences)
+
+
+@dataclass
+class ExperimentResult:
+    """Everything the paper reports about one system on one dataset."""
+
+    config: SystemConfig
+    run: SystemRunResult
+    evaluations: Dict[str, EvaluationResult]
+
+    @property
+    def label(self) -> str:
+        return self.config.label
+
+    @property
+    def ops_gops(self) -> float:
+        """Average per-frame operations in Gops."""
+        return self.run.mean_ops_gops()
+
+    @property
+    def ops_account(self) -> OpsAccount:
+        return self.run.mean_ops()
+
+    def mean_ap(self, difficulty: str = "hard", method: str = "r40") -> float:
+        return self.evaluations[difficulty].mean_ap(method)
+
+    def mean_delay(self, difficulty: str = "hard", beta: float = 0.8) -> float:
+        return self.evaluations[difficulty].mean_delay(beta)
+
+    def evaluation(self, difficulty: str) -> EvaluationResult:
+        return self.evaluations[difficulty]
+
+
+def run_experiment(
+    config: SystemConfig,
+    dataset: Dataset,
+    difficulties: Tuple[DifficultyFilter, ...] = (MODERATE, HARD),
+    *,
+    with_delay: bool = True,
+) -> ExperimentResult:
+    """Run ``config`` over ``dataset`` and evaluate at each difficulty."""
+    run = run_on_dataset(config, dataset)
+    evaluations = {
+        diff.name: evaluate_dataset(
+            dataset, run.detections_by_sequence, diff, with_delay=with_delay
+        )
+        for diff in difficulties
+    }
+    return ExperimentResult(config=config, run=run, evaluations=evaluations)

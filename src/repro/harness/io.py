@@ -1,0 +1,132 @@
+"""Experiment result serialization (JSON) for logging and post-hoc analysis.
+
+Saves the numbers an experiment produced — per-frame op accounts, metric
+summaries — without the bulky raw detections, so runs can be archived and
+diffed cheaply.  Detections can optionally be included for full replay.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.core.config import SystemConfig
+from repro.core.results import SystemRunResult
+from repro.harness.experiment import ExperimentResult
+
+
+def _config_dict(config: SystemConfig) -> Dict:
+    return {
+        "kind": config.kind,
+        "refinement_model": config.refinement_model,
+        "proposal_model": config.proposal_model,
+        "c_thresh": config.c_thresh,
+        "margin": config.margin,
+        "seed": config.seed,
+        "num_classes": config.num_classes,
+        "input_scale": config.input_scale,
+        "tracker": {
+            "eta": config.tracker.eta,
+            "iou_threshold": config.tracker.iou_threshold,
+            "input_score_threshold": config.tracker.input_score_threshold,
+            "motion_model": config.tracker.motion_model,
+        },
+    }
+
+
+def _run_dict(run: SystemRunResult, *, include_detections: bool) -> Dict:
+    ops = run.mean_ops()
+    out: Dict = {
+        "system_name": run.system_name,
+        "mean_ops": {
+            "proposal": ops.proposal,
+            "refinement": ops.refinement,
+            "refinement_from_tracker": ops.refinement_from_tracker,
+            "refinement_from_proposal": ops.refinement_from_proposal,
+            "total": ops.total,
+        },
+        "mean_regions_per_frame": run.mean_regions_per_frame(),
+        "mean_coverage": run.mean_coverage(),
+        "sequences": {},
+    }
+    for name, seq in run.sequences.items():
+        entry: Dict = {"num_frames": seq.num_frames}
+        if include_detections:
+            entry["frames"] = [
+                {
+                    "boxes": frame.detections.boxes.tolist(),
+                    "scores": frame.detections.scores.tolist(),
+                    "labels": frame.detections.labels.tolist(),
+                    "coverage": frame.coverage_fraction,
+                    "num_regions": frame.num_regions,
+                }
+                for frame in seq.frames
+            ]
+        out["sequences"][name] = entry
+    return out
+
+
+def save_experiment(
+    result: ExperimentResult,
+    path: Union[str, Path],
+    *,
+    include_detections: bool = False,
+    beta: float = 0.8,
+) -> None:
+    """Write an experiment's configuration and metrics as JSON.
+
+    Parameters
+    ----------
+    result:
+        The finished experiment.
+    path:
+        Destination file.
+    include_detections:
+        Also store every frame's detections (large; enables full replay of
+        the metrics without re-running the systems).
+    beta:
+        Precision level for the recorded delay metric.
+    """
+    payload: Dict = {
+        "format": "repro-experiment/1",
+        "config": _config_dict(result.config),
+        "label": result.label,
+        "run": _run_dict(result.run, include_detections=include_detections),
+        "metrics": {},
+    }
+    for name, evaluation in result.evaluations.items():
+        metrics = {
+            "mAP_r40": evaluation.mean_ap("r40"),
+            "mAP_voc11": evaluation.mean_ap("voc11"),
+            "per_class_ap": {
+                ce.name: ce.ap() for ce in evaluation.per_class
+            },
+        }
+        try:
+            metrics[f"mD@{beta}"] = evaluation.mean_delay(beta)
+            metrics[f"exit_mD@{beta}"] = evaluation.mean_exit_delay(beta)
+        except ValueError:
+            pass
+        payload["metrics"][name] = metrics
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, allow_nan=True)
+
+
+def load_experiment_summary(path: Union[str, Path]) -> Dict:
+    """Load a saved experiment's JSON payload (plain dict).
+
+    Raises :class:`ValueError` on unknown format versions.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if payload.get("format") != "repro-experiment/1":
+        raise ValueError(
+            f"unsupported experiment format: {payload.get('format')!r}"
+        )
+    return payload

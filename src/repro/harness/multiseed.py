@@ -1,0 +1,128 @@
+"""Multi-seed experiment replication: means and spread for every metric.
+
+The simulation is stochastic, so single-seed numbers carry sampling noise.
+:func:`run_replicated` reruns an experiment across seeds and aggregates the
+headline metrics with their standard deviations — the honest way to compare
+two systems whose mAPs differ by less than a point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import SystemConfig
+from repro.datasets.types import Dataset
+from repro.harness.experiment import ExperimentResult, run_experiment
+from repro.metrics.kitti_eval import HARD, MODERATE, DifficultyFilter
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean and spread of one metric across seeds."""
+
+    mean: float
+    std: float
+    values: Tuple[float, ...]
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        n = len(self.values)
+        return self.std / np.sqrt(n) if n > 1 else float("nan")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.3f} ± {self.std:.3f}"
+
+
+@dataclass
+class ReplicatedResult:
+    """Aggregated metrics of one system across seeds."""
+
+    config: SystemConfig
+    seeds: Tuple[int, ...]
+    metrics: Dict[str, MetricSummary]
+    runs: List[ExperimentResult]
+
+    def metric(self, name: str) -> MetricSummary:
+        try:
+            return self.metrics[name]
+        except KeyError:
+            known = ", ".join(sorted(self.metrics))
+            raise KeyError(f"unknown metric {name!r}; known: {known}") from None
+
+
+def _summarize(values: Sequence[float]) -> MetricSummary:
+    arr = np.asarray(values, dtype=np.float64)
+    return MetricSummary(
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        values=tuple(float(v) for v in arr),
+    )
+
+
+def run_replicated(
+    config: SystemConfig,
+    dataset: Dataset,
+    seeds: Sequence[int] = (0, 1, 2),
+    difficulties: Tuple[DifficultyFilter, ...] = (MODERATE, HARD),
+    *,
+    beta: float = 0.8,
+    with_delay: bool = True,
+) -> ReplicatedResult:
+    """Run ``config`` once per seed and aggregate the headline metrics.
+
+    Only the detector-simulation seed varies; the dataset (ground truth)
+    stays fixed, so the spread measures detector-noise sensitivity, not
+    world-generation variance.
+    """
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    runs: List[ExperimentResult] = []
+    for seed in seeds:
+        runs.append(
+            run_experiment(
+                replace(config, seed=int(seed)),
+                dataset,
+                difficulties,
+                with_delay=with_delay,
+            )
+        )
+
+    metrics: Dict[str, MetricSummary] = {
+        "ops_gops": _summarize([r.ops_gops for r in runs])
+    }
+    for diff in difficulties:
+        metrics[f"mAP[{diff.name}]"] = _summarize(
+            [r.mean_ap(diff.name) for r in runs]
+        )
+        if with_delay:
+            metrics[f"mD@{beta}[{diff.name}]"] = _summarize(
+                [r.mean_delay(diff.name, beta) for r in runs]
+            )
+    return ReplicatedResult(
+        config=config, seeds=tuple(int(s) for s in seeds), metrics=metrics, runs=runs
+    )
+
+
+def compare_systems(
+    a: ReplicatedResult, b: ReplicatedResult, metric: str
+) -> Dict[str, float]:
+    """Difference of one metric between two replicated systems.
+
+    Returns the mean difference (a - b) and a paired z-score when the two
+    results share their seed list (paired comparison removes most of the
+    common noise).
+    """
+    ma, mb = a.metric(metric), b.metric(metric)
+    diff = ma.mean - mb.mean
+    out = {"difference": diff}
+    if a.seeds == b.seeds and len(a.seeds) > 1:
+        paired = np.asarray(ma.values) - np.asarray(mb.values)
+        sd = paired.std(ddof=1)
+        out["paired_z"] = float(
+            paired.mean() / (sd / np.sqrt(len(paired)))
+        ) if sd > 0 else float("inf") * np.sign(diff or 1)
+    return out

@@ -1,0 +1,114 @@
+"""Automatic operating-point tuning.
+
+§4.3 of the paper identifies two thresholds that "significantly affect the
+inference speed" — the proposal network's output threshold (C-thresh) and
+the tracker's input threshold.  These helpers search those knobs for a
+target operation budget or a target accuracy, so deployments don't hand
+tune them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence as Seq, Tuple
+
+from repro.core.config import SystemConfig
+from repro.core.pipeline import run_on_dataset
+from repro.datasets.types import Dataset
+from repro.metrics.evaluate import evaluate_dataset
+from repro.metrics.kitti_eval import HARD, DifficultyFilter
+
+
+@dataclass(frozen=True)
+class TuningPoint:
+    """One evaluated operating point of the tuning search."""
+
+    c_thresh: float
+    ops_gops: float
+    mean_ap: float
+
+
+def sweep_operating_points(
+    config: SystemConfig,
+    dataset: Dataset,
+    c_values: Seq[float] = (0.02, 0.05, 0.1, 0.2, 0.4, 0.6),
+    *,
+    difficulty: DifficultyFilter = HARD,
+    max_sequences: Optional[int] = None,
+) -> Tuple[TuningPoint, ...]:
+    """Evaluate ``config`` at each C-thresh, returning sorted points."""
+    if config.kind == "single":
+        raise ValueError("single-model systems have no C-thresh to tune")
+    points = []
+    for c in sorted(c_values):
+        candidate = replace(config, c_thresh=float(c))
+        run = run_on_dataset(candidate, dataset, max_sequences=max_sequences)
+        result = evaluate_dataset(
+            dataset if max_sequences is None else _subset(dataset, max_sequences),
+            run.detections_by_sequence,
+            difficulty,
+            with_delay=False,
+        )
+        points.append(
+            TuningPoint(
+                c_thresh=float(c),
+                ops_gops=run.mean_ops_gops(),
+                mean_ap=result.mean_ap(),
+            )
+        )
+    return tuple(points)
+
+
+def _subset(dataset: Dataset, n: int) -> Dataset:
+    return Dataset(
+        name=dataset.name,
+        classes=dataset.classes,
+        sequences=dataset.sequences[:n],
+        labeled_frames=dataset.labeled_frames,
+    )
+
+
+def cthresh_for_budget(
+    config: SystemConfig,
+    dataset: Dataset,
+    budget_gops: float,
+    c_values: Seq[float] = (0.02, 0.05, 0.1, 0.2, 0.4, 0.6),
+    *,
+    difficulty: DifficultyFilter = HARD,
+    max_sequences: Optional[int] = None,
+) -> Optional[TuningPoint]:
+    """Most accurate operating point within a per-frame op budget.
+
+    Returns ``None`` when no candidate fits (even the highest threshold is
+    over budget — pick a smaller proposal network instead).
+    """
+    if budget_gops <= 0:
+        raise ValueError(f"budget_gops must be positive, got {budget_gops}")
+    points = sweep_operating_points(
+        config, dataset, c_values, difficulty=difficulty, max_sequences=max_sequences
+    )
+    affordable = [p for p in points if p.ops_gops <= budget_gops]
+    if not affordable:
+        return None
+    return max(affordable, key=lambda p: p.mean_ap)
+
+
+def cheapest_cthresh_for_accuracy(
+    config: SystemConfig,
+    dataset: Dataset,
+    min_map: float,
+    c_values: Seq[float] = (0.02, 0.05, 0.1, 0.2, 0.4, 0.6),
+    *,
+    difficulty: DifficultyFilter = HARD,
+    max_sequences: Optional[int] = None,
+) -> Optional[TuningPoint]:
+    """Cheapest operating point reaching at least ``min_map``."""
+    if not (0.0 < min_map <= 1.0):
+        raise ValueError(f"min_map must lie in (0, 1], got {min_map}")
+    points = sweep_operating_points(
+        config, dataset, c_values, difficulty=difficulty, max_sequences=max_sequences
+    )
+    qualified = [p for p in points if p.mean_ap >= min_map]
+    if not qualified:
+        return None
+    return min(qualified, key=lambda p: p.ops_gops)

@@ -1,0 +1,5 @@
+"""From-scratch Hungarian (Kuhn–Munkres) assignment solver."""
+
+from repro.hungarian.hungarian import hungarian, linear_sum_assignment
+
+__all__ = ["hungarian", "linear_sum_assignment"]

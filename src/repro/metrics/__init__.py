@@ -1,0 +1,51 @@
+"""Evaluation metrics: mAP (VOC-style) and the paper's mean Delay (mD@beta).
+
+The pipeline is: per-frame greedy matching of detections to ground truth
+(with KITTI-style difficulty filtering and ignore handling), pooled into
+per-class score/TP arrays for AP, and per-track matched-score series for
+delay.  ``mD@beta`` picks the score threshold at which mean precision over
+classes equals ``beta`` and reports the average first-detection delay.
+"""
+
+from repro.metrics.matching import FrameMatchResult, match_frame
+from repro.metrics.kitti_eval import (
+    EASY,
+    HARD,
+    MODERATE,
+    DifficultyFilter,
+    care_mask,
+)
+from repro.metrics.ap import average_precision, interpolated_precision_at
+from repro.metrics.delay import (
+    DelayEvaluation,
+    delay_at_threshold,
+    mean_delay_at_precision,
+    threshold_for_precision,
+)
+from repro.metrics.evaluate import (
+    ClassEvaluation,
+    EvaluationResult,
+    evaluate_dataset,
+)
+from repro.metrics.curves import precision_recall_delay_curves, CurvePoint
+
+__all__ = [
+    "FrameMatchResult",
+    "match_frame",
+    "EASY",
+    "MODERATE",
+    "HARD",
+    "DifficultyFilter",
+    "care_mask",
+    "average_precision",
+    "interpolated_precision_at",
+    "DelayEvaluation",
+    "delay_at_threshold",
+    "mean_delay_at_precision",
+    "threshold_for_precision",
+    "ClassEvaluation",
+    "EvaluationResult",
+    "evaluate_dataset",
+    "precision_recall_delay_curves",
+    "CurvePoint",
+]

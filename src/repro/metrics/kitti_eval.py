@@ -1,0 +1,69 @@
+"""KITTI difficulty modes (paper §6.1).
+
+Each difficulty level gates which ground-truth objects *count*: objects
+below the level's bar are "ignored" — they are not false negatives, and
+detections matched to them are not false positives.  The paper evaluates
+Moderate and Hard (Easy "does not distinguish different methods").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.types import FrameAnnotations
+
+
+@dataclass(frozen=True)
+class DifficultyFilter:
+    """A KITTI difficulty level.
+
+    Parameters
+    ----------
+    name:
+        Level name.
+    min_height:
+        Minimum box height in pixels for a ground truth to count.
+    max_occlusion:
+        Maximum occluded *fraction* (the synthetic world stores fractions;
+        KITTI's discrete levels {0,1,2} map to the bounds used here).
+    max_truncation:
+        Maximum truncated fraction.
+    """
+
+    name: str
+    min_height: float
+    max_occlusion: float
+    max_truncation: float
+
+    def __post_init__(self) -> None:
+        if self.min_height < 0:
+            raise ValueError(f"min_height must be >= 0, got {self.min_height}")
+        if not (0.0 <= self.max_occlusion <= 1.0):
+            raise ValueError(f"max_occlusion must lie in [0, 1], got {self.max_occlusion}")
+        if not (0.0 <= self.max_truncation <= 1.0):
+            raise ValueError(
+                f"max_truncation must lie in [0, 1], got {self.max_truncation}"
+            )
+
+
+#: "fully visible, wider than 40 pixels" — occlusion level 0, truncation <= 15 %.
+EASY = DifficultyFilter(name="easy", min_height=40.0, max_occlusion=0.15, max_truncation=0.15)
+#: occlusion level <= 1 ("partly occluded"), truncation <= 30 %, height >= 25 px.
+MODERATE = DifficultyFilter(name="moderate", min_height=25.0, max_occlusion=0.5, max_truncation=0.3)
+#: occlusion level <= 2 ("difficult to see"), truncation <= 50 %, height >= 25 px.
+HARD = DifficultyFilter(name="hard", min_height=25.0, max_occlusion=0.8, max_truncation=0.5)
+
+
+def care_mask(annotations: FrameAnnotations, difficulty: DifficultyFilter) -> np.ndarray:
+    """Boolean mask of ground truths that count at this difficulty.
+
+    Ground truths outside the mask are evaluated as "ignored".
+    """
+    heights = annotations.boxes[:, 3] - annotations.boxes[:, 1]
+    return (
+        (heights >= difficulty.min_height)
+        & (annotations.occlusion <= difficulty.max_occlusion)
+        & (annotations.truncation <= difficulty.max_truncation)
+    )

@@ -1,0 +1,128 @@
+"""Per-frame detection-to-ground-truth matching with ignore handling.
+
+The greedy score-ordered matcher used by Pascal VOC and KITTI: detections
+are visited in descending confidence; each claims the unclaimed same-class
+ground truth with the highest IoU above the class's threshold.  Claims on
+"ignored" ground truths (below the difficulty bar) discard the detection
+from both TP and FP counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.boxes.iou import iou_matrix
+from repro.datasets.types import FrameAnnotations
+from repro.detections import Detections
+
+
+@dataclass
+class FrameMatchResult:
+    """Outcome of matching one frame, one class.
+
+    Attributes
+    ----------
+    det_indices : (D,) int array
+        Indices into the frame's detections for this class, sorted by
+        descending score (the order in which matching ran).
+    det_scores : (D,) array
+        Scores in the same order.
+    det_tp : (D,) bool array
+        Detection matched a cared ground truth.
+    det_ignored : (D,) bool array
+        Detection matched an ignored ground truth (excluded from FP).
+    gt_track_ids : (G,) int array
+        Track ids of *all* ground truths of this class in the frame
+        (cared and ignored — delay is counted from an object's first
+        annotated frame, before it meets the difficulty bar).
+    gt_care : (G,) bool array
+        Which of those ground truths count at the difficulty level.
+    gt_matched_scores : (G,) array
+        For each GT, the score of the detection that claimed it (``-inf``
+        when unclaimed).  A GT counts as detected at threshold ``t`` iff
+        its matched score is >= ``t``.
+    """
+
+    det_indices: np.ndarray
+    det_scores: np.ndarray
+    det_tp: np.ndarray
+    det_ignored: np.ndarray
+    gt_track_ids: np.ndarray
+    gt_care: np.ndarray
+    gt_matched_scores: np.ndarray
+
+    @property
+    def num_gt(self) -> int:
+        """Number of *cared* ground truths (the AP denominator)."""
+        return int(self.gt_care.sum())
+
+
+def match_frame(
+    detections: Detections,
+    annotations: FrameAnnotations,
+    label: int,
+    min_iou: float,
+    care: np.ndarray,
+) -> FrameMatchResult:
+    """Match one frame's detections of ``label`` against its ground truth.
+
+    Parameters
+    ----------
+    detections:
+        All detections for the frame (any class; filtered internally).
+    annotations:
+        Ground truth for the frame.
+    label:
+        Class to evaluate.
+    min_iou:
+        Class-specific overlap requirement (KITTI: 0.7 Car, 0.5 Pedestrian).
+    care : (len(annotations),) bool array
+        Difficulty mask over *all* ground truths in the frame (see
+        :func:`repro.metrics.kitti_eval.care_mask`).
+    """
+    if care.shape[0] != len(annotations):
+        raise ValueError(
+            f"care mask length {care.shape[0]} != annotations length {len(annotations)}"
+        )
+    det_mask = detections.labels == label
+    det_idx = np.flatnonzero(det_mask)
+    order = det_idx[np.argsort(-detections.scores[det_idx], kind="stable")]
+    det_boxes = detections.boxes[order]
+    det_scores = detections.scores[order]
+
+    gt_mask = annotations.labels == label
+    gt_idx = np.flatnonzero(gt_mask)
+    gt_boxes = annotations.boxes[gt_idx]
+    gt_care = care[gt_idx]
+
+    n_det = order.shape[0]
+    n_gt = gt_idx.shape[0]
+    det_tp = np.zeros(n_det, dtype=bool)
+    det_ignored = np.zeros(n_det, dtype=bool)
+    gt_claimed = np.zeros(n_gt, dtype=bool)
+    gt_matched_scores = np.full(n_gt, -np.inf)
+
+    if n_det and n_gt:
+        ious = iou_matrix(det_boxes, gt_boxes)
+        for d in range(n_det):
+            candidates = np.where(~gt_claimed, ious[d], -1.0)
+            g = int(np.argmax(candidates))
+            if candidates[g] >= min_iou:
+                gt_claimed[g] = True
+                gt_matched_scores[g] = det_scores[d]
+                if gt_care[g]:
+                    det_tp[d] = True
+                else:
+                    det_ignored[d] = True
+
+    return FrameMatchResult(
+        det_indices=order,
+        det_scores=det_scores,
+        det_tp=det_tp,
+        det_ignored=det_ignored,
+        gt_track_ids=annotations.track_ids[gt_idx],
+        gt_care=gt_care,
+        gt_matched_scores=gt_matched_scores,
+    )

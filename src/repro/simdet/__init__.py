@@ -1,0 +1,27 @@
+"""Stochastic detector simulation.
+
+Each DNN detector of the paper is modeled as a :class:`DetectorProfile`: a
+set of statistics governing per-object detection probability (vs. size,
+occlusion, truncation), localization noise, confidence scores and false
+positives.  :class:`SimulatedDetector` samples detections for a frame, in
+full-frame mode (single-model / proposal network) or region-restricted mode
+(refinement network).
+
+Detection events are *temporally correlated*: each (track, model) pair draws
+a persistent difficulty latent, plus an AR(1) per-frame component.  This is
+the statistical property that makes the tracker matter — a cascade without
+memory repeatedly misses the same hard objects, while a tracker can lock on
+after one lucky detection (paper §6.4, Figure 6).
+"""
+
+from repro.simdet.profile import DetectorProfile
+from repro.simdet.detector import SimulatedDetector
+from repro.simdet.zoo import MODEL_ZOO, ZooEntry, get_model
+
+__all__ = [
+    "DetectorProfile",
+    "SimulatedDetector",
+    "MODEL_ZOO",
+    "ZooEntry",
+    "get_model",
+]

@@ -1,0 +1,346 @@
+"""The simulated detector: samples per-frame detections from a profile.
+
+Determinism contract: detections for (model, seed, sequence, frame) are a
+pure function of those four values — independent of call order or of which
+other frames were queried.  All per-track randomness is derived from keyed
+RNG streams (see :class:`repro.utils.rng.RngFactory`) and cached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.boxes.box import clip_boxes
+from repro.boxes.mask import RegionMask
+from repro.detections import Detections
+from repro.datasets.types import FrameAnnotations, Sequence
+from repro.simdet.profile import DetectorProfile, sigmoid
+from repro.utils.rng import RngFactory
+
+
+@dataclass
+class _ClutterSource:
+    """A persistent false-positive source (textured background, glare...)."""
+
+    first_frame: int
+    last_frame: int
+    boxes: np.ndarray  # one per active frame
+    label: int
+    fire: np.ndarray   # bool per active frame
+    score_logits: np.ndarray
+
+
+class SimulatedDetector:
+    """Samples detections for frames of a sequence according to a profile.
+
+    Parameters
+    ----------
+    profile:
+        The model's behavioral statistics.
+    seed:
+        Experiment-level seed; combined with ``profile.name`` so different
+        models see independent randomness on the same data.
+    input_scale:
+        Image downscale factor applied before the (simulated) network: the
+        detector perceives objects ``input_scale`` times smaller.  Used for
+        high-resolution datasets processed at reduced resolution
+        (CityPersons, §7).
+    """
+
+    def __init__(self, profile: DetectorProfile, seed: int = 0, input_scale: float = 1.0):
+        if input_scale <= 0:
+            raise ValueError(f"input_scale must be positive, got {input_scale}")
+        self.profile = profile
+        self.seed = int(seed)
+        self.input_scale = float(input_scale)
+        self._factory = RngFactory(seed)
+        self._model_key = profile.name
+        # Caches keyed by sequence name.
+        self._persistent: Dict[Tuple[str, int], float] = {}
+        self._temporal: Dict[Tuple[str, int], np.ndarray] = {}
+        self._clutter: Dict[str, List[_ClutterSource]] = {}
+        self._track_index: Dict[str, Dict[int, object]] = {}
+
+    def _track_of(self, sequence: Sequence, track_id: int):
+        index = self._track_index.get(sequence.name)
+        if index is None:
+            index = {t.track_id: t for t in sequence.tracks}
+            self._track_index[sequence.name] = index
+        return index[track_id]
+
+    # ------------------------------------------------------------------ #
+    # Latent caches
+    # ------------------------------------------------------------------ #
+
+    def _persistent_latent(self, sequence: Sequence, track_id: int) -> float:
+        key = (sequence.name, track_id)
+        if key not in self._persistent:
+            rng = self._factory.child("persistent", self._model_key, sequence.name, track_id)
+            self._persistent[key] = float(rng.normal())
+        return self._persistent[key]
+
+    def _temporal_noise(self, sequence: Sequence, track_id: int, length: int) -> np.ndarray:
+        key = (sequence.name, track_id)
+        cached = self._temporal.get(key)
+        if cached is None or cached.shape[0] < length:
+            rng = self._factory.child("temporal", self._model_key, sequence.name, track_id)
+            rho = self.profile.temporal_rho
+            innov = np.sqrt(max(1.0 - rho**2, 1e-12))
+            noise = np.empty(length)
+            state = rng.normal()
+            for t in range(length):
+                noise[t] = state
+                state = rho * state + innov * rng.normal()
+            self._temporal[key] = noise
+            cached = noise
+        return cached
+
+    def _clutter_sources(self, sequence: Sequence) -> List[_ClutterSource]:
+        if sequence.name in self._clutter:
+            return self._clutter[sequence.name]
+        rng = self._factory.child("clutter", self._model_key, sequence.name)
+        sources: List[_ClutterSource] = []
+        expected = self.profile.clutter_rate * sequence.num_frames / 100.0
+        labels = sorted({t.label for t in sequence.tracks}) or [0]
+        for _ in range(rng.poisson(expected)):
+            first = int(rng.integers(0, sequence.num_frames))
+            duration = 3 + int(rng.geometric(1.0 / 12.0))
+            last = min(first + duration, sequence.num_frames - 1)
+            length = last - first + 1
+            w = float(np.exp(rng.normal(3.6, 0.5)))
+            h = w * float(np.exp(rng.normal(0.0, 0.4)))
+            cx = rng.uniform(0.05, 0.95) * sequence.width
+            cy = rng.uniform(0.3, 0.95) * sequence.height
+            drift = rng.normal(scale=1.0, size=2)
+            boxes = np.empty((length, 4))
+            for t in range(length):
+                px = cx + drift[0] * t
+                py = cy + drift[1] * t
+                boxes[t] = [px - w / 2, py - h / 2, px + w / 2, py + h / 2]
+            boxes = clip_boxes(boxes, sequence.width, sequence.height)
+            fire = rng.random(length) < self.profile.clutter_persistence
+            score_logits = rng.normal(
+                self.profile.fp_score_mean + 0.5, self.profile.fp_score_std, size=length
+            )
+            sources.append(
+                _ClutterSource(
+                    first_frame=first,
+                    last_frame=last,
+                    boxes=boxes,
+                    label=int(labels[int(rng.integers(0, len(labels)))]),
+                    fire=fire,
+                    score_logits=score_logits,
+                )
+            )
+        self._clutter[sequence.name] = sources
+        return sources
+
+    # ------------------------------------------------------------------ #
+    # Core sampling
+    # ------------------------------------------------------------------ #
+
+    def _object_logits(
+        self, sequence: Sequence, annotations: FrameAnnotations
+    ) -> np.ndarray:
+        """Full (base + latent) detection logits for the frame's GT objects."""
+        n = len(annotations)
+        if n == 0:
+            return np.zeros(0)
+        widths = (annotations.boxes[:, 2] - annotations.boxes[:, 0]) * self.input_scale
+        base = self.profile.base_logit(
+            widths, annotations.occlusion, annotations.truncation
+        )
+        latents = np.empty(n)
+        temporal = np.empty(n)
+        for i, track_id in enumerate(annotations.track_ids):
+            track = self._track_of(sequence, int(track_id))
+            offset = annotations.frame - track.first_frame
+            latents[i] = self._persistent_latent(sequence, int(track_id))
+            temporal[i] = self._temporal_noise(sequence, int(track_id), track.length)[offset]
+        return (
+            base
+            + self.profile.persistent_weight * latents
+            + self.profile.temporal_weight * temporal
+        )
+
+    def _jitter_boxes(
+        self, boxes: np.ndarray, rng: np.random.Generator, loc_noise: float
+    ) -> np.ndarray:
+        """Localization noise: center shift + log-size jitter."""
+        if boxes.shape[0] == 0 or loc_noise == 0.0:
+            return boxes.copy()
+        w = boxes[:, 2] - boxes[:, 0]
+        h = boxes[:, 3] - boxes[:, 1]
+        cx = boxes[:, 0] + w / 2 + rng.normal(scale=loc_noise, size=len(boxes)) * w
+        cy = boxes[:, 1] + h / 2 + rng.normal(scale=loc_noise, size=len(boxes)) * h
+        w = w * np.exp(rng.normal(scale=loc_noise, size=len(boxes)))
+        h = h * np.exp(rng.normal(scale=loc_noise, size=len(boxes)))
+        return np.stack([cx - w / 2, cy - h / 2, cx + w / 2, cy + h / 2], axis=1)
+
+    def _tp_scores(self, logits: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        p = self.profile
+        raw = p.score_center + p.score_scale * logits + rng.normal(
+            scale=p.score_noise, size=len(logits)
+        )
+        return sigmoid(raw)
+
+    def _sample_false_positives(
+        self,
+        sequence: Sequence,
+        frame: int,
+        rng: np.random.Generator,
+        rate: float,
+        region: Optional[RegionMask] = None,
+    ) -> Detections:
+        """Transient false positives, uniform over the image (or the mask)."""
+        n = rng.poisson(rate)
+        if n == 0:
+            return Detections.empty()
+        labels_pool = sorted({t.label for t in sequence.tracks}) or [0]
+        w = np.exp(rng.normal(3.5, 0.6, size=n))
+        h = w * np.exp(rng.normal(0.2, 0.5, size=n))
+        if region is not None and region.expanded_boxes.shape[0] > 0:
+            anchors = region.expanded_boxes[
+                rng.integers(0, region.expanded_boxes.shape[0], size=n)
+            ]
+            cx = anchors[:, 0] + rng.random(n) * np.maximum(anchors[:, 2] - anchors[:, 0], 1.0)
+            cy = anchors[:, 1] + rng.random(n) * np.maximum(anchors[:, 3] - anchors[:, 1], 1.0)
+        else:
+            cx = rng.uniform(0, sequence.width, size=n)
+            cy = rng.uniform(sequence.height * 0.25, sequence.height, size=n)
+        boxes = np.stack([cx - w / 2, cy - h / 2, cx + w / 2, cy + h / 2], axis=1)
+        boxes = clip_boxes(boxes, sequence.width, sequence.height)
+        valid = (boxes[:, 2] - boxes[:, 0] > 2) & (boxes[:, 3] - boxes[:, 1] > 2)
+        boxes = boxes[valid]
+        n = boxes.shape[0]
+        scores = sigmoid(
+            rng.normal(self.profile.fp_score_mean, self.profile.fp_score_std, size=n)
+        )
+        labels = np.asarray(labels_pool, dtype=np.int64)[
+            rng.integers(0, len(labels_pool), size=n)
+        ]
+        return Detections(boxes, scores, labels)
+
+    def _clutter_detections(self, sequence: Sequence, frame: int) -> Detections:
+        parts = []
+        for source in self._clutter_sources(sequence):
+            if not (source.first_frame <= frame <= source.last_frame):
+                continue
+            t = frame - source.first_frame
+            if not source.fire[t]:
+                continue
+            parts.append(
+                Detections(
+                    source.boxes[t][None, :],
+                    np.array([float(sigmoid(np.array([source.score_logits[t]]))[0])]),
+                    np.array([source.label], dtype=np.int64),
+                )
+            )
+        return Detections.concatenate(parts) if parts else Detections.empty()
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def detect_full_frame(self, sequence: Sequence, frame: int) -> Detections:
+        """Full-image detection pass (single-model or proposal network).
+
+        Returns NMS-filtered detections with confidence scores in [0, 1].
+        """
+        annotations = sequence.annotations(frame)
+        logits = self._object_logits(sequence, annotations)
+        rng = self._factory.child("frame", self._model_key, sequence.name, frame)
+
+        p_detect = self.profile.detection_probability(logits)
+        detected = rng.random(len(annotations)) < p_detect
+
+        tp_boxes = self._jitter_boxes(
+            annotations.boxes[detected], rng, self.profile.loc_noise
+        )
+        tp_scores = self._tp_scores(logits[detected], rng)
+        tp = Detections(tp_boxes, tp_scores, annotations.labels[detected])
+
+        fp = self._sample_false_positives(sequence, frame, rng, self.profile.fp_rate)
+        clutter = self._clutter_detections(sequence, frame)
+        merged = Detections.concatenate([tp, fp, clutter])
+        merged = Detections(
+            clip_boxes(merged.boxes, sequence.width, sequence.height),
+            merged.scores,
+            merged.labels,
+        )
+        return merged.nms(0.5)
+
+    def detect_regions(
+        self,
+        sequence: Sequence,
+        frame: int,
+        region: RegionMask,
+    ) -> Detections:
+        """Region-restricted detection pass (the refinement network).
+
+        Only objects covered by ``region`` can be detected; covered objects
+        get the profile's ``refine_boost`` (validation is easier than
+        detection) and reduced localization noise.  False positives arise
+        from background-region confirmations plus a coverage-scaled
+        transient rate.
+        """
+        annotations = sequence.annotations(frame)
+        logits = self._object_logits(sequence, annotations)
+        rng = self._factory.child("refine", self._model_key, sequence.name, frame)
+
+        covered = region.contains(annotations.boxes, min_overlap=0.5)
+        boosted = logits + self.profile.refine_boost
+        p_detect = self.profile.detection_probability(boosted) * covered
+
+        detected = rng.random(len(annotations)) < p_detect
+        loc = self.profile.loc_noise * self.profile.refine_loc_factor
+        tp_boxes = self._jitter_boxes(annotations.boxes[detected], rng, loc)
+        tp_scores = self._tp_scores(boosted[detected], rng)
+        tp = Detections(tp_boxes, tp_scores, annotations.labels[detected])
+
+        # Background proposals occasionally confirmed as objects.
+        n_regions = region.boxes.shape[0]
+        confirm_parts: List[Detections] = []
+        if n_regions and self.profile.fp_confirm_rate > 0:
+            # Regions that do not overlap any GT object are background.
+            from repro.boxes.iou import iou_matrix
+
+            if len(annotations):
+                overlap = iou_matrix(region.boxes, annotations.boxes).max(axis=1)
+            else:
+                overlap = np.zeros(n_regions)
+            background = overlap < 0.2
+            confirm = background & (rng.random(n_regions) < self.profile.fp_confirm_rate)
+            if confirm.any():
+                c_boxes = self._jitter_boxes(region.boxes[confirm], rng, loc)
+                c_scores = sigmoid(
+                    rng.normal(
+                        self.profile.fp_score_mean + 0.3,
+                        self.profile.fp_score_std,
+                        size=int(confirm.sum()),
+                    )
+                )
+                labels_pool = sorted({t.label for t in sequence.tracks}) or [0]
+                c_labels = np.array(
+                    [labels_pool[int(rng.integers(0, len(labels_pool)))] for _ in range(int(confirm.sum()))],
+                    dtype=np.int64,
+                )
+                confirm_parts.append(Detections(c_boxes, c_scores, c_labels))
+
+        fp = self._sample_false_positives(
+            sequence,
+            frame,
+            rng,
+            self.profile.fp_rate * region.coverage_fraction() * 0.5,
+            region=region,
+        )
+        merged = Detections.concatenate([tp, fp] + confirm_parts)
+        merged = Detections(
+            clip_boxes(merged.boxes, sequence.width, sequence.height),
+            merged.scores,
+            merged.labels,
+        )
+        return merged.nms(0.5)

@@ -1,0 +1,165 @@
+"""Detector behavioral profiles.
+
+A profile reduces a trained detector to the statistics that drive the
+paper's system-level measurements.  The per-object detection probability in
+one frame is::
+
+    L = size_slope * (log2(visible_width) - size_midpoint)
+        - occlusion_penalty * occlusion
+        - truncation_penalty * truncation
+        + persistent_weight * u          # per (track, model), frozen
+        + temporal_weight * e_t          # AR(1) over frames
+    p  = max_recall * sigmoid(L)
+
+with an extra ``refine_boost`` added to ``L`` in region-restricted mode
+(validating a proposed region is easier than re-detection, §3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    x = np.asarray(x, dtype=np.float64)
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+@dataclass(frozen=True)
+class DetectorProfile:
+    """Behavioral statistics of one detector model.
+
+    Parameters
+    ----------
+    name:
+        Model identifier (keys RNG streams — two detectors with the same
+        name and seed behave identically).
+    size_midpoint:
+        ``log2`` of the visible box width at which detection probability is
+        half of ``max_recall``.  Weaker models need larger objects.
+    size_slope:
+        Sharpness of the size-detectability sigmoid.
+    max_recall:
+        Per-frame detection-probability ceiling for easy objects.
+    occlusion_penalty / truncation_penalty:
+        Logit penalties scaled by the occluded / truncated fraction.
+        Occlusion is raised to ``occlusion_exponent`` first: detectors
+        degrade gently under light occlusion and collapse past ~50 %.
+    persistent_weight:
+        Weight of the frozen per-(track, model) difficulty latent.  This is
+        what makes misses *systematic*: raising proposal counts cannot
+        recover an object the model fundamentally cannot see.
+    temporal_weight / temporal_rho:
+        Weight and AR(1) coefficient of the per-frame difficulty noise.
+        High rho means misses come in bursts (motion blur, partial
+        occlusion episodes) rather than i.i.d. flickers.
+    loc_noise:
+        Localization jitter: box center/size noise as a fraction of box
+        dimensions.  Drives IoU-threshold failures (KITTI Car needs 0.7).
+    score_center / score_scale / score_noise:
+        True-positive confidence model:
+        ``score = sigmoid(score_center + score_scale * L + noise)``.
+    fp_rate:
+        Expected false positives per full-frame scan.
+    fp_score_mean / fp_score_std:
+        Logit-space false-positive confidence distribution.
+    clutter_rate:
+        Expected number of *persistent* clutter tracks per 100 frames: FP
+        sources (e.g. textured background) that recur at the same drifting
+        location and can fool the tracker.
+    clutter_persistence:
+        Per-frame probability a clutter source fires while active.
+    refine_boost:
+        Logit boost in region-restricted mode when the object was proposed.
+    refine_loc_factor:
+        Multiplier (< 1) on ``loc_noise`` in region-restricted mode —
+        calibration is easier than detection.
+    fp_confirm_rate:
+        Probability that this model, used as a refinement network, confirms
+        a background (non-object) proposal as a detection.
+    """
+
+    name: str
+    size_midpoint: float
+    size_slope: float = 1.6
+    max_recall: float = 0.95
+    occlusion_penalty: float = 2.5
+    occlusion_exponent: float = 2.0
+    truncation_penalty: float = 2.0
+    persistent_weight: float = 0.9
+    temporal_weight: float = 0.9
+    temporal_rho: float = 0.7
+    loc_noise: float = 0.05
+    score_center: float = 0.3
+    score_scale: float = 0.55
+    score_noise: float = 0.8
+    fp_rate: float = 1.5
+    fp_score_mean: float = -1.6
+    fp_score_std: float = 1.1
+    clutter_rate: float = 1.0
+    clutter_persistence: float = 0.6
+    refine_boost: float = 1.2
+    refine_loc_factor: float = 0.7
+    fp_confirm_rate: float = 0.03
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("profile name must be non-empty")
+        if not (0.0 < self.max_recall <= 1.0):
+            raise ValueError(f"max_recall must lie in (0, 1], got {self.max_recall}")
+        if not (0.0 <= self.temporal_rho < 1.0):
+            raise ValueError(f"temporal_rho must lie in [0, 1), got {self.temporal_rho}")
+        if self.occlusion_exponent <= 0:
+            raise ValueError(
+                f"occlusion_exponent must be positive, got {self.occlusion_exponent}"
+            )
+        if self.loc_noise < 0:
+            raise ValueError(f"loc_noise must be >= 0, got {self.loc_noise}")
+        if self.fp_rate < 0 or self.clutter_rate < 0:
+            raise ValueError("false-positive rates must be >= 0")
+        if not (0.0 <= self.clutter_persistence <= 1.0):
+            raise ValueError(
+                f"clutter_persistence must lie in [0, 1], got {self.clutter_persistence}"
+            )
+        if not (0.0 <= self.fp_confirm_rate <= 1.0):
+            raise ValueError(
+                f"fp_confirm_rate must lie in [0, 1], got {self.fp_confirm_rate}"
+            )
+        if not (0.0 < self.refine_loc_factor <= 1.0):
+            raise ValueError(
+                f"refine_loc_factor must lie in (0, 1], got {self.refine_loc_factor}"
+            )
+
+    # ------------------------------------------------------------------ #
+
+    def base_logit(
+        self,
+        visible_width: np.ndarray,
+        occlusion: np.ndarray,
+        truncation: np.ndarray,
+    ) -> np.ndarray:
+        """Deterministic part of the detection logit for a set of objects."""
+        width = np.maximum(np.asarray(visible_width, dtype=np.float64), 1.0)
+        occ = np.asarray(occlusion, dtype=np.float64)
+        return (
+            self.size_slope * (np.log2(width) - self.size_midpoint)
+            - self.occlusion_penalty * occ**self.occlusion_exponent
+            - self.truncation_penalty * np.asarray(truncation, dtype=np.float64)
+        )
+
+    def detection_probability(self, logit: np.ndarray) -> np.ndarray:
+        """Map a full logit (base + latents) to per-frame probability."""
+        return self.max_recall * sigmoid(np.asarray(logit, dtype=np.float64))
+
+    def with_overrides(self, **kwargs) -> "DetectorProfile":
+        """Copy with some fields replaced (keeps the frozen dataclass API)."""
+        return replace(self, **kwargs)

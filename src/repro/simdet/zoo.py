@@ -1,0 +1,204 @@
+"""Model zoo: the detectors evaluated in the paper.
+
+Each entry couples a behavioral :class:`DetectorProfile` (calibrated so the
+single-model Faster R-CNN mAPs land near Tables 4/5) with the architecture
+description used for operation counting.
+
+``roi_pool`` note: the standard torchvision-style models (ResNet-18,
+ResNet-50) are counted with the framework's 14x14 pre-pool crop (RoI head
+output 7x7), while the paper's custom slim proposal nets pool directly at
+7x7 (head output 4x4) — this reproduces Table 1's op counts under a single
+one-MAC-one-op convention (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from repro.flops.rcnn import FasterRCNNOps
+from repro.flops.resnet import (
+    RESNET10A,
+    RESNET10B,
+    RESNET10C,
+    RESNET18,
+    RESNET50,
+    ResNetArch,
+)
+from repro.flops.retinanet import RetinaNetOps
+from repro.flops.vgg import VGG16, VGGArch
+from repro.simdet.profile import DetectorProfile
+
+
+@dataclass(frozen=True)
+class ZooEntry:
+    """One detector model: behavior profile + ops architecture."""
+
+    profile: DetectorProfile
+    arch: Union[ResNetArch, VGGArch]
+    roi_pool: int = 7
+    detector_type: str = "faster_rcnn"  # or "retinanet"
+
+    def rcnn_ops(self, width: int, height: int, num_classes: int = 2) -> FasterRCNNOps:
+        """Faster R-CNN op model for this entry at the given image size."""
+        if self.detector_type != "faster_rcnn":
+            raise ValueError(f"{self.profile.name} is not a Faster R-CNN model")
+        return FasterRCNNOps(
+            self.arch, width, height, roi_pool=self.roi_pool, num_classes=num_classes
+        )
+
+    def retinanet_ops(self, width: int, height: int, num_classes: int = 2) -> RetinaNetOps:
+        """RetinaNet op model for this entry at the given image size."""
+        if self.detector_type != "retinanet":
+            raise ValueError(f"{self.profile.name} is not a RetinaNet model")
+        if not isinstance(self.arch, ResNetArch):
+            raise TypeError("RetinaNet requires a ResNet backbone")
+        return RetinaNetOps(self.arch, width, height, num_classes=num_classes)
+
+
+# --------------------------------------------------------------------- #
+# Behavioral profiles, ordered strongest to weakest.
+#
+# Calibration targets (single-model Faster R-CNN, KITTI Hard mAP, Table 4/5):
+#   ResNet-50 0.740 | VGG-16 0.742 | ResNet-18 0.687 | ResNet-10a 0.606
+#   ResNet-10b 0.564 | ResNet-10c 0.542
+# --------------------------------------------------------------------- #
+
+# Calibration rationale: all models keep *high per-frame recall* at low
+# score thresholds (real proposal nets rarely miss an object region
+# entirely); quality differences show up as (a) precision — false-positive
+# rate and TP/FP score separability, (b) localization noise (KITTI Car
+# needs IoU 0.7), and (c) genuinely hard objects — small/occluded — where
+# weaker models' detection probability sags, with a persistent component
+# that a cascade cannot buy back by lowering its threshold.
+
+_RES50 = DetectorProfile(
+    name="resnet50",
+    size_midpoint=3.38,
+    size_slope=1.7,
+    max_recall=0.975,
+    occlusion_penalty=10.0,
+    truncation_penalty=3.0,
+    persistent_weight=0.7,
+    temporal_weight=0.7,
+    temporal_rho=0.7,
+    loc_noise=0.053,
+    score_center=0.9,
+    score_scale=0.55,
+    score_noise=0.6,
+    fp_rate=18.0,
+    fp_score_mean=-2.3,
+    fp_score_std=1.3,
+    clutter_rate=2.5,
+    refine_boost=0.15,
+    fp_confirm_rate=0.06,
+    refine_loc_factor=1.0,
+)
+
+_VGG16 = _RES50.with_overrides(
+    name="vgg16",
+    size_midpoint=3.36,
+    loc_noise=0.051,
+    fp_rate=19.0,
+)
+
+_RES18 = _RES50.with_overrides(
+    name="resnet18",
+    size_midpoint=3.4,
+    size_slope=1.6,
+    max_recall=0.97,
+    occlusion_penalty=10.4,
+    truncation_penalty=3.2,
+    persistent_weight=0.8,
+    temporal_weight=0.8,
+    loc_noise=0.062,
+    score_center=0.7,
+    score_scale=0.5,
+    score_noise=0.7,
+    fp_rate=26.0,
+    fp_score_mean=-2.9,
+    fp_score_std=1.45,
+    clutter_rate=3.5,
+    fp_confirm_rate=0.07,
+    temporal_rho=0.8,
+)
+
+_RES10A = _RES50.with_overrides(
+    name="resnet10a",
+    size_midpoint=2.9,
+    size_slope=1.5,
+    max_recall=0.97,
+    occlusion_penalty=10.8,
+    truncation_penalty=3.4,
+    persistent_weight=1.5,
+    temporal_weight=0.9,
+    loc_noise=0.08,
+    score_center=0.5,
+    score_scale=0.45,
+    score_noise=0.9,
+    fp_rate=55.0,
+    fp_score_mean=-3.4,
+    fp_score_std=1.6,
+    clutter_rate=6.0,
+    refine_boost=0.15,
+    fp_confirm_rate=0.05,
+    temporal_rho=0.85,
+)
+
+_RES10B = _RES10A.with_overrides(
+    name="resnet10b",
+    size_midpoint=3.1,
+    max_recall=0.96,
+    occlusion_penalty=11.0,
+    loc_noise=0.082,
+    score_center=0.4,
+    fp_rate=60.0,
+    fp_score_mean=-4.0,
+    clutter_rate=7.0,
+)
+
+_RES10C = _RES10B.with_overrides(
+    name="resnet10c",
+    size_midpoint=3.2,
+    max_recall=0.955,
+    occlusion_penalty=11.2,
+    loc_noise=0.086,
+    score_center=0.35,
+    fp_rate=65.0,
+    fp_score_mean=-4.05,
+    clutter_rate=7.5,
+)
+
+# RetinaNet-ResNet50: the paper's Table 8 single-model mAP on Moderate is
+# 0.773 (vs 0.812 for Faster R-CNN ResNet-50) — a slightly weaker profile.
+_RETINA50 = _RES50.with_overrides(
+    name="retinanet50",
+    size_midpoint=3.45,
+    max_recall=0.97,
+    loc_noise=0.058,
+    score_center=0.75,
+    fp_rate=22.0,
+    fp_score_mean=-2.7,
+    clutter_rate=1.8,
+)
+
+MODEL_ZOO: Dict[str, ZooEntry] = {
+    "resnet50": ZooEntry(profile=_RES50, arch=RESNET50, roi_pool=14),
+    "vgg16": ZooEntry(profile=_VGG16, arch=VGG16, roi_pool=7),
+    "resnet18": ZooEntry(profile=_RES18, arch=RESNET18, roi_pool=14),
+    "resnet10a": ZooEntry(profile=_RES10A, arch=RESNET10A, roi_pool=7),
+    "resnet10b": ZooEntry(profile=_RES10B, arch=RESNET10B, roi_pool=7),
+    "resnet10c": ZooEntry(profile=_RES10C, arch=RESNET10C, roi_pool=7),
+    "retinanet50": ZooEntry(
+        profile=_RETINA50, arch=RESNET50, roi_pool=14, detector_type="retinanet"
+    ),
+}
+
+
+def get_model(name: str) -> ZooEntry:
+    """Look up a zoo entry by name, with a helpful error."""
+    try:
+        return MODEL_ZOO[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_ZOO))
+        raise KeyError(f"unknown model {name!r}; known models: {known}") from None

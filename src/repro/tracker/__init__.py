@@ -1,0 +1,42 @@
+"""Trackers: the CaTDet tracker (paper §4.1) and a SORT baseline.
+
+The CaTDet tracker is *not* a conventional tracklet producer: its output is
+the predicted next-frame locations of currently tracked objects, which are
+fed to the refinement network as regions of interest.
+"""
+
+from repro.tracker.kalman import KalmanFilter, ConstantVelocityBoxKalman
+from repro.tracker.motion import (
+    ExponentialDecayMotion,
+    KalmanMotion,
+    MotionModel,
+)
+from repro.tracker.state import TrackState
+from repro.tracker.association import AssociationResult, associate, associate_per_class
+from repro.tracker.catdet_tracker import CaTDetTracker, TrackerConfig
+from repro.tracker.mot_metrics import (
+    MotAccumulator,
+    evaluate_tracking,
+    hypothesis_frames_from_tracklets,
+)
+from repro.tracker.sort import Sort, SortConfig, Tracklet
+
+__all__ = [
+    "KalmanFilter",
+    "ConstantVelocityBoxKalman",
+    "ExponentialDecayMotion",
+    "KalmanMotion",
+    "MotionModel",
+    "TrackState",
+    "AssociationResult",
+    "associate",
+    "associate_per_class",
+    "CaTDetTracker",
+    "TrackerConfig",
+    "Sort",
+    "SortConfig",
+    "Tracklet",
+    "MotAccumulator",
+    "evaluate_tracking",
+    "hypothesis_frames_from_tracklets",
+]

@@ -1,0 +1,131 @@
+"""Object association between consecutive frames (paper §4.1).
+
+An N-to-M matching problem over negative-IoU costs, solved with the
+Hungarian algorithm.  Pairs whose IoU does not exceed the threshold ``beta``
+are declared non-relevant regardless of the assignment (the paper gates at
+``beta = 0``, i.e. any positive overlap is allowed).  Association runs once
+per class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.boxes.iou import iou_matrix
+from repro.hungarian import hungarian
+
+
+@dataclass
+class AssociationResult:
+    """Outcome of matching previous-frame tracks to new-frame detections.
+
+    Attributes
+    ----------
+    matches : (K, 2) int array
+        Pairs ``(track_index, detection_index)``.
+    unmatched_tracks : int array
+        Indices of tracks with no surviving match ("lost objects").
+    unmatched_detections : int array
+        Indices of detections with no surviving match ("emerging objects").
+    """
+
+    matches: np.ndarray
+    unmatched_tracks: np.ndarray
+    unmatched_detections: np.ndarray
+
+
+def associate(
+    track_boxes: np.ndarray,
+    detection_boxes: np.ndarray,
+    iou_threshold: float = 0.0,
+) -> AssociationResult:
+    """Match one class's tracks to detections by maximum-IoU assignment.
+
+    Parameters
+    ----------
+    track_boxes : (N, 4) array
+        Predicted locations of existing tracks.
+    detection_boxes : (M, 4) array
+        Current-frame detections of the same class.
+    iou_threshold:
+        ``beta`` — pairs with ``IoU <= beta`` are severed after assignment.
+
+    Notes
+    -----
+    The cost matrix holds negative IoUs, so the minimum-cost assignment
+    maximizes total IoU, exactly as in SORT.
+    """
+    track_boxes = np.asarray(track_boxes, dtype=np.float64).reshape(-1, 4)
+    detection_boxes = np.asarray(detection_boxes, dtype=np.float64).reshape(-1, 4)
+    n, m = track_boxes.shape[0], detection_boxes.shape[0]
+    if n == 0 or m == 0:
+        return AssociationResult(
+            matches=np.zeros((0, 2), dtype=np.int64),
+            unmatched_tracks=np.arange(n, dtype=np.int64),
+            unmatched_detections=np.arange(m, dtype=np.int64),
+        )
+
+    ious = iou_matrix(track_boxes, detection_boxes)
+    rows, cols = hungarian(-ious)
+
+    keep = ious[rows, cols] > iou_threshold
+    matches = np.stack([rows[keep], cols[keep]], axis=1) if keep.any() else np.zeros((0, 2), dtype=np.int64)
+    matched_tracks = set(matches[:, 0].tolist())
+    matched_dets = set(matches[:, 1].tolist())
+    unmatched_tracks = np.array([i for i in range(n) if i not in matched_tracks], dtype=np.int64)
+    unmatched_detections = np.array([j for j in range(m) if j not in matched_dets], dtype=np.int64)
+    return AssociationResult(matches.astype(np.int64), unmatched_tracks, unmatched_detections)
+
+
+def associate_per_class(
+    track_boxes: np.ndarray,
+    track_labels: np.ndarray,
+    detection_boxes: np.ndarray,
+    detection_labels: np.ndarray,
+    iou_threshold: float = 0.0,
+) -> AssociationResult:
+    """Run :func:`associate` independently for every class label.
+
+    Index spaces of the returned result refer to the *full* input arrays.
+    """
+    track_labels = np.asarray(track_labels, dtype=np.int64).reshape(-1)
+    detection_labels = np.asarray(detection_labels, dtype=np.int64).reshape(-1)
+    track_boxes = np.asarray(track_boxes, dtype=np.float64).reshape(-1, 4)
+    detection_boxes = np.asarray(detection_boxes, dtype=np.float64).reshape(-1, 4)
+    if track_boxes.shape[0] != track_labels.shape[0]:
+        raise ValueError("track_boxes and track_labels must agree in length")
+    if detection_boxes.shape[0] != detection_labels.shape[0]:
+        raise ValueError("detection_boxes and detection_labels must agree in length")
+
+    all_matches: List[np.ndarray] = []
+    unmatched_tracks: List[np.ndarray] = []
+    unmatched_dets: List[np.ndarray] = []
+    labels = np.unique(np.concatenate([track_labels, detection_labels]))
+    for cls in labels:
+        t_idx = np.flatnonzero(track_labels == cls)
+        d_idx = np.flatnonzero(detection_labels == cls)
+        res = associate(track_boxes[t_idx], detection_boxes[d_idx], iou_threshold)
+        if res.matches.shape[0]:
+            all_matches.append(
+                np.stack([t_idx[res.matches[:, 0]], d_idx[res.matches[:, 1]]], axis=1)
+            )
+        unmatched_tracks.append(t_idx[res.unmatched_tracks])
+        unmatched_dets.append(d_idx[res.unmatched_detections])
+
+    matches = (
+        np.concatenate(all_matches, axis=0)
+        if all_matches
+        else np.zeros((0, 2), dtype=np.int64)
+    )
+    return AssociationResult(
+        matches=matches.astype(np.int64),
+        unmatched_tracks=np.sort(np.concatenate(unmatched_tracks)).astype(np.int64)
+        if unmatched_tracks
+        else np.zeros(0, dtype=np.int64),
+        unmatched_detections=np.sort(np.concatenate(unmatched_dets)).astype(np.int64)
+        if unmatched_dets
+        else np.zeros(0, dtype=np.int64),
+    )

@@ -1,0 +1,241 @@
+"""The CaTDet tracker (paper §4.1).
+
+Unlike a conventional tracker, the output is the *predicted next-frame
+locations* of tracked objects — these become regions of interest for the
+refinement network.  The implementation follows the paper:
+
+* object association with the Hungarian algorithm over negative IoU,
+  gated at ``beta`` and run once per class;
+* exponential-decay motion prediction (``eta = 0.7`` by default);
+* adaptive confidence lifecycle: every match adds confidence up to an upper
+  limit, every miss subtracts, and tracks are discarded below zero —
+  replacing SORT's fixed ``max_age``;
+* prediction filters that drop objects that are too small (width < 10 px)
+  or largely chopped by the image boundary, to keep the refinement-network
+  workload low.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.boxes.box import clip_boxes, empty_boxes, is_valid, width_height
+from repro.detections import Detections
+from repro.tracker.association import associate_per_class
+from repro.tracker.motion import ExponentialDecayMotion, KalmanMotion, MotionModel
+from repro.tracker.state import TrackState
+
+
+@dataclass(frozen=True)
+class TrackerConfig:
+    """Hyper-parameters of the CaTDet tracker.
+
+    Parameters
+    ----------
+    eta:
+        Exponential-decay coefficient of the motion model (paper: 0.7).
+    iou_threshold:
+        Association gate ``beta`` (paper: 0).
+    input_score_threshold:
+        Minimum detection confidence to enter the tracker ("confidence
+        threshold for the tracker's input", §4.3 — the T-thresh knob).
+    match_gain / miss_penalty / max_confidence / initial_confidence:
+        The adaptive lifecycle: each match adds ``match_gain`` capped at
+        ``max_confidence``; each miss subtracts ``miss_penalty``; tracks are
+        discarded when confidence drops below zero.  Defaults allow an
+        object matched for a while to survive ~3 consecutive misses.
+    min_prediction_width:
+        Predictions narrower than this are filtered out (paper: 10 px).
+    min_visible_fraction:
+        Predictions with less than this fraction of their area inside the
+        image are filtered out ("largely chopped by the boundary").
+    motion_model:
+        ``"decay"`` (paper) or ``"kalman"`` (SORT baseline, for ablation).
+    """
+
+    eta: float = 0.7
+    iou_threshold: float = 0.0
+    input_score_threshold: float = 0.5
+    match_gain: float = 1.0
+    miss_penalty: float = 1.0
+    max_confidence: float = 3.0
+    initial_confidence: float = 1.0
+    min_prediction_width: float = 10.0
+    min_visible_fraction: float = 0.3
+    motion_model: str = "decay"
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.eta <= 1.0):
+            raise ValueError(f"eta must lie in [0, 1], got {self.eta}")
+        if not (0.0 <= self.iou_threshold <= 1.0):
+            raise ValueError(f"iou_threshold must lie in [0, 1], got {self.iou_threshold}")
+        if self.motion_model not in ("decay", "kalman"):
+            raise ValueError(f"motion_model must be 'decay' or 'kalman', got {self.motion_model!r}")
+        if self.max_confidence <= 0:
+            raise ValueError("max_confidence must be positive")
+
+
+class CaTDetTracker:
+    """Tracks high-confidence detections and predicts next-frame locations.
+
+    Usage per frame::
+
+        predictions = tracker.predict()      # RoIs for the refinement net
+        ...                                   # run detection
+        tracker.update(final_detections)      # feed back calibrated output
+
+    ``predict`` returns a :class:`Detections` whose scores are the tracks'
+    (normalized) lifecycle confidences.
+    """
+
+    def __init__(
+        self,
+        config: TrackerConfig = TrackerConfig(),
+        image_size: Optional[tuple] = None,
+    ):
+        """
+        Parameters
+        ----------
+        config:
+            Tracker hyper-parameters.
+        image_size:
+            ``(width, height)``; required for the boundary filter.  When
+            ``None`` the boundary filter is disabled.
+        """
+        self.config = config
+        self.image_size = image_size
+        self._tracks: List[TrackState] = []
+        self._next_id = 0
+        self._frames_processed = 0
+        self._last_predictions: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    @property
+    def tracks(self) -> List[TrackState]:
+        """Live tracks (read-only view)."""
+        return list(self._tracks)
+
+    @property
+    def frames_processed(self) -> int:
+        """Number of ``update`` calls so far."""
+        return self._frames_processed
+
+    def reset(self) -> None:
+        """Drop all state (start of a new sequence)."""
+        self._tracks.clear()
+        self._next_id = 0
+        self._frames_processed = 0
+        self._last_predictions.clear()
+
+    def predict(self) -> Detections:
+        """Predicted next-frame locations of tracked objects.
+
+        Applies the size and boundary filters; the returned scores are
+        lifecycle confidences normalized to [0, 1].
+        """
+        self._last_predictions = {}
+        if not self._tracks:
+            return Detections.empty()
+        boxes = []
+        scores = []
+        labels = []
+        for track in self._tracks:
+            pred = track.motion.predict()
+            self._last_predictions[track.track_id] = pred
+            if not self._passes_filters(pred):
+                continue
+            boxes.append(self._clip(pred))
+            scores.append(min(track.confidence / self.config.max_confidence, 1.0))
+            labels.append(track.label)
+        if not boxes:
+            return Detections.empty()
+        return Detections(np.stack(boxes), np.array(scores), np.array(labels, dtype=np.int64))
+
+    def update(self, detections: Detections) -> None:
+        """Feed back the calibrated detections of the current frame.
+
+        High-confidence detections are associated to the tracks' predicted
+        locations; matches update motion and confidence, misses coast, and
+        emerging objects spawn new tracks with zero initial velocity.
+        """
+        cfg = self.config
+        dets = detections.above_score(cfg.input_score_threshold)
+
+        # Predicted boxes for association: use cached predictions from the
+        # last predict() call when available (unfiltered), else recompute.
+        if self._tracks and set(self._last_predictions) != {t.track_id for t in self._tracks}:
+            self._last_predictions = {t.track_id: t.motion.predict() for t in self._tracks}
+
+        track_boxes = (
+            np.stack([self._last_predictions[t.track_id] for t in self._tracks])
+            if self._tracks
+            else empty_boxes()
+        )
+        track_labels = np.array([t.label for t in self._tracks], dtype=np.int64)
+
+        result = associate_per_class(
+            track_boxes, track_labels, dets.boxes, dets.labels, cfg.iou_threshold
+        )
+
+        for t_idx, d_idx in result.matches:
+            self._tracks[t_idx].mark_matched(
+                dets.boxes[d_idx], cfg.match_gain, cfg.max_confidence
+            )
+        for t_idx in result.unmatched_tracks:
+            self._tracks[t_idx].mark_missed(cfg.miss_penalty)
+        for d_idx in result.unmatched_detections:
+            self._spawn(dets.boxes[d_idx], int(dets.labels[d_idx]))
+
+        self._tracks = [t for t in self._tracks if t.alive]
+        self._frames_processed += 1
+        self._last_predictions = {}
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _spawn(self, box: np.ndarray, label: int) -> None:
+        if not is_valid(box[None, :])[0]:
+            return
+        motion: MotionModel
+        if self.config.motion_model == "decay":
+            motion = ExponentialDecayMotion(box, eta=self.config.eta)
+        else:
+            motion = KalmanMotion(box)
+        self._tracks.append(
+            TrackState(
+                track_id=self._next_id,
+                label=label,
+                motion=motion,
+                confidence=self.config.initial_confidence,
+                last_box=np.asarray(box, dtype=np.float64).copy(),
+            )
+        )
+        self._next_id += 1
+
+    def _clip(self, box: np.ndarray) -> np.ndarray:
+        if self.image_size is None:
+            return box
+        w, h = self.image_size
+        return clip_boxes(box[None, :], w, h)[0]
+
+    def _passes_filters(self, box: np.ndarray) -> bool:
+        cfg = self.config
+        width = box[2] - box[0]
+        height = box[3] - box[1]
+        if width < cfg.min_prediction_width or height <= 0:
+            return False
+        if self.image_size is not None:
+            img_w, img_h = self.image_size
+            clipped = self._clip(box)
+            full_area = max(width * height, 1e-9)
+            vis_area = max(0.0, clipped[2] - clipped[0]) * max(0.0, clipped[3] - clipped[1])
+            if vis_area / full_area < cfg.min_visible_fraction:
+                return False
+        return True

@@ -1,0 +1,136 @@
+"""From-scratch linear Kalman filter and the SORT box-state specialization.
+
+SORT (Bewley et al., 2016) models a track as a constant-velocity linear
+system over ``[cx, cy, area, aspect]`` with velocities on the first three
+components.  CaTDet replaces this with an exponential-decay model (see
+:mod:`repro.tracker.motion`); the Kalman version is kept as the ablation
+baseline the paper compares against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class KalmanFilter:
+    """Standard linear-Gaussian Kalman filter.
+
+    State evolves as ``x' = F x + w`` with ``w ~ N(0, Q)``; observations are
+    ``z = H x + v`` with ``v ~ N(0, R)``.
+    """
+
+    def __init__(
+        self,
+        transition: np.ndarray,
+        observation: np.ndarray,
+        process_noise: np.ndarray,
+        observation_noise: np.ndarray,
+        initial_state: np.ndarray,
+        initial_covariance: np.ndarray,
+    ):
+        self.F = np.asarray(transition, dtype=np.float64)
+        self.H = np.asarray(observation, dtype=np.float64)
+        self.Q = np.asarray(process_noise, dtype=np.float64)
+        self.R = np.asarray(observation_noise, dtype=np.float64)
+        self.x = np.asarray(initial_state, dtype=np.float64).reshape(-1)
+        self.P = np.asarray(initial_covariance, dtype=np.float64)
+
+        d = self.x.shape[0]
+        k = self.H.shape[0]
+        if self.F.shape != (d, d):
+            raise ValueError(f"transition must be ({d}, {d}), got {self.F.shape}")
+        if self.H.shape != (k, d):
+            raise ValueError(f"observation must be (k, {d}), got {self.H.shape}")
+        if self.Q.shape != (d, d):
+            raise ValueError(f"process_noise must be ({d}, {d}), got {self.Q.shape}")
+        if self.R.shape != (k, k):
+            raise ValueError(f"observation_noise must be ({k}, {k}), got {self.R.shape}")
+        if self.P.shape != (d, d):
+            raise ValueError(f"initial_covariance must be ({d}, {d}), got {self.P.shape}")
+
+    def predict(self) -> np.ndarray:
+        """Advance the state one step; returns the predicted state mean."""
+        self.x = self.F @ self.x
+        self.P = self.F @ self.P @ self.F.T + self.Q
+        return self.x.copy()
+
+    def update(self, z: np.ndarray) -> np.ndarray:
+        """Condition on observation ``z``; returns the posterior state mean."""
+        z = np.asarray(z, dtype=np.float64).reshape(-1)
+        if z.shape[0] != self.H.shape[0]:
+            raise ValueError(f"observation must have length {self.H.shape[0]}, got {z.shape[0]}")
+        y = z - self.H @ self.x
+        S = self.H @ self.P @ self.H.T + self.R
+        K = self.P @ self.H.T @ np.linalg.inv(S)
+        self.x = self.x + K @ y
+        identity = np.eye(self.P.shape[0])
+        self.P = (identity - K @ self.H) @ self.P
+        return self.x.copy()
+
+
+class ConstantVelocityBoxKalman:
+    """SORT's box-state Kalman filter.
+
+    State is ``[cx, cy, s, r, vcx, vcy, vs]`` where ``s`` is box area and
+    ``r`` the (constant) aspect ratio.  Noise scales follow the original
+    SORT implementation.
+    """
+
+    _DIM = 7
+
+    def __init__(self, box: np.ndarray):
+        cx, cy, s, r = self._box_to_z(np.asarray(box, dtype=np.float64))
+        F = np.eye(self._DIM)
+        F[0, 4] = F[1, 5] = F[2, 6] = 1.0
+        H = np.zeros((4, self._DIM))
+        H[0, 0] = H[1, 1] = H[2, 2] = H[3, 3] = 1.0
+        Q = np.eye(self._DIM)
+        Q[4:, 4:] *= 0.01
+        Q[6, 6] *= 0.01
+        R = np.diag([1.0, 1.0, 10.0, 10.0])
+        P = np.eye(self._DIM) * 10.0
+        P[4:, 4:] *= 1000.0  # high uncertainty on unobserved velocities
+        x0 = np.array([cx, cy, s, r, 0.0, 0.0, 0.0])
+        self._kf = KalmanFilter(F, H, Q, R, x0, P)
+
+    @staticmethod
+    def _box_to_z(box: np.ndarray) -> Tuple[float, float, float, float]:
+        x1, y1, x2, y2 = box.reshape(4)
+        w = x2 - x1
+        h = y2 - y1
+        if w <= 0 or h <= 0:
+            raise ValueError(f"box must have positive size, got {box.tolist()}")
+        return x1 + w / 2.0, y1 + h / 2.0, w * h, w / h
+
+    @staticmethod
+    def _z_to_box(z: np.ndarray) -> np.ndarray:
+        cx, cy, s, r = z.reshape(4)
+        s = max(s, 1e-6)
+        r = max(r, 1e-6)
+        w = np.sqrt(s * r)
+        h = s / w
+        return np.array([cx - w / 2.0, cy - h / 2.0, cx + w / 2.0, cy + h / 2.0])
+
+    def predict(self) -> np.ndarray:
+        """Predict the next-frame box.
+
+        Clamps the area-velocity when it would drive the area negative, as
+        the reference SORT implementation does.
+        """
+        if self._kf.x[2] + self._kf.x[6] <= 0:
+            self._kf.x[6] = 0.0
+        state = self._kf.predict()
+        return self._z_to_box(state[:4])
+
+    def update(self, box: np.ndarray) -> np.ndarray:
+        """Condition on an observed box; returns the corrected box."""
+        z = np.array(self._box_to_z(np.asarray(box, dtype=np.float64)))
+        state = self._kf.update(z)
+        return self._z_to_box(state[:4])
+
+    @property
+    def box(self) -> np.ndarray:
+        """Current state as a box (without advancing time)."""
+        return self._z_to_box(self._kf.x[:4])

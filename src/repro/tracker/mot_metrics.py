@@ -1,0 +1,174 @@
+"""Multi-object-tracking metrics: MOTA, ID switches, fragmentation.
+
+The CaTDet tracker is not a tracklet producer, but its SORT baseline is,
+and validating the tracking substrate against the standard CLEAR-MOT
+quantities (Bernardin & Stiefelhagen, 2008) guards the association and
+lifecycle logic that CaTDet reuses.
+
+Per frame, hypotheses are matched to ground truth by IoU (Hungarian,
+gated); the accumulators then count misses, false positives and identity
+switches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence as Seq
+
+import numpy as np
+
+from repro.boxes.iou import iou_matrix
+from repro.datasets.types import Sequence
+from repro.hungarian import hungarian
+
+
+@dataclass
+class MotAccumulator:
+    """CLEAR-MOT event counters."""
+
+    num_gt: int = 0
+    misses: int = 0
+    false_positives: int = 0
+    id_switches: int = 0
+    matches: int = 0
+    iou_sum: float = 0.0
+    #: last hypothesis id matched to each GT track id
+    _last_hypothesis: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def mota(self) -> float:
+        """Multi-Object Tracking Accuracy: 1 - (FN + FP + IDSW) / GT."""
+        if self.num_gt == 0:
+            return float("nan")
+        return 1.0 - (self.misses + self.false_positives + self.id_switches) / self.num_gt
+
+    @property
+    def motp(self) -> float:
+        """Multi-Object Tracking Precision: mean IoU over matches."""
+        if self.matches == 0:
+            return float("nan")
+        return self.iou_sum / self.matches
+
+    def update(
+        self,
+        gt_boxes: np.ndarray,
+        gt_ids: np.ndarray,
+        hyp_boxes: np.ndarray,
+        hyp_ids: np.ndarray,
+        iou_threshold: float = 0.5,
+    ) -> None:
+        """Accumulate one frame.
+
+        Parameters
+        ----------
+        gt_boxes, gt_ids:
+            Ground-truth boxes and track ids for the frame.
+        hyp_boxes, hyp_ids:
+            Tracker-output boxes and hypothesis ids.
+        iou_threshold:
+            Minimum overlap for a valid correspondence.
+        """
+        gt_boxes = np.asarray(gt_boxes, dtype=np.float64).reshape(-1, 4)
+        hyp_boxes = np.asarray(hyp_boxes, dtype=np.float64).reshape(-1, 4)
+        gt_ids = np.asarray(gt_ids, dtype=np.int64).reshape(-1)
+        hyp_ids = np.asarray(hyp_ids, dtype=np.int64).reshape(-1)
+        if gt_boxes.shape[0] != gt_ids.shape[0]:
+            raise ValueError("gt_boxes and gt_ids must agree in length")
+        if hyp_boxes.shape[0] != hyp_ids.shape[0]:
+            raise ValueError("hyp_boxes and hyp_ids must agree in length")
+
+        n_gt, n_hyp = gt_boxes.shape[0], hyp_boxes.shape[0]
+        self.num_gt += n_gt
+        if n_gt == 0:
+            self.false_positives += n_hyp
+            return
+        if n_hyp == 0:
+            self.misses += n_gt
+            return
+
+        ious = iou_matrix(gt_boxes, hyp_boxes)
+        rows, cols = hungarian(-ious)
+        matched_gt = set()
+        matched_hyp = set()
+        for g, h in zip(rows, cols):
+            if ious[g, h] < iou_threshold:
+                continue
+            matched_gt.add(int(g))
+            matched_hyp.add(int(h))
+            self.matches += 1
+            self.iou_sum += float(ious[g, h])
+            gt_id = int(gt_ids[g])
+            hyp_id = int(hyp_ids[h])
+            previous = self._last_hypothesis.get(gt_id)
+            if previous is not None and previous != hyp_id:
+                self.id_switches += 1
+            self._last_hypothesis[gt_id] = hyp_id
+
+        self.misses += n_gt - len(matched_gt)
+        self.false_positives += n_hyp - len(matched_hyp)
+
+
+def hypothesis_frames_from_tracklets(
+    tracklets: Dict[int, "object"],
+    num_frames: int,
+) -> List:
+    """Convert :attr:`repro.tracker.Sort.tracklets` into per-frame hypotheses.
+
+    Returns a list of ``(boxes, ids)`` tuples suitable for
+    :func:`evaluate_tracking`.
+    """
+    frames: List = [([], []) for _ in range(num_frames)]
+    for tracklet in tracklets.values():
+        for frame, box in zip(tracklet.frames, tracklet.boxes):
+            if 0 <= frame < num_frames:
+                frames[frame][0].append(box)
+                frames[frame][1].append(tracklet.track_id)
+    return [
+        (
+            np.stack(boxes) if boxes else np.zeros((0, 4)),
+            np.asarray(ids, dtype=np.int64),
+        )
+        for boxes, ids in frames
+    ]
+
+
+def evaluate_tracking(
+    sequence: Sequence,
+    hypothesis_frames: Seq,
+    *,
+    iou_threshold: float = 0.5,
+    min_gt_height: float = 0.0,
+) -> MotAccumulator:
+    """Evaluate a tracker's output against a sequence's ground truth.
+
+    Parameters
+    ----------
+    sequence:
+        Ground truth.
+    hypothesis_frames:
+        One entry per frame: a tuple ``(boxes (N,4), ids (N,))`` — e.g.
+        collected from :class:`repro.tracker.Sort` output, where detections
+        double as hypotheses with their track ids.
+    iou_threshold:
+        Correspondence gate.
+    min_gt_height:
+        Ignore ground truths shorter than this (difficulty-style gating).
+    """
+    if len(hypothesis_frames) != sequence.num_frames:
+        raise ValueError(
+            f"expected {sequence.num_frames} hypothesis frames, "
+            f"got {len(hypothesis_frames)}"
+        )
+    acc = MotAccumulator()
+    for frame in range(sequence.num_frames):
+        annotations = sequence.annotations(frame)
+        keep = (annotations.boxes[:, 3] - annotations.boxes[:, 1]) >= min_gt_height
+        hyp_boxes, hyp_ids = hypothesis_frames[frame]
+        acc.update(
+            annotations.boxes[keep],
+            annotations.track_ids[keep],
+            hyp_boxes,
+            hyp_ids,
+            iou_threshold,
+        )
+    return acc

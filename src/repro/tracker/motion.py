@@ -1,0 +1,116 @@
+"""Motion prediction models for the tracker.
+
+The paper replaces SORT's Kalman filter with an exponential-decay velocity
+estimate (§4.1, equations 1–3): it needs no per-dataset tuning and is robust
+across frame rates and resolutions.  Both models are provided behind a common
+interface so the choice is an ablation knob.
+
+State convention (paper §4.1): position vector ``x = [x, y, s]`` holds the
+box center and its *width*; a scalar ``r`` holds the height/width aspect
+ratio.  Velocities ``x_dot`` live on the same three components.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from repro.tracker.kalman import ConstantVelocityBoxKalman
+
+
+def box_to_xsr(box: np.ndarray) -> tuple:
+    """Convert ``[x1,y1,x2,y2]`` to the paper's ``(x, y, s, r)`` state."""
+    x1, y1, x2, y2 = np.asarray(box, dtype=np.float64).reshape(4)
+    w = x2 - x1
+    h = y2 - y1
+    if w <= 0 or h <= 0:
+        raise ValueError(f"box must have positive size, got {[x1, y1, x2, y2]}")
+    return x1 + w / 2.0, y1 + h / 2.0, w, h / w
+
+
+def xsr_to_box(x: float, y: float, s: float, r: float) -> np.ndarray:
+    """Convert the paper's ``(x, y, s, r)`` state back to a box."""
+    s = max(float(s), 1e-6)
+    r = max(float(r), 1e-6)
+    w = s
+    h = s * r
+    return np.array([x - w / 2.0, y - h / 2.0, x + w / 2.0, y + h / 2.0])
+
+
+class MotionModel(ABC):
+    """Per-track motion predictor interface."""
+
+    @abstractmethod
+    def predict(self) -> np.ndarray:
+        """Predicted box for the next frame (does not consume an observation)."""
+
+    @abstractmethod
+    def update(self, box: np.ndarray) -> None:
+        """Incorporate the matched detection for the current frame."""
+
+    @abstractmethod
+    def coast(self) -> None:
+        """Advance one frame without an observation (missed detection)."""
+
+
+class ExponentialDecayMotion(MotionModel):
+    """The paper's exponential-decay motion model.
+
+    Update rule (paper equations 1–3), with ``eta`` the decay coefficient:
+
+    .. math::
+
+        \\dot x_{n+1} = \\eta \\dot x_n + (1 - \\eta)(x_{n+1} - x_n)
+
+        x'_{n+1} = x_n + \\dot x_n, \\qquad r'_{n+1} = r_n
+
+    On a miss the motion is kept constant and the state coasts forward.
+    Emerging objects start with zero velocity.
+    """
+
+    def __init__(self, box: np.ndarray, eta: float = 0.7):
+        if not (0.0 <= eta <= 1.0):
+            raise ValueError(f"eta must lie in [0, 1], got {eta}")
+        self.eta = float(eta)
+        x, y, s, r = box_to_xsr(box)
+        self.pos = np.array([x, y, s])
+        self.vel = np.zeros(3)
+        self.r = float(r)
+
+    def predict(self) -> np.ndarray:
+        """Next-frame box: position advanced by current velocity, aspect kept."""
+        nxt = self.pos + self.vel
+        return xsr_to_box(nxt[0], nxt[1], nxt[2], self.r)
+
+    def update(self, box: np.ndarray) -> None:
+        x, y, s, r = box_to_xsr(box)
+        new_pos = np.array([x, y, s])
+        self.vel = self.eta * self.vel + (1.0 - self.eta) * (new_pos - self.pos)
+        self.pos = new_pos
+        self.r = float(r)
+
+    def coast(self) -> None:
+        """Missed frame: keep velocity constant, advance position."""
+        self.pos = self.pos + self.vel
+
+
+class KalmanMotion(MotionModel):
+    """SORT's constant-velocity Kalman filter behind the common interface."""
+
+    def __init__(self, box: np.ndarray):
+        self._kf = ConstantVelocityBoxKalman(box)
+        self._predicted: Optional[np.ndarray] = None
+
+    def predict(self) -> np.ndarray:
+        self._predicted = self._kf.predict()
+        return self._predicted.copy()
+
+    def update(self, box: np.ndarray) -> None:
+        self._kf.update(box)
+
+    def coast(self) -> None:
+        # Prediction already advanced the filter state; nothing more to do.
+        if self._predicted is None:
+            self._kf.predict()

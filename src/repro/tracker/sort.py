@@ -1,0 +1,143 @@
+"""SORT baseline tracker (Bewley et al., 2016).
+
+The conventional tracklet-producing tracker CaTDet's tracker is derived
+from: Kalman constant-velocity motion, Hungarian association over IoU, and a
+fixed ``max_age`` / ``min_hits`` lifecycle.  Included as the comparison
+baseline for tracker ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.boxes.box import empty_boxes
+from repro.detections import Detections
+from repro.tracker.association import associate_per_class
+from repro.tracker.kalman import ConstantVelocityBoxKalman
+
+
+@dataclass(frozen=True)
+class SortConfig:
+    """SORT hyper-parameters (defaults follow the reference implementation)."""
+
+    max_age: int = 1
+    min_hits: int = 3
+    iou_threshold: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.max_age < 0:
+            raise ValueError(f"max_age must be >= 0, got {self.max_age}")
+        if self.min_hits < 0:
+            raise ValueError(f"min_hits must be >= 0, got {self.min_hits}")
+        if not (0.0 <= self.iou_threshold <= 1.0):
+            raise ValueError(f"iou_threshold must lie in [0, 1], got {self.iou_threshold}")
+
+
+@dataclass
+class Tracklet:
+    """One confirmed track segment emitted by :class:`Sort`."""
+
+    track_id: int
+    label: int
+    frames: List[int] = field(default_factory=list)
+    boxes: List[np.ndarray] = field(default_factory=list)
+
+    def append(self, frame: int, box: np.ndarray) -> None:
+        self.frames.append(frame)
+        self.boxes.append(np.asarray(box, dtype=np.float64).copy())
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+
+class _SortTrack:
+    def __init__(self, track_id: int, label: int, box: np.ndarray):
+        self.track_id = track_id
+        self.label = label
+        self.kf = ConstantVelocityBoxKalman(box)
+        self.hits = 1
+        self.time_since_update = 0
+        self.age = 0
+        self.last_box = np.asarray(box, dtype=np.float64).copy()
+
+
+class Sort:
+    """Frame-by-frame SORT tracker.
+
+    Call :meth:`update` with each frame's detections; it returns the
+    confirmed tracks visible in that frame as ``(boxes, labels, track_ids)``.
+    Completed tracklets accumulate in :attr:`tracklets`.
+    """
+
+    def __init__(self, config: SortConfig = SortConfig()):
+        self.config = config
+        self._tracks: List[_SortTrack] = []
+        self._next_id = 0
+        self._frame = 0
+        self.tracklets: Dict[int, Tracklet] = {}
+
+    def reset(self) -> None:
+        """Drop all state."""
+        self._tracks.clear()
+        self._next_id = 0
+        self._frame = 0
+        self.tracklets.clear()
+
+    def update(self, detections: Detections) -> Detections:
+        """Process one frame; returns confirmed tracks as detections.
+
+        The returned scores are all 1.0 (SORT has no per-track confidence).
+        """
+        cfg = self.config
+        predictions = []
+        for track in self._tracks:
+            predictions.append(track.kf.predict())
+            track.age += 1
+            track.time_since_update += 1
+        pred_boxes = np.stack(predictions) if predictions else empty_boxes()
+        pred_labels = np.array([t.label for t in self._tracks], dtype=np.int64)
+
+        result = associate_per_class(
+            pred_boxes, pred_labels, detections.boxes, detections.labels, cfg.iou_threshold
+        )
+
+        for t_idx, d_idx in result.matches:
+            track = self._tracks[t_idx]
+            track.kf.update(detections.boxes[d_idx])
+            track.last_box = detections.boxes[d_idx].copy()
+            track.hits += 1
+            track.time_since_update = 0
+        for d_idx in result.unmatched_detections:
+            self._spawn(detections.boxes[d_idx], int(detections.labels[d_idx]))
+
+        self._tracks = [t for t in self._tracks if t.time_since_update <= cfg.max_age]
+
+        out_boxes, out_labels, out_ids = [], [], []
+        for track in self._tracks:
+            confirmed = track.hits >= cfg.min_hits or self._frame < cfg.min_hits
+            if track.time_since_update == 0 and confirmed:
+                out_boxes.append(track.last_box)
+                out_labels.append(track.label)
+                out_ids.append(track.track_id)
+                tracklet = self.tracklets.setdefault(
+                    track.track_id, Tracklet(track.track_id, track.label)
+                )
+                tracklet.append(self._frame, track.last_box)
+        self._frame += 1
+
+        if not out_boxes:
+            return Detections.empty()
+        return Detections(
+            np.stack(out_boxes),
+            np.ones(len(out_boxes)),
+            np.array(out_labels, dtype=np.int64),
+        )
+
+    def _spawn(self, box: np.ndarray, label: int) -> None:
+        if box[2] <= box[0] or box[3] <= box[1]:
+            return
+        self._tracks.append(_SortTrack(self._next_id, label, box))
+        self._next_id += 1

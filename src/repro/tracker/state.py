@@ -1,0 +1,64 @@
+"""Per-track bookkeeping state."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.tracker.motion import MotionModel
+
+
+@dataclass
+class TrackState:
+    """One tracked object inside the CaTDet tracker.
+
+    Attributes
+    ----------
+    track_id:
+        Unique id within the tracker instance.
+    label:
+        Class index of the object.
+    motion:
+        The motion model carrying position/velocity state.
+    confidence:
+        Adaptive lifecycle confidence (paper §4.1): every match adds to it up
+        to an upper limit, every miss subtracts; the track is discarded when
+        it drops below zero.
+    hits / misses / age:
+        Total matched frames, consecutive missed frames, and frames since
+        creation (diagnostics and lifecycle decisions).
+    last_box:
+        Most recent associated detection box (or coasted prediction).
+    """
+
+    track_id: int
+    label: int
+    motion: MotionModel
+    confidence: float
+    hits: int = 1
+    misses: int = 0
+    age: int = 0
+    last_box: Optional[np.ndarray] = None
+
+    def mark_matched(self, box: np.ndarray, gain: float, max_confidence: float) -> None:
+        """Register a matched detection this frame."""
+        self.motion.update(box)
+        self.last_box = np.asarray(box, dtype=np.float64).reshape(4).copy()
+        self.confidence = min(self.confidence + gain, max_confidence)
+        self.hits += 1
+        self.misses = 0
+        self.age += 1
+
+    def mark_missed(self, penalty: float) -> None:
+        """Register a missed frame (track coasts on constant motion)."""
+        self.motion.coast()
+        self.confidence -= penalty
+        self.misses += 1
+        self.age += 1
+
+    @property
+    def alive(self) -> bool:
+        """Tracks die when adaptive confidence goes below zero."""
+        return self.confidence >= 0.0

@@ -1,0 +1,23 @@
+"""Shared utilities: deterministic RNG management and argument validation."""
+
+from repro.utils.rng import RngFactory, as_generator, spawn_seeds
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    check_shape,
+)
+
+__all__ = [
+    "RngFactory",
+    "as_generator",
+    "spawn_seeds",
+    "check_finite",
+    "check_in_range",
+    "check_nonnegative",
+    "check_positive",
+    "check_probability",
+    "check_shape",
+]

@@ -1,0 +1,75 @@
+"""Lightweight argument validation helpers.
+
+These raise :class:`ValueError`/:class:`TypeError` with messages that name the
+offending argument, following numpy/scikit-learn conventions.  They are used
+at public API boundaries only; internal hot loops stay validation-free.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def check_positive(value: float, name: str) -> float:
+    """Raise unless ``value`` is a finite number > 0."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a finite positive number, got {value!r}")
+    return value
+
+
+def check_nonnegative(value: float, name: str) -> float:
+    """Raise unless ``value`` is a finite number >= 0."""
+    value = float(value)
+    if not np.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be a finite non-negative number, got {value!r}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Raise unless ``value`` lies in [0, 1]."""
+    value = float(value)
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_range(value: float, name: str, low: float, high: float, *, inclusive: bool = True) -> float:
+    """Raise unless ``value`` lies in [low, high] (or (low, high) if not inclusive)."""
+    value = float(value)
+    ok = (low <= value <= high) if inclusive else (low < value < high)
+    if not ok:
+        bracket = "[]" if inclusive else "()"
+        raise ValueError(
+            f"{name} must lie in {bracket[0]}{low}, {high}{bracket[1]}, got {value!r}"
+        )
+    return value
+
+
+def check_finite(arr: np.ndarray, name: str) -> np.ndarray:
+    """Raise unless all elements of ``arr`` are finite."""
+    arr = np.asarray(arr)
+    if arr.size and not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite values")
+    return arr
+
+
+def check_shape(arr: np.ndarray, name: str, shape: Tuple[Optional[int], ...]) -> np.ndarray:
+    """Raise unless ``arr`` matches ``shape`` (``None`` entries are wildcards).
+
+    Examples
+    --------
+    >>> check_shape(np.zeros((3, 4)), "boxes", (None, 4)).shape
+    (3, 4)
+    """
+    arr = np.asarray(arr)
+    if arr.ndim != len(shape):
+        raise ValueError(f"{name} must have {len(shape)} dimensions, got {arr.ndim}")
+    for i, (actual, expected) in enumerate(zip(arr.shape, shape)):
+        if expected is not None and actual != expected:
+            raise ValueError(
+                f"{name} has shape {arr.shape}, expected axis {i} to be {expected}"
+            )
+    return arr

@@ -1,0 +1,133 @@
+"""Terminal visualization: ASCII rendering of frames, tracks and regions.
+
+Useful for eyeballing what the world generator produces and what a system
+is doing per frame, without any plotting dependency::
+
+    print(render_frame(sequence, frame=10, detections=dets, mask=mask))
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence as Seq
+
+import numpy as np
+
+from repro.boxes.mask import RegionMask
+from repro.datasets.types import Sequence
+from repro.detections import Detections
+
+#: Drawing layers, later layers overwrite earlier ones.
+_GT_CHAR = "#"
+_DET_CHAR = "o"
+_MASK_CHAR = "."
+
+
+def _paint_box(
+    canvas: np.ndarray,
+    box: np.ndarray,
+    char: str,
+    sx: float,
+    sy: float,
+    *,
+    fill: bool = False,
+) -> None:
+    rows, cols = canvas.shape
+    x1 = int(np.clip(np.floor(box[0] * sx), 0, cols - 1))
+    x2 = int(np.clip(np.ceil(box[2] * sx), 0, cols - 1))
+    y1 = int(np.clip(np.floor(box[1] * sy), 0, rows - 1))
+    y2 = int(np.clip(np.ceil(box[3] * sy), 0, rows - 1))
+    if fill:
+        canvas[y1 : y2 + 1, x1 : x2 + 1] = char
+    else:
+        canvas[y1, x1 : x2 + 1] = char
+        canvas[y2, x1 : x2 + 1] = char
+        canvas[y1 : y2 + 1, x1] = char
+        canvas[y1 : y2 + 1, x2] = char
+
+
+def render_frame(
+    sequence: Sequence,
+    frame: int,
+    *,
+    detections: Optional[Detections] = None,
+    mask: Optional[RegionMask] = None,
+    width: int = 100,
+    min_score: float = 0.5,
+) -> str:
+    """Render one frame as ASCII art.
+
+    Ground-truth boxes draw as ``#`` outlines, detections (above
+    ``min_score``) as ``o`` outlines, and the region-of-interest mask as a
+    ``.`` fill underneath everything.
+
+    Parameters
+    ----------
+    sequence:
+        The ground-truth sequence.
+    frame:
+        Frame index.
+    detections:
+        Optional detections to overlay.
+    mask:
+        Optional :class:`RegionMask` to show as background fill.
+    width:
+        Canvas width in characters (height follows the aspect ratio).
+    min_score:
+        Detections below this score are not drawn.
+    """
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    # Terminal cells are ~2x taller than wide; halve the row count.
+    height = max(4, int(round(width * sequence.height / sequence.width / 2.0)))
+    canvas = np.full((height, width), " ", dtype="<U1")
+    sx = (width - 1) / sequence.width
+    sy = (height - 1) / sequence.height
+
+    if mask is not None:
+        for box in mask.expanded_boxes:
+            _paint_box(canvas, box, _MASK_CHAR, sx, sy, fill=True)
+
+    annotations = sequence.annotations(frame)
+    for box in annotations.boxes:
+        _paint_box(canvas, box, _GT_CHAR, sx, sy)
+
+    if detections is not None:
+        for box, score, _ in detections:
+            if score >= min_score:
+                _paint_box(canvas, box, _DET_CHAR, sx, sy)
+
+    border = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in canvas)
+    legend = (
+        f"frame {frame}: {_GT_CHAR}=ground truth"
+        + (f"  {_DET_CHAR}=detections(>= {min_score})" if detections is not None else "")
+        + (f"  {_MASK_CHAR}=RoI mask ({mask.coverage_fraction():.0%})" if mask is not None else "")
+    )
+    return "\n".join([legend, border, body, border])
+
+
+def render_track_timeline(
+    sequence: Sequence,
+    *,
+    max_tracks: int = 20,
+    width: int = 80,
+) -> str:
+    """Render the sequence's tracks as a Gantt-style timeline.
+
+    One row per track; ``=`` marks visible frames, ``x`` marks frames with
+    occlusion above 50 %.
+    """
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    scale = width / sequence.num_frames
+    lines = [f"track timeline ({sequence.num_frames} frames):"]
+    for track in sequence.tracks[:max_tracks]:
+        row = [" "] * width
+        for offset in range(track.length):
+            col = min(int((track.first_frame + offset) * scale), width - 1)
+            row[col] = "x" if track.occlusion[offset] > 0.5 else "="
+        label = f"{track.track_id:4d} c{track.label}"
+        lines.append(f"{label} |{''.join(row)}|")
+    if len(sequence.tracks) > max_tracks:
+        lines.append(f"... and {len(sequence.tracks) - max_tracks} more tracks")
+    return "\n".join(lines)

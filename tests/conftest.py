@@ -1,0 +1,25 @@
+"""Shared fixtures: small deterministic datasets and runs."""
+
+import pytest
+
+from repro.datasets.citypersons import citypersons_like_dataset
+from repro.datasets.kitti import kitti_like_dataset, kitti_world_config
+from repro.datasets.synth import generate_sequence
+
+
+@pytest.fixture(scope="session")
+def kitti_small():
+    """A small KITTI-like dataset shared across tests (2 seqs x 60 frames)."""
+    return kitti_like_dataset(num_sequences=2, frames_per_sequence=60)
+
+
+@pytest.fixture(scope="session")
+def kitti_sequence():
+    """One KITTI-like sequence."""
+    return generate_sequence(kitti_world_config(), 60, name="seq-test", seed=7)
+
+
+@pytest.fixture(scope="session")
+def citypersons_small():
+    """A small CityPersons-like dataset (6 snippets)."""
+    return citypersons_like_dataset(num_sequences=6)

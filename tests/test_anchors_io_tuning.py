@@ -1,0 +1,174 @@
+"""Tests for anchor generation, experiment IO and threshold tuning."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.boxes.anchors import (
+    AnchorCoverage,
+    anchor_coverage,
+    anchor_shapes,
+    generate_anchors,
+)
+from repro.core.config import SystemConfig
+from repro.harness.experiment import run_experiment, standard_kitti
+from repro.harness.io import load_experiment_summary, save_experiment
+from repro.harness.tuning import (
+    cheapest_cthresh_for_accuracy,
+    cthresh_for_budget,
+    sweep_operating_points,
+)
+from repro.metrics.kitti_eval import HARD
+
+
+class TestAnchorShapes:
+    def test_count_is_ratios_times_scales(self):
+        shapes = anchor_shapes(ratios=(0.5, 1.0, 2.0), scales=(1.0, 2.0, 4.0, 8.0))
+        assert shapes.shape == (12, 2)
+
+    def test_area_and_ratio(self):
+        shapes = anchor_shapes(ratios=(2.0,), scales=(8.0,), stride=16)
+        w, h = shapes[0]
+        assert w * h == pytest.approx((8 * 16) ** 2)
+        assert h / w == pytest.approx(2.0)
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError, match="ratios"):
+            anchor_shapes(ratios=(0.0,))
+
+
+class TestGenerateAnchors:
+    def test_grid_size(self):
+        anchors = generate_anchors(160, 80, stride=16, clip=False)
+        # 10x5 locations x 12 shapes
+        assert anchors.shape == (10 * 5 * 12, 4)
+
+    def test_kitti_anchor_count(self):
+        anchors = generate_anchors(1242, 375)
+        assert anchors.shape[0] == 78 * 24 * 12
+
+    def test_clipping(self):
+        anchors = generate_anchors(160, 80)
+        assert np.all(anchors[:, 0] >= 0) and np.all(anchors[:, 2] <= 160)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError, match="image size"):
+            generate_anchors(0, 10)
+
+
+class TestAnchorCoverage:
+    def test_full_coverage_of_anchor_sized_boxes(self):
+        anchors = generate_anchors(1242, 375, clip=False)
+        # Ground truths exactly equal to some anchors: perfect coverage.
+        rng = np.random.default_rng(0)
+        gt = anchors[rng.integers(0, anchors.shape[0], size=20)]
+        cov = anchor_coverage(gt, anchors, iou_threshold=0.99)
+        assert cov.covered_fraction == 1.0
+        assert cov.mean_best_iou == pytest.approx(1.0)
+
+    def test_kitti_gt_mostly_covered(self, kitti_sequence):
+        """The standard anchor grid covers most KITTI-sized objects at 0.5."""
+        anchors = generate_anchors(1242, 375)
+        boxes = []
+        for frame in range(0, 40, 5):
+            ann = kitti_sequence.annotations(frame)
+            keep = (
+                ((ann.boxes[:, 3] - ann.boxes[:, 1]) >= 25)
+                & ((ann.boxes[:, 2] - ann.boxes[:, 0]) >= 20)
+            )
+            boxes.append(ann.boxes[keep])
+        gt = np.concatenate(boxes, axis=0)
+        cov = anchor_coverage(gt, anchors, iou_threshold=0.5)
+        assert cov.covered_fraction > 0.8
+
+    def test_tiny_objects_uncovered(self):
+        anchors = generate_anchors(1242, 375)
+        tiny = np.array([[100.0, 100.0, 104.0, 104.0]])  # 4 px
+        cov = anchor_coverage(tiny, anchors, iou_threshold=0.5)
+        assert cov.covered_fraction == 0.0
+
+    def test_empty_gt(self):
+        cov = anchor_coverage(np.zeros((0, 4)), generate_anchors(160, 80))
+        assert cov.num_gt == 0 and cov.covered_fraction == 0.0
+
+
+class TestExperimentIO:
+    @pytest.fixture(scope="class")
+    def experiment(self):
+        return run_experiment(
+            SystemConfig("catdet", "resnet50", "resnet10a"),
+            standard_kitti(1, 40),
+            (HARD,),
+        )
+
+    def test_roundtrip_summary(self, experiment, tmp_path):
+        path = tmp_path / "run.json"
+        save_experiment(experiment, path)
+        payload = load_experiment_summary(path)
+        assert payload["label"] == experiment.label
+        assert payload["config"]["proposal_model"] == "resnet10a"
+        assert payload["metrics"]["hard"]["mAP_r40"] == pytest.approx(
+            experiment.mean_ap("hard")
+        )
+        assert "mD@0.8" in payload["metrics"]["hard"]
+
+    def test_detections_optional(self, experiment, tmp_path):
+        slim = tmp_path / "slim.json"
+        fat = tmp_path / "fat.json"
+        save_experiment(experiment, slim, include_detections=False)
+        save_experiment(experiment, fat, include_detections=True)
+        assert fat.stat().st_size > slim.stat().st_size * 2
+        payload = load_experiment_summary(fat)
+        seq = next(iter(payload["run"]["sequences"].values()))
+        assert len(seq["frames"]) == seq["num_frames"]
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "other/9"}))
+        with pytest.raises(ValueError, match="unsupported"):
+            load_experiment_summary(path)
+
+
+class TestTuning:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return standard_kitti(1, 40)
+
+    def test_sweep_sorted_and_monotone_ops(self, dataset):
+        points = sweep_operating_points(
+            SystemConfig("catdet", "resnet50", "resnet10a"),
+            dataset,
+            c_values=(0.05, 0.6),
+        )
+        assert points[0].c_thresh < points[1].c_thresh
+        assert points[1].ops_gops <= points[0].ops_gops + 1.0
+
+    def test_budget_selection(self, dataset):
+        config = SystemConfig("catdet", "resnet50", "resnet10a")
+        point = cthresh_for_budget(config, dataset, budget_gops=80.0,
+                                   c_values=(0.05, 0.3))
+        assert point is not None
+        assert point.ops_gops <= 80.0
+
+    def test_budget_unreachable(self, dataset):
+        config = SystemConfig("catdet", "resnet50", "resnet10a")
+        assert cthresh_for_budget(config, dataset, budget_gops=5.0,
+                                  c_values=(0.05,)) is None
+
+    def test_accuracy_selection(self, dataset):
+        config = SystemConfig("catdet", "resnet50", "resnet10a")
+        point = cheapest_cthresh_for_accuracy(config, dataset, min_map=0.3,
+                                              c_values=(0.05, 0.3))
+        assert point is not None and point.mean_ap >= 0.3
+
+    def test_single_model_rejected(self, dataset):
+        with pytest.raises(ValueError, match="C-thresh"):
+            sweep_operating_points(SystemConfig("single", "resnet50"), dataset)
+
+    def test_invalid_args(self, dataset):
+        config = SystemConfig("catdet", "resnet50", "resnet10a")
+        with pytest.raises(ValueError, match="budget"):
+            cthresh_for_budget(config, dataset, budget_gops=0.0)
+        with pytest.raises(ValueError, match="min_map"):
+            cheapest_cthresh_for_accuracy(config, dataset, min_map=0.0)

@@ -1,0 +1,118 @@
+"""Unit tests for the box array kernel."""
+
+import numpy as np
+import pytest
+
+from repro.boxes.box import (
+    area,
+    as_boxes,
+    box_center_size,
+    center_size_to_boxes,
+    clip_boxes,
+    empty_boxes,
+    expand_boxes,
+    intersect_box,
+    is_valid,
+    scale_boxes,
+    union_box,
+    width_height,
+)
+
+
+class TestAsBoxes:
+    def test_single_flat_box_promoted(self):
+        out = as_boxes([0, 0, 10, 10])
+        assert out.shape == (1, 4)
+
+    def test_empty_input(self):
+        assert as_boxes([]).shape == (0, 4)
+
+    def test_copies_input(self):
+        src = np.array([[0.0, 0.0, 5.0, 5.0]])
+        out = as_boxes(src)
+        out[0, 0] = 99.0
+        assert src[0, 0] == 0.0
+
+    def test_wrong_width_raises(self):
+        with pytest.raises(ValueError, match="shape"):
+            as_boxes(np.zeros((3, 5)))
+
+    def test_flat_wrong_length_raises(self):
+        with pytest.raises(ValueError, match="4 coordinates"):
+            as_boxes([1, 2, 3])
+
+    def test_validate_rejects_degenerate(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            as_boxes([[0, 0, 0, 10]], validate=True)
+
+    def test_validate_accepts_proper(self):
+        assert as_boxes([[0, 0, 1, 1]], validate=True).shape == (1, 4)
+
+
+class TestAreaAndValidity:
+    def test_area_simple(self):
+        assert area(np.array([[0, 0, 4, 5]]))[0] == 20.0
+
+    def test_area_degenerate_is_zero(self):
+        assert area(np.array([[5, 5, 3, 3]]))[0] == 0.0
+
+    def test_is_valid(self):
+        boxes = np.array([[0, 0, 1, 1], [0, 0, 0, 1], [2, 2, 1, 3]])
+        assert is_valid(boxes).tolist() == [True, False, False]
+
+    def test_width_height(self):
+        w, h = width_height(np.array([[1, 2, 4, 8]]))
+        assert w[0] == 3.0 and h[0] == 6.0
+
+
+class TestConversions:
+    def test_center_size_roundtrip(self):
+        boxes = np.array([[10.0, 20.0, 50.0, 60.0], [0.0, 0.0, 7.0, 3.0]])
+        np.testing.assert_allclose(
+            center_size_to_boxes(box_center_size(boxes)), boxes
+        )
+
+    def test_center_values(self):
+        cs = box_center_size(np.array([[0, 0, 10, 20]]))
+        np.testing.assert_allclose(cs[0], [5, 10, 10, 20])
+
+
+class TestClipExpandScale:
+    def test_clip(self):
+        out = clip_boxes(np.array([[-5.0, -5.0, 15.0, 8.0]]), 10, 6)
+        np.testing.assert_allclose(out[0], [0, 0, 10, 6])
+
+    def test_clip_does_not_mutate(self):
+        src = np.array([[-5.0, 0.0, 5.0, 5.0]])
+        clip_boxes(src, 10, 10)
+        assert src[0, 0] == -5.0
+
+    def test_expand(self):
+        out = expand_boxes(np.array([[10.0, 10.0, 20.0, 20.0]]), 30.0)
+        np.testing.assert_allclose(out[0], [-20, -20, 50, 50])
+
+    def test_expand_zero_margin_identity(self):
+        boxes = np.array([[1.0, 2.0, 3.0, 4.0]])
+        np.testing.assert_allclose(expand_boxes(boxes, 0.0), boxes)
+
+    def test_scale(self):
+        out = scale_boxes(np.array([[1.0, 2.0, 3.0, 4.0]]), 2.0, 0.5)
+        np.testing.assert_allclose(out[0], [2, 1, 6, 2])
+
+
+class TestUnionIntersect:
+    def test_union_box(self):
+        boxes = np.array([[0, 0, 5, 5], [3, -2, 8, 4]])
+        np.testing.assert_allclose(union_box(boxes), [0, -2, 8, 5])
+
+    def test_union_empty_raises(self):
+        with pytest.raises(ValueError, match="at least one"):
+            union_box(empty_boxes())
+
+    def test_intersect_overlapping(self):
+        out = intersect_box([0, 0, 10, 10], [5, 5, 15, 15])
+        np.testing.assert_allclose(out, [5, 5, 10, 10])
+
+    def test_intersect_disjoint_degenerate(self):
+        out = intersect_box([0, 0, 1, 1], [5, 5, 6, 6])
+        assert area(out[None, :])[0] == 0.0

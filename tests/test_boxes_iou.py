@@ -1,0 +1,81 @@
+"""Unit tests for IoU computations."""
+
+import numpy as np
+import pytest
+
+from repro.boxes.iou import ioa_matrix, iou_matrix, iou_pairwise
+
+
+class TestIouMatrix:
+    def test_identical_boxes(self):
+        b = np.array([[0, 0, 10, 10]])
+        assert iou_matrix(b, b)[0, 0] == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        a = np.array([[0, 0, 1, 1]])
+        b = np.array([[5, 5, 6, 6]])
+        assert iou_matrix(a, b)[0, 0] == 0.0
+
+    def test_half_overlap(self):
+        a = np.array([[0, 0, 10, 10]])
+        b = np.array([[0, 0, 10, 5]])
+        # intersection 50, union 100
+        assert iou_matrix(a, b)[0, 0] == pytest.approx(0.5)
+
+    def test_shape(self):
+        a = np.zeros((3, 4)) + [0, 0, 1, 1]
+        b = np.zeros((5, 4)) + [0, 0, 1, 1]
+        assert iou_matrix(a, b).shape == (3, 5)
+
+    def test_empty_inputs(self):
+        a = np.zeros((0, 4))
+        b = np.array([[0, 0, 1, 1]])
+        assert iou_matrix(a, b).shape == (0, 1)
+        assert iou_matrix(b, a).shape == (1, 0)
+
+    def test_degenerate_box_iou_zero(self):
+        a = np.array([[5, 5, 5, 5]])
+        b = np.array([[0, 0, 10, 10]])
+        assert iou_matrix(a, b)[0, 0] == 0.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(3)
+        pts = rng.random((6, 4)) * 100
+        boxes = np.stack(
+            [
+                np.minimum(pts[:, 0], pts[:, 2]),
+                np.minimum(pts[:, 1], pts[:, 3]),
+                np.maximum(pts[:, 0], pts[:, 2]) + 1,
+                np.maximum(pts[:, 1], pts[:, 3]) + 1,
+            ],
+            axis=1,
+        )
+        m = iou_matrix(boxes, boxes)
+        np.testing.assert_allclose(m, m.T)
+        np.testing.assert_allclose(np.diag(m), 1.0)
+
+
+class TestIouPairwise:
+    def test_matches_matrix_diagonal(self):
+        a = np.array([[0, 0, 10, 10], [5, 5, 20, 20]])
+        b = np.array([[0, 0, 5, 10], [5, 5, 20, 25]])
+        expected = np.diag(iou_matrix(a, b))
+        np.testing.assert_allclose(iou_pairwise(a, b), expected)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="equal length"):
+            iou_pairwise(np.zeros((2, 4)), np.zeros((3, 4)))
+
+
+class TestIoaMatrix:
+    def test_contained_box(self):
+        inner = np.array([[2, 2, 4, 4]])
+        outer = np.array([[0, 0, 10, 10]])
+        assert ioa_matrix(inner, outer)[0, 0] == pytest.approx(1.0)
+        # Outer covered by inner only fractionally.
+        assert ioa_matrix(outer, inner)[0, 0] == pytest.approx(4 / 100)
+
+    def test_not_symmetric(self):
+        a = np.array([[0, 0, 2, 2]])
+        b = np.array([[0, 0, 10, 10]])
+        assert ioa_matrix(a, b)[0, 0] != ioa_matrix(b, a)[0, 0]

@@ -1,0 +1,93 @@
+"""Unit tests for RegionMask union-area geometry."""
+
+import numpy as np
+import pytest
+
+from repro.boxes.mask import RegionMask, boxes_coverage_fraction
+
+
+class TestUnionArea:
+    def test_single_box(self):
+        m = RegionMask(np.array([[10, 10, 20, 30]]), 100, 100, margin=0)
+        assert m.union_area() == pytest.approx(200.0)
+
+    def test_disjoint_boxes_sum(self):
+        m = RegionMask(
+            np.array([[0, 0, 10, 10], [50, 50, 60, 60]]), 100, 100, margin=0
+        )
+        assert m.union_area() == pytest.approx(200.0)
+
+    def test_overlap_not_double_counted(self):
+        m = RegionMask(
+            np.array([[0, 0, 100, 100], [50, 50, 150, 150]]), 1000, 1000, margin=0
+        )
+        assert m.union_area() == pytest.approx(100 * 100 * 2 - 50 * 50)
+
+    def test_nested_boxes(self):
+        m = RegionMask(
+            np.array([[0, 0, 100, 100], [10, 10, 20, 20]]), 1000, 1000, margin=0
+        )
+        assert m.union_area() == pytest.approx(10_000.0)
+
+    def test_margin_expands_area(self):
+        small = RegionMask(np.array([[50, 50, 60, 60]]), 1000, 1000, margin=0)
+        big = RegionMask(np.array([[50, 50, 60, 60]]), 1000, 1000, margin=30)
+        assert big.union_area() == pytest.approx(70 * 70)
+        assert big.union_area() > small.union_area()
+
+    def test_clipped_to_image(self):
+        m = RegionMask(np.array([[0, 0, 10, 10]]), 100, 100, margin=30)
+        # Expansion beyond the image border is clipped.
+        assert m.union_area() == pytest.approx(40 * 40)
+
+    def test_empty_mask(self):
+        m = RegionMask(np.zeros((0, 4)), 100, 100)
+        assert m.is_empty()
+        assert m.union_area() == 0.0
+        assert m.coverage_fraction() == 0.0
+
+    def test_coverage_fraction_bounds(self):
+        m = RegionMask(np.array([[0, 0, 100, 100]]), 100, 100, margin=50)
+        assert m.coverage_fraction() == pytest.approx(1.0)
+
+
+class TestContains:
+    def test_object_inside_region(self):
+        m = RegionMask(np.array([[0, 0, 100, 100]]), 500, 500, margin=0)
+        assert m.contains(np.array([[10, 10, 50, 50]])).tolist() == [True]
+
+    def test_object_outside_region(self):
+        m = RegionMask(np.array([[0, 0, 100, 100]]), 500, 500, margin=0)
+        assert m.contains(np.array([[300, 300, 400, 400]])).tolist() == [False]
+
+    def test_margin_captures_nearby_object(self):
+        m = RegionMask(np.array([[0, 0, 100, 100]]), 500, 500, margin=30)
+        assert m.contains(np.array([[100, 100, 125, 125]])).tolist() == [True]
+
+    def test_partial_overlap_threshold(self):
+        m = RegionMask(np.array([[0, 0, 100, 100]]), 500, 500, margin=0)
+        query = np.array([[60, 0, 160, 100]])  # 40% covered
+        assert m.contains(query, min_overlap=0.7).tolist() == [False]
+        assert m.contains(query, min_overlap=0.3).tolist() == [True]
+
+    def test_empty_mask_contains_nothing(self):
+        m = RegionMask(np.zeros((0, 4)), 100, 100)
+        assert m.contains(np.array([[0, 0, 10, 10]])).tolist() == [False]
+
+    def test_empty_query(self):
+        m = RegionMask(np.array([[0, 0, 10, 10]]), 100, 100)
+        assert m.contains(np.zeros((0, 4))).shape == (0,)
+
+
+class TestValidation:
+    def test_bad_image_size_raises(self):
+        with pytest.raises(ValueError, match="dimensions"):
+            RegionMask(np.zeros((0, 4)), 0, 100)
+
+    def test_negative_margin_raises(self):
+        with pytest.raises(ValueError, match="margin"):
+            RegionMask(np.zeros((0, 4)), 10, 10, margin=-1)
+
+    def test_convenience_wrapper(self):
+        frac = boxes_coverage_fraction(np.array([[0, 0, 50, 100]]), 100, 100)
+        assert frac == pytest.approx(0.5)

@@ -1,0 +1,79 @@
+"""Unit tests for the greedy GPU box-merging heuristic (Appendix I)."""
+
+import numpy as np
+import pytest
+
+from repro.boxes.box import area
+from repro.boxes.merge import MergeCostModel, greedy_merge_boxes
+
+
+class TestMergeCostModel:
+    def test_region_time_linear(self):
+        m = MergeCostModel(alpha=1e-6, base_area=100.0)
+        assert m.region_time(0.0) == pytest.approx(1e-4)
+        assert m.region_time(900.0) == pytest.approx(1e-6 * 1000)
+
+    def test_total_time(self):
+        m = MergeCostModel(alpha=1.0, base_area=10.0)
+        boxes = np.array([[0, 0, 2, 2], [0, 0, 3, 3]])  # areas 4 and 9
+        assert m.total_time(boxes) == pytest.approx(4 + 10 + 9 + 10)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError, match="alpha"):
+            MergeCostModel(alpha=0.0)
+        with pytest.raises(ValueError, match="base_area"):
+            MergeCostModel(base_area=-1.0)
+        with pytest.raises(ValueError, match="region_area"):
+            MergeCostModel().region_time(-5.0)
+
+
+class TestGreedyMerge:
+    def test_adjacent_small_boxes_merge(self):
+        # Two tiny nearby boxes: merged rectangle saves one launch overhead.
+        model = MergeCostModel(alpha=1.0, base_area=1000.0)
+        boxes = np.array([[0, 0, 10, 10], [12, 0, 22, 10]])
+        merged, assignment = greedy_merge_boxes(boxes, model)
+        assert merged.shape[0] == 1
+        assert assignment.tolist() == [0, 0]
+        np.testing.assert_allclose(merged[0], [0, 0, 22, 10])
+
+    def test_distant_boxes_stay_separate(self):
+        # Overhead small relative to the empty area a merge would add.
+        model = MergeCostModel(alpha=1.0, base_area=10.0)
+        boxes = np.array([[0, 0, 10, 10], [500, 500, 510, 510]])
+        merged, assignment = greedy_merge_boxes(boxes, model)
+        assert merged.shape[0] == 2
+        assert sorted(assignment.tolist()) == [0, 1]
+
+    def test_merge_never_increases_estimated_time(self):
+        rng = np.random.default_rng(11)
+        model = MergeCostModel(alpha=1e-3, base_area=400 * 400)
+        for _ in range(10):
+            n = int(rng.integers(1, 12))
+            xy = rng.random((n, 2)) * 1000
+            wh = rng.random((n, 2)) * 100 + 5
+            boxes = np.concatenate([xy, xy + wh], axis=1)
+            merged, _ = greedy_merge_boxes(boxes, model)
+            assert model.total_time(merged) <= model.total_time(boxes) + 1e-9
+
+    def test_merged_boxes_cover_originals(self):
+        rng = np.random.default_rng(5)
+        model = MergeCostModel(alpha=1.0, base_area=5000.0)
+        xy = rng.random((8, 2)) * 300
+        boxes = np.concatenate([xy, xy + 20], axis=1)
+        merged, assignment = greedy_merge_boxes(boxes, model)
+        for i, box in enumerate(boxes):
+            region = merged[assignment[i]]
+            assert region[0] <= box[0] and region[1] <= box[1]
+            assert region[2] >= box[2] and region[3] >= box[3]
+
+    def test_empty_input(self):
+        merged, assignment = greedy_merge_boxes(np.zeros((0, 4)))
+        assert merged.shape == (0, 4)
+        assert assignment.shape == (0,)
+
+    def test_single_box_unchanged(self):
+        boxes = np.array([[1.0, 2.0, 3.0, 4.0]])
+        merged, assignment = greedy_merge_boxes(boxes)
+        np.testing.assert_allclose(merged, boxes)
+        assert assignment.tolist() == [0]

@@ -1,0 +1,183 @@
+"""Unit tests for the detection systems and ops accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SystemConfig, build_system
+from repro.core.pipeline import run_on_dataset
+from repro.core.results import OpsAccount
+from repro.core.systems import CascadedSystem, CaTDetSystem, SingleModelSystem
+from repro.tracker.catdet_tracker import TrackerConfig
+
+
+class TestSystemConfig:
+    def test_labels(self):
+        assert SystemConfig("single", "resnet50").label == "resnet50, Faster R-CNN"
+        assert (
+            SystemConfig("catdet", "resnet50", "resnet10a").label
+            == "resnet10a, resnet50, CaTDet"
+        )
+        assert (
+            SystemConfig("cascade", "resnet50", "resnet10b").label
+            == "resnet10b, resnet50, Cascaded"
+        )
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            SystemConfig("magic", "resnet50")
+
+    def test_cascade_requires_proposal(self):
+        with pytest.raises(ValueError, match="proposal_model"):
+            SystemConfig("cascade", "resnet50")
+
+    def test_build_types(self):
+        assert isinstance(build_system(SystemConfig("single", "resnet50")), SingleModelSystem)
+        cascade = build_system(SystemConfig("cascade", "resnet50", "resnet10a"))
+        assert isinstance(cascade, CascadedSystem)
+        assert not isinstance(cascade, CaTDetSystem)
+        assert isinstance(
+            build_system(SystemConfig("catdet", "resnet50", "resnet10a")), CaTDetSystem
+        )
+
+
+class TestSingleModel:
+    def test_constant_ops_per_frame(self, kitti_sequence):
+        system = SingleModelSystem("resnet10a", seed=0)
+        result = system.process_sequence(kitti_sequence)
+        totals = {f.ops.total for f in result.frames}
+        assert len(totals) == 1
+        assert result.frames[0].ops.total == pytest.approx(20.7e9, rel=0.1)
+
+    def test_produces_detections(self, kitti_sequence):
+        system = SingleModelSystem("resnet50", seed=0)
+        result = system.process_sequence(kitti_sequence)
+        assert sum(len(f.detections) for f in result.frames) > 0
+
+    def test_output_threshold(self, kitti_sequence):
+        loose = SingleModelSystem("resnet50", seed=0)
+        strict = SingleModelSystem("resnet50", seed=0, output_threshold=0.9)
+        n_loose = sum(len(f.detections) for f in loose.process_sequence(kitti_sequence).frames)
+        n_strict = sum(len(f.detections) for f in strict.process_sequence(kitti_sequence).frames)
+        assert n_strict < n_loose
+        for f in strict.process_sequence(kitti_sequence).frames:
+            assert np.all(f.detections.scores >= 0.9)
+
+
+class TestCascade:
+    def test_ops_below_single_model(self, kitti_sequence):
+        single = SingleModelSystem("resnet50", seed=0)
+        cascade = CascadedSystem("resnet10a", "resnet50", seed=0)
+        ops_single = single.process_sequence(kitti_sequence).mean_ops().total
+        ops_cascade = cascade.process_sequence(kitti_sequence).mean_ops().total
+        assert ops_cascade < ops_single / 3
+
+    def test_higher_cthresh_fewer_regions_fewer_ops(self, kitti_sequence):
+        low = CascadedSystem("resnet10a", "resnet50", c_thresh=0.02, seed=0)
+        high = CascadedSystem("resnet10a", "resnet50", c_thresh=0.6, seed=0)
+        r_low = low.process_sequence(kitti_sequence)
+        r_high = high.process_sequence(kitti_sequence)
+        mean_regions = lambda r: np.mean([f.num_regions for f in r.frames])
+        assert mean_regions(r_high) < mean_regions(r_low)
+        assert r_high.mean_ops().total < r_low.mean_ops().total
+
+    def test_ops_breakdown_fields(self, kitti_sequence):
+        cascade = CascadedSystem("resnet10a", "resnet50", seed=0)
+        result = cascade.process_sequence(kitti_sequence)
+        frame = result.frames[5]
+        assert frame.ops.proposal > 0
+        assert frame.ops.refinement > 0
+        assert frame.ops.refinement_from_tracker == 0.0  # no tracker
+
+    def test_coverage_fraction_recorded(self, kitti_sequence):
+        cascade = CascadedSystem("resnet10a", "resnet50", seed=0)
+        result = cascade.process_sequence(kitti_sequence)
+        fracs = [f.coverage_fraction for f in result.frames]
+        assert all(0.0 <= c <= 1.0 for c in fracs)
+        assert np.mean(fracs) < 0.8  # regions, not the whole image
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError, match="c_thresh"):
+            CascadedSystem("resnet10a", "resnet50", c_thresh=1.5)
+        with pytest.raises(ValueError, match="margin"):
+            CascadedSystem("resnet10a", "resnet50", margin=-1)
+
+
+class TestCaTDet:
+    def test_tracker_adds_regions(self, kitti_sequence):
+        cascade = CascadedSystem("resnet10a", "resnet50", seed=0)
+        catdet = CaTDetSystem("resnet10a", "resnet50", seed=0)
+        r_cascade = cascade.process_sequence(kitti_sequence)
+        r_catdet = catdet.process_sequence(kitti_sequence)
+        mean_regions = lambda r: np.mean([f.num_regions for f in r.frames])
+        assert mean_regions(r_catdet) > mean_regions(r_cascade)
+
+    def test_breakdown_sources_overlap(self, kitti_sequence):
+        """Table 3's key fact: per-source costs sum to more than the total."""
+        catdet = CaTDetSystem("resnet10a", "resnet50", seed=0)
+        result = catdet.process_sequence(kitti_sequence)
+        ops = result.mean_ops()
+        assert ops.refinement_from_tracker > 0
+        assert ops.refinement_from_proposal > 0
+        assert (
+            ops.refinement_from_tracker + ops.refinement_from_proposal
+            >= ops.refinement - 1e-6
+        )
+
+    def test_first_frame_has_no_tracker_regions(self, kitti_sequence):
+        catdet = CaTDetSystem("resnet10a", "resnet50", seed=0)
+        result = catdet.process_sequence(kitti_sequence)
+        assert result.frames[0].ops.refinement_from_tracker == pytest.approx(0.0)
+
+    def test_causality_prefix_invariance(self, kitti_sequence):
+        """Frame t's output depends only on frames <= t (strictly causal)."""
+        full = CaTDetSystem("resnet10a", "resnet50", seed=0).process_sequence(
+            kitti_sequence
+        )
+        # Re-running on the same sequence gives identical output (stateless
+        # across process_sequence calls thanks to a fresh tracker).
+        again = CaTDetSystem("resnet10a", "resnet50", seed=0).process_sequence(
+            kitti_sequence
+        )
+        for fa, fb in zip(full.frames, again.frames):
+            np.testing.assert_array_equal(fa.detections.boxes, fb.detections.boxes)
+
+    def test_tracker_config_passed(self, kitti_sequence):
+        strict = CaTDetSystem(
+            "resnet10a",
+            "resnet50",
+            seed=0,
+            tracker_config=TrackerConfig(input_score_threshold=0.99),
+        )
+        result = strict.process_sequence(kitti_sequence)
+        # Nearly nothing enters the tracker, so tracker regions stay tiny.
+        assert result.mean_ops().refinement_from_tracker < 5e9
+
+
+class TestRunOnDataset:
+    def test_runs_all_sequences(self, kitti_small):
+        run = run_on_dataset(SystemConfig("single", "resnet10b"), kitti_small)
+        assert set(run.sequences) == {s.name for s in kitti_small.sequences}
+        assert run.mean_ops_gops() > 0
+
+    def test_max_sequences(self, kitti_small):
+        run = run_on_dataset(
+            SystemConfig("single", "resnet10b"), kitti_small, max_sequences=1
+        )
+        assert len(run.sequences) == 1
+
+    def test_detections_by_sequence_shape(self, kitti_small):
+        run = run_on_dataset(SystemConfig("single", "resnet10b"), kitti_small)
+        for seq in kitti_small.sequences:
+            assert len(run.detections_by_sequence[seq.name]) == seq.num_frames
+
+
+class TestOpsAccount:
+    def test_add(self):
+        a = OpsAccount(1.0, 2.0, 3.0, 4.0)
+        b = a + a
+        assert b.proposal == 2.0 and b.refinement == 4.0
+        assert b.total == 6.0
+
+    def test_scaled(self):
+        a = OpsAccount(2.0, 4.0).scaled(0.5)
+        assert a.proposal == 1.0 and a.refinement == 2.0

@@ -1,0 +1,109 @@
+"""Unit tests for KITTI / CityPersons dataset specs and label-format IO."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.datasets.citypersons import (
+    CITYPERSONS_LABELED_FRAME,
+    citypersons_like_dataset,
+)
+from repro.datasets.kitti import (
+    KITTI_CLASSES,
+    kitti_like_dataset,
+    parse_kitti_tracking_labels,
+    write_kitti_tracking_labels,
+)
+
+
+class TestKittiDataset:
+    def test_spec(self, kitti_small):
+        assert kitti_small.sequences[0].width == 1242
+        assert kitti_small.sequences[0].height == 375
+        assert kitti_small.sequences[0].fps == 10.0
+        assert [c.name for c in kitti_small.classes] == ["Car", "Pedestrian"]
+
+    def test_class_iou_thresholds(self):
+        assert KITTI_CLASSES[0].min_iou == 0.7   # Car
+        assert KITTI_CLASSES[1].min_iou == 0.5   # Pedestrian
+
+    def test_deterministic(self):
+        a = kitti_like_dataset(num_sequences=1, frames_per_sequence=20, seed=3)
+        b = kitti_like_dataset(num_sequences=1, frames_per_sequence=20, seed=3)
+        assert a.total_objects == b.total_objects
+
+
+class TestCityPersonsDataset:
+    def test_spec(self, citypersons_small):
+        seq = citypersons_small.sequences[0]
+        assert seq.width == 2048 and seq.height == 1024
+        assert seq.num_frames == 30
+        assert citypersons_small.class_names == ["Person"]
+
+    def test_sparse_labels(self, citypersons_small):
+        frames = citypersons_small.evaluation_frames(citypersons_small.sequences[0])
+        assert frames == [CITYPERSONS_LABELED_FRAME]
+
+
+class TestKittiLabelIO:
+    def test_roundtrip(self, kitti_sequence):
+        buf = io.StringIO()
+        write_kitti_tracking_labels(kitti_sequence, buf)
+        buf.seek(0)
+        parsed = parse_kitti_tracking_labels(
+            buf, num_frames=kitti_sequence.num_frames
+        )
+        # Same number of per-frame annotations everywhere.
+        for frame in range(kitti_sequence.num_frames):
+            orig = kitti_sequence.annotations(frame, clip=False)
+            back = parsed.annotations(frame, clip=False)
+            assert len(orig) == len(back)
+        assert parsed.num_frames == kitti_sequence.num_frames
+
+    def test_roundtrip_box_coordinates(self, kitti_sequence):
+        buf = io.StringIO()
+        write_kitti_tracking_labels(kitti_sequence, buf)
+        buf.seek(0)
+        parsed = parse_kitti_tracking_labels(buf, num_frames=kitti_sequence.num_frames)
+        orig = kitti_sequence.annotations(0, clip=False)
+        back = parsed.annotations(0, clip=False)
+        # Same boxes up to the 2-decimal text format, order-insensitive.
+        np.testing.assert_allclose(
+            np.sort(orig.boxes, axis=0), np.sort(back.boxes, axis=0), atol=0.01
+        )
+
+    def test_parse_skips_dontcare(self):
+        text = (
+            "0 1 Car 0.0 0 -10 100.0 100.0 200.0 150.0 -1 -1 -1 -1000 -1000 -1000 -10\n"
+            "0 2 DontCare 0.0 0 -10 0.0 0.0 10.0 10.0 -1 -1 -1 -1000 -1000 -1000 -10\n"
+        )
+        seq = parse_kitti_tracking_labels(io.StringIO(text), num_frames=1)
+        assert len(seq.tracks) == 1
+        assert seq.tracks[0].label == 0
+
+    def test_parse_splits_on_gaps(self):
+        lines = []
+        for frame in (0, 1, 5, 6):  # gap between 1 and 5
+            lines.append(
+                f"{frame} 7 Pedestrian 0.0 0 -10 50.0 50.0 80.0 120.0 "
+                "-1 -1 -1 -1000 -1000 -1000 -10"
+            )
+        seq = parse_kitti_tracking_labels(io.StringIO("\n".join(lines)), num_frames=7)
+        assert len(seq.tracks) == 2  # two contiguous runs
+        assert sorted(t.length for t in seq.tracks) == [2, 2]
+
+    def test_parse_occlusion_mapping(self):
+        text = "0 1 Car 0.0 2 -10 10.0 10.0 60.0 40.0 -1 -1 -1 -1000 -1000 -1000 -10\n"
+        seq = parse_kitti_tracking_labels(io.StringIO(text), num_frames=1)
+        assert seq.tracks[0].occlusion[0] == pytest.approx(0.7)
+
+    def test_parse_malformed_line_raises(self):
+        with pytest.raises(ValueError, match="fields"):
+            parse_kitti_tracking_labels(io.StringIO("0 1 Car 0.0\n"), num_frames=1)
+
+    def test_write_sorted_by_frame(self, kitti_sequence):
+        buf = io.StringIO()
+        write_kitti_tracking_labels(kitti_sequence, buf)
+        frames = [int(line.split()[0]) for line in buf.getvalue().splitlines()]
+        assert frames == sorted(frames)

@@ -1,0 +1,127 @@
+"""Unit tests for trajectory generation and the ego-camera model."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.camera import EgoCamera, EgoMotionConfig
+from repro.datasets.motion_models import (
+    TrajectoryConfig,
+    generate_trajectory,
+    sample_initial_box,
+    truncation_of,
+)
+
+
+class TestEgoCamera:
+    def test_deterministic(self):
+        cam1 = EgoCamera(EgoMotionConfig(), 20, 1242, 375, seed=3)
+        cam2 = EgoCamera(EgoMotionConfig(), 20, 1242, 375, seed=3)
+        np.testing.assert_array_equal(cam1.pan, cam2.pan)
+        np.testing.assert_array_equal(cam1.zoom, cam2.zoom)
+
+    def test_zoom_expands_about_foe(self):
+        config = EgoMotionConfig(pan_std=0.0, zoom_rate_mean=1.1, zoom_rate_std=0.0)
+        cam = EgoCamera(config, 5, 1000, 500, seed=0)
+        # A box centered on the focus of expansion grows in place.
+        foe = cam.foe
+        box = np.array([foe[0] - 10, foe[1] - 10, foe[0] + 10, foe[1] + 10])
+        out = cam.transform_box(box, 0)
+        assert out[2] - out[0] == pytest.approx(20 * 1.1)
+        center = (out[:2] + out[2:]) / 2
+        np.testing.assert_allclose(center, foe)
+
+    def test_flow_zero_at_foe_without_pan(self):
+        config = EgoMotionConfig(pan_std=0.0, zoom_rate_mean=1.05, zoom_rate_std=0.0)
+        cam = EgoCamera(config, 5, 1000, 500, seed=0)
+        flow = cam.flow_at(cam.foe, 0)
+        np.testing.assert_allclose(flow, [0, 0], atol=1e-9)
+
+    def test_flow_outward_under_zoom(self):
+        config = EgoMotionConfig(pan_std=0.0, zoom_rate_mean=1.05, zoom_rate_std=0.0)
+        cam = EgoCamera(config, 5, 1000, 500, seed=0)
+        right_of_foe = cam.foe + np.array([100.0, 0.0])
+        flow = cam.flow_at(right_of_foe, 0)
+        assert flow[0] > 0  # moving away from the FOE
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="pan_smoothness"):
+            EgoMotionConfig(pan_smoothness=1.0)
+        with pytest.raises(ValueError, match="num_frames"):
+            EgoCamera(EgoMotionConfig(), 0, 100, 100)
+
+
+class TestSampleInitialBox:
+    def test_edge_entry_truncated(self):
+        rng = np.random.default_rng(0)
+        config = TrajectoryConfig()
+        for _ in range(20):
+            box = sample_initial_box(config, 1000, 400, rng, at_edge=True)
+            trunc = truncation_of(box, 1000, 400)
+            assert trunc > 0.3  # starts substantially outside
+
+    def test_interior_entry_smaller_than_initial(self):
+        rng = np.random.default_rng(1)
+        config = TrajectoryConfig(width_log_std=0.0)  # isolate the mean shift
+        w_init = []
+        w_enter = []
+        for _ in range(20):
+            b1 = sample_initial_box(config, 1000, 400, rng, initial=True)
+            b2 = sample_initial_box(config, 1000, 400, rng)
+            w_init.append(b1[2] - b1[0])
+            w_enter.append(b2[2] - b2[0])
+        assert np.mean(w_enter) < np.mean(w_init)
+
+    def test_boxes_have_positive_size(self):
+        rng = np.random.default_rng(2)
+        config = TrajectoryConfig()
+        for at_edge in (False, True):
+            box = sample_initial_box(config, 1242, 375, rng, at_edge=at_edge)
+            assert box[2] > box[0] and box[3] > box[1]
+
+
+class TestGenerateTrajectory:
+    def test_deterministic(self):
+        config = TrajectoryConfig()
+        a = generate_trajectory(config, 0, 50, 1242, 375, seed=4)
+        b = generate_trajectory(config, 0, 50, 1242, 375, seed=4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_ends_by_sequence_end(self):
+        config = TrajectoryConfig()
+        boxes = generate_trajectory(config, 45, 50, 1242, 375, seed=4)
+        assert 0 < boxes.shape[0] <= 5
+
+    def test_interior_entries_grow(self):
+        config = TrajectoryConfig(speed_std=0.5, accel_std=0.05)
+        rng_hits = 0
+        for seed in range(10):
+            boxes = generate_trajectory(
+                config, 0, 60, 1242, 375, seed=seed, initial=False
+            )
+            if boxes.shape[0] >= 30:
+                w0 = boxes[0, 2] - boxes[0, 0]
+                w1 = boxes[29, 2] - boxes[29, 0]
+                if w1 > w0:
+                    rng_hits += 1
+        assert rng_hits >= 5  # approach growth dominates for most objects
+
+    def test_edge_entry_moves_inward(self):
+        config = TrajectoryConfig(speed_std=3.0)
+        for seed in range(5):
+            boxes = generate_trajectory(
+                config, 0, 40, 1242, 375, seed=seed, at_edge=True
+            )
+            if boxes.shape[0] < 5:
+                continue
+            t0 = truncation_of(boxes[0], 1242, 375)
+            t4 = truncation_of(boxes[4], 1242, 375)
+            assert t4 <= t0 + 1e-6
+
+    def test_invalid_start_frame(self):
+        with pytest.raises(ValueError, match="start_frame"):
+            generate_trajectory(TrajectoryConfig(), 50, 50, 100, 100)
+
+    def test_truncation_of(self):
+        assert truncation_of(np.array([0, 0, 10, 10]), 100, 100) == pytest.approx(0.0)
+        assert truncation_of(np.array([-5, 0, 5, 10]), 100, 100) == pytest.approx(0.5)
+        assert truncation_of(np.array([-20, 0, -10, 10]), 100, 100) == pytest.approx(1.0)

@@ -1,0 +1,149 @@
+"""Unit tests for the synthetic world generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.kitti import kitti_world_config
+from repro.datasets.synth import (
+    ClassPopulation,
+    SyntheticWorldConfig,
+    _occlusion_profile,
+    generate_dataset,
+    generate_sequence,
+)
+from repro.datasets.types import ClassSpec
+from repro.datasets.motion_models import TrajectoryConfig
+
+
+def _config():
+    return kitti_world_config()
+
+
+class TestGenerateSequence:
+    def test_deterministic_in_seed(self):
+        a = generate_sequence(_config(), 40, "s", seed=5)
+        b = generate_sequence(_config(), 40, "s", seed=5)
+        assert len(a.tracks) == len(b.tracks)
+        for ta, tb in zip(a.tracks, b.tracks):
+            np.testing.assert_array_equal(ta.boxes, tb.boxes)
+            np.testing.assert_array_equal(ta.occlusion, tb.occlusion)
+
+    def test_different_seeds_differ(self):
+        a = generate_sequence(_config(), 40, "s", seed=5)
+        b = generate_sequence(_config(), 40, "s", seed=6)
+        differs = len(a.tracks) != len(b.tracks) or any(
+            ta.boxes.shape != tb.boxes.shape or not np.allclose(ta.boxes, tb.boxes)
+            for ta, tb in zip(a.tracks, b.tracks)
+        )
+        assert differs
+
+    def test_tracks_inside_sequence_bounds(self):
+        seq = generate_sequence(_config(), 50, "s", seed=1)
+        for track in seq.tracks:
+            assert track.first_frame >= 0
+            assert track.last_frame < 50
+
+    def test_tracks_persist_multiple_frames(self):
+        """Temporal locality: objects span many frames, not blips."""
+        seq = generate_sequence(_config(), 60, "s", seed=2)
+        assert seq.tracks, "world should contain objects"
+        assert np.mean([t.length for t in seq.tracks]) > 5
+
+    def test_smooth_motion(self):
+        """Spatial locality: frame-to-frame displacement is bounded."""
+        seq = generate_sequence(_config(), 60, "s", seed=3)
+        for track in seq.tracks:
+            if track.length < 2:
+                continue
+            centers = (track.boxes[:, :2] + track.boxes[:, 2:]) / 2
+            steps = np.linalg.norm(np.diff(centers, axis=0), axis=1)
+            assert steps.max() < 60.0  # px/frame, generous bound
+
+    def test_both_classes_present(self):
+        seq = generate_sequence(_config(), 120, "s", seed=4)
+        labels = {t.label for t in seq.tracks}
+        assert labels == {0, 1}
+
+    def test_occlusion_and_truncation_in_range(self):
+        seq = generate_sequence(_config(), 60, "s", seed=5)
+        for track in seq.tracks:
+            assert np.all(track.occlusion >= 0) and np.all(track.occlusion <= 1)
+            assert np.all(track.truncation >= 0) and np.all(track.truncation <= 1)
+
+    def test_some_objects_enter_midway(self):
+        seq = generate_sequence(_config(), 120, "s", seed=6)
+        assert any(t.first_frame > 0 for t in seq.tracks)
+
+    def test_invalid_num_frames(self):
+        with pytest.raises(ValueError, match="num_frames"):
+            generate_sequence(_config(), 0, "s", seed=1)
+
+
+class TestOcclusionProfile:
+    def _pop(self, **kw):
+        defaults = dict(
+            spec=ClassSpec("C", 0),
+            trajectory=TrajectoryConfig(),
+            occlusion_rate=50.0,
+            occlusion_duration_mean=5.0,
+        )
+        defaults.update(kw)
+        return ClassPopulation(**defaults)
+
+    def test_occluded_entry_ramps_down(self):
+        rng = np.random.default_rng(0)
+        pop = self._pop(occlusion_rate=0.0, entry_occlusion_decay=(10, 10))
+        occ = _occlusion_profile(30, pop, rng, occluded_entry=True)
+        assert occ[0] > 0.5
+        assert occ[0] > occ[5] > occ[9]
+        assert np.all(occ[10:] == 0.0)
+
+    def test_no_entry_occlusion_when_disabled(self):
+        rng = np.random.default_rng(0)
+        pop = self._pop(occlusion_rate=0.0)
+        occ = _occlusion_profile(30, pop, rng, occluded_entry=False)
+        assert np.all(occ == 0.0)
+
+    def test_episodes_bounded(self):
+        rng = np.random.default_rng(1)
+        occ = _occlusion_profile(100, self._pop(), rng)
+        assert np.all(occ <= 1.0) and np.all(occ >= 0.0)
+
+
+class TestGenerateDataset:
+    def test_sequence_content_stable_under_count(self):
+        """Sequence i is identical regardless of how many are generated."""
+        small = generate_dataset(
+            _config(), name="d", num_sequences=2, frames_per_sequence=30, seed=9
+        )
+        big = generate_dataset(
+            _config(), name="d", num_sequences=4, frames_per_sequence=30, seed=9
+        )
+        for sa, sb in zip(small.sequences, big.sequences[:2]):
+            assert len(sa.tracks) == len(sb.tracks)
+            for ta, tb in zip(sa.tracks, sb.tracks):
+                np.testing.assert_array_equal(ta.boxes, tb.boxes)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="num_sequences"):
+            generate_dataset(
+                _config(), name="d", num_sequences=0, frames_per_sequence=5, seed=1
+            )
+
+    def test_population_validation(self):
+        with pytest.raises(ValueError, match="edge_entry_prob"):
+            ClassPopulation(
+                spec=ClassSpec("C", 0),
+                trajectory=TrajectoryConfig(),
+                edge_entry_prob=1.5,
+            )
+        with pytest.raises(ValueError, match="occlusion_depth_range"):
+            ClassPopulation(
+                spec=ClassSpec("C", 0),
+                trajectory=TrajectoryConfig(),
+                occlusion_depth_range=(0.9, 0.2),
+            )
+
+    def test_world_config_validation(self):
+        with pytest.raises(ValueError, match="population"):
+            SyntheticWorldConfig(width=10, height=10, fps=10, populations=())

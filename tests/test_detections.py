@@ -1,0 +1,73 @@
+"""Unit tests for the Detections container."""
+
+import numpy as np
+import pytest
+
+from repro.detections import Detections
+
+
+def make(n=3, label=0):
+    boxes = np.stack([np.array([10.0 * i, 0.0, 10.0 * i + 8.0, 8.0]) for i in range(n)])
+    return Detections(boxes, np.linspace(0.9, 0.5, n), np.full(n, label, dtype=int))
+
+
+class TestConstruction:
+    def test_empty(self):
+        d = Detections.empty()
+        assert len(d) == 0
+        assert d.boxes.shape == (0, 4)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="agree in length"):
+            Detections(np.zeros((2, 4)), np.zeros(3), np.zeros(2, dtype=int))
+
+    def test_iteration(self):
+        d = make(2)
+        items = list(d)
+        assert len(items) == 2
+        box, score, label = items[0]
+        assert box.shape == (4,)
+        assert isinstance(score, float) and isinstance(label, int)
+
+
+class TestOperations:
+    def test_concatenate(self):
+        d = Detections.concatenate([make(2, 0), make(3, 1)])
+        assert len(d) == 5
+        assert sorted(np.unique(d.labels).tolist()) == [0, 1]
+
+    def test_concatenate_empty_parts(self):
+        d = Detections.concatenate([Detections.empty(), make(2)])
+        assert len(d) == 2
+        assert len(Detections.concatenate([])) == 0
+
+    def test_above_score(self):
+        d = make(3)  # scores .9, .7, .5
+        assert len(d.above_score(0.6)) == 2
+
+    def test_for_class(self):
+        d = Detections.concatenate([make(2, 0), make(1, 1)])
+        assert len(d.for_class(1)) == 1
+
+    def test_sorted_by_score(self):
+        d = Detections(
+            np.zeros((3, 4)) + [0, 0, 1, 1],
+            np.array([0.2, 0.9, 0.5]),
+            np.zeros(3, dtype=int),
+        )
+        assert d.sorted_by_score().scores.tolist() == [0.9, 0.5, 0.2]
+
+    def test_select_by_mask(self):
+        d = make(4)
+        sel = d.select(d.scores > 0.6)
+        assert np.all(sel.scores > 0.6)
+
+    def test_nms_collapses_duplicates(self):
+        boxes = np.array([[0, 0, 10, 10], [0.5, 0.5, 10.5, 10.5], [50, 50, 60, 60]])
+        d = Detections(boxes, np.array([0.9, 0.8, 0.7]), np.zeros(3, dtype=int))
+        assert len(d.nms(0.5)) == 2
+
+    def test_nms_respects_classes(self):
+        boxes = np.array([[0, 0, 10, 10], [0, 0, 10, 10]])
+        d = Detections(boxes, np.array([0.9, 0.8]), np.array([0, 1]))
+        assert len(d.nms(0.5)) == 2

@@ -1,0 +1,157 @@
+"""Tests for the extension features: exit delay, multi-seed runs, CLI, viz."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.harness.experiment import standard_kitti
+from repro.harness.multiseed import (
+    MetricSummary,
+    compare_systems,
+    run_replicated,
+)
+from repro.metrics.delay import DelayEvaluation, TrackDelayRecord
+from repro.metrics.evaluate import evaluate_dataset
+from repro.metrics.kitti_eval import HARD
+from repro.__main__ import main as cli_main
+from repro.viz import render_frame, render_track_timeline
+
+
+def record(scores):
+    r = TrackDelayRecord()
+    for i, s in enumerate(scores):
+        r.append(i, s, cared=True)
+    return r
+
+
+class TestExitDelay:
+    def test_detected_to_the_end(self):
+        assert record([0.9, 0.9, 0.9]).exit_delay_at(0.5) == 0
+
+    def test_trailing_misses(self):
+        assert record([0.9, 0.9, -np.inf, -np.inf]).exit_delay_at(0.5) == 2
+
+    def test_never_detected_full_length(self):
+        assert record([0.1, 0.1]).exit_delay_at(0.5) == 2
+
+    def test_single_mid_detection(self):
+        r = record([-np.inf, 0.9, -np.inf])
+        assert r.delay_at(0.5) == 1
+        assert r.exit_delay_at(0.5) == 1
+
+    def test_mean_exit_delay(self):
+        e = DelayEvaluation(
+            scores=np.array([0.9]),
+            tp=np.array([True]),
+            tracks=[record([0.9, -np.inf]), record([0.9, 0.9])],
+        )
+        assert e.mean_exit_delay(0.5) == pytest.approx(0.5)
+
+    def test_evaluation_result_exit_delay(self, kitti_small):
+        from repro.core.pipeline import run_on_dataset
+
+        run = run_on_dataset(SystemConfig("single", "resnet50"), kitti_small)
+        res = evaluate_dataset(kitti_small, run.detections_by_sequence, HARD)
+        exit_delay = res.mean_exit_delay(0.8)
+        assert np.isfinite(exit_delay)
+        assert exit_delay >= 0.0
+
+
+class TestMultiSeed:
+    @pytest.fixture(scope="class")
+    def replicated(self):
+        ds = standard_kitti(1, 40)
+        return run_replicated(
+            SystemConfig("single", "resnet10b"), ds, seeds=(0, 1, 2)
+        )
+
+    def test_metrics_present(self, replicated):
+        assert "ops_gops" in replicated.metrics
+        assert "mAP[hard]" in replicated.metrics
+        assert "mD@0.8[hard]" in replicated.metrics
+
+    def test_summary_statistics(self, replicated):
+        summary = replicated.metric("mAP[hard]")
+        assert len(summary.values) == 3
+        assert summary.mean == pytest.approx(np.mean(summary.values))
+        assert summary.std >= 0.0
+        assert np.isfinite(summary.stderr)
+
+    def test_ops_identical_structure_varies_little(self, replicated):
+        # Single-model ops are deterministic in the architecture.
+        assert replicated.metric("ops_gops").std == pytest.approx(0.0)
+
+    def test_unknown_metric_raises(self, replicated):
+        with pytest.raises(KeyError, match="known"):
+            replicated.metric("nope")
+
+    def test_empty_seeds_raises(self):
+        ds = standard_kitti(1, 40)
+        with pytest.raises(ValueError, match="seed"):
+            run_replicated(SystemConfig("single", "resnet10b"), ds, seeds=())
+
+    def test_compare_systems_paired(self, replicated):
+        ds = standard_kitti(1, 40)
+        other = run_replicated(
+            SystemConfig("single", "resnet50"), ds, seeds=(0, 1, 2)
+        )
+        out = compare_systems(other, replicated, "mAP[hard]")
+        assert out["difference"] > 0  # resnet50 beats resnet10b
+        assert "paired_z" in out
+
+
+class TestCli:
+    def test_models_command(self, capsys):
+        assert cli_main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "resnet50" in out and "retinanet50" in out
+
+    def test_run_command(self, capsys):
+        code = cli_main(
+            ["run", "single", "resnet10b", "--sequences", "1", "--frames", "30"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mAP=" in out and "ops/frame" in out
+
+    def test_run_catdet_command(self, capsys):
+        code = cli_main(
+            ["run", "catdet", "resnet50", "resnet10a",
+             "--sequences", "1", "--frames", "30"]
+        )
+        assert code == 0
+        assert "CaTDet" in capsys.readouterr().out
+
+
+class TestViz:
+    def test_render_frame_contains_gt(self, kitti_sequence):
+        art = render_frame(kitti_sequence, 5, width=60)
+        assert "#" in art
+        assert art.count("\n") > 5
+
+    def test_render_frame_with_detections_and_mask(self, kitti_sequence):
+        from repro.boxes.mask import RegionMask
+        from repro.simdet.detector import SimulatedDetector
+        from repro.simdet.zoo import get_model
+
+        det = SimulatedDetector(get_model("resnet50").profile, seed=0)
+        detections = det.detect_full_frame(kitti_sequence, 5)
+        mask = RegionMask(
+            detections.boxes, kitti_sequence.width, kitti_sequence.height, 30
+        )
+        art = render_frame(
+            kitti_sequence, 5, detections=detections, mask=mask, width=60
+        )
+        assert "o" in art or len(detections.above_score(0.5)) == 0
+        assert "." in art
+        assert "RoI mask" in art
+
+    def test_render_frame_validation(self, kitti_sequence):
+        with pytest.raises(ValueError, match="width"):
+            render_frame(kitti_sequence, 0, width=5)
+
+    def test_track_timeline(self, kitti_sequence):
+        art = render_track_timeline(kitti_sequence, max_tracks=5)
+        assert "=" in art
+        lines = art.splitlines()
+        assert len(lines) <= 7  # header + 5 tracks + ellipsis

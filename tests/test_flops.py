@@ -1,0 +1,188 @@
+"""Unit tests for the analytic FLOPs models (Table 1 reproduction)."""
+
+import numpy as np
+import pytest
+
+from repro.flops.layers import ConvLayer, FCLayer, PoolLayer, conv_output_hw, count_ops, total_macs
+from repro.flops.rcnn import FasterRCNNOps
+from repro.flops.resnet import (
+    RESNET10A,
+    RESNET10B,
+    RESNET10C,
+    RESNET18,
+    RESNET50,
+    resnet_head_layers,
+    resnet_trunk_layers,
+)
+from repro.flops.retinanet import RetinaNetOps
+from repro.flops.vgg import VGG16, vgg_head_layers, vgg_trunk_layers
+
+KITTI_W, KITTI_H = 1242, 375
+
+
+class TestLayers:
+    def test_conv_macs_formula(self):
+        layer = ConvLayer("c", 3, 64, kernel=7, stride=2)
+        assert layer.macs(10, 10) == 7 * 7 * 3 * 64 * 100
+
+    def test_conv_output_hw_ceil(self):
+        assert conv_output_hw(375, 1242, 2) == (188, 621)
+        assert conv_output_hw(5, 5, 1) == (5, 5)
+
+    def test_count_ops_propagates_resolution(self):
+        layers = [
+            ConvLayer("a", 3, 8, kernel=3, stride=2),
+            PoolLayer("p", stride=2),
+            ConvLayer("b", 8, 16, kernel=3, stride=1),
+        ]
+        ops = count_ops(layers, 100, 100)
+        assert ops[0].out_h == 50
+        assert ops[1].out_h == 25 and ops[1].macs == 0
+        assert ops[2].out_h == 25
+        assert ops[2].macs == 9 * 8 * 16 * 25 * 25
+
+    def test_fc_macs(self):
+        assert FCLayer("f", 100, 10).macs() == 1000
+
+    def test_invalid_specs(self):
+        with pytest.raises(ValueError):
+            ConvLayer("c", 0, 8)
+        with pytest.raises(ValueError):
+            FCLayer("f", 10, 0)
+        with pytest.raises(ValueError, match="resolution"):
+            count_ops([ConvLayer("c", 3, 8)], 0, 10)
+
+
+class TestResNetBuilders:
+    def test_trunk_stride_16(self):
+        ops = count_ops(resnet_trunk_layers(RESNET50), KITTI_H, KITTI_W)
+        assert ops[-1].out_h == -(-KITTI_H // 16)
+        assert ops[-1].out_w == -(-KITTI_W // 16)
+
+    def test_resnet18_has_two_blocks_per_stage(self):
+        names = [l.name for l in resnet_trunk_layers(RESNET18)]
+        assert any("block1.1" in n for n in names)
+        names10 = [l.name for l in resnet_trunk_layers(RESNET10A)]
+        assert not any("block1.1" in n for n in names10)
+
+    def test_bottleneck_expansion(self):
+        assert RESNET50.trunk_out_channels == 1024  # 256 * 4
+        assert RESNET18.trunk_out_channels == 256
+
+    def test_head_layers_are_stage4(self):
+        names = [l.name for l in resnet_head_layers(RESNET50)]
+        assert all("block4" in n for n in names)
+
+
+class TestTable1:
+    """Table 1: proposal-net ops on KITTI (1242x375, 300 proposals)."""
+
+    @pytest.mark.parametrize(
+        "arch,roi_pool,paper_gops,tol",
+        [
+            (RESNET10A, 7, 20.7, 0.10),
+            (RESNET10B, 7, 7.5, 0.10),
+            (RESNET10C, 7, 4.5, 0.10),
+            (RESNET18, 14, 138.3, 0.10),
+        ],
+    )
+    def test_proposal_net_ops_match_paper(self, arch, roi_pool, paper_gops, tol):
+        model = FasterRCNNOps(arch, KITTI_W, KITTI_H, roi_pool=roi_pool)
+        gops = model.full_frame(300).total_gops
+        assert gops == pytest.approx(paper_gops, rel=tol)
+
+    def test_ordering(self):
+        gops = [
+            FasterRCNNOps(a, KITTI_W, KITTI_H).full_frame(300).total_gops
+            for a in (RESNET18, RESNET10A, RESNET10B, RESNET10C)
+        ]
+        assert gops == sorted(gops, reverse=True)
+
+    def test_resnet50_kitti_scale(self):
+        model = FasterRCNNOps(RESNET50, KITTI_W, KITTI_H, roi_pool=14)
+        gops = model.full_frame(300).total_gops
+        # Paper: 254.3 G; counting-convention differences leave ~11 %.
+        assert gops == pytest.approx(254.3, rel=0.15)
+
+    def test_vgg16_kitti(self):
+        model = FasterRCNNOps(VGG16, KITTI_W, KITTI_H)
+        assert model.full_frame(300).total_gops == pytest.approx(179.0, rel=0.05)
+
+
+class TestRegionalMode:
+    def test_zero_coverage_only_heads(self):
+        model = FasterRCNNOps(RESNET50, KITTI_W, KITTI_H)
+        ops = model.regional(0.0, 10)
+        assert ops.trunk == 0.0
+        assert ops.rpn == 0.0
+        assert ops.head == pytest.approx(model.head_macs_per_proposal * 10)
+
+    def test_full_coverage_matches_trunk(self):
+        model = FasterRCNNOps(RESNET50, KITTI_W, KITTI_H)
+        assert model.regional(1.0, 0).trunk == pytest.approx(model.trunk_macs)
+
+    def test_regional_monotone_in_coverage(self):
+        model = FasterRCNNOps(RESNET50, KITTI_W, KITTI_H)
+        totals = [model.regional(c, 20).total for c in (0.1, 0.3, 0.7)]
+        assert totals == sorted(totals)
+
+    def test_regional_cheaper_than_full(self):
+        """The core CaTDet premise at the ops level."""
+        model = FasterRCNNOps(RESNET50, KITTI_W, KITTI_H, roi_pool=14)
+        regional = model.regional(0.35, 20).total
+        full = model.full_frame(300).total
+        assert regional < full / 4
+
+    def test_validation(self):
+        model = FasterRCNNOps(RESNET50, KITTI_W, KITTI_H)
+        with pytest.raises(ValueError, match="coverage"):
+            model.regional(1.5, 10)
+        with pytest.raises(ValueError, match="n_proposals"):
+            model.regional(0.5, -1)
+        with pytest.raises(ValueError, match="image size"):
+            FasterRCNNOps(RESNET50, 0, 100)
+
+
+class TestOpsBreakdownArithmetic:
+    def test_add_and_scale(self):
+        model = FasterRCNNOps(RESNET10A, KITTI_W, KITTI_H)
+        a = model.full_frame(300)
+        double = a + a
+        assert double.total == pytest.approx(2 * a.total)
+        half = a.scaled(0.5)
+        assert half.total == pytest.approx(a.total / 2)
+
+
+class TestRetinaNet:
+    def test_matches_paper_table8(self):
+        model = RetinaNetOps(RESNET50, KITTI_W, KITTI_H)
+        assert model.full_frame().total_gops == pytest.approx(96.7, rel=0.08)
+
+    def test_regional_scales_all_parts(self):
+        model = RetinaNetOps(RESNET50, KITTI_W, KITTI_H)
+        half = model.regional(0.5)
+        full = model.full_frame()
+        assert half.total == pytest.approx(full.total / 2)
+
+    def test_subnets_dominate_backbone_at_kitti(self):
+        # RetinaNet's dense heads are a large share of its cost.
+        model = RetinaNetOps(RESNET50, KITTI_W, KITTI_H)
+        assert model.subnet_macs > 0.3 * model.backbone_macs
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="image size"):
+            RetinaNetOps(RESNET50, -1, 5)
+        with pytest.raises(ValueError, match="coverage"):
+            RetinaNetOps(RESNET50, 100, 100).regional(2.0)
+
+
+class TestResolutionScaling:
+    def test_citypersons_trunk_scales_with_area(self):
+        kitti = FasterRCNNOps(RESNET50, KITTI_W, KITTI_H, roi_pool=14)
+        cityp = FasterRCNNOps(RESNET50, 2048, 1024, roi_pool=14, num_classes=1)
+        area_ratio = (2048 * 1024) / (KITTI_W * KITTI_H)
+        assert cityp.trunk_macs / kitti.trunk_macs == pytest.approx(area_ratio, rel=0.02)
+        # Heads are resolution-independent.
+        assert cityp.head_macs_per_proposal == pytest.approx(
+            kitti.head_macs_per_proposal, rel=0.01
+        )

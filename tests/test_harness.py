@@ -1,0 +1,86 @@
+"""Unit tests for the experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.harness.configs import TABLE2_CONFIGS, TABLE6_CONFIGS
+from repro.harness.experiment import (
+    run_experiment,
+    standard_citypersons,
+    standard_kitti,
+)
+from repro.harness.sweeps import cthresh_sweep
+from repro.harness.tables import format_table
+from repro.metrics.kitti_eval import HARD
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        out = format_table(
+            ["name", "x"], [["a", 1.23456], ["bb", None]], precision=2
+        )
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "1.23" in out
+        assert "-" in lines[-1]
+
+    def test_title(self):
+        out = format_table(["h"], [["v"]], title="Table X")
+        assert out.splitlines()[0] == "Table X"
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [["only-one"]])
+
+
+class TestStandardDatasets:
+    def test_kitti_cached(self):
+        assert standard_kitti(2, 30) is standard_kitti(2, 30)
+
+    def test_citypersons_sparse(self):
+        ds = standard_citypersons(4)
+        assert ds.labeled_frames is not None
+
+
+class TestConfigs:
+    def test_table2_structure(self):
+        kinds = [c.kind for c in TABLE2_CONFIGS]
+        assert kinds == ["single", "cascade", "catdet", "cascade", "catdet"]
+
+    def test_table6_citypersons_settings(self):
+        for config in TABLE6_CONFIGS:
+            assert config.num_classes == 1
+            assert config.input_scale < 1.0
+
+
+class TestRunExperiment:
+    def test_smoke(self):
+        ds = standard_kitti(1, 30)
+        result = run_experiment(SystemConfig("single", "resnet10b"), ds, (HARD,))
+        assert result.ops_gops > 0
+        assert 0.0 <= result.mean_ap("hard") <= 1.0
+        assert result.label == "resnet10b, Faster R-CNN"
+        assert result.evaluation("hard").difficulty == "hard"
+
+
+class TestCthreshSweep:
+    def test_sweep_structure(self):
+        ds = standard_kitti(1, 30)
+        points = cthresh_sweep(
+            ds, proposal_models=("resnet10a",), c_values=(0.05, 0.4)
+        )
+        assert len(points) == 4  # 1 model x {tracker, no-tracker} x 2 values
+        tracked = [p for p in points if p.with_tracker]
+        untracked = [p for p in points if not p.with_tracker]
+        assert len(tracked) == len(untracked) == 2
+
+    def test_ops_decrease_with_cthresh(self):
+        ds = standard_kitti(1, 30)
+        points = cthresh_sweep(
+            ds, proposal_models=("resnet10a",), c_values=(0.02, 0.6)
+        )
+        untracked = sorted(
+            (p for p in points if not p.with_tracker), key=lambda p: p.c_thresh
+        )
+        assert untracked[1].ops_gops <= untracked[0].ops_gops

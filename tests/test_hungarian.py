@@ -1,0 +1,89 @@
+"""Unit + reference tests for the from-scratch Hungarian solver."""
+
+import numpy as np
+import pytest
+from scipy.optimize import linear_sum_assignment as scipy_lsa
+
+from repro.hungarian import hungarian, linear_sum_assignment
+
+
+class TestBasics:
+    def test_identity_matrix(self):
+        cost = np.eye(3)
+        rows, cols = hungarian(1.0 - cost)  # maximize the diagonal
+        assert rows.tolist() == [0, 1, 2]
+        assert cols.tolist() == [0, 1, 2]
+
+    def test_simple_2x2(self):
+        cost = np.array([[1.0, 2.0], [2.0, 1.0]])
+        rows, cols = hungarian(cost)
+        assert cost[rows, cols].sum() == pytest.approx(2.0)
+
+    def test_rectangular_wide(self):
+        cost = np.array([[10.0, 1.0, 10.0]])
+        rows, cols = hungarian(cost)
+        assert rows.tolist() == [0]
+        assert cols.tolist() == [1]
+
+    def test_rectangular_tall(self):
+        cost = np.array([[10.0], [1.0], [5.0]])
+        rows, cols = hungarian(cost)
+        assert rows.tolist() == [1]
+        assert cols.tolist() == [0]
+
+    def test_empty(self):
+        rows, cols = hungarian(np.zeros((0, 5)))
+        assert rows.shape == (0,) and cols.shape == (0,)
+
+    def test_non_2d_raises(self):
+        with pytest.raises(ValueError, match="2-D"):
+            hungarian(np.zeros(4))
+
+    def test_nonfinite_raises(self):
+        with pytest.raises(ValueError, match="finite"):
+            hungarian(np.array([[np.inf, 1.0], [1.0, 2.0]]))
+
+    def test_rows_sorted_and_unique(self):
+        rng = np.random.default_rng(0)
+        cost = rng.normal(size=(6, 9))
+        rows, cols = hungarian(cost)
+        assert rows.tolist() == sorted(rows.tolist())
+        assert len(set(rows.tolist())) == len(rows)
+        assert len(set(cols.tolist())) == len(cols)
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_square_random(self, seed):
+        rng = np.random.default_rng(seed)
+        cost = rng.normal(size=(7, 7))
+        r1, c1 = hungarian(cost)
+        r2, c2 = scipy_lsa(cost)
+        assert cost[r1, c1].sum() == pytest.approx(cost[r2, c2].sum())
+
+    @pytest.mark.parametrize("shape", [(3, 8), (8, 3), (1, 5), (5, 1), (2, 2)])
+    def test_rectangular_random(self, shape):
+        rng = np.random.default_rng(hash(shape) % 2**31)
+        cost = rng.normal(size=shape) * 10
+        r1, c1 = hungarian(cost)
+        r2, c2 = scipy_lsa(cost)
+        assert len(r1) == min(shape)
+        assert cost[r1, c1].sum() == pytest.approx(cost[r2, c2].sum())
+
+    def test_maximize_flag(self):
+        rng = np.random.default_rng(42)
+        cost = rng.random((5, 5))
+        r1, c1 = linear_sum_assignment(cost, maximize=True)
+        r2, c2 = scipy_lsa(cost, maximize=True)
+        assert cost[r1, c1].sum() == pytest.approx(cost[r2, c2].sum())
+
+    def test_integer_costs(self):
+        cost = np.array([[4, 1, 3], [2, 0, 5], [3, 2, 2]], dtype=float)
+        r1, c1 = hungarian(cost)
+        r2, c2 = scipy_lsa(cost)
+        assert cost[r1, c1].sum() == pytest.approx(cost[r2, c2].sum())
+
+    def test_ties_still_optimal(self):
+        cost = np.ones((4, 4))
+        rows, cols = hungarian(cost)
+        assert cost[rows, cols].sum() == pytest.approx(4.0)

@@ -1,0 +1,155 @@
+"""End-to-end integration tests: the paper's qualitative claims must hold.
+
+These run the full pipeline (world -> detectors -> systems -> metrics) on a
+small dataset and assert the *shape* results of the paper: ops savings,
+cascade/CaTDet accuracy relationships, tracker value, delay behavior.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.pipeline import run_on_dataset
+from repro.metrics.evaluate import evaluate_dataset
+from repro.metrics.kitti_eval import HARD, MODERATE
+
+
+@pytest.fixture(scope="module")
+def runs(kitti_small):
+    """Shared system runs on the small KITTI dataset."""
+    configs = {
+        "single50": SystemConfig("single", "resnet50"),
+        "single10a": SystemConfig("single", "resnet10a"),
+        "cascade": SystemConfig("cascade", "resnet50", "resnet10a"),
+        "catdet": SystemConfig("catdet", "resnet50", "resnet10a"),
+    }
+    out = {}
+    for key, config in configs.items():
+        run = run_on_dataset(config, kitti_small)
+        out[key] = {
+            "run": run,
+            "hard": evaluate_dataset(kitti_small, run.detections_by_sequence, HARD),
+            "moderate": evaluate_dataset(
+                kitti_small, run.detections_by_sequence, MODERATE
+            ),
+        }
+    return out
+
+
+class TestOpsClaims:
+    def test_catdet_saves_over_4x(self, runs):
+        """Paper: 5.1-8.7x fewer operations than single-model (Table 2)."""
+        single = runs["single50"]["run"].mean_ops_gops()
+        catdet = runs["catdet"]["run"].mean_ops_gops()
+        assert single / catdet > 4.0
+
+    def test_cascade_cheaper_than_catdet(self, runs):
+        """The tracker adds regions, hence ops (Table 2)."""
+        assert (
+            runs["cascade"]["run"].mean_ops_gops()
+            < runs["catdet"]["run"].mean_ops_gops()
+        )
+
+    def test_proposal_net_ops_matches_single_10a(self, runs):
+        """The cascade's proposal component is a full 10a pass."""
+        cascade_prop = runs["cascade"]["run"].mean_ops().proposal
+        single_10a = runs["single10a"]["run"].mean_ops().refinement
+        assert cascade_prop == pytest.approx(single_10a, rel=0.01)
+
+
+class TestAccuracyClaims:
+    def test_catdet_matches_single_model_map(self, runs):
+        """Paper: CaTDet has the same (or slightly better) mAP (Table 2)."""
+        single = runs["single50"]["hard"].mean_ap()
+        catdet = runs["catdet"]["hard"].mean_ap()
+        assert catdet >= single - 0.02
+
+    def test_cascade_loses_map(self, runs):
+        """Paper: cascade drops ~0.5-1% that cannot be recovered."""
+        catdet = runs["catdet"]["hard"].mean_ap()
+        cascade = runs["cascade"]["hard"].mean_ap()
+        assert cascade < catdet
+
+    def test_weak_single_model_much_worse(self, runs):
+        """10a alone is far below 10a+50 CaTDet (Table 4)."""
+        weak = runs["single10a"]["hard"].mean_ap()
+        catdet = runs["catdet"]["hard"].mean_ap()
+        assert catdet > weak + 0.1
+
+    def test_moderate_easier_than_hard(self, runs):
+        for key in ("single50", "catdet"):
+            assert runs[key]["moderate"].mean_ap() >= runs[key]["hard"].mean_ap() - 0.01
+
+
+class TestDelayClaims:
+    def test_delay_ordering_single_catdet_cascade(self, runs):
+        """Paper Table 2: single <= CaTDet <= cascade in delay."""
+        single = runs["single50"]["hard"].mean_delay(0.8)
+        catdet = runs["catdet"]["hard"].mean_delay(0.8)
+        cascade = runs["cascade"]["hard"].mean_delay(0.8)
+        assert single <= catdet + 0.5
+        assert catdet <= cascade + 0.3
+
+    def test_weak_model_delay_much_worse(self, runs):
+        """Paper Table 4: 10a single-model delay is worse than ResNet-50.
+
+        The 2-sequence fixture carries sampling noise of ~1 frame, so this
+        only asserts the soft ordering; the full-size claim is asserted by
+        ``benchmarks/test_table4_proposal_analysis.py``.
+        """
+        weak = runs["single10a"]["hard"].mean_delay(0.8)
+        strong = runs["single50"]["hard"].mean_delay(0.8)
+        assert weak > strong - 1.0
+
+    def test_delay_positive_but_small_for_strong_systems(self, runs):
+        delay = runs["single50"]["hard"].mean_delay(0.8)
+        assert 0.0 < delay < 8.0
+
+
+class TestDeterminism:
+    def test_full_pipeline_reproducible(self, kitti_small):
+        config = SystemConfig("catdet", "resnet50", "resnet10a", seed=3)
+        a = run_on_dataset(config, kitti_small)
+        b = run_on_dataset(config, kitti_small)
+        assert a.mean_ops_gops() == pytest.approx(b.mean_ops_gops())
+        ra = evaluate_dataset(kitti_small, a.detections_by_sequence, HARD)
+        rb = evaluate_dataset(kitti_small, b.detections_by_sequence, HARD)
+        assert ra.mean_ap() == pytest.approx(rb.mean_ap())
+
+    def test_seed_changes_results(self, kitti_small):
+        a = run_on_dataset(
+            SystemConfig("single", "resnet10b", seed=1), kitti_small
+        )
+        b = run_on_dataset(
+            SystemConfig("single", "resnet10b", seed=2), kitti_small
+        )
+        da = a.detections_by_sequence[kitti_small.sequences[0].name][5]
+        db = b.detections_by_sequence[kitti_small.sequences[0].name][5]
+        assert len(da) != len(db) or not np.allclose(da.boxes, db.boxes)
+
+
+class TestCityPersons:
+    def test_cascade_gap_larger_than_kitti(self, citypersons_small):
+        """Paper §7: the plain cascade loses >5% mAP on CityPersons."""
+        from repro.harness.configs import CITYPERSONS_INPUT_SCALE
+
+        def ap(kind, proposal=None):
+            config = (
+                SystemConfig(kind, "resnet50", proposal, num_classes=1,
+                             input_scale=CITYPERSONS_INPUT_SCALE)
+                if proposal
+                else SystemConfig(kind, "resnet50", num_classes=1,
+                                  input_scale=CITYPERSONS_INPUT_SCALE)
+            )
+            run = run_on_dataset(config, citypersons_small)
+            res = evaluate_dataset(
+                citypersons_small, run.detections_by_sequence, MODERATE,
+                with_delay=False,
+            )
+            return res.mean_ap("voc11")
+
+        single = ap("single")
+        cascade = ap("cascade", "resnet10a")
+        catdet = ap("catdet", "resnet10a")
+        assert cascade < single - 0.02   # big cascade drop
+        assert catdet > cascade + 0.02   # tracker recovers most of it

@@ -1,0 +1,80 @@
+"""Tests for the key-frame baseline system."""
+
+import numpy as np
+import pytest
+
+from repro.core.keyframe import KeyFrameSystem
+from repro.core.pipeline import run_on_dataset
+from repro.core.systems import SingleModelSystem
+from repro.metrics.evaluate import evaluate_dataset
+from repro.metrics.kitti_eval import HARD
+
+
+class TestKeyFrameSystem:
+    def test_ops_only_on_key_frames(self, kitti_sequence):
+        system = KeyFrameSystem("resnet50", stride=5, seed=0)
+        result = system.process_sequence(kitti_sequence)
+        for frame_result in result.frames:
+            if frame_result.frame % 5 == 0:
+                assert frame_result.ops.total > 0
+            else:
+                assert frame_result.ops.total == 0.0
+
+    def test_mean_ops_scale_with_stride(self, kitti_sequence):
+        single_ops = (
+            SingleModelSystem("resnet50", seed=0)
+            .process_sequence(kitti_sequence)
+            .mean_ops()
+            .total
+        )
+        for stride in (2, 5):
+            kf_ops = (
+                KeyFrameSystem("resnet50", stride=stride, seed=0)
+                .process_sequence(kitti_sequence)
+                .mean_ops()
+                .total
+            )
+            assert kf_ops == pytest.approx(single_ops / stride, rel=0.05)
+
+    def test_stride_one_matches_single_model_ops(self, kitti_sequence):
+        kf = KeyFrameSystem("resnet50", stride=1, seed=0)
+        single = SingleModelSystem("resnet50", seed=0)
+        assert kf.process_sequence(kitti_sequence).mean_ops().total == pytest.approx(
+            single.process_sequence(kitti_sequence).mean_ops().total
+        )
+
+    def test_skipped_frames_carry_tracked_output(self, kitti_sequence):
+        system = KeyFrameSystem("resnet50", stride=4, seed=0)
+        result = system.process_sequence(kitti_sequence)
+        # After the first key frame, skipped frames should usually carry
+        # coasted detections for the standing population.
+        skipped = [f for f in result.frames[1:20] if f.frame % 4 != 0]
+        assert any(len(f.detections) > 0 for f in skipped)
+
+    def test_accuracy_degrades_with_stride(self, kitti_small):
+        maps = []
+        for stride in (1, 8):
+            run = run_on_dataset(
+                KeyFrameSystem("resnet50", stride=stride, seed=0), kitti_small
+            )
+            res = evaluate_dataset(kitti_small, run.detections_by_sequence, HARD)
+            maps.append(res.mean_ap())
+        assert maps[1] < maps[0]
+
+    def test_delay_worse_than_dense_detection(self, kitti_small):
+        """The key weakness vs CaTDet: new objects wait for a key frame."""
+        dense = run_on_dataset(SingleModelSystem("resnet50", seed=0), kitti_small)
+        sparse = run_on_dataset(
+            KeyFrameSystem("resnet50", stride=8, seed=0), kitti_small
+        )
+        d_dense = evaluate_dataset(
+            kitti_small, dense.detections_by_sequence, HARD
+        ).mean_delay(0.8)
+        d_sparse = evaluate_dataset(
+            kitti_small, sparse.detections_by_sequence, HARD
+        ).mean_delay(0.8)
+        assert d_sparse > d_dense
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError, match="stride"):
+            KeyFrameSystem("resnet50", stride=0)

@@ -1,0 +1,146 @@
+"""Unit + integration tests for dataset-level evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.types import ClassSpec, Dataset, ObjectTrack, Sequence
+from repro.detections import Detections
+from repro.metrics.curves import precision_recall_delay_curves
+from repro.metrics.evaluate import evaluate_dataset
+from repro.metrics.kitti_eval import EASY, HARD, MODERATE, care_mask
+
+
+def _perfect_world():
+    """One sequence, one large unoccluded object, 5 frames."""
+    boxes = np.stack([np.array([100.0, 100.0, 200.0, 180.0])] * 5)
+    track = ObjectTrack(0, 0, 0, boxes, np.zeros(5), np.zeros(5))
+    seq = Sequence("s", 400, 300, 5, 10.0, tracks=[track])
+    return Dataset("d", (ClassSpec("Car", 0, 0.7),), [seq])
+
+
+def _perfect_detections(dataset, score=0.9):
+    out = {}
+    for seq in dataset.sequences:
+        frames = []
+        for f in range(seq.num_frames):
+            ann = seq.annotations(f)
+            frames.append(
+                Detections(ann.boxes, np.full(len(ann), score), ann.labels)
+            )
+        out[seq.name] = frames
+    return out
+
+
+class TestEvaluateDataset:
+    def test_perfect_detector_perfect_scores(self):
+        ds = _perfect_world()
+        res = evaluate_dataset(ds, _perfect_detections(ds), HARD)
+        assert res.mean_ap() == pytest.approx(1.0)
+        assert res.mean_delay(0.8) == 0.0
+
+    def test_missing_sequence_raises(self):
+        ds = _perfect_world()
+        with pytest.raises(KeyError, match="missing sequence"):
+            evaluate_dataset(ds, {}, HARD)
+
+    def test_wrong_frame_count_raises(self):
+        ds = _perfect_world()
+        with pytest.raises(ValueError, match="frames"):
+            evaluate_dataset(ds, {"s": [Detections.empty()]}, HARD)
+
+    def test_blind_detector_zero_ap_max_delay(self):
+        ds = _perfect_world()
+        results = {"s": [Detections.empty()] * 5}
+        res = evaluate_dataset(ds, results, HARD)
+        assert res.mean_ap() == 0.0
+        assert res.mean_delay(0.8) == 5.0  # undetected = full track length
+
+    def test_late_detection_delay(self):
+        ds = _perfect_world()
+        perfect = _perfect_detections(ds)["s"]
+        results = {"s": [Detections.empty(), Detections.empty()] + perfect[2:]}
+        res = evaluate_dataset(ds, results, HARD)
+        assert res.mean_delay(0.8) == 2.0
+
+    def test_sparse_labels_restrict_evaluation(self):
+        ds = _perfect_world()
+        ds.labeled_frames = {"s": [2]}
+        # Detections only on frame 2; other frames empty — AP unaffected.
+        perfect = _perfect_detections(ds)["s"]
+        results = {"s": [Detections.empty()] * 2 + [perfect[2]] + [Detections.empty()] * 2}
+        res = evaluate_dataset(ds, results, HARD, with_delay=False)
+        assert res.mean_ap() == pytest.approx(1.0)
+
+    def test_class_eval_lookup(self):
+        ds = _perfect_world()
+        res = evaluate_dataset(ds, _perfect_detections(ds), HARD)
+        assert res.class_eval("Car").num_gt == 5
+        with pytest.raises(KeyError):
+            res.class_eval("Plane")
+
+    def test_summary_keys(self):
+        ds = _perfect_world()
+        res = evaluate_dataset(ds, _perfect_detections(ds), HARD)
+        summary = res.summary()
+        assert "mAP" in summary and "AP[Car]" in summary and "mD@0.8" in summary
+
+
+class TestDifficultyFilters:
+    def test_care_mask_ordering(self, kitti_sequence):
+        """Easy ⊆ Moderate ⊆ Hard."""
+        for frame in range(0, 40, 7):
+            ann = kitti_sequence.annotations(frame)
+            easy = care_mask(ann, EASY)
+            mod = care_mask(ann, MODERATE)
+            hard = care_mask(ann, HARD)
+            assert np.all(~easy | mod)   # easy implies moderate
+            assert np.all(~mod | hard)   # moderate implies hard
+
+    def test_height_gate(self):
+        from repro.datasets.types import FrameAnnotations
+
+        ann = FrameAnnotations(
+            frame=0,
+            boxes=np.array([[0, 0, 50, 20], [0, 0, 50, 60]]),
+            labels=np.zeros(2, dtype=int),
+            track_ids=np.arange(2),
+            occlusion=np.zeros(2),
+            truncation=np.zeros(2),
+        )
+        assert care_mask(ann, HARD).tolist() == [False, True]
+
+    def test_occlusion_gate(self):
+        from repro.datasets.types import FrameAnnotations
+
+        ann = FrameAnnotations(
+            frame=0,
+            boxes=np.tile(np.array([[0.0, 0.0, 50.0, 60.0]]), (3, 1)),
+            labels=np.zeros(3, dtype=int),
+            track_ids=np.arange(3),
+            occlusion=np.array([0.1, 0.6, 0.9]),
+            truncation=np.zeros(3),
+        )
+        assert care_mask(ann, EASY).tolist() == [True, False, False]
+        assert care_mask(ann, MODERATE).tolist() == [True, False, False]
+        assert care_mask(ann, HARD).tolist() == [True, True, False]
+
+
+class TestCurves:
+    def test_monotone_recall_vs_threshold(self):
+        ds = _perfect_world()
+        res = evaluate_dataset(ds, _perfect_detections(ds), HARD)
+        points = precision_recall_delay_curves(res.class_eval("Car"), num_points=8)
+        recalls = [p.recall for p in points]
+        assert recalls == sorted(recalls, reverse=True)
+
+    def test_empty_class(self):
+        ds = _perfect_world()
+        results = {"s": [Detections.empty()] * 5}
+        res = evaluate_dataset(ds, results, HARD)
+        assert precision_recall_delay_curves(res.class_eval("Car")) == []
+
+    def test_num_points_validation(self):
+        ds = _perfect_world()
+        res = evaluate_dataset(ds, _perfect_detections(ds), HARD)
+        with pytest.raises(ValueError, match="num_points"):
+            precision_recall_delay_curves(res.class_eval("Car"), num_points=1)

@@ -1,0 +1,120 @@
+"""Unit tests for detection-to-GT matching with ignore handling."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.types import FrameAnnotations
+from repro.detections import Detections
+from repro.metrics.matching import match_frame
+
+
+def annotations(boxes, labels=None, track_ids=None, occ=None, trunc=None):
+    boxes = np.asarray(boxes, dtype=float).reshape(-1, 4)
+    n = boxes.shape[0]
+    return FrameAnnotations(
+        frame=0,
+        boxes=boxes,
+        labels=np.zeros(n, dtype=int) if labels is None else np.asarray(labels),
+        track_ids=np.arange(n) if track_ids is None else np.asarray(track_ids),
+        occlusion=np.zeros(n) if occ is None else np.asarray(occ),
+        truncation=np.zeros(n) if trunc is None else np.asarray(trunc),
+    )
+
+
+def detections(boxes, scores, labels=None):
+    boxes = np.asarray(boxes, dtype=float).reshape(-1, 4)
+    n = boxes.shape[0]
+    return Detections(
+        boxes,
+        np.asarray(scores, dtype=float),
+        np.zeros(n, dtype=int) if labels is None else np.asarray(labels),
+    )
+
+
+class TestMatchFrame:
+    def test_simple_tp(self):
+        ann = annotations([[0, 0, 100, 100]])
+        det = detections([[2, 2, 98, 98]], [0.9])
+        res = match_frame(det, ann, 0, 0.5, np.array([True]))
+        assert res.det_tp.tolist() == [True]
+        assert res.num_gt == 1
+        assert res.gt_matched_scores[0] == pytest.approx(0.9)
+
+    def test_low_iou_is_fp(self):
+        ann = annotations([[0, 0, 100, 100]])
+        det = detections([[80, 80, 200, 200]], [0.9])
+        res = match_frame(det, ann, 0, 0.5, np.array([True]))
+        assert res.det_tp.tolist() == [False]
+        assert res.gt_matched_scores[0] == -np.inf
+
+    def test_greedy_by_score(self):
+        """The higher-scoring detection claims the ground truth."""
+        ann = annotations([[0, 0, 100, 100]])
+        det = detections([[0, 0, 100, 100], [1, 1, 99, 99]], [0.5, 0.9])
+        res = match_frame(det, ann, 0, 0.5, np.array([True]))
+        # Detection order is by descending score; the 0.9 one wins.
+        assert res.det_scores.tolist() == [0.9, 0.5]
+        assert res.det_tp.tolist() == [True, False]
+        assert res.gt_matched_scores[0] == pytest.approx(0.9)
+
+    def test_one_gt_matched_once(self):
+        ann = annotations([[0, 0, 100, 100]])
+        det = detections(
+            [[0, 0, 100, 100], [0, 0, 100, 100], [0, 0, 100, 100]], [0.9, 0.8, 0.7]
+        )
+        res = match_frame(det, ann, 0, 0.5, np.array([True]))
+        assert res.det_tp.sum() == 1
+
+    def test_ignored_gt_absorbs_detection(self):
+        """Detections on ignored GT are neither TP nor FP (KITTI rule)."""
+        ann = annotations([[0, 0, 100, 100]])
+        det = detections([[0, 0, 100, 100]], [0.9])
+        res = match_frame(det, ann, 0, 0.5, np.array([False]))
+        assert res.det_tp.tolist() == [False]
+        assert res.det_ignored.tolist() == [True]
+        assert res.num_gt == 0
+
+    def test_class_filtering(self):
+        ann = annotations([[0, 0, 100, 100]], labels=[1])
+        det = detections([[0, 0, 100, 100]], [0.9], labels=[0])
+        res = match_frame(det, ann, 0, 0.5, np.array([True]))
+        assert res.det_tp.tolist() == [False]  # class 0 det, class 1 GT
+        assert res.num_gt == 0  # no class-0 GT
+
+    def test_class_specific_iou_threshold(self):
+        ann = annotations([[0, 0, 100, 100]])
+        det = detections([[0, 0, 100, 60]], [0.9])  # IoU 0.6
+        res_strict = match_frame(det, ann, 0, 0.7, np.array([True]))
+        res_loose = match_frame(det, ann, 0, 0.5, np.array([True]))
+        assert res_strict.det_tp.tolist() == [False]
+        assert res_loose.det_tp.tolist() == [True]
+
+    def test_gt_track_ids_include_ignored(self):
+        """Delay needs matched scores for ignored (pre-difficulty) frames too."""
+        ann = annotations([[0, 0, 100, 100], [200, 0, 220, 20]], track_ids=[7, 9])
+        det = detections([[200, 0, 220, 20]], [0.8])
+        care = np.array([True, False])
+        res = match_frame(det, ann, 0, 0.5, care)
+        assert res.gt_track_ids.tolist() == [7, 9]
+        assert res.gt_care.tolist() == [True, False]
+        assert res.gt_matched_scores[1] == pytest.approx(0.8)
+
+    def test_care_length_mismatch_raises(self):
+        ann = annotations([[0, 0, 1, 1]])
+        det = detections([[0, 0, 1, 1]], [0.5])
+        with pytest.raises(ValueError, match="care"):
+            match_frame(det, ann, 0, 0.5, np.array([True, False]))
+
+    def test_empty_detections(self):
+        ann = annotations([[0, 0, 100, 100]])
+        res = match_frame(Detections.empty(), ann, 0, 0.5, np.array([True]))
+        assert res.det_tp.shape == (0,)
+        assert res.num_gt == 1
+        assert res.gt_matched_scores[0] == -np.inf
+
+    def test_empty_annotations(self):
+        ann = annotations(np.zeros((0, 4)))
+        det = detections([[0, 0, 10, 10]], [0.5])
+        res = match_frame(det, ann, 0, 0.5, np.zeros(0, dtype=bool))
+        assert res.det_tp.tolist() == [False]
+        assert res.num_gt == 0

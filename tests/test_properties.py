@@ -1,0 +1,173 @@
+"""Property-based tests (hypothesis) on the core geometric/metric kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.optimize import linear_sum_assignment as scipy_lsa
+
+from repro.boxes.box import area, clip_boxes, expand_boxes, union_box
+from repro.boxes.iou import iou_matrix
+from repro.boxes.mask import RegionMask
+from repro.boxes.merge import MergeCostModel, greedy_merge_boxes
+from repro.boxes.nms import nms
+from repro.hungarian import hungarian
+from repro.metrics.ap import average_precision
+
+
+@st.composite
+def boxes_strategy(draw, max_boxes=12, max_coord=500.0):
+    """Non-degenerate boxes with bounded coordinates."""
+    n = draw(st.integers(min_value=1, max_value=max_boxes))
+    coords = draw(
+        st.lists(
+            st.tuples(
+                st.floats(0, max_coord), st.floats(0, max_coord),
+                st.floats(1, 80), st.floats(1, 80),
+            ),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    out = np.array([[x, y, x + w, y + h] for x, y, w, h in coords])
+    return out
+
+
+class TestIouProperties:
+    @given(boxes_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_iou_bounds_and_symmetry(self, boxes):
+        m = iou_matrix(boxes, boxes)
+        assert np.all(m >= 0) and np.all(m <= 1 + 1e-12)
+        np.testing.assert_allclose(m, m.T, atol=1e-12)
+        np.testing.assert_allclose(np.diag(m), 1.0)
+
+    @given(boxes_strategy(), st.floats(1, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_translation_invariance(self, boxes, shift):
+        moved = boxes + np.array([shift, shift, shift, shift])
+        np.testing.assert_allclose(
+            iou_matrix(boxes, boxes), iou_matrix(moved, moved), atol=1e-9
+        )
+
+    @given(boxes_strategy(), st.floats(0.5, 3.0))
+    @settings(max_examples=30, deadline=None)
+    def test_scale_invariance(self, boxes, scale):
+        np.testing.assert_allclose(
+            iou_matrix(boxes, boxes), iou_matrix(boxes * scale, boxes * scale),
+            atol=1e-9,
+        )
+
+
+class TestNmsProperties:
+    @given(boxes_strategy(), st.floats(0.1, 0.9))
+    @settings(max_examples=50, deadline=None)
+    def test_kept_set_mutually_nonoverlapping(self, boxes, thr):
+        scores = np.linspace(1.0, 0.1, boxes.shape[0])
+        keep = nms(boxes, scores, thr)
+        kept = boxes[keep]
+        m = iou_matrix(kept, kept)
+        np.fill_diagonal(m, 0.0)
+        assert np.all(m <= thr + 1e-9)
+
+    @given(boxes_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_top_scorer_always_kept(self, boxes):
+        scores = np.linspace(1.0, 0.1, boxes.shape[0])
+        keep = nms(boxes, scores, 0.5)
+        assert 0 in keep
+
+    @given(boxes_strategy(), st.floats(0.1, 0.9))
+    @settings(max_examples=30, deadline=None)
+    def test_idempotent(self, boxes, thr):
+        scores = np.linspace(1.0, 0.1, boxes.shape[0])
+        keep1 = nms(boxes, scores, thr)
+        keep2 = nms(boxes[keep1], scores[keep1], thr)
+        assert len(keep2) == len(keep1)
+
+
+class TestHungarianProperties:
+    @given(
+        st.integers(1, 8),
+        st.integers(1, 8),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_optimal_cost_matches_scipy(self, n, m, seed):
+        cost = np.random.default_rng(seed).normal(size=(n, m)) * 10
+        r1, c1 = hungarian(cost)
+        r2, c2 = scipy_lsa(cost)
+        assert cost[r1, c1].sum() == pytest.approx(cost[r2, c2].sum(), abs=1e-8)
+
+    @given(st.integers(1, 8), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_permutation_matrix_structure(self, n, seed):
+        cost = np.random.default_rng(seed).random((n, n))
+        rows, cols = hungarian(cost)
+        assert sorted(rows.tolist()) == list(range(n))
+        assert sorted(cols.tolist()) == list(range(n))
+
+
+class TestMaskProperties:
+    @given(boxes_strategy(max_coord=400.0), st.floats(0, 40))
+    @settings(max_examples=50, deadline=None)
+    def test_union_area_bounds(self, boxes, margin):
+        """max(single areas) <= union <= sum of areas (after clipping)."""
+        mask = RegionMask(boxes, 500, 500, margin=margin)
+        clipped = clip_boxes(expand_boxes(boxes, margin), 500, 500)
+        areas = area(clipped)
+        union = mask.union_area()
+        assert union <= areas.sum() + 1e-6
+        assert union >= areas.max() - 1e-6
+
+    @given(boxes_strategy(max_coord=400.0))
+    @settings(max_examples=30, deadline=None)
+    def test_union_le_enclosing_box(self, boxes):
+        mask = RegionMask(boxes, 500, 500, margin=0)
+        enclosing = union_box(clip_boxes(boxes, 500, 500))
+        assert mask.union_area() <= area(enclosing[None, :])[0] + 1e-6
+
+    @given(boxes_strategy(max_coord=400.0), st.floats(0, 30), st.floats(5, 30))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_margin(self, boxes, margin, extra):
+        small = RegionMask(boxes, 600, 600, margin=margin)
+        big = RegionMask(boxes, 600, 600, margin=margin + extra)
+        assert big.union_area() >= small.union_area() - 1e-9
+
+
+class TestMergeProperties:
+    @given(boxes_strategy(max_boxes=8), st.floats(1e2, 1e6))
+    @settings(max_examples=40, deadline=None)
+    def test_merge_never_worse_and_covers(self, boxes, base_area):
+        model = MergeCostModel(alpha=1.0, base_area=base_area)
+        merged, assignment = greedy_merge_boxes(boxes, model)
+        assert model.total_time(merged) <= model.total_time(boxes) + 1e-6
+        assert assignment.shape[0] == boxes.shape[0]
+        for i, box in enumerate(boxes):
+            region = merged[assignment[i]]
+            assert region[0] <= box[0] + 1e-9 and region[2] >= box[2] - 1e-9
+
+
+class TestApProperties:
+    @given(st.integers(1, 60), st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_ap_in_unit_interval(self, n, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.random(n)
+        tp = rng.random(n) < 0.5
+        num_gt = max(int(tp.sum()), 1) + int(rng.integers(0, 5))
+        for method in ("voc11", "r40", "continuous"):
+            ap = average_precision(scores, tp, num_gt, method=method)
+            assert 0.0 <= ap <= 1.0
+
+    @given(st.integers(2, 40), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_extra_fp_below_all_tp_scores_never_helps(self, n, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.random(n) * 0.5 + 0.5
+        tp = rng.random(n) < 0.7
+        num_gt = max(int(tp.sum()), 1)
+        base = average_precision(scores, tp, num_gt, method="continuous")
+        scores2 = np.concatenate([scores, [0.1]])
+        tp2 = np.concatenate([tp, [False]])
+        worse = average_precision(scores2, tp2, num_gt, method="continuous")
+        assert worse <= base + 1e-12

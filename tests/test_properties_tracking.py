@@ -1,0 +1,137 @@
+"""Property-based tests on tracker and delay-metric invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.detections import Detections
+from repro.metrics.delay import DelayEvaluation, TrackDelayRecord
+from repro.tracker.catdet_tracker import CaTDetTracker, TrackerConfig
+
+
+@st.composite
+def detection_stream(draw, max_frames=15, max_objects=5):
+    """A short random stream of per-frame detections."""
+    n_frames = draw(st.integers(1, max_frames))
+    frames = []
+    for _ in range(n_frames):
+        n = draw(st.integers(0, max_objects))
+        boxes = []
+        for _ in range(n):
+            x = draw(st.floats(0, 900))
+            y = draw(st.floats(0, 300))
+            w = draw(st.floats(12, 120))
+            h = draw(st.floats(12, 120))
+            boxes.append([x, y, x + w, y + h])
+        frames.append(
+            Detections(
+                np.asarray(boxes).reshape(-1, 4),
+                np.linspace(1.0, 0.6, n) if n else np.zeros(0),
+                np.zeros(n, dtype=int),
+            )
+        )
+    return frames
+
+
+class TestTrackerInvariants:
+    @given(detection_stream())
+    @settings(max_examples=40, deadline=None)
+    def test_track_ids_never_reused(self, frames):
+        tracker = CaTDetTracker(TrackerConfig(input_score_threshold=0.0))
+        seen = set()
+        alive_prev = set()
+        for dets in frames:
+            tracker.predict()
+            tracker.update(dets)
+            alive = {t.track_id for t in tracker.tracks}
+            new = alive - alive_prev
+            # New ids must never collide with any id ever seen before.
+            assert not (new & seen)
+            seen |= alive
+            alive_prev = alive
+
+    @given(detection_stream())
+    @settings(max_examples=40, deadline=None)
+    def test_confidence_within_bounds(self, frames):
+        config = TrackerConfig(max_confidence=3.0, input_score_threshold=0.0)
+        tracker = CaTDetTracker(config)
+        for dets in frames:
+            tracker.predict()
+            tracker.update(dets)
+            for track in tracker.tracks:
+                assert 0.0 <= track.confidence <= config.max_confidence
+
+    @given(detection_stream())
+    @settings(max_examples=40, deadline=None)
+    def test_hits_and_misses_bounded_by_age(self, frames):
+        tracker = CaTDetTracker(TrackerConfig(input_score_threshold=0.0))
+        for dets in frames:
+            tracker.predict()
+            tracker.update(dets)
+            for track in tracker.tracks:
+                # age counts update steps since spawn; hits start at 1;
+                # misses is the *consecutive* miss count (reset on match).
+                assert 1 <= track.hits <= track.age + 1
+                assert 0 <= track.misses <= track.age
+
+    @given(detection_stream(), st.integers(1, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_all_tracks_die_without_detections(self, frames, extra):
+        config = TrackerConfig(
+            max_confidence=3.0, miss_penalty=1.0, input_score_threshold=0.0
+        )
+        tracker = CaTDetTracker(config)
+        for dets in frames:
+            tracker.predict()
+            tracker.update(dets)
+        # Starve the tracker past the max survivable miss count.
+        for _ in range(4 + extra):
+            tracker.predict()
+            tracker.update(Detections.empty())
+        assert tracker.tracks == []
+
+
+class TestDelayMetricProperties:
+    @st.composite
+    @staticmethod
+    def track_records(draw):
+        n_tracks = draw(st.integers(1, 8))
+        tracks = []
+        for _ in range(n_tracks):
+            length = draw(st.integers(1, 12))
+            scores = draw(
+                st.lists(
+                    st.one_of(st.just(-np.inf), st.floats(0.0, 1.0)),
+                    min_size=length, max_size=length,
+                )
+            )
+            record = TrackDelayRecord()
+            for i, s in enumerate(scores):
+                record.append(i, s, cared=True)
+            tracks.append(record)
+        return tracks
+
+    @given(track_records(), st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_delay_monotone_in_threshold(self, tracks, t1, t2):
+        lo, hi = min(t1, t2), max(t1, t2)
+        for record in tracks:
+            assert record.delay_at(lo) <= record.delay_at(hi)
+            assert record.exit_delay_at(lo) <= record.exit_delay_at(hi)
+
+    @given(track_records(), st.floats(0.0, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_delays_bounded_by_length(self, tracks, threshold):
+        for record in tracks:
+            assert 0 <= record.delay_at(threshold) <= len(record)
+            assert 0 <= record.exit_delay_at(threshold) <= len(record)
+
+    @given(track_records(), st.floats(0.0, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_entry_plus_exit_consistent(self, tracks, threshold):
+        """If detected at all, entry + exit delays leave >= 1 detected frame."""
+        for record in tracks:
+            entry = record.delay_at(threshold)
+            exit_ = record.exit_delay_at(threshold)
+            if entry < len(record):  # detected at least once
+                assert entry + exit_ <= len(record) - 1

@@ -1,0 +1,49 @@
+"""Tests for the RetinaNet-based systems (paper Appendix II)."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.systems import CaTDetSystem, SingleModelSystem
+
+
+class TestRetinaNetSingle:
+    def test_ops_match_analytic_model(self, kitti_sequence):
+        system = SingleModelSystem("retinanet50", seed=0)
+        result = system.process_sequence(kitti_sequence)
+        assert result.frames[0].ops.total == pytest.approx(94.2e9, rel=0.1)
+
+    def test_detects_objects(self, kitti_sequence):
+        system = SingleModelSystem("retinanet50", seed=0)
+        result = system.process_sequence(kitti_sequence)
+        assert sum(len(f.detections) for f in result.frames) > 0
+
+
+class TestRetinaNetCaTDet:
+    def test_regional_ops_scale_with_coverage(self, kitti_sequence):
+        """RetinaNet has no per-proposal head: regional cost is coverage *
+        full cost, so refinement ops track the coverage fraction."""
+        system = CaTDetSystem("resnet10a", "retinanet50", seed=0)
+        result = system.process_sequence(kitti_sequence)
+        full = SingleModelSystem("retinanet50", seed=0).process_sequence(
+            kitti_sequence
+        ).frames[0].ops.total
+        for frame in result.frames[5:15]:
+            expected = full * frame.coverage_fraction
+            assert frame.ops.refinement == pytest.approx(expected, rel=1e-6)
+
+    def test_cheaper_than_single(self, kitti_sequence):
+        single = SingleModelSystem("retinanet50", seed=0)
+        catdet = CaTDetSystem("resnet10a", "retinanet50", seed=0)
+        ops_single = single.process_sequence(kitti_sequence).mean_ops().total
+        ops_catdet = catdet.process_sequence(kitti_sequence).mean_ops().total
+        assert ops_catdet < ops_single
+
+    def test_config_builds(self, kitti_small):
+        from repro.core.pipeline import run_on_dataset
+
+        run = run_on_dataset(
+            SystemConfig("catdet", "retinanet50", "resnet10a"),
+            kitti_small,
+            max_sequences=1,
+        )
+        assert run.mean_ops_gops() > 0

@@ -1,0 +1,174 @@
+"""Statistical validation of the detector simulation.
+
+These tests verify the *distributional* properties the reproduction relies
+on: detection probability responds to size/occlusion as specified, errors
+are temporally correlated (the property that makes the tracker matter), and
+the confidence model separates true from false positives.
+"""
+
+import numpy as np
+import pytest
+
+from repro.boxes.iou import iou_matrix
+from repro.datasets.types import ObjectTrack, Sequence
+from repro.simdet.detector import SimulatedDetector
+from repro.simdet.profile import DetectorProfile
+
+
+def _single_object_sequence(width_px=40.0, occlusion=0.0, num_frames=400):
+    """A stationary object of fixed size/occlusion, for clean statistics."""
+    boxes = np.tile(
+        np.array([[300.0, 150.0, 300.0 + width_px, 150.0 + width_px]]),
+        (num_frames, 1),
+    )
+    track = ObjectTrack(
+        track_id=0,
+        label=0,
+        first_frame=0,
+        boxes=boxes,
+        occlusion=np.full(num_frames, occlusion),
+        truncation=np.zeros(num_frames),
+    )
+    return Sequence("stat", 1242, 375, num_frames, 10.0, tracks=[track])
+
+
+def _profile(**overrides):
+    base = dict(
+        name="stat-model",
+        size_midpoint=4.5,
+        size_slope=1.6,
+        max_recall=0.95,
+        occlusion_penalty=6.0,
+        persistent_weight=0.0,   # isolate the per-frame process by default
+        temporal_weight=0.0,
+        fp_rate=0.0,
+        clutter_rate=0.0,
+    )
+    base.update(overrides)
+    return DetectorProfile(**base)
+
+
+def _detection_series(detector, sequence, iou_min=0.5):
+    """Boolean per-frame series: was the (single) object detected?"""
+    gt = sequence.tracks[0].boxes[0][None, :]
+    hits = np.zeros(sequence.num_frames, dtype=bool)
+    for frame in range(sequence.num_frames):
+        out = detector.detect_full_frame(sequence, frame)
+        if len(out):
+            hits[frame] = iou_matrix(gt, out.boxes).max() >= iou_min
+    return hits
+
+
+class TestDetectionRates:
+    def test_rate_matches_probability(self):
+        """Empirical detection rate ~ the profile's analytic probability."""
+        seq = _single_object_sequence(width_px=40.0)
+        profile = _profile()
+        detector = SimulatedDetector(profile, seed=0)
+        hits = _detection_series(detector, seq)
+        logit = profile.base_logit(np.array([40.0]), np.zeros(1), np.zeros(1))
+        expected = profile.detection_probability(logit)[0]
+        assert hits.mean() == pytest.approx(expected, abs=0.08)
+
+    def test_larger_objects_detected_more(self):
+        profile = _profile()
+        rates = []
+        for width in (18.0, 30.0, 60.0):
+            seq = _single_object_sequence(width_px=width)
+            rates.append(
+                _detection_series(SimulatedDetector(profile, seed=0), seq).mean()
+            )
+        assert rates[0] < rates[1] < rates[2]
+
+    def test_occlusion_suppresses_detection(self):
+        profile = _profile(size_midpoint=3.5)
+        clear = _single_object_sequence(width_px=50.0, occlusion=0.0)
+        occluded = _single_object_sequence(width_px=50.0, occlusion=0.75)
+        r_clear = _detection_series(SimulatedDetector(profile, seed=0), clear).mean()
+        r_occ = _detection_series(SimulatedDetector(profile, seed=0), occluded).mean()
+        assert r_occ < r_clear - 0.3
+
+
+class TestTemporalCorrelation:
+    @staticmethod
+    def _lag1_autocorr(series: np.ndarray) -> float:
+        x = series.astype(float)
+        if x.std() == 0:
+            return 0.0
+        a, b = x[:-1] - x.mean(), x[1:] - x.mean()
+        return float((a * b).mean() / x.var())
+
+    def test_correlated_profile_produces_bursty_misses(self):
+        """AR(1) difficulty must show up as autocorrelated detections."""
+        # A marginal object (p ~ 0.5) maximizes the visibility of bursts.
+        profile = _profile(
+            size_midpoint=np.log2(40.0),
+            temporal_weight=2.0,
+            temporal_rho=0.95,
+        )
+        seq = _single_object_sequence(width_px=40.0)
+        hits = _detection_series(SimulatedDetector(profile, seed=0), seq)
+        # Binary thinning dilutes the latent AR(1)'s correlation, so the
+        # observable series autocorrelation is moderate but clearly nonzero.
+        assert self._lag1_autocorr(hits) > 0.2
+
+    def test_iid_profile_has_no_memory(self):
+        profile = _profile(size_midpoint=np.log2(40.0))
+        seq = _single_object_sequence(width_px=40.0)
+        hits = _detection_series(SimulatedDetector(profile, seed=0), seq)
+        assert abs(self._lag1_autocorr(hits)) < 0.15
+
+    def test_persistent_latent_differentiates_tracks(self):
+        """Same-geometry objects get systematically different treatment."""
+        profile = _profile(
+            size_midpoint=np.log2(40.0), persistent_weight=2.0
+        )
+        rates = []
+        for track_id in range(8):
+            boxes = np.tile(np.array([[300.0, 150.0, 340.0, 190.0]]), (200, 1))
+            track = ObjectTrack(
+                track_id=track_id, label=0, first_frame=0, boxes=boxes,
+                occlusion=np.zeros(200), truncation=np.zeros(200),
+            )
+            seq = Sequence(f"p{track_id}", 1242, 375, 200, 10.0, tracks=[track])
+            detector = SimulatedDetector(profile, seed=0)
+            rates.append(_detection_series(detector, seq).mean())
+        # Identical objects, wildly different per-track rates.
+        assert max(rates) - min(rates) > 0.3
+
+
+class TestScoreModel:
+    def test_tp_scores_exceed_fp_scores(self):
+        profile = _profile(
+            size_midpoint=3.0, fp_rate=5.0, score_center=1.0,
+            fp_score_mean=-2.5,
+        )
+        seq = _single_object_sequence(width_px=60.0)
+        detector = SimulatedDetector(profile, seed=0)
+        gt = seq.tracks[0].boxes[0][None, :]
+        tp_scores, fp_scores = [], []
+        for frame in range(150):
+            out = detector.detect_full_frame(seq, frame)
+            if not len(out):
+                continue
+            ious = iou_matrix(gt, out.boxes)[0]
+            tp_scores.extend(out.scores[ious >= 0.5].tolist())
+            fp_scores.extend(out.scores[ious < 0.5].tolist())
+        assert np.mean(tp_scores) > np.mean(fp_scores) + 0.3
+
+    def test_easier_objects_score_higher(self):
+        profile = _profile(size_midpoint=4.0, score_scale=0.6)
+        detector = SimulatedDetector(profile, seed=0)
+
+        def mean_score(width):
+            seq = _single_object_sequence(width_px=width)
+            gt = seq.tracks[0].boxes[0][None, :]
+            scores = []
+            for frame in range(200):
+                out = detector.detect_full_frame(seq, frame)
+                if len(out):
+                    ious = iou_matrix(gt, out.boxes)[0]
+                    scores.extend(out.scores[ious >= 0.5].tolist())
+            return np.mean(scores) if scores else 0.0
+
+        assert mean_score(80.0) > mean_score(25.0)

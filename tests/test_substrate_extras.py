@@ -1,0 +1,149 @@
+"""Tests for dataset statistics, MOT metrics and the calibration report."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.statistics import compute_statistics
+from repro.datasets.types import ObjectTrack, Sequence
+from repro.harness.calibration import (
+    CalibrationRow,
+    calibration_report,
+    max_absolute_error,
+)
+from repro.harness.experiment import standard_kitti
+from repro.tracker.mot_metrics import (
+    MotAccumulator,
+    evaluate_tracking,
+    hypothesis_frames_from_tracklets,
+)
+from repro.tracker.sort import Sort, SortConfig
+from repro.detections import Detections
+
+
+class TestDatasetStatistics:
+    def test_counts(self, kitti_small):
+        stats = compute_statistics(kitti_small)
+        assert stats.num_sequences == len(kitti_small.sequences)
+        assert stats.num_tracks == kitti_small.total_objects
+        assert stats.num_instances > 0
+        assert stats.instances_per_frame > 1.0
+
+    def test_per_class_names(self, kitti_small):
+        stats = compute_statistics(kitti_small)
+        assert {c.name for c in stats.per_class} == {"Car", "Pedestrian"}
+        with pytest.raises(KeyError):
+            stats.class_stats("Bike")
+
+    def test_cars_wider_than_pedestrians(self, kitti_small):
+        stats = compute_statistics(kitti_small)
+        car = stats.class_stats("Car")
+        ped = stats.class_stats("Pedestrian")
+        assert car.width_percentiles[1] > ped.width_percentiles[1]
+        # And pedestrians are taller than wide.
+        assert ped.height_percentiles[1] > ped.width_percentiles[1]
+
+    def test_occlusion_present(self, kitti_small):
+        stats = compute_statistics(kitti_small)
+        for cs in stats.per_class:
+            assert 0.0 < cs.occluded_fraction < 1.0
+
+    def test_summary_renders(self, kitti_small):
+        text = compute_statistics(kitti_small).summary()
+        assert "Car" in text and "width" in text
+
+
+class TestMotAccumulator:
+    def test_perfect_tracking(self):
+        acc = MotAccumulator()
+        boxes = np.array([[0, 0, 10, 10], [50, 50, 70, 70]])
+        ids = np.array([1, 2])
+        for _ in range(5):
+            acc.update(boxes, ids, boxes, ids)
+        assert acc.mota == pytest.approx(1.0)
+        assert acc.motp == pytest.approx(1.0)
+        assert acc.id_switches == 0
+
+    def test_misses_counted(self):
+        acc = MotAccumulator()
+        boxes = np.array([[0, 0, 10, 10]])
+        acc.update(boxes, np.array([1]), np.zeros((0, 4)), np.zeros(0, dtype=int))
+        assert acc.misses == 1
+        assert acc.mota == pytest.approx(0.0)
+
+    def test_false_positives_counted(self):
+        acc = MotAccumulator()
+        acc.update(
+            np.zeros((0, 4)), np.zeros(0, dtype=int),
+            np.array([[0, 0, 10, 10]]), np.array([9]),
+        )
+        assert acc.false_positives == 1
+
+    def test_id_switch_detected(self):
+        acc = MotAccumulator()
+        box = np.array([[0, 0, 10, 10]])
+        acc.update(box, np.array([1]), box, np.array([100]))
+        acc.update(box, np.array([1]), box, np.array([200]))  # identity change
+        assert acc.id_switches == 1
+
+    def test_low_iou_is_miss_plus_fp(self):
+        acc = MotAccumulator()
+        acc.update(
+            np.array([[0, 0, 10, 10]]), np.array([1]),
+            np.array([[100, 100, 110, 110]]), np.array([5]),
+        )
+        assert acc.misses == 1 and acc.false_positives == 1
+
+    def test_length_validation(self):
+        acc = MotAccumulator()
+        with pytest.raises(ValueError, match="gt_boxes"):
+            acc.update(np.zeros((1, 4)), np.zeros(2, dtype=int),
+                       np.zeros((0, 4)), np.zeros(0, dtype=int))
+
+
+class TestEvaluateTracking:
+    def test_sort_on_clean_detections(self, kitti_sequence):
+        """SORT fed with ground truth must track near-perfectly."""
+        sort = Sort(SortConfig(min_hits=1, max_age=2))
+        for frame in range(kitti_sequence.num_frames):
+            ann = kitti_sequence.annotations(frame)
+            sort.update(
+                Detections(ann.boxes, np.ones(len(ann)), ann.labels)
+            )
+        hyps = hypothesis_frames_from_tracklets(
+            sort.tracklets, kitti_sequence.num_frames
+        )
+        acc = evaluate_tracking(kitti_sequence, hyps, min_gt_height=10.0)
+        assert acc.mota > 0.85
+        assert acc.motp > 0.9
+
+    def test_frame_count_validation(self, kitti_sequence):
+        with pytest.raises(ValueError, match="hypothesis frames"):
+            evaluate_tracking(kitti_sequence, [])
+
+
+class TestCalibrationReport:
+    def test_report_structure(self):
+        ds = standard_kitti(1, 40)
+        rows = calibration_report(ds, models=("resnet10b",))
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.model == "resnet10b"
+        assert 0.0 < row.measured_map < 1.0
+        assert row.error is not None
+
+    def test_max_absolute_error(self):
+        rows = [
+            CalibrationRow("a", 0.7, 0.74),
+            CalibrationRow("b", 0.5, 0.48),
+            CalibrationRow("c", 0.9, None),
+        ]
+        assert max_absolute_error(rows) == pytest.approx(0.04)
+        with pytest.raises(ValueError, match="targets"):
+            max_absolute_error([CalibrationRow("c", 0.9, None)])
+
+    def test_zoo_stays_calibrated(self):
+        """Regression tripwire: the zoo must stay within 8 points of the
+        paper's single-model accuracies on a mid-size dataset."""
+        ds = standard_kitti(4, 80)
+        rows = calibration_report(ds, models=("resnet50", "resnet10a", "resnet10b"))
+        assert max_absolute_error(rows) < 0.08

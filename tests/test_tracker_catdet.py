@@ -1,0 +1,150 @@
+"""Unit tests for the CaTDet tracker (paper §4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.detections import Detections
+from repro.tracker.catdet_tracker import CaTDetTracker, TrackerConfig
+
+
+def dets(boxes, scores=None, labels=None):
+    boxes = np.asarray(boxes, dtype=float).reshape(-1, 4)
+    n = boxes.shape[0]
+    return Detections(
+        boxes,
+        np.ones(n) if scores is None else np.asarray(scores, dtype=float),
+        np.zeros(n, dtype=int) if labels is None else np.asarray(labels),
+    )
+
+
+class TestLifecycle:
+    def test_empty_tracker_predicts_nothing(self):
+        tracker = CaTDetTracker()
+        assert len(tracker.predict()) == 0
+
+    def test_detection_spawns_track(self):
+        tracker = CaTDetTracker()
+        tracker.update(dets([[0, 0, 50, 50]]))
+        assert len(tracker.tracks) == 1
+        assert len(tracker.predict()) == 1
+
+    def test_low_confidence_detections_ignored(self):
+        tracker = CaTDetTracker(TrackerConfig(input_score_threshold=0.5))
+        tracker.update(dets([[0, 0, 50, 50]], scores=[0.2]))
+        assert len(tracker.tracks) == 0
+
+    def test_track_dies_after_misses(self):
+        config = TrackerConfig(
+            initial_confidence=1.0, miss_penalty=1.0, max_confidence=3.0
+        )
+        tracker = CaTDetTracker(config)
+        tracker.update(dets([[0, 0, 50, 50]]))
+        for _ in range(2):
+            tracker.predict()
+            tracker.update(Detections.empty())
+        assert len(tracker.tracks) == 0
+
+    def test_matches_extend_lifetime(self):
+        """Adaptive confidence: more matches let the track survive longer."""
+        config = TrackerConfig(
+            initial_confidence=1.0, match_gain=1.0, miss_penalty=1.0,
+            max_confidence=3.0,
+        )
+        box = [100, 100, 160, 160]
+        tracker = CaTDetTracker(config)
+        for _ in range(5):  # confidence saturates at 3
+            tracker.predict()
+            tracker.update(dets([box]))
+        survived = 0
+        for _ in range(5):
+            tracker.predict()
+            tracker.update(Detections.empty())
+            if tracker.tracks:
+                survived += 1
+        assert survived == 3  # 3 = max_confidence / miss_penalty
+
+    def test_confidence_capped(self):
+        config = TrackerConfig(max_confidence=2.0, match_gain=1.0)
+        tracker = CaTDetTracker(config)
+        for _ in range(10):
+            tracker.predict()
+            tracker.update(dets([[0, 0, 50, 50]]))
+        assert tracker.tracks[0].confidence <= 2.0
+
+    def test_reset(self):
+        tracker = CaTDetTracker()
+        tracker.update(dets([[0, 0, 50, 50]]))
+        tracker.reset()
+        assert len(tracker.tracks) == 0
+        assert tracker.frames_processed == 0
+
+
+class TestPrediction:
+    def test_predicts_continued_motion(self):
+        tracker = CaTDetTracker()
+        for t in range(6):
+            tracker.predict()
+            tracker.update(dets([[10 * t, 0, 10 * t + 50, 50]]))
+        pred = tracker.predict()
+        assert len(pred) == 1
+        # Object moving +10 px/frame: prediction should be ahead of the
+        # last observation (at 50) by a positive step.
+        assert pred.boxes[0, 0] > 50.0
+
+    def test_size_filter_drops_small_predictions(self):
+        config = TrackerConfig(min_prediction_width=10.0, input_score_threshold=0.0)
+        tracker = CaTDetTracker(config)
+        tracker.update(dets([[0, 0, 5, 20]]))  # 5 px wide
+        assert len(tracker.tracks) == 1
+        assert len(tracker.predict()) == 0  # filtered, but track persists
+
+    def test_boundary_filter(self):
+        config = TrackerConfig(min_visible_fraction=0.5, input_score_threshold=0.0)
+        tracker = CaTDetTracker(config, image_size=(100, 100))
+        # Moving object about to leave: predictions chopped by the border.
+        tracker.update(dets([[-40, 0, 20, 30]]))
+        pred = tracker.predict()
+        assert len(pred) == 0
+
+    def test_prediction_scores_normalized(self):
+        tracker = CaTDetTracker()
+        tracker.update(dets([[0, 0, 60, 60]]))
+        pred = tracker.predict()
+        assert np.all(pred.scores <= 1.0) and np.all(pred.scores >= 0.0)
+
+    def test_per_class_tracking(self):
+        tracker = CaTDetTracker()
+        tracker.update(dets([[0, 0, 50, 50], [0, 0, 50, 50]], labels=[0, 1]))
+        assert len(tracker.tracks) == 2  # same box, different classes
+        pred = tracker.predict()
+        assert sorted(pred.labels.tolist()) == [0, 1]
+
+
+class TestIdentity:
+    def test_continuous_object_keeps_track_id(self):
+        tracker = CaTDetTracker()
+        tracker.update(dets([[0, 0, 50, 50]]))
+        tid = tracker.tracks[0].track_id
+        for t in range(1, 5):
+            tracker.predict()
+            tracker.update(dets([[2 * t, 0, 2 * t + 50, 50]]))
+        assert len(tracker.tracks) == 1
+        assert tracker.tracks[0].track_id == tid
+        assert tracker.tracks[0].hits == 5
+
+    def test_distinct_objects_get_distinct_ids(self):
+        tracker = CaTDetTracker()
+        tracker.update(dets([[0, 0, 50, 50], [200, 0, 260, 60]]))
+        ids = {t.track_id for t in tracker.tracks}
+        assert len(ids) == 2
+
+    def test_kalman_motion_variant(self):
+        tracker = CaTDetTracker(TrackerConfig(motion_model="kalman"))
+        for t in range(4):
+            tracker.predict()
+            tracker.update(dets([[5 * t, 0, 5 * t + 50, 50]]))
+        assert len(tracker.tracks) == 1
+
+    def test_invalid_motion_model(self):
+        with pytest.raises(ValueError, match="motion_model"):
+            TrackerConfig(motion_model="magic")

@@ -1,0 +1,97 @@
+"""Unit tests for the from-scratch Kalman filter."""
+
+import numpy as np
+import pytest
+
+from repro.tracker.kalman import ConstantVelocityBoxKalman, KalmanFilter
+
+
+def _scalar_cv_filter(x0=0.0, v0=0.0):
+    """1-D constant-velocity filter observing position only."""
+    F = np.array([[1.0, 1.0], [0.0, 1.0]])
+    H = np.array([[1.0, 0.0]])
+    Q = np.eye(2) * 1e-4
+    R = np.array([[0.01]])
+    P = np.eye(2)
+    return KalmanFilter(F, H, Q, R, np.array([x0, v0]), P)
+
+
+class TestKalmanFilter:
+    def test_predict_advances_constant_velocity(self):
+        kf = _scalar_cv_filter(x0=0.0, v0=2.0)
+        state = kf.predict()
+        assert state[0] == pytest.approx(2.0)
+        state = kf.predict()
+        assert state[0] == pytest.approx(4.0)
+
+    def test_update_pulls_toward_observation(self):
+        kf = _scalar_cv_filter(x0=0.0, v0=0.0)
+        kf.predict()
+        state = kf.update(np.array([10.0]))
+        assert 0.0 < state[0] <= 10.0
+        assert state[0] > 5.0  # R is small, so the observation dominates
+
+    def test_converges_to_linear_motion(self):
+        kf = _scalar_cv_filter()
+        for t in range(1, 50):
+            kf.predict()
+            kf.update(np.array([3.0 * t]))
+        assert kf.x[1] == pytest.approx(3.0, abs=0.2)  # velocity learned
+
+    def test_covariance_shrinks_with_updates(self):
+        kf = _scalar_cv_filter()
+        p0 = np.trace(kf.P)
+        for t in range(10):
+            kf.predict()
+            kf.update(np.array([0.0]))
+        assert np.trace(kf.P) < p0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="transition"):
+            KalmanFilter(
+                np.eye(3), np.eye(2), np.eye(2), np.eye(2), np.zeros(2), np.eye(2)
+            )
+
+    def test_observation_length_validation(self):
+        kf = _scalar_cv_filter()
+        with pytest.raises(ValueError, match="length"):
+            kf.update(np.array([1.0, 2.0]))
+
+
+class TestBoxKalman:
+    def test_initial_box_recovered(self):
+        box = np.array([10.0, 20.0, 50.0, 100.0])
+        kf = ConstantVelocityBoxKalman(box)
+        np.testing.assert_allclose(kf.box, box, atol=1e-6)
+
+    def test_stationary_box_stays(self):
+        box = np.array([10.0, 20.0, 50.0, 100.0])
+        kf = ConstantVelocityBoxKalman(box)
+        for _ in range(5):
+            kf.predict()
+            kf.update(box)
+        np.testing.assert_allclose(kf.box, box, atol=0.5)
+
+    def test_tracks_moving_box(self):
+        kf = ConstantVelocityBoxKalman(np.array([0.0, 0.0, 10.0, 10.0]))
+        for t in range(1, 20):
+            kf.predict()
+            kf.update(np.array([2.0 * t, 0.0, 2.0 * t + 10.0, 10.0]))
+        pred = kf.predict()
+        # Next prediction continues the 2 px/frame motion.
+        assert pred[0] == pytest.approx(2.0 * 20, abs=1.0)
+
+    def test_degenerate_box_raises(self):
+        with pytest.raises(ValueError, match="positive size"):
+            ConstantVelocityBoxKalman(np.array([10.0, 10.0, 10.0, 20.0]))
+
+    def test_area_never_negative(self):
+        kf = ConstantVelocityBoxKalman(np.array([0.0, 0.0, 4.0, 4.0]))
+        # Shrinking observations drive area velocity negative.
+        for s in [3.0, 2.0, 1.5, 1.2, 1.1]:
+            kf.predict()
+            kf.update(np.array([0.0, 0.0, s, s]))
+        for _ in range(50):
+            box = kf.predict()
+        assert box[2] >= box[0]
+        assert box[3] >= box[1]

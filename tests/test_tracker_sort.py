@@ -1,0 +1,75 @@
+"""Unit tests for the SORT baseline tracker."""
+
+import numpy as np
+import pytest
+
+from repro.detections import Detections
+from repro.tracker.sort import Sort, SortConfig
+
+
+def dets(boxes, labels=None):
+    boxes = np.asarray(boxes, dtype=float).reshape(-1, 4)
+    n = boxes.shape[0]
+    return Detections(
+        boxes,
+        np.ones(n),
+        np.zeros(n, dtype=int) if labels is None else np.asarray(labels),
+    )
+
+
+class TestSort:
+    def test_track_confirmed_after_min_hits(self):
+        sort = Sort(SortConfig(min_hits=3, max_age=1))
+        box = [0, 0, 50, 50]
+        # Early frames (frame < min_hits) are emitted immediately per the
+        # reference implementation.
+        out0 = sort.update(dets([box]))
+        assert len(out0) == 1
+
+    def test_steady_object_tracked_with_stable_id(self):
+        sort = Sort(SortConfig(min_hits=1, max_age=2))
+        tracklet_ids = set()
+        for t in range(10):
+            out = sort.update(dets([[3 * t, 0, 3 * t + 40, 40]]))
+            assert len(out) == 1
+        assert len(sort.tracklets) == 1
+        tracklet = next(iter(sort.tracklets.values()))
+        assert len(tracklet) == 10
+
+    def test_track_dropped_after_max_age(self):
+        sort = Sort(SortConfig(min_hits=1, max_age=1))
+        sort.update(dets([[0, 0, 40, 40]]))
+        sort.update(Detections.empty())
+        sort.update(Detections.empty())
+        out = sort.update(dets([[0, 0, 40, 40]]))
+        # Old track died; the new detection starts a new id.
+        assert len(sort.tracklets) >= 1
+        ids = [t.track_id for t in sort.tracklets.values()]
+        assert max(ids) > min(ids) or len(ids) == 1
+
+    def test_class_separation(self):
+        sort = Sort(SortConfig(min_hits=1))
+        out = sort.update(dets([[0, 0, 40, 40], [0, 0, 40, 40]], labels=[0, 1]))
+        assert len(out) == 2
+        assert sorted(out.labels.tolist()) == [0, 1]
+
+    def test_reset(self):
+        sort = Sort()
+        sort.update(dets([[0, 0, 40, 40]]))
+        sort.reset()
+        assert sort.tracklets == {}
+        assert len(sort.update(Detections.empty())) == 0
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError, match="max_age"):
+            SortConfig(max_age=-1)
+        with pytest.raises(ValueError, match="iou_threshold"):
+            SortConfig(iou_threshold=2.0)
+
+    def test_tracklet_records_frames(self):
+        sort = Sort(SortConfig(min_hits=1))
+        for t in range(4):
+            sort.update(dets([[t, 0, t + 40, 40]]))
+        tracklet = next(iter(sort.tracklets.values()))
+        assert tracklet.frames == [0, 1, 2, 3]
+        assert len(tracklet.boxes) == 4

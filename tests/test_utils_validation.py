@@ -1,0 +1,64 @@
+"""Unit tests for validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    check_shape,
+)
+
+
+class TestScalarChecks:
+    def test_positive_accepts(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_positive_rejects(self, bad):
+        with pytest.raises(ValueError, match="x"):
+            check_positive(bad, "x")
+
+    def test_nonnegative(self):
+        assert check_nonnegative(0.0, "x") == 0.0
+        with pytest.raises(ValueError):
+            check_nonnegative(-0.1, "x")
+
+    def test_probability(self):
+        assert check_probability(1.0, "p") == 1.0
+        assert check_probability(0.0, "p") == 0.0
+        with pytest.raises(ValueError, match="p"):
+            check_probability(1.01, "p")
+
+    def test_in_range_inclusive(self):
+        assert check_in_range(5, "v", 0, 5) == 5.0
+        with pytest.raises(ValueError):
+            check_in_range(5, "v", 0, 5, inclusive=False)
+
+
+class TestArrayChecks:
+    def test_finite_passes(self):
+        arr = check_finite(np.ones(3), "a")
+        assert arr.shape == (3,)
+
+    def test_finite_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            check_finite(np.array([1.0, np.nan]), "a")
+
+    def test_finite_empty_ok(self):
+        check_finite(np.zeros(0), "a")
+
+    def test_shape_wildcards(self):
+        arr = check_shape(np.zeros((7, 4)), "boxes", (None, 4))
+        assert arr.shape == (7, 4)
+
+    def test_shape_wrong_ndim(self):
+        with pytest.raises(ValueError, match="dimensions"):
+            check_shape(np.zeros(4), "boxes", (None, 4))
+
+    def test_shape_wrong_axis(self):
+        with pytest.raises(ValueError, match="axis 1"):
+            check_shape(np.zeros((3, 5)), "boxes", (None, 4))

@@ -1,0 +1,84 @@
+"""Calibration harness: prints paper-vs-measured for the headline numbers.
+
+Usage: python tools/calibrate.py [--full]
+"""
+
+import argparse
+import time
+
+from repro import (
+    HARD,
+    MODERATE,
+    SystemConfig,
+    evaluate_dataset,
+    kitti_like_dataset,
+    run_on_dataset,
+)
+
+PAPER = {
+    # label: (ops, mAP_mod, mAP_hard, mD_mod, mD_hard)
+    "resnet50, Faster R-CNN": (254.3, 0.812, 0.740, 2.6, 3.3),
+    "resnet10a, resnet50, Cascaded": (43.2, 0.807, 0.733, 3.2, 3.8),
+    "resnet10a, resnet50, CaTDet": (49.3, 0.814, 0.740, 2.9, 3.7),
+    "resnet10b, resnet50, Cascaded": (23.5, 0.787, 0.730, 4.7, 5.7),
+    "resnet10b, resnet50, CaTDet": (29.3, 0.815, 0.741, 3.3, 4.1),
+    "resnet18, Faster R-CNN": (138.0, None, 0.687, None, 5.9),
+    "resnet10a, Faster R-CNN": (20.7, None, 0.606, None, 10.9),
+    "resnet10b, Faster R-CNN": (7.5, None, 0.564, None, 13.4),
+    "resnet10c, Faster R-CNN": (4.5, None, 0.542, None, 15.4),
+}
+
+CONFIGS = [
+    SystemConfig("single", "resnet50"),
+    SystemConfig("cascade", "resnet50", "resnet10a"),
+    SystemConfig("catdet", "resnet50", "resnet10a"),
+    SystemConfig("cascade", "resnet50", "resnet10b"),
+    SystemConfig("catdet", "resnet50", "resnet10b"),
+    SystemConfig("single", "resnet18"),
+    SystemConfig("single", "resnet10a"),
+    SystemConfig("single", "resnet10b"),
+    SystemConfig("single", "resnet10c"),
+]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--full", action="store_true", help="use the full-size dataset")
+    parser.add_argument("--seqs", type=int, default=None)
+    parser.add_argument("--frames", type=int, default=None)
+    args = parser.parse_args()
+
+    n_seq = args.seqs or (8 if args.full else 4)
+    n_frames = args.frames or (120 if args.full else 100)
+    ds = kitti_like_dataset(num_sequences=n_seq, frames_per_sequence=n_frames)
+    print(f"dataset: {ds.total_frames} frames, {ds.total_objects} tracks")
+    header = (
+        f"{'system':40s} {'ops':>7s}({'paper':>6s}) {'mAP_M':>6s}({'pap':>5s}) "
+        f"{'mAP_H':>6s}({'pap':>5s}) {'mD_M':>5s}({'pap':>4s}) {'mD_H':>5s}({'pap':>4s}) t08"
+    )
+    print(header)
+    for cfg in CONFIGS:
+        t0 = time.time()
+        run = run_on_dataset(cfg, ds)
+        rh = evaluate_dataset(ds, run.detections_by_sequence, HARD)
+        rm = evaluate_dataset(ds, run.detections_by_sequence, MODERATE)
+        paper = PAPER.get(cfg.label, (None,) * 5)
+        fmt = lambda v: f"{v:5.3f}" if v is not None else "    -"
+        fmtd = lambda v: f"{v:4.1f}" if v is not None else "   -"
+        print(
+            f"{cfg.label:40s} {run.mean_ops_gops():7.1f}({fmtd(paper[0]):>6s}) "
+            f"{rm.mean_ap():6.3f}({fmt(paper[1])}) {rh.mean_ap():6.3f}({fmt(paper[2])}) "
+            f"{rm.mean_delay(0.8):5.2f}({fmtd(paper[3])}) {rh.mean_delay(0.8):5.2f}({fmtd(paper[4])}) "
+            f"{rh.threshold_at_precision(0.8):.2f}  [{time.time()-t0:.0f}s]"
+        )
+        for ce in rh.per_class:
+            d = ce.as_delay_eval()
+            print(
+                f"    {ce.name:12s} AP={ce.ap():.3f} ngt={ce.num_gt:5d} "
+                f"rec@t0={ce.recall_at(0.0):.2f} prec@.5={d.precision_at(0.5):.2f} "
+                f"prec@.8={d.precision_at(0.8):.2f} ntracks={len(ce.tracks)}"
+            )
+
+
+if __name__ == "__main__":
+    main()

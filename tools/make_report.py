@@ -1,0 +1,123 @@
+"""Regenerate every paper table as text (the source for EXPERIMENTS.md).
+
+Usage::
+
+    python tools/make_report.py [--sequences 6] [--frames 100] [--cityp 30]
+
+Takes a few minutes at the default sizes; all numbers are deterministic in
+the fixed seeds.
+"""
+
+import argparse
+import time
+
+from repro.core.config import SystemConfig
+from repro.harness.configs import (
+    TABLE2_CONFIGS,
+    TABLE4_PROPOSAL_MODELS,
+    TABLE5_REFINEMENT_MODELS,
+    TABLE6_CONFIGS,
+)
+from repro.harness.experiment import (
+    run_experiment,
+    standard_citypersons,
+    standard_kitti,
+)
+from repro.harness.tables import format_table
+from repro.metrics.kitti_eval import MODERATE
+from repro.simdet.zoo import get_model
+
+GIGA = 1e9
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sequences", type=int, default=6)
+    parser.add_argument("--frames", type=int, default=100)
+    parser.add_argument("--cityp", type=int, default=30)
+    args = parser.parse_args()
+
+    start = time.time()
+    kitti = standard_kitti(args.sequences, args.frames)
+    cache = {}
+
+    def run(config, dataset=kitti, **kw):
+        key = (dataset.name, config)
+        if key not in cache:
+            cache[key] = run_experiment(config, dataset, **kw)
+        return cache[key]
+
+    # Table 1
+    rows = []
+    for name in ("resnet18", "resnet10a", "resnet10b", "resnet10c"):
+        entry = get_model(name)
+        rows.append([name, entry.rcnn_ops(1242, 375).full_frame(300).total_gops])
+    print(format_table(["model", "Gops"], rows, precision=1,
+                       title="\nTable 1 — proposal nets"))
+
+    # Table 2
+    rows = [
+        [c.label, run(c).ops_gops, run(c).mean_ap("moderate"),
+         run(c).mean_ap("hard"), run(c).mean_delay("moderate"),
+         run(c).mean_delay("hard")]
+        for c in TABLE2_CONFIGS
+    ]
+    print(format_table(["system", "ops", "mAP_M", "mAP_H", "mD_M", "mD_H"],
+                       rows, title="\nTable 2 — KITTI main"))
+
+    # Table 3
+    rows = []
+    for c in TABLE2_CONFIGS[1:]:
+        o = run(c).ops_account
+        rows.append([c.label, o.total / GIGA, o.proposal / GIGA,
+                     o.refinement / GIGA,
+                     o.refinement_from_tracker / GIGA or None,
+                     o.refinement_from_proposal / GIGA])
+    print(format_table(["system", "total", "proposal", "refine", "from_trk",
+                        "from_prop"], rows, precision=1,
+                       title="\nTable 3 — ops break-down"))
+
+    # Table 4
+    rows = []
+    for m in TABLE4_PROPOSAL_MODELS:
+        s = run(SystemConfig("single", m))
+        c = run(SystemConfig("catdet", "resnet50", m))
+        rows.append([m, s.mean_ap("hard"), s.mean_delay("hard"),
+                     c.mean_ap("hard"), c.mean_delay("hard"), c.ops_gops])
+    print(format_table(["proposal", "1m_mAP", "1m_mD", "cat_mAP", "cat_mD",
+                        "cat_ops"], rows, title="\nTable 4 — proposal analysis"))
+
+    # Table 5
+    rows = []
+    for m in TABLE5_REFINEMENT_MODELS:
+        s = run(SystemConfig("single", m))
+        c = run(SystemConfig("catdet", m, "resnet10b"))
+        rows.append([m, s.mean_ap("hard"), s.ops_gops,
+                     c.mean_ap("hard"), c.ops_gops])
+    print(format_table(["refinement", "1m_mAP", "1m_ops", "cat_mAP", "cat_ops"],
+                       rows, title="\nTable 5 — refinement analysis"))
+
+    # Table 6
+    cityp = standard_citypersons(args.cityp)
+    rows = []
+    for c in TABLE6_CONFIGS:
+        r = run(c, cityp, difficulties=(MODERATE,), with_delay=False)
+        rows.append([c.label, r.evaluation("moderate").mean_ap("voc11"), r.ops_gops])
+    print(format_table(["system", "mAP(voc11)", "ops"], rows,
+                       title="\nTable 6 — CityPersons"))
+
+    # Table 8
+    rows = []
+    for c in (SystemConfig("single", "retinanet50"),
+              SystemConfig("catdet", "retinanet50", "resnet10a")):
+        r = run(c)
+        rows.append([c.label, r.ops_gops, r.mean_ap("moderate"),
+                     r.mean_delay("moderate")])
+    print(format_table(["system", "ops", "mAP_M", "mD_M"], rows,
+                       title="\nTable 8 — RetinaNet"))
+
+    print(f"\nreport generated in {time.time() - start:.0f}s")
+
+
+if __name__ == "__main__":
+    main()
