@@ -1,0 +1,86 @@
+"""Streaming: run CaTDet frame-by-frame on a live feed, no look-ahead.
+
+``run_on_dataset`` assumes whole sequences are available up front.  A
+deployed CaTDet sits on a camera: frames arrive one at a time and every
+frame needs an answer *now*.  ``system.stream(frame_source)`` is that
+contract — a strictly-causal generator yielding one ``FrameResult`` per
+input frame, with tracker state carried across calls, so the feed can be
+consumed in arbitrary chunks (or forever).
+
+Usage::
+
+    python examples/streaming_demo.py
+"""
+
+import time
+
+from repro import build_system, kitti_like_dataset, SystemConfig
+from repro.engine.stream import sequence_frames
+
+GIGA = 1e9
+
+
+def main() -> None:
+    dataset = kitti_like_dataset(num_sequences=1, frames_per_sequence=120)
+    sequence = dataset.sequences[0]
+
+    # detailed_ops=False skips the Table-3 hypothetical mask accounting —
+    # three region-mask unions per frame down to one — which is the right
+    # trade for latency-sensitive streaming.
+    system = build_system(
+        SystemConfig("catdet", "resnet50", "resnet10a", detailed_ops=False)
+    )
+
+    # --- Consume the feed in chunks, as a live pipeline would. ---------- #
+    # Tracker state persists across stream() calls: chunk 2 continues the
+    # tracks chunk 1 built.  Only reset() (or a new sequence) clears it.
+    print(f"streaming {sequence.name}: {sequence.num_frames} frames\n")
+    chunk_size = 40
+    latencies = []
+    for start in range(0, sequence.num_frames, chunk_size):
+        chunk = sequence_frames(sequence, start, start + chunk_size)
+        t0 = time.perf_counter()
+        ops = 0.0
+        detections = 0
+        for result in system.stream(chunk):
+            detections += len(result.detections)
+            ops += result.ops.total
+        dt = time.perf_counter() - t0
+        n = min(chunk_size, sequence.num_frames - start)
+        latencies.append(dt / n)
+        print(
+            f"frames {start:3d}-{start + n - 1:3d}: "
+            f"{1000 * dt / n:6.2f} ms/frame  "
+            f"{ops / n / GIGA:5.1f} Gops/frame  "
+            f"{detections / n:4.1f} det/frame"
+        )
+
+    print(
+        f"\nmean simulator latency {1000 * sum(latencies) / len(latencies):.2f} "
+        f"ms/frame (strictly causal: every result used only frames <= t)"
+    )
+
+    # --- reset() restarts tracking: frame 0 replays exactly. ------------ #
+    # Mid-stream, the tracker contributes regions on every frame; after a
+    # reset it is empty again, so frame 0's region count and coverage match
+    # a frame 0 from a freshly-built system bit-for-bit.
+    system.reset()
+    replayed = next(iter(system.stream(sequence_frames(sequence, 0, 1))))
+    fresh = next(
+        iter(
+            build_system(
+                SystemConfig("catdet", "resnet50", "resnet10a", detailed_ops=False)
+            ).stream(sequence_frames(sequence, 0, 1))
+        )
+    )
+    assert replayed.num_regions == fresh.num_regions
+    assert replayed.coverage_fraction == fresh.coverage_fraction
+    print(
+        f"after reset(): frame 0 replays identically to a fresh system "
+        f"({replayed.num_regions} proposal-only regions, "
+        f"{replayed.coverage_fraction * 100:.0f}% coverage)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -31,6 +31,12 @@ from repro.datasets import (
     kitti_like_dataset,
 )
 from repro.detections import Detections
+from repro.engine import (
+    FrameRef,
+    ParallelExecutor,
+    SerialExecutor,
+)
+from repro.engine.stream import sequence_frames
 from repro.metrics import (
     EASY,
     HARD,
@@ -58,6 +64,10 @@ __all__ = [
     "citypersons_like_dataset",
     "kitti_like_dataset",
     "Detections",
+    "FrameRef",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "sequence_frames",
     "EASY",
     "MODERATE",
     "HARD",

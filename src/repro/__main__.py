@@ -22,7 +22,7 @@ from repro.harness.experiment import (
 )
 from repro.harness.sweeps import cthresh_sweep
 from repro.harness.tables import format_table
-from repro.metrics.kitti_eval import HARD, MODERATE
+from repro.metrics.kitti_eval import MODERATE
 from repro.simdet.zoo import MODEL_ZOO
 
 
@@ -47,7 +47,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         c_thresh=args.c_thresh,
         seed=args.seed,
     )
-    result = run_experiment(config, dataset)
+    result = run_experiment(config, dataset, workers=args.workers)
     print(f"system: {config.label}")
     print(f"ops/frame: {result.ops_gops:.1f} G")
     for diff in ("moderate", "hard"):
@@ -62,7 +62,7 @@ def cmd_table2(args: argparse.Namespace) -> int:
     dataset = standard_kitti(args.sequences, args.frames)
     rows = []
     for config in TABLE2_CONFIGS:
-        res = run_experiment(config, dataset)
+        res = run_experiment(config, dataset, workers=args.workers)
         rows.append(
             [config.label, res.ops_gops, res.mean_ap("moderate"),
              res.mean_ap("hard"), res.mean_delay("moderate"),
@@ -79,7 +79,9 @@ def cmd_table6(args: argparse.Namespace) -> int:
     dataset = standard_citypersons(args.sequences)
     rows = []
     for config in TABLE6_CONFIGS:
-        res = run_experiment(config, dataset, (MODERATE,), with_delay=False)
+        res = run_experiment(
+            config, dataset, (MODERATE,), with_delay=False, workers=args.workers
+        )
         rows.append(
             [config.label, res.evaluation("moderate").mean_ap("voc11"), res.ops_gops]
         )
@@ -94,6 +96,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         dataset,
         proposal_models=tuple(args.models.split(",")),
         c_values=tuple(float(c) for c in args.c_values.split(",")),
+        workers=args.workers,
     )
     rows = [
         [p.proposal_model, "yes" if p.with_tracker else "no",
@@ -105,6 +108,23 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         rows, title="Figure 6 — C-thresh sweep",
     ))
     return 0
+
+
+def _workers_count(value: str) -> int:
+    workers = int(value)
+    if workers < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {workers}")
+    return workers
+
+
+def _add_workers_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=_workers_count,
+        default=1,
+        help="sequence-level worker processes (1 = serial, 0 = one per CPU); "
+        "results are identical at any worker count",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -121,6 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument("--sequences", type=int, default=4)
     run_p.add_argument("--frames", type=int, default=100)
+    _add_workers_flag(run_p)
     run_p.set_defaults(func=cmd_run)
 
     for name, fn in (("table2", cmd_table2), ("table6", cmd_table6)):
@@ -128,6 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--sequences", type=int, default=4 if name == "table2" else 20)
         if name == "table2":
             p.add_argument("--frames", type=int, default=100)
+        _add_workers_flag(p)
         p.set_defaults(func=fn)
 
     sweep_p = sub.add_parser("sweep", help="Figure-6 C-thresh sweep")
@@ -135,6 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--c-values", default="0.02,0.1,0.3,0.6")
     sweep_p.add_argument("--sequences", type=int, default=3)
     sweep_p.add_argument("--frames", type=int, default=80)
+    _add_workers_flag(sweep_p)
     sweep_p.set_defaults(func=cmd_sweep)
     return parser
 

@@ -45,6 +45,10 @@ class SystemConfig:
     input_scale:
         Downscale factor applied to frames before the networks (CityPersons
         runs at reduced resolution, §7).
+    detailed_ops:
+        Whether CaTDet systems also compute the hypothetical per-source
+        refinement costs of Table 3 (two extra region-mask unions per
+        frame); turn off on throughput-critical paths.
     """
 
     kind: str
@@ -56,12 +60,25 @@ class SystemConfig:
     seed: int = 0
     num_classes: int = 2
     input_scale: float = 1.0
+    detailed_ops: bool = True
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
             raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
+        if not self.refinement_model:
+            raise ValueError(
+                f"refinement_model must be a model name, got {self.refinement_model!r}"
+            )
         if self.kind != "single" and not self.proposal_model:
             raise ValueError(f"{self.kind!r} systems require a proposal_model")
+        if not (0.0 <= self.c_thresh <= 1.0):
+            raise ValueError(f"c_thresh must lie in [0, 1], got {self.c_thresh}")
+        if self.margin < 0:
+            raise ValueError(f"margin must be >= 0, got {self.margin}")
+        if self.num_classes < 1:
+            raise ValueError(f"num_classes must be >= 1, got {self.num_classes}")
+        if self.input_scale <= 0:
+            raise ValueError(f"input_scale must be positive, got {self.input_scale}")
 
     @property
     def label(self) -> str:
@@ -100,4 +117,5 @@ def build_system(config: SystemConfig) -> DetectionSystem:
         num_classes=config.num_classes,
         input_scale=config.input_scale,
         tracker_config=config.tracker,
+        detailed_ops=config.detailed_ops,
     )

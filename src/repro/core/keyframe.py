@@ -15,15 +15,68 @@ fast-moving objects (coasted boxes drift).
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Optional, Union
 
-from repro.core.results import FrameResult, OpsAccount, SequenceResult
-from repro.core.systems import DetectionSystem, _resolve, _scaled_dims
+import repro.engine.stages as engine_stages
+from repro.core.results import OpsAccount
+from repro.core.systems import DetectionSystem, _resolve
 from repro.datasets.types import Sequence
-from repro.detections import Detections
 from repro.simdet.detector import SimulatedDetector
 from repro.simdet.zoo import ZooEntry
 from repro.tracker.catdet_tracker import CaTDetTracker, TrackerConfig
+
+
+class _KeyFrameStage:
+    """Single stage implementing the detect-then-coast loop.
+
+    Implements the :class:`repro.engine.stages.Stage` interface by duck
+    typing (the pipeline never isinstance-checks).  It deliberately does
+    *not* subclass ``Stage``: this module can execute while
+    ``repro.engine.stages`` is still mid-import (core and engine import
+    each other), and the module-object import above is only cycle-safe
+    because every ``engine_stages.<attr>`` access happens at call time —
+    a base class in the ``class`` statement would resolve the attribute
+    at import time and break that.
+    """
+
+    def __init__(
+        self,
+        detector: SimulatedDetector,
+        macs: "engine_stages.MacsModel",
+        stride: int,
+        tracker_config: TrackerConfig,
+    ):
+        self.detector = detector
+        self.macs = macs
+        self.stride = stride
+        self.tracker_config = tracker_config
+        self.tracker: Optional[CaTDetTracker] = None
+
+    def begin_sequence(self, sequence: Sequence) -> None:
+        self.tracker = CaTDetTracker(self.tracker_config, image_size=sequence.image_size)
+        # Pure per-sequence caches; clearing protects name reuse in streams.
+        self.detector.reset()
+
+    def process(self, ctx: "engine_stages.FrameContext") -> None:
+        if self.tracker is None:
+            self.begin_sequence(ctx.sequence)
+        predictions = self.tracker.predict()
+        if ctx.frame % self.stride == 0:
+            ctx.detections = self.detector.detect_full_frame(ctx.sequence, ctx.frame)
+            ctx.ops = OpsAccount(refinement=self.macs.full_frame(ctx.sequence))
+            ctx.coverage_fraction = 1.0
+        else:
+            # Skipped frame: emit the tracker's coasted predictions.
+            ctx.detections = predictions
+            ctx.ops = OpsAccount()
+            ctx.coverage_fraction = 0.0
+        ctx.num_regions = len(predictions)
+
+    def end_frame(self, ctx: "engine_stages.FrameContext") -> None:
+        self.tracker.update(ctx.detections)
+
+    def reset(self) -> None:
+        self.tracker = None
 
 
 class KeyFrameSystem(DetectionSystem):
@@ -62,35 +115,21 @@ class KeyFrameSystem(DetectionSystem):
         self.num_classes = int(num_classes)
         self.input_scale = float(input_scale)
         self.name = f"{self.entry.profile.name}-keyframe{stride}"
+        self._macs = engine_stages.MacsModel(
+            self.entry, num_classes=self.num_classes, input_scale=self.input_scale
+        )
 
     def _frame_macs(self, sequence: Sequence) -> float:
-        w, h = _scaled_dims(sequence, self.input_scale)
-        if self.entry.detector_type == "retinanet":
-            return self.entry.retinanet_ops(w, h, self.num_classes).full_frame().total
-        return self.entry.rcnn_ops(w, h, self.num_classes).full_frame(300).total
+        return self._macs.full_frame(sequence)
 
-    def process_sequence(self, sequence: Sequence) -> SequenceResult:
-        macs = self._frame_macs(sequence)
-        tracker = CaTDetTracker(self.tracker_config, image_size=sequence.image_size)
-        result = SequenceResult(sequence_name=sequence.name)
-        for frame in range(sequence.num_frames):
-            predictions = tracker.predict()
-            if frame % self.stride == 0:
-                detections = self.detector.detect_full_frame(sequence, frame)
-                tracker.update(detections)
-                frame_ops = OpsAccount(refinement=macs)
-            else:
-                # Skipped frame: emit the tracker's coasted predictions.
-                detections = predictions
-                tracker.update(detections)
-                frame_ops = OpsAccount()
-            result.frames.append(
-                FrameResult(
-                    frame=frame,
-                    detections=detections,
-                    ops=frame_ops,
-                    num_regions=len(predictions),
-                    coverage_fraction=1.0 if frame % self.stride == 0 else 0.0,
+    def build_pipeline(self) -> "engine_stages.StagePipeline":
+        return engine_stages.StagePipeline(
+            [
+                _KeyFrameStage(
+                    self.detector, self._macs, self.stride, self.tracker_config
                 )
-            )
-        return result
+            ]
+        )
+
+    def _detectors(self) -> tuple:
+        return (self.detector,)

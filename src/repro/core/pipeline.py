@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
+import repro.engine.scheduler as engine_scheduler
 from repro.core.config import SystemConfig, build_system
 from repro.core.results import SystemRunResult
 from repro.core.systems import DetectionSystem
@@ -15,6 +16,8 @@ def run_on_dataset(
     dataset: Dataset,
     *,
     max_sequences: Optional[int] = None,
+    workers: Optional[int] = 1,
+    executor: Optional["engine_scheduler.SequenceExecutor"] = None,
 ) -> SystemRunResult:
     """Process every sequence of ``dataset`` with ``system``.
 
@@ -26,19 +29,34 @@ def run_on_dataset(
         The sequences to process.
     max_sequences:
         Optional cap for quick runs.
+    workers:
+        Sequence-level parallelism: ``1`` (default) runs serially in this
+        process, ``N >= 2`` fans sequences out to ``N`` worker processes,
+        ``0`` uses one worker per available CPU.  Results are identical to
+        the serial run regardless of the worker count.
+    executor:
+        Explicit :class:`~repro.engine.scheduler.SerialExecutor` /
+        :class:`~repro.engine.scheduler.ParallelExecutor`; overrides
+        ``workers``.
 
     Returns
     -------
     :class:`SystemRunResult` holding per-frame detections + op accounts,
     ready for :func:`repro.metrics.evaluate_dataset`.
     """
-    if isinstance(system, SystemConfig):
+    if executor is None:
+        executor = engine_scheduler.make_executor(workers)
+    if isinstance(system, SystemConfig) and isinstance(
+        executor, engine_scheduler.SerialExecutor
+    ):
+        # Build once here rather than letting the serial executor build a
+        # second throwaway instance after the name lookup below.
         system = build_system(system)
-    result = SystemRunResult(system_name=system.name)
+    name = system.name if isinstance(system, DetectionSystem) else build_system(system).name
+    result = SystemRunResult(system_name=name)
     sequences = dataset.sequences
     if max_sequences is not None:
         sequences = sequences[:max_sequences]
-    for sequence in sequences:
-        system.reset()
-        result.sequences[sequence.name] = system.process_sequence(sequence)
+    for sequence, seq_result in zip(sequences, executor.map_sequences(system, sequences)):
+        result.sequences[sequence.name] = seq_result
     return result

@@ -1,24 +1,26 @@
-"""The three detection systems of Figure 1.
+"""The three detection systems of Figure 1, as stage compositions.
 
 All systems share the same contract: :meth:`process_sequence` walks a video
 sequence frame by frame (strictly causal — CaTDet never looks ahead) and
-returns per-frame detections plus an exact operation account.
+returns per-frame detections plus an exact operation account.  Each system
+is a thin composition of :mod:`repro.engine.stages`; the per-frame loop
+itself lives in the engine, which also provides the incremental
+:meth:`DetectionSystem.stream` API and the parallel dataset executors.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional, Union
+from typing import Iterator, Union
 
-import numpy as np
-
-from repro.boxes.mask import RegionMask
-from repro.core.results import FrameResult, OpsAccount, SequenceResult
+import repro.engine.stages as engine_stages
+import repro.engine.stream as engine_stream
+from repro.core.results import FrameResult, SequenceResult
 from repro.datasets.types import Sequence
 from repro.detections import Detections
 from repro.simdet.detector import SimulatedDetector
 from repro.simdet.zoo import ZooEntry, get_model
-from repro.tracker.catdet_tracker import CaTDetTracker, TrackerConfig
+from repro.tracker.catdet_tracker import TrackerConfig
 
 
 def _resolve(model: Union[str, ZooEntry]) -> ZooEntry:
@@ -34,16 +36,57 @@ def _scaled_dims(sequence: Sequence, input_scale: float) -> tuple:
 
 
 class DetectionSystem(ABC):
-    """Common interface of single-model, cascaded and CaTDet systems."""
+    """Common interface of single-model, cascaded and CaTDet systems.
+
+    Subclasses describe themselves as a stage pipeline via
+    :meth:`build_pipeline`; batch (:meth:`process_sequence`) and streaming
+    (:meth:`stream`) execution are shared engine code.
+    """
 
     name: str
+    _stream_state = None  # lazily-created FrameStream for stream()
 
     @abstractmethod
+    def build_pipeline(self) -> "engine_stages.StagePipeline":
+        """A fresh stage composition bound to this system's detectors."""
+
     def process_sequence(self, sequence: Sequence) -> SequenceResult:
         """Run the system over every frame of ``sequence`` in order."""
+        return self.build_pipeline().run_sequence(sequence)
+
+    def stream(
+        self, frame_source: "engine_stream.FrameSource"
+    ) -> Iterator[FrameResult]:
+        """Process frames one at a time, yielding each result immediately.
+
+        ``frame_source`` is a :class:`~repro.datasets.types.Sequence`, an
+        iterable of :class:`~repro.engine.stream.FrameRef`, or an iterable
+        of ``(sequence, frame)`` pairs.  Cross-frame state — most
+        importantly the tracker — persists across successive ``stream``
+        calls, so a live feed can be consumed in arbitrary chunks; feeding
+        a frame of a different sequence starts that sequence fresh.  Call
+        :meth:`reset` to drop all streaming state.
+        """
+        if self._stream_state is None:
+            self._stream_state = engine_stream.FrameStream(self.build_pipeline())
+        yield from self._stream_state.run(frame_source)
+
+    def _detectors(self) -> tuple:
+        """The simulated detectors whose caches :meth:`reset` clears."""
+        return ()
 
     def reset(self) -> None:
-        """Clear any cross-frame state (default: none)."""
+        """Clear all cross-frame and cross-sequence state.
+
+        Drops streaming state and every simulated detector's RNG caches,
+        so back-to-back runs on the same instance are bit-identical to
+        runs on a freshly-built one.
+        """
+        if self._stream_state is not None:
+            self._stream_state.reset()
+            self._stream_state = None
+        for detector in self._detectors():
+            detector.reset()
 
 
 class SingleModelSystem(DetectionSystem):
@@ -81,30 +124,30 @@ class SingleModelSystem(DetectionSystem):
         self.output_threshold = float(output_threshold)
         self.num_classes = int(num_classes)
         self.name = f"{self.entry.profile.name}-single"
+        self._macs = engine_stages.MacsModel(
+            self.entry,
+            num_classes=self.num_classes,
+            input_scale=self.input_scale,
+            num_proposals=self.num_proposals,
+        )
 
     def _frame_macs(self, sequence: Sequence) -> float:
-        w, h = _scaled_dims(sequence, self.input_scale)
-        if self.entry.detector_type == "retinanet":
-            return self.entry.retinanet_ops(w, h, self.num_classes).full_frame().total
-        return self.entry.rcnn_ops(w, h, self.num_classes).full_frame(self.num_proposals).total
+        return self._macs.full_frame(sequence)
 
-    def process_sequence(self, sequence: Sequence) -> SequenceResult:
-        macs = self._frame_macs(sequence)
-        result = SequenceResult(sequence_name=sequence.name)
-        for frame in range(sequence.num_frames):
-            detections = self.detector.detect_full_frame(sequence, frame)
-            if self.output_threshold > 0:
-                detections = detections.above_score(self.output_threshold)
-            result.frames.append(
-                FrameResult(
-                    frame=frame,
-                    detections=detections,
-                    ops=OpsAccount(proposal=0.0, refinement=macs),
-                    num_regions=0,
-                    coverage_fraction=1.0,
-                )
-            )
-        return result
+    def build_pipeline(self) -> "engine_stages.StagePipeline":
+        return engine_stages.StagePipeline(
+            [
+                engine_stages.RefinementStage(
+                    self.detector,
+                    full_frame=True,
+                    output_threshold=self.output_threshold,
+                ),
+                engine_stages.OpsAccountingStage(self._macs),
+            ]
+        )
+
+    def _detectors(self) -> tuple:
+        return (self.detector,)
 
 
 class CascadedSystem(DetectionSystem):
@@ -158,54 +201,44 @@ class CascadedSystem(DetectionSystem):
             f"{self.proposal_entry.profile.name}+"
             f"{self.refinement_entry.profile.name}-cascade"
         )
+        self._proposal_macs_model = engine_stages.MacsModel(
+            self.proposal_entry, num_classes=self.num_classes, input_scale=self.input_scale
+        )
+        self._refinement_macs_model = engine_stages.MacsModel(
+            self.refinement_entry, num_classes=self.num_classes, input_scale=self.input_scale
+        )
 
     # ------------------------------------------------------------------ #
 
     def _proposal_macs(self, sequence: Sequence) -> float:
-        w, h = _scaled_dims(sequence, self.input_scale)
-        return self.proposal_entry.rcnn_ops(w, h, self.num_classes).full_frame(300).total
+        return self._proposal_macs_model.full_frame(sequence)
 
     def _refinement_macs(
         self, sequence: Sequence, coverage: float, n_regions: int
     ) -> float:
-        w, h = _scaled_dims(sequence, self.input_scale)
-        if self.refinement_entry.detector_type == "retinanet":
-            return self.refinement_entry.retinanet_ops(
-                w, h, self.num_classes
-            ).regional(coverage).total
-        return self.refinement_entry.rcnn_ops(
-            w, h, self.num_classes
-        ).regional(coverage, n_regions).total
+        return self._refinement_macs_model.regional(sequence, coverage, n_regions)
 
     def _regions_for_frame(self, sequence: Sequence, frame: int) -> Detections:
         proposals = self.proposal_detector.detect_full_frame(sequence, frame)
         return proposals.above_score(self.c_thresh)
 
-    def process_sequence(self, sequence: Sequence) -> SequenceResult:
-        proposal_macs = self._proposal_macs(sequence)
-        result = SequenceResult(sequence_name=sequence.name)
-        for frame in range(sequence.num_frames):
-            regions = self._regions_for_frame(sequence, frame)
-            mask = RegionMask(
-                regions.boxes, sequence.width, sequence.height, self.margin
-            )
-            coverage = mask.coverage_fraction()
-            detections = self.refinement_detector.detect_regions(sequence, frame, mask)
-            refinement_macs = self._refinement_macs(sequence, coverage, len(regions))
-            result.frames.append(
-                FrameResult(
-                    frame=frame,
-                    detections=detections,
-                    ops=OpsAccount(
-                        proposal=proposal_macs,
-                        refinement=refinement_macs,
-                        refinement_from_proposal=refinement_macs,
-                    ),
-                    num_regions=len(regions),
-                    coverage_fraction=coverage,
-                )
-            )
-        return result
+    def build_pipeline(self) -> "engine_stages.StagePipeline":
+        return engine_stages.StagePipeline(
+            [
+                engine_stages.ProposalStage(self.proposal_detector, self.c_thresh),
+                engine_stages.RefinementStage(
+                    self.refinement_detector, margin=self.margin
+                ),
+                engine_stages.OpsAccountingStage(
+                    self._refinement_macs_model,
+                    self._proposal_macs_model,
+                    margin=self.margin,
+                ),
+            ]
+        )
+
+    def _detectors(self) -> tuple:
+        return (self.proposal_detector, self.refinement_detector)
 
 
 class CaTDetSystem(CascadedSystem):
@@ -220,6 +253,11 @@ class CaTDetSystem(CascadedSystem):
     tracker_config:
         Tracker hyper-parameters; its ``input_score_threshold`` is the
         "confidence threshold for the tracker's input" of §4.3.
+    detailed_ops:
+        Also compute the hypothetical single-source refinement costs of
+        the Table 3 break-down (two extra region-mask unions per frame).
+        Turn off on throughput-critical paths; the actual ``proposal`` /
+        ``refinement`` accounting is unaffected.
     """
 
     def __init__(
@@ -233,6 +271,7 @@ class CaTDetSystem(CascadedSystem):
         num_classes: int = 2,
         input_scale: float = 1.0,
         tracker_config: TrackerConfig = TrackerConfig(),
+        detailed_ops: bool = True,
     ):
         super().__init__(
             proposal_model,
@@ -244,51 +283,25 @@ class CaTDetSystem(CascadedSystem):
             input_scale=input_scale,
         )
         self.tracker_config = tracker_config
+        self.detailed_ops = bool(detailed_ops)
         self.name = (
             f"{self.proposal_entry.profile.name}+"
             f"{self.refinement_entry.profile.name}-catdet"
         )
 
-    def process_sequence(self, sequence: Sequence) -> SequenceResult:
-        proposal_macs = self._proposal_macs(sequence)
-        tracker = CaTDetTracker(self.tracker_config, image_size=sequence.image_size)
-        result = SequenceResult(sequence_name=sequence.name)
-        for frame in range(sequence.num_frames):
-            tracked = tracker.predict()
-            proposed = self._regions_for_frame(sequence, frame)
-            regions = Detections.concatenate([tracked, proposed])
-
-            mask = RegionMask(regions.boxes, sequence.width, sequence.height, self.margin)
-            coverage = mask.coverage_fraction()
-            detections = self.refinement_detector.detect_regions(sequence, frame, mask)
-            tracker.update(detections)
-
-            refinement_macs = self._refinement_macs(sequence, coverage, len(regions))
-            # Hypothetical single-source costs for the Table 3 break-down.
-            tracker_mask = RegionMask(
-                tracked.boxes, sequence.width, sequence.height, self.margin
-            )
-            proposal_mask = RegionMask(
-                proposed.boxes, sequence.width, sequence.height, self.margin
-            )
-            from_tracker = self._refinement_macs(
-                sequence, tracker_mask.coverage_fraction(), len(tracked)
-            )
-            from_proposal = self._refinement_macs(
-                sequence, proposal_mask.coverage_fraction(), len(proposed)
-            )
-            result.frames.append(
-                FrameResult(
-                    frame=frame,
-                    detections=detections,
-                    ops=OpsAccount(
-                        proposal=proposal_macs,
-                        refinement=refinement_macs,
-                        refinement_from_tracker=from_tracker,
-                        refinement_from_proposal=from_proposal,
-                    ),
-                    num_regions=len(regions),
-                    coverage_fraction=coverage,
-                )
-            )
-        return result
+    def build_pipeline(self) -> "engine_stages.StagePipeline":
+        return engine_stages.StagePipeline(
+            [
+                engine_stages.TrackerStage(self.tracker_config),
+                engine_stages.ProposalStage(self.proposal_detector, self.c_thresh),
+                engine_stages.RefinementStage(
+                    self.refinement_detector, margin=self.margin
+                ),
+                engine_stages.OpsAccountingStage(
+                    self._refinement_macs_model,
+                    self._proposal_macs_model,
+                    margin=self.margin,
+                    detailed=self.detailed_ops,
+                ),
+            ]
+        )

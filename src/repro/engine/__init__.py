@@ -1,0 +1,50 @@
+"""Staged frame-pipeline engine.
+
+The paper's three systems (Figure 1) are compositions of the same few
+per-frame stages — proposal, tracker feedback, refinement, operation
+accounting.  This package makes that dataflow explicit:
+
+* :mod:`repro.engine.stages` — the :class:`FrameContext` blackboard, the
+  :class:`Stage` interface and the concrete stages the systems compose.
+* :mod:`repro.engine.stream` — a strictly-causal incremental runner that
+  yields one :class:`~repro.core.results.FrameResult` per input frame
+  (live/online scenarios).
+* :mod:`repro.engine.scheduler` — serial and process-parallel executors
+  for dataset-level runs (``run_on_dataset(..., workers=N)``).
+"""
+
+from repro.engine.stages import (
+    FrameContext,
+    MacsModel,
+    OpsAccountingStage,
+    ProposalStage,
+    RefinementStage,
+    Stage,
+    StagePipeline,
+    TrackerStage,
+)
+from repro.engine.stream import FrameRef, FrameStream, iter_frame_refs
+from repro.engine.scheduler import (
+    ParallelExecutor,
+    SerialExecutor,
+    SequenceExecutor,
+    make_executor,
+)
+
+__all__ = [
+    "FrameContext",
+    "MacsModel",
+    "OpsAccountingStage",
+    "ProposalStage",
+    "RefinementStage",
+    "Stage",
+    "StagePipeline",
+    "TrackerStage",
+    "FrameRef",
+    "FrameStream",
+    "iter_frame_refs",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "SequenceExecutor",
+    "make_executor",
+]

@@ -1,0 +1,135 @@
+"""Sequence-level execution engines: serial and process-parallel.
+
+A dataset run is embarrassingly parallel across sequences — the simulated
+detector's determinism contract makes every frame a pure function of
+``(model, seed, sequence, frame)``, so executing sequences on worker
+processes yields byte-identical results to the serial loop.  Workers are
+seeded deterministically per sequence by construction: each one builds a
+fresh system from the same :class:`~repro.core.config.SystemConfig`
+(or from a pickled copy of the system), whose seed is part of the config.
+
+``run_on_dataset(..., workers=N)`` (see :mod:`repro.core.pipeline`) picks
+the executor via :func:`make_executor`.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, List, Optional, Union
+
+from repro.core.results import SequenceResult
+from repro.datasets.types import Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import SystemConfig
+    from repro.core.systems import DetectionSystem
+
+SystemLike = Union["DetectionSystem", "SystemConfig"]
+
+
+def effective_cpu_count() -> int:
+    """CPUs actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _is_config(target: SystemLike) -> bool:
+    from repro.core.config import SystemConfig
+
+    return isinstance(target, SystemConfig)
+
+
+def _run_sequence_from_config(config: "SystemConfig", sequence: Sequence) -> SequenceResult:
+    """Worker entry point: build the system fresh and process one sequence."""
+    from repro.core.config import build_system
+
+    return build_system(config).process_sequence(sequence)
+
+
+def _run_sequence_with_system(
+    system: "DetectionSystem", sequence: Sequence
+) -> SequenceResult:
+    """Worker entry point for a pickled system instance."""
+    system.reset()
+    return system.process_sequence(sequence)
+
+
+class SerialExecutor:
+    """Process sequences one after another in the calling process."""
+
+    workers = 1
+
+    def map_sequences(
+        self, target: SystemLike, sequences: List[Sequence]
+    ) -> List[SequenceResult]:
+        if _is_config(target):
+            from repro.core.config import build_system
+
+            target = build_system(target)
+        results = []
+        for sequence in sequences:
+            target.reset()
+            results.append(target.process_sequence(sequence))
+        return results
+
+
+class ParallelExecutor:
+    """Fan sequences out to a pool of worker processes.
+
+    Results come back in submission order, so a parallel run's
+    :class:`~repro.core.results.SystemRunResult` is indistinguishable from
+    a serial one.  Prefer passing a :class:`SystemConfig` — workers then
+    rebuild the system from the declarative description instead of
+    pickling detector caches across the process boundary.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count (must be >= 1; 1 still goes through the
+        pool, which is occasionally useful for isolation testing).
+    """
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+
+    def map_sequences(
+        self, target: SystemLike, sequences: List[Sequence]
+    ) -> List[SequenceResult]:
+        if not sequences:
+            return []
+        if _is_config(target):
+            worker_fn = _run_sequence_from_config
+        else:
+            worker_fn = _run_sequence_with_system
+            # Workers reset the system before use anyway; resetting here
+            # avoids pickling populated detector caches once per sequence.
+            target.reset()
+        max_workers = min(self.workers, len(sequences))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = [pool.submit(worker_fn, target, s) for s in sequences]
+            return [f.result() for f in futures]
+
+
+SequenceExecutor = Union[SerialExecutor, ParallelExecutor]
+
+
+def make_executor(workers: Optional[int]) -> SequenceExecutor:
+    """Pick the executor for a requested worker count.
+
+    ``None`` or ``1`` → serial; ``0`` → one worker per available CPU;
+    ``N >= 2`` → a process pool of ``N`` workers.
+    """
+    if workers is None or workers == 1:
+        return SerialExecutor()
+    if workers == 0:
+        workers = effective_cpu_count()
+        if workers == 1:
+            return SerialExecutor()
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return ParallelExecutor(workers)

@@ -1,0 +1,378 @@
+"""Composable per-frame pipeline stages — the CaTDet dataflow made explicit.
+
+The paper's systems differ only in which stages run on each frame:
+
+====================  =====================================================
+single model          refinement (full frame) -> ops accounting
+cascaded              proposal -> refinement (masked) -> ops accounting
+CaTDet                tracker predict -> proposal -> refinement (masked)
+                      -> ops accounting -> tracker update
+====================  =====================================================
+
+Every stage reads and writes one shared per-frame blackboard, the
+:class:`FrameContext`.  A :class:`StagePipeline` executes its stages in
+order (:meth:`Stage.process`) and then gives each stage a post-frame hook
+(:meth:`Stage.end_frame`) for feedback paths — the tracker consumes the
+frame's *final* detections there, exactly the causal loop of Figure 1c.
+Stages never look ahead: frame ``t`` sees only data produced on frames
+``<= t``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.boxes.mask import RegionMask
+from repro.core.results import FrameResult, OpsAccount, SequenceResult
+from repro.datasets.types import Sequence
+from repro.detections import Detections
+from repro.simdet.detector import SimulatedDetector
+from repro.simdet.zoo import ZooEntry
+from repro.tracker.catdet_tracker import CaTDetTracker, TrackerConfig
+
+
+class FrameContext:
+    """Mutable blackboard shared by the stages while processing one frame.
+
+    Attributes
+    ----------
+    sequence / frame:
+        Which frame is being processed.
+    tracked:
+        Tracker-predicted regions (``None`` when no tracker stage ran —
+        this is how downstream stages distinguish cascade from CaTDet).
+    proposed:
+        Proposal-network regions above C-thresh (``None`` without a
+        proposal stage).
+    regions:
+        The union of region sources fed to the refinement network.
+    mask:
+        The :class:`RegionMask` the refinement network computed over
+        (``None`` for full-frame passes).
+    coverage_fraction:
+        Fraction of the image covered by ``mask`` (1.0 for full frame).
+    detections:
+        The frame's final detections (set by the refinement stage).
+    ops:
+        The frame's operation account (set by the accounting stage).
+    num_regions:
+        Region count reported in the :class:`FrameResult`.
+    """
+
+    __slots__ = (
+        "sequence",
+        "frame",
+        "tracked",
+        "proposed",
+        "regions",
+        "mask",
+        "coverage_fraction",
+        "detections",
+        "ops",
+        "num_regions",
+    )
+
+    def __init__(self, sequence: Sequence, frame: int):
+        self.sequence = sequence
+        self.frame = frame
+        self.tracked: Optional[Detections] = None
+        self.proposed: Optional[Detections] = None
+        self.regions: Optional[Detections] = None
+        self.mask: Optional[RegionMask] = None
+        self.coverage_fraction: float = 1.0
+        self.detections: Detections = Detections.empty()
+        self.ops: OpsAccount = OpsAccount()
+        self.num_regions: int = 0
+
+    def to_frame_result(self) -> FrameResult:
+        """Freeze the blackboard into the public result record."""
+        return FrameResult(
+            frame=self.frame,
+            detections=self.detections,
+            ops=self.ops,
+            num_regions=self.num_regions,
+            coverage_fraction=self.coverage_fraction,
+        )
+
+
+class Stage:
+    """One step of the per-frame dataflow.
+
+    Lifecycle: :meth:`begin_sequence` once per sequence, then per frame
+    :meth:`process` (in pipeline order) followed by :meth:`end_frame`
+    (also in pipeline order, after every stage has processed).  ``reset``
+    drops all cross-sequence state.
+    """
+
+    def begin_sequence(self, sequence: Sequence) -> None:
+        """Prepare for a new sequence (clear per-sequence state)."""
+
+    def process(self, ctx: FrameContext) -> None:
+        """Consume/produce blackboard fields for the current frame."""
+        raise NotImplementedError
+
+    def end_frame(self, ctx: FrameContext) -> None:
+        """Post-frame feedback hook (runs after all ``process`` calls)."""
+
+    def reset(self) -> None:
+        """Drop all internal state (sequence- and run-level)."""
+
+
+class MacsModel:
+    """Memoized operation model for one zoo entry.
+
+    Building a :class:`~repro.flops.rcnn.FasterRCNNOps` walks the
+    architecture's layer list — doing that once per frame is pure hot-path
+    waste, since the model only depends on the (scaled) image resolution.
+    This wrapper caches the op model and the full-frame total per
+    resolution, so the per-frame cost of accounting is two multiplies.
+    """
+
+    def __init__(
+        self,
+        entry: ZooEntry,
+        *,
+        num_classes: int = 2,
+        input_scale: float = 1.0,
+        num_proposals: int = 300,
+    ):
+        self.entry = entry
+        self.num_classes = int(num_classes)
+        self.input_scale = float(input_scale)
+        self.num_proposals = int(num_proposals)
+        self._models: Dict[Tuple[int, int], object] = {}
+        self._full_frame: Dict[Tuple[int, int], float] = {}
+
+    def _scaled_dims(self, sequence: Sequence) -> Tuple[int, int]:
+        return (
+            max(1, int(round(sequence.width * self.input_scale))),
+            max(1, int(round(sequence.height * self.input_scale))),
+        )
+
+    def _ops_model(self, sequence: Sequence):
+        dims = self._scaled_dims(sequence)
+        model = self._models.get(dims)
+        if model is None:
+            w, h = dims
+            if self.entry.detector_type == "retinanet":
+                model = self.entry.retinanet_ops(w, h, self.num_classes)
+            else:
+                model = self.entry.rcnn_ops(w, h, self.num_classes)
+            self._models[dims] = model
+        return model
+
+    def full_frame(self, sequence: Sequence) -> float:
+        """Full-frame MACs at this sequence's resolution (memoized)."""
+        dims = self._scaled_dims(sequence)
+        macs = self._full_frame.get(dims)
+        if macs is None:
+            model = self._ops_model(sequence)
+            if self.entry.detector_type == "retinanet":
+                macs = model.full_frame().total
+            else:
+                macs = model.full_frame(self.num_proposals).total
+            self._full_frame[dims] = macs
+        return macs
+
+    def regional(self, sequence: Sequence, coverage: float, n_regions: int) -> float:
+        """Region-restricted (refinement) MACs for one frame."""
+        model = self._ops_model(sequence)
+        if self.entry.detector_type == "retinanet":
+            return model.regional(coverage).total
+        return model.regional(coverage, n_regions).total
+
+
+class ProposalStage(Stage):
+    """Cheap full-frame scan: proposals above C-thresh become regions."""
+
+    def __init__(self, detector: SimulatedDetector, c_thresh: float):
+        self.detector = detector
+        self.c_thresh = float(c_thresh)
+
+    def begin_sequence(self, sequence: Sequence) -> None:
+        # The detector's latent caches are pure functions of
+        # (model, seed, sequence name), so clearing them never changes
+        # results — but it protects streaming callers that feed a new
+        # sequence object reusing an earlier name.
+        self.detector.reset()
+
+    def process(self, ctx: FrameContext) -> None:
+        proposals = self.detector.detect_full_frame(ctx.sequence, ctx.frame)
+        ctx.proposed = proposals.above_score(self.c_thresh)
+
+
+class TrackerStage(Stage):
+    """Tracker feedback loop: predict regions, then learn from the output.
+
+    ``process`` publishes the tracker's predicted next-frame locations as
+    regions *before* the refinement stage runs; ``end_frame`` feeds the
+    frame's final detections back (Figure 1c's arrow from output to
+    tracker).  A fresh tracker is created per sequence; between
+    ``begin_sequence`` calls the state persists, which is what lets
+    :meth:`repro.core.systems.DetectionSystem.stream` keep tracking across
+    successive calls on a live feed.
+    """
+
+    def __init__(self, config: TrackerConfig):
+        self.config = config
+        self.tracker: Optional[CaTDetTracker] = None
+
+    def begin_sequence(self, sequence: Sequence) -> None:
+        self.tracker = CaTDetTracker(self.config, image_size=sequence.image_size)
+
+    def process(self, ctx: FrameContext) -> None:
+        if self.tracker is None:
+            self.begin_sequence(ctx.sequence)
+        ctx.tracked = self.tracker.predict()
+
+    def end_frame(self, ctx: FrameContext) -> None:
+        self.tracker.update(ctx.detections)
+
+    def reset(self) -> None:
+        self.tracker = None
+
+
+class RefinementStage(Stage):
+    """The expensive network: validate regions (or scan the full frame).
+
+    In ``full_frame`` mode (single-model system) it runs the detector over
+    the whole image.  Otherwise it unions the blackboard's region sources,
+    builds the :class:`RegionMask` and restricts detection to it.
+    """
+
+    def __init__(
+        self,
+        detector: SimulatedDetector,
+        *,
+        margin: float = 30.0,
+        full_frame: bool = False,
+        output_threshold: float = 0.0,
+    ):
+        self.detector = detector
+        self.margin = float(margin)
+        self.full_frame = bool(full_frame)
+        self.output_threshold = float(output_threshold)
+
+    def begin_sequence(self, sequence: Sequence) -> None:
+        self.detector.reset()  # see ProposalStage.begin_sequence
+
+    def process(self, ctx: FrameContext) -> None:
+        if self.full_frame:
+            detections = self.detector.detect_full_frame(ctx.sequence, ctx.frame)
+            if self.output_threshold > 0:
+                detections = detections.above_score(self.output_threshold)
+            ctx.detections = detections
+            ctx.coverage_fraction = 1.0
+            return
+        sources: List[Detections] = [
+            s for s in (ctx.tracked, ctx.proposed) if s is not None
+        ]
+        regions = Detections.concatenate(sources) if sources else Detections.empty()
+        ctx.regions = regions
+        ctx.num_regions = len(regions)
+        ctx.mask = RegionMask(
+            regions.boxes, ctx.sequence.width, ctx.sequence.height, self.margin
+        )
+        ctx.coverage_fraction = ctx.mask.coverage_fraction()
+        ctx.detections = self.detector.detect_regions(ctx.sequence, ctx.frame, ctx.mask)
+        if self.output_threshold > 0:
+            ctx.detections = ctx.detections.above_score(self.output_threshold)
+
+
+class OpsAccountingStage(Stage):
+    """Exact MAC accounting for the frame, including the Table 3 split.
+
+    ``detailed`` controls the hypothetical single-source refinement costs
+    of Table 3 (what the refinement pass *would* cost with only the
+    tracker's or only the proposal network's regions).  Computing them
+    needs two extra :class:`RegionMask` union-area computations per frame,
+    so throughput-oriented callers turn the flag off.
+    """
+
+    def __init__(
+        self,
+        refinement_macs: MacsModel,
+        proposal_macs: Optional[MacsModel] = None,
+        *,
+        margin: float = 30.0,
+        detailed: bool = True,
+    ):
+        self.refinement_macs = refinement_macs
+        self.proposal_macs = proposal_macs
+        self.margin = float(margin)
+        self.detailed = bool(detailed)
+
+    def _hypothetical(self, ctx: FrameContext, regions: Detections) -> float:
+        mask = RegionMask(
+            regions.boxes, ctx.sequence.width, ctx.sequence.height, self.margin
+        )
+        return self.refinement_macs.regional(
+            ctx.sequence, mask.coverage_fraction(), len(regions)
+        )
+
+    def process(self, ctx: FrameContext) -> None:
+        proposal = (
+            self.proposal_macs.full_frame(ctx.sequence) if self.proposal_macs else 0.0
+        )
+        if ctx.mask is None:
+            ctx.ops = OpsAccount(
+                proposal=proposal,
+                refinement=self.refinement_macs.full_frame(ctx.sequence),
+            )
+            return
+        refinement = self.refinement_macs.regional(
+            ctx.sequence, ctx.coverage_fraction, ctx.num_regions
+        )
+        if ctx.tracked is None:
+            # Plain cascade: all refinement work is proposal-sourced.
+            ctx.ops = OpsAccount(
+                proposal=proposal,
+                refinement=refinement,
+                refinement_from_proposal=refinement,
+            )
+            return
+        from_tracker = from_proposal = 0.0
+        if self.detailed:
+            from_tracker = self._hypothetical(ctx, ctx.tracked)
+            from_proposal = self._hypothetical(ctx, ctx.proposed)
+        ctx.ops = OpsAccount(
+            proposal=proposal,
+            refinement=refinement,
+            refinement_from_tracker=from_tracker,
+            refinement_from_proposal=from_proposal,
+        )
+
+
+class StagePipeline:
+    """An ordered stage composition executing the per-frame dataflow."""
+
+    def __init__(self, stages: List[Stage]):
+        if not stages:
+            raise ValueError("a pipeline needs at least one stage")
+        self.stages = list(stages)
+
+    def begin_sequence(self, sequence: Sequence) -> None:
+        """Start a new sequence: every stage clears per-sequence state."""
+        for stage in self.stages:
+            stage.begin_sequence(sequence)
+
+    def run_frame(self, sequence: Sequence, frame: int) -> FrameResult:
+        """Process one frame through all stages and freeze the result."""
+        ctx = FrameContext(sequence, frame)
+        for stage in self.stages:
+            stage.process(ctx)
+        for stage in self.stages:
+            stage.end_frame(ctx)
+        return ctx.to_frame_result()
+
+    def run_sequence(self, sequence: Sequence) -> SequenceResult:
+        """Convenience: ``begin_sequence`` plus every frame in order."""
+        self.begin_sequence(sequence)
+        result = SequenceResult(sequence_name=sequence.name)
+        for frame in range(sequence.num_frames):
+            result.frames.append(self.run_frame(sequence, frame))
+        return result
+
+    def reset(self) -> None:
+        for stage in self.stages:
+            stage.reset()

@@ -1,0 +1,95 @@
+"""Strictly-causal incremental execution: one frame in, one result out.
+
+``process_sequence`` assumes the whole sequence is available up front.
+Live scenarios (a camera feed, a video socket) deliver frames one at a
+time and want a detection result *per frame*, with tracker state carried
+across calls.  :class:`FrameStream` wraps a :class:`StagePipeline` in that
+contract; :func:`repro.core.systems.DetectionSystem.stream` builds on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Union
+
+from repro.core.results import FrameResult
+from repro.datasets.types import Sequence
+from repro.engine.stages import StagePipeline
+
+
+@dataclass(frozen=True)
+class FrameRef:
+    """One frame of one sequence, as delivered by a frame source."""
+
+    sequence: Sequence
+    frame: int
+
+
+FrameSource = Union[Sequence, Iterable["FrameRef"]]
+
+
+def sequence_frames(
+    sequence: Sequence, start: int = 0, stop: Optional[int] = None
+) -> Iterator[FrameRef]:
+    """Frame refs for ``sequence[start:stop]`` in causal order."""
+    stop = sequence.num_frames if stop is None else min(stop, sequence.num_frames)
+    for frame in range(start, stop):
+        yield FrameRef(sequence, frame)
+
+
+def iter_frame_refs(source: FrameSource) -> Iterator[FrameRef]:
+    """Normalize a frame source into :class:`FrameRef` values.
+
+    Accepts a whole :class:`Sequence` (all frames in order), an iterable of
+    :class:`FrameRef`, or an iterable of ``(sequence, frame)`` pairs.
+    """
+    if isinstance(source, Sequence):
+        yield from sequence_frames(source)
+        return
+    for item in source:
+        if isinstance(item, FrameRef):
+            yield item
+        else:
+            sequence, frame = item
+            yield FrameRef(sequence, int(frame))
+
+
+class FrameStream:
+    """Incremental frame-at-a-time runner over a stage pipeline.
+
+    State (most importantly the tracker) persists between :meth:`feed`
+    calls for the same sequence; feeding a frame of a *different* sequence
+    re-initializes the pipeline for it.  Frames must arrive in causal
+    order — the stream never reorders or looks ahead.
+    """
+
+    def __init__(self, pipeline: StagePipeline):
+        self.pipeline = pipeline
+        self._current: Optional[Sequence] = None
+
+    @property
+    def current_sequence(self) -> Optional[str]:
+        """Name of the sequence currently being streamed (if any)."""
+        return self._current.name if self._current is not None else None
+
+    def feed(self, sequence: Sequence, frame: int) -> FrameResult:
+        """Process one frame and return its result immediately.
+
+        Sequences are compared by object identity: a *different* sequence
+        object — even one reusing a previous name — starts fresh rather
+        than inheriting the previous sequence's tracker state.
+        """
+        if sequence is not self._current:
+            self.pipeline.begin_sequence(sequence)
+            self._current = sequence
+        return self.pipeline.run_frame(sequence, frame)
+
+    def run(self, source: FrameSource) -> Iterator[FrameResult]:
+        """Yield one :class:`FrameResult` per frame of ``source``."""
+        for ref in iter_frame_refs(source):
+            yield self.feed(ref.sequence, ref.frame)
+
+    def reset(self) -> None:
+        """Drop all cross-frame state (tracker included)."""
+        self.pipeline.reset()
+        self._current = None

@@ -78,9 +78,15 @@ def run_experiment(
     difficulties: Tuple[DifficultyFilter, ...] = (MODERATE, HARD),
     *,
     with_delay: bool = True,
+    workers: Optional[int] = 1,
 ) -> ExperimentResult:
-    """Run ``config`` over ``dataset`` and evaluate at each difficulty."""
-    run = run_on_dataset(config, dataset)
+    """Run ``config`` over ``dataset`` and evaluate at each difficulty.
+
+    ``workers`` is sequence-level parallelism (see
+    :func:`repro.core.pipeline.run_on_dataset`); results are identical at
+    any worker count.
+    """
+    run = run_on_dataset(config, dataset, workers=workers)
     evaluations = {
         diff.name: evaluate_dataset(
             dataset, run.detections_by_sequence, diff, with_delay=with_delay

@@ -3,11 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.core.config import SystemConfig
 from repro.datasets.types import Dataset
-from repro.harness.experiment import ExperimentResult, run_experiment
+from repro.harness.experiment import run_experiment
 from repro.metrics.kitti_eval import HARD, DifficultyFilter
 
 #: The paper's Figure 6 x-axis.
@@ -34,12 +34,14 @@ def cthresh_sweep(
     refinement_model: str = "resnet50",
     difficulty: DifficultyFilter = HARD,
     beta: float = 0.8,
+    workers: Optional[int] = 1,
 ) -> List[CThreshPoint]:
     """Sweep the proposal network's output threshold, with/without tracker.
 
     Reproduces Figure 6: with the tracker, mAP is nearly flat in C-thresh;
     without it (plain cascade) mAP degrades and both variants' delay grows
-    as fewer proposals reach the refinement network.
+    as fewer proposals reach the refinement network.  ``workers``
+    parallelizes each operating point's dataset run across processes.
     """
     points: List[CThreshPoint] = []
     for proposal in proposal_models:
@@ -51,7 +53,7 @@ def cthresh_sweep(
                     proposal,
                     c_thresh=float(c),
                 )
-                result = run_experiment(config, dataset, (difficulty,))
+                result = run_experiment(config, dataset, (difficulty,), workers=workers)
                 evaluation = result.evaluation(difficulty.name)
                 points.append(
                     CThreshPoint(

@@ -35,6 +35,7 @@ def sweep_operating_points(
     *,
     difficulty: DifficultyFilter = HARD,
     max_sequences: Optional[int] = None,
+    workers: Optional[int] = 1,
 ) -> Tuple[TuningPoint, ...]:
     """Evaluate ``config`` at each C-thresh, returning sorted points."""
     if config.kind == "single":
@@ -42,7 +43,9 @@ def sweep_operating_points(
     points = []
     for c in sorted(c_values):
         candidate = replace(config, c_thresh=float(c))
-        run = run_on_dataset(candidate, dataset, max_sequences=max_sequences)
+        run = run_on_dataset(
+            candidate, dataset, max_sequences=max_sequences, workers=workers
+        )
         result = evaluate_dataset(
             dataset if max_sequences is None else _subset(dataset, max_sequences),
             run.detections_by_sequence,
@@ -76,6 +79,7 @@ def cthresh_for_budget(
     *,
     difficulty: DifficultyFilter = HARD,
     max_sequences: Optional[int] = None,
+    workers: Optional[int] = 1,
 ) -> Optional[TuningPoint]:
     """Most accurate operating point within a per-frame op budget.
 
@@ -85,7 +89,8 @@ def cthresh_for_budget(
     if budget_gops <= 0:
         raise ValueError(f"budget_gops must be positive, got {budget_gops}")
     points = sweep_operating_points(
-        config, dataset, c_values, difficulty=difficulty, max_sequences=max_sequences
+        config, dataset, c_values,
+        difficulty=difficulty, max_sequences=max_sequences, workers=workers,
     )
     affordable = [p for p in points if p.ops_gops <= budget_gops]
     if not affordable:
@@ -101,12 +106,14 @@ def cheapest_cthresh_for_accuracy(
     *,
     difficulty: DifficultyFilter = HARD,
     max_sequences: Optional[int] = None,
+    workers: Optional[int] = 1,
 ) -> Optional[TuningPoint]:
     """Cheapest operating point reaching at least ``min_map``."""
     if not (0.0 < min_map <= 1.0):
         raise ValueError(f"min_map must lie in (0, 1], got {min_map}")
     points = sweep_operating_points(
-        config, dataset, c_values, difficulty=difficulty, max_sequences=max_sequences
+        config, dataset, c_values,
+        difficulty=difficulty, max_sequences=max_sequences, workers=workers,
     )
     qualified = [p for p in points if p.mean_ap >= min_map]
     if not qualified:

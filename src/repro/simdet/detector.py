@@ -64,6 +64,19 @@ class SimulatedDetector:
         self._clutter: Dict[str, List[_ClutterSource]] = {}
         self._track_index: Dict[str, Dict[int, object]] = {}
 
+    def reset(self) -> None:
+        """Drop every cached RNG-derived latent.
+
+        The caches are themselves deterministic functions of
+        ``(model, seed, sequence)``, so this restores the detector to the
+        exact state of a freshly-constructed instance — back-to-back runs
+        on one detector are bit-identical to runs on separate ones.
+        """
+        self._persistent.clear()
+        self._temporal.clear()
+        self._clutter.clear()
+        self._track_index.clear()
+
     def _track_of(self, sequence: Sequence, track_id: int):
         index = self._track_index.get(sequence.name)
         if index is None:

@@ -1,0 +1,247 @@
+"""Engine tests: stage pipelines, streaming, and parallel execution.
+
+The load-bearing guarantees:
+
+* the parallel executor produces byte-identical ``SystemRunResult``s to
+  the serial executor for all three system kinds;
+* ``stream()`` matches ``process_sequence()`` frame-for-frame;
+* ``reset()`` makes back-to-back runs on one instance bit-identical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SystemConfig, build_system
+from repro.core.keyframe import KeyFrameSystem
+from repro.core.pipeline import run_on_dataset
+from repro.core.systems import CaTDetSystem
+from repro.engine.scheduler import (
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.engine.stream import FrameRef, sequence_frames
+
+ALL_KINDS = [
+    SystemConfig("single", "resnet10b"),
+    SystemConfig("cascade", "resnet50", "resnet10a"),
+    SystemConfig("catdet", "resnet50", "resnet10a"),
+]
+
+
+def assert_frames_identical(fa, fb):
+    """Byte-identical frame results: detections, ops and region stats."""
+    assert fa.frame == fb.frame
+    np.testing.assert_array_equal(fa.detections.boxes, fb.detections.boxes)
+    np.testing.assert_array_equal(fa.detections.scores, fb.detections.scores)
+    np.testing.assert_array_equal(fa.detections.labels, fb.detections.labels)
+    assert fa.ops.proposal == fb.ops.proposal
+    assert fa.ops.refinement == fb.ops.refinement
+    assert fa.ops.refinement_from_tracker == fb.ops.refinement_from_tracker
+    assert fa.ops.refinement_from_proposal == fb.ops.refinement_from_proposal
+    assert fa.num_regions == fb.num_regions
+    assert fa.coverage_fraction == fb.coverage_fraction
+
+
+def assert_runs_identical(a, b):
+    assert set(a.sequences) == set(b.sequences)
+    for name in a.sequences:
+        for fa, fb in zip(a.sequences[name].frames, b.sequences[name].frames):
+            assert_frames_identical(fa, fb)
+
+
+class TestParallelExecutor:
+    @pytest.mark.parametrize("config", ALL_KINDS, ids=lambda c: c.kind)
+    def test_parallel_matches_serial(self, config, kitti_small):
+        serial = run_on_dataset(config, kitti_small, workers=1)
+        parallel = run_on_dataset(config, kitti_small, workers=2)
+        assert serial.system_name == parallel.system_name
+        assert_runs_identical(serial, parallel)
+
+    def test_parallel_accepts_system_instance(self, kitti_small):
+        config = SystemConfig("catdet", "resnet50", "resnet10a")
+        serial = run_on_dataset(config, kitti_small)
+        parallel = run_on_dataset(build_system(config), kitti_small, workers=2)
+        assert_runs_identical(serial, parallel)
+
+    def test_workers_zero_uses_cpu_count(self, kitti_small):
+        config = SystemConfig("single", "resnet10b")
+        auto = run_on_dataset(config, kitti_small, workers=0, max_sequences=1)
+        serial = run_on_dataset(config, kitti_small, workers=1, max_sequences=1)
+        assert_runs_identical(serial, auto)
+
+    def test_executor_selection(self):
+        assert isinstance(make_executor(None), SerialExecutor)
+        assert isinstance(make_executor(1), SerialExecutor)
+        pool = make_executor(4)
+        assert isinstance(pool, ParallelExecutor)
+        assert pool.workers == 4
+        with pytest.raises(ValueError, match="workers"):
+            make_executor(-1)
+        with pytest.raises(ValueError, match="workers"):
+            ParallelExecutor(0)
+
+    def test_max_sequences_respected(self, kitti_small):
+        run = run_on_dataset(
+            SystemConfig("single", "resnet10b"), kitti_small, workers=2, max_sequences=1
+        )
+        assert len(run.sequences) == 1
+
+
+class TestStream:
+    @pytest.mark.parametrize("config", ALL_KINDS, ids=lambda c: c.kind)
+    def test_stream_matches_process_sequence(self, config, kitti_small):
+        sequence = kitti_small.sequences[0]
+        batch = build_system(config).process_sequence(sequence)
+        streamed = list(build_system(config).stream(sequence))
+        assert len(streamed) == batch.num_frames
+        for fa, fb in zip(batch.frames, streamed):
+            assert_frames_identical(fa, fb)
+
+    def test_keyframe_stream_matches_process_sequence(self, kitti_small):
+        sequence = kitti_small.sequences[0]
+        batch = KeyFrameSystem("resnet50", stride=4, seed=0).process_sequence(sequence)
+        streamed = list(KeyFrameSystem("resnet50", stride=4, seed=0).stream(sequence))
+        for fa, fb in zip(batch.frames, streamed):
+            assert_frames_identical(fa, fb)
+
+    def test_chunked_stream_preserves_tracker_state(self, kitti_small):
+        """Consuming the feed in chunks equals consuming it in one go."""
+        sequence = kitti_small.sequences[0]
+        config = SystemConfig("catdet", "resnet50", "resnet10a")
+        one_shot = list(build_system(config).stream(sequence))
+        chunked_system = build_system(config)
+        chunked = []
+        for start in range(0, sequence.num_frames, 7):
+            chunked.extend(
+                chunked_system.stream(sequence_frames(sequence, start, start + 7))
+            )
+        for fa, fb in zip(one_shot, chunked):
+            assert_frames_identical(fa, fb)
+
+    def test_stream_accepts_pairs_and_refs(self, kitti_small):
+        sequence = kitti_small.sequences[0]
+        system = build_system(SystemConfig("single", "resnet10b"))
+        via_refs = list(system.stream([FrameRef(sequence, 0), FrameRef(sequence, 1)]))
+        system.reset()
+        via_pairs = list(system.stream([(sequence, 0), (sequence, 1)]))
+        for fa, fb in zip(via_refs, via_pairs):
+            assert_frames_identical(fa, fb)
+
+    def test_same_name_different_sequence_restarts_tracking(self, kitti_small):
+        """Sequence identity, not its name, decides when tracking restarts."""
+        import dataclasses
+
+        seq_a = kitti_small.sequences[0]
+        seq_b = dataclasses.replace(kitti_small.sequences[1], name=seq_a.name)
+        config = SystemConfig("catdet", "resnet50", "resnet10a")
+        system = build_system(config)
+        list(system.stream(sequence_frames(seq_a, 0, 10)))
+        restarted = list(system.stream(sequence_frames(seq_b, 0, 10)))
+        fresh = list(build_system(config).stream(sequence_frames(seq_b, 0, 10)))
+        assert restarted[0].ops.refinement_from_tracker == pytest.approx(0.0)
+        for fa, fb in zip(restarted, fresh):
+            assert_frames_identical(fa, fb)
+
+    def test_switching_sequences_restarts_tracking(self, kitti_small):
+        """Feeding a new sequence starts it fresh (no cross-sequence leaks)."""
+        seq_a, seq_b = kitti_small.sequences[:2]
+        config = SystemConfig("catdet", "resnet50", "resnet10a")
+        system = build_system(config)
+        interleaved = list(system.stream(sequence_frames(seq_a, 0, 10)))
+        interleaved += list(system.stream(sequence_frames(seq_b, 0, 10)))
+        fresh = list(build_system(config).stream(sequence_frames(seq_b, 0, 10)))
+        # The first frame of seq_b must carry no tracker regions from seq_a.
+        assert interleaved[10].ops.refinement_from_tracker == pytest.approx(0.0)
+        for fa, fb in zip(interleaved[10:], fresh):
+            assert_frames_identical(fa, fb)
+
+
+class TestReset:
+    @pytest.mark.parametrize("config", ALL_KINDS, ids=lambda c: c.kind)
+    def test_back_to_back_runs_bit_identical(self, config, kitti_small):
+        system = build_system(config)
+        first = run_on_dataset(system, kitti_small)
+        second = run_on_dataset(system, kitti_small)
+        assert_runs_identical(first, second)
+
+    def test_reset_clears_detector_caches(self, kitti_small):
+        system = build_system(SystemConfig("catdet", "resnet50", "resnet10a"))
+        system.process_sequence(kitti_small.sequences[0])
+        assert system.proposal_detector._clutter  # caches were populated
+        system.reset()
+        for detector in (system.proposal_detector, system.refinement_detector):
+            assert not detector._persistent
+            assert not detector._temporal
+            assert not detector._clutter
+            assert not detector._track_index
+
+    def test_reset_clears_stream_state(self, kitti_small):
+        sequence = kitti_small.sequences[0]
+        config = SystemConfig("catdet", "resnet50", "resnet10a")
+        system = build_system(config)
+        list(system.stream(sequence_frames(sequence, 0, 10)))
+        system.reset()
+        restarted = list(system.stream(sequence_frames(sequence, 0, 10)))
+        fresh = list(build_system(config).stream(sequence_frames(sequence, 0, 10)))
+        for fa, fb in zip(restarted, fresh):
+            assert_frames_identical(fa, fb)
+
+
+class TestDetailedOpsFlag:
+    def test_fast_path_same_results_except_breakdown(self, kitti_sequence):
+        detailed = CaTDetSystem("resnet10a", "resnet50", seed=0, detailed_ops=True)
+        fast = CaTDetSystem("resnet10a", "resnet50", seed=0, detailed_ops=False)
+        r_detailed = detailed.process_sequence(kitti_sequence)
+        r_fast = fast.process_sequence(kitti_sequence)
+        for fa, fb in zip(r_detailed.frames, r_fast.frames):
+            np.testing.assert_array_equal(fa.detections.boxes, fb.detections.boxes)
+            assert fa.ops.proposal == fb.ops.proposal
+            assert fa.ops.refinement == fb.ops.refinement
+            assert fb.ops.refinement_from_tracker == 0.0
+            assert fb.ops.refinement_from_proposal == 0.0
+        assert r_detailed.mean_ops().refinement_from_tracker > 0
+
+    def test_config_carries_flag(self):
+        config = SystemConfig("catdet", "resnet50", "resnet10a", detailed_ops=False)
+        system = build_system(config)
+        assert isinstance(system, CaTDetSystem)
+        assert system.detailed_ops is False
+
+
+class TestConfigValidation:
+    def test_errors_name_the_offending_field(self):
+        cases = [
+            ("kind", dict(kind="magic", refinement_model="resnet50")),
+            ("refinement_model", dict(kind="single", refinement_model="")),
+            (
+                "proposal_model",
+                dict(kind="cascade", refinement_model="resnet50"),
+            ),
+            (
+                "c_thresh",
+                dict(
+                    kind="cascade",
+                    refinement_model="resnet50",
+                    proposal_model="resnet10a",
+                    c_thresh=1.5,
+                ),
+            ),
+            (
+                "margin",
+                dict(
+                    kind="cascade",
+                    refinement_model="resnet50",
+                    proposal_model="resnet10a",
+                    margin=-1.0,
+                ),
+            ),
+            ("num_classes", dict(kind="single", refinement_model="resnet50", num_classes=0)),
+            (
+                "input_scale",
+                dict(kind="single", refinement_model="resnet50", input_scale=0.0),
+            ),
+        ]
+        for fieldname, kwargs in cases:
+            with pytest.raises(ValueError, match=fieldname):
+                SystemConfig(**kwargs)
