@@ -1,0 +1,60 @@
+"""Warm-cache speedup: regenerating Table 2 from the result cache.
+
+The acceptance bar for the content-addressed cache: re-running the same
+spec grid against a warm cache must be at least 5x faster than the cold
+run, and the served results must be bit-identical to the computed ones.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.api.session import Session
+from repro.harness.configs import table2_specs
+
+#: Small enough to keep CI fast, big enough that pipeline time dominates
+#: JSON load time by a wide margin.
+SEQUENCES = 2
+FRAMES = 60
+
+#: The guaranteed floor; in practice warm runs are ~20-50x faster.
+MIN_SPEEDUP = 5.0
+
+
+def _run_grid(session: Session):
+    specs = table2_specs(SEQUENCES, FRAMES)
+    start = time.perf_counter()
+    results = session.run_many(specs)
+    return time.perf_counter() - start, results
+
+
+@pytest.mark.benchmark
+def test_warm_table2_at_least_5x_faster(tmp_path):
+    cache_dir = tmp_path / "cache"
+    cold_session = Session(cache_dir=cache_dir)
+    cold_time, cold_results = _run_grid(cold_session)
+    assert cold_session.cache_misses == len(cold_results)
+
+    warm_session = Session(cache_dir=cache_dir)
+    warm_time, warm_results = _run_grid(warm_session)
+    assert warm_session.cache_hits == len(warm_results)
+    assert warm_session.cache_misses == 0
+
+    speedup = cold_time / warm_time
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm cache regeneration only {speedup:.1f}x faster "
+        f"(cold {cold_time:.2f}s, warm {warm_time:.2f}s); need >= {MIN_SPEEDUP}x"
+    )
+
+    # The cache serves bit-identical numbers, not approximations.
+    for cold, warm in zip(cold_results, warm_results):
+        assert cold.ops_gops == warm.ops_gops
+        for name in cold.run.sequences:
+            for fc, fw in zip(
+                cold.run.sequences[name].frames, warm.run.sequences[name].frames
+            ):
+                assert np.array_equal(fc.detections.boxes, fw.detections.boxes)
+                assert np.array_equal(fc.detections.scores, fw.detections.scores)
+        for diff in cold.evaluations:
+            assert cold.evaluations[diff].mean_ap() == warm.evaluations[diff].mean_ap()

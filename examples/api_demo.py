@@ -1,0 +1,100 @@
+"""Tour of the declarative API: specs, sessions, caching, registries.
+
+Run with::
+
+    PYTHONPATH=src python examples/api_demo.py
+"""
+
+import tempfile
+import time
+
+from repro import (
+    DatasetSpec,
+    EvalSpec,
+    ExecSpec,
+    ExperimentSpec,
+    Session,
+    SystemConfig,
+    build_system,
+    register_system,
+)
+
+
+def main() -> None:
+    # ----------------------------------------------------------------- #
+    # 1. The three-line happy path.
+    # ----------------------------------------------------------------- #
+    cache_dir = tempfile.mkdtemp(prefix="repro-cache-")
+    session = Session(cache_dir=cache_dir)
+    spec = ExperimentSpec(
+        system=SystemConfig("catdet", "resnet50", "resnet10a"),
+        dataset=DatasetSpec("kitti", num_sequences=2, frames_per_sequence=60),
+    )
+    result = session.run(spec)
+    print(f"{spec.label}: mAP(hard)={result.mean_ap('hard'):.3f} "
+          f"mD@0.8={result.mean_delay('hard'):.2f} ops={result.ops_gops:.1f} G")
+
+    # Specs serialize to JSON and back exactly; the fingerprint is the
+    # cache key (execution plan excluded — it never changes the numbers).
+    assert ExperimentSpec.from_json(spec.to_json()) == spec
+    print(f"fingerprint: {spec.fingerprint[:16]}…")
+
+    # ----------------------------------------------------------------- #
+    # 2. Warm-cache reruns are served from disk, bit-identical.
+    # ----------------------------------------------------------------- #
+    start = time.perf_counter()
+    again = session.run(spec)
+    print(f"warm rerun: {time.perf_counter() - start:.3f}s "
+          f"(hits={session.cache_hits}), identical mAP: "
+          f"{again.mean_ap('hard') == result.mean_ap('hard')}")
+
+    # ----------------------------------------------------------------- #
+    # 3. Grids: run_many dedupes identical specs before scheduling.
+    # ----------------------------------------------------------------- #
+    grid = [spec.with_system(c_thresh=c) for c in (0.05, 0.1, 0.1, 0.3)]
+    grid.append(ExperimentSpec(  # same point, different execution plan
+        system=grid[1].system, dataset=grid[1].dataset,
+        eval=grid[1].eval, exec=ExecSpec(workers=2),
+    ))
+    results = session.run_many(grid)
+    print(f"grid of {len(grid)} specs -> "
+          f"{len({s.fingerprint for s in grid})} computations")
+    for s, r in zip(grid, results):
+        print(f"  C={s.system.c_thresh:<4} ops={r.ops_gops:6.1f} G "
+              f"mAP={r.mean_ap('hard'):.3f}")
+
+    # ----------------------------------------------------------------- #
+    # 4. Different scoring protocol = different spec (CityPersons-style).
+    # ----------------------------------------------------------------- #
+    cp_spec = ExperimentSpec(
+        system=SystemConfig("catdet", "resnet50", "resnet10a",
+                            num_classes=1, input_scale=0.72),
+        dataset=DatasetSpec("citypersons", num_sequences=4),
+        eval=EvalSpec(difficulties=("moderate",), ap_method="voc11",
+                      with_delay=False),
+    )
+    cp = session.run(cp_spec)
+    print(f"{cp_spec.label}: mAP(voc11)="
+          f"{cp.evaluation('moderate').mean_ap('voc11'):.3f}")
+
+    # ----------------------------------------------------------------- #
+    # 5. Registries: a new system kind plugs in without touching core.
+    # ----------------------------------------------------------------- #
+    @register_system("demo-single")
+    def _build_demo(config):
+        from repro.core.systems import SingleModelSystem
+
+        return SingleModelSystem(config.refinement_model, seed=config.seed)
+
+    demo = build_system(SystemConfig("demo-single", "resnet10a"))
+    print(f"registered kind builds: {type(demo).__name__}")
+    demo_result = session.run(ExperimentSpec(
+        system=SystemConfig("demo-single", "resnet10a"),
+        dataset=DatasetSpec("kitti", num_sequences=1, frames_per_sequence=30),
+    ))
+    print(f"demo-single mAP(hard)={demo_result.mean_ap('hard'):.3f} — "
+          f"cached under {demo_result.config.kind!r} like any built-in")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,14 @@
 """CaTDet reproduction: cascaded tracked detection from video (MLSYS 2019).
 
-Public API highlights::
+Public API highlights — the declarative, cached path::
+
+    from repro import ExperimentSpec, Session, SystemConfig
+
+    session = Session(cache_dir=".repro-cache")
+    result = session.run(ExperimentSpec(SystemConfig("catdet", "resnet50", "resnet10a")))
+    print(result.mean_ap("hard"), result.mean_delay("hard"), result.ops_gops)
+
+and the imperative one underneath it::
 
     from repro import (
         SystemConfig, build_system, run_on_dataset,
@@ -13,6 +21,18 @@ Public API highlights::
     print(result.mean_ap(), result.mean_delay(0.8), run.mean_ops_gops())
 """
 
+from repro.api import (
+    DatasetSpec,
+    EvalSpec,
+    ExecSpec,
+    ExperimentSpec,
+    ResultCache,
+    Session,
+    build_dataset,
+    register_dataset_family,
+    register_executor,
+    register_system,
+)
 from repro.core import (
     CascadedSystem,
     CaTDetSystem,
@@ -50,6 +70,16 @@ from repro.tracker import CaTDetTracker, Sort, TrackerConfig
 __version__ = "1.0.0"
 
 __all__ = [
+    "DatasetSpec",
+    "EvalSpec",
+    "ExecSpec",
+    "ExperimentSpec",
+    "ResultCache",
+    "Session",
+    "build_dataset",
+    "register_dataset_family",
+    "register_executor",
+    "register_system",
     "CascadedSystem",
     "CaTDetSystem",
     "DetectionSystem",

@@ -6,24 +6,41 @@ Commands
 ``run``                 run one system on a KITTI-like dataset and report
 ``table2`` / ``table6`` regenerate the paper's headline tables
 ``sweep``               the Figure-6 C-thresh sweep
+``spec``                run declarative ExperimentSpec JSON (file or grid)
+
+Every run-like command accepts ``--cache-dir`` (default: the
+``REPRO_CACHE_DIR`` environment variable) to serve revisited operating
+points from the content-addressed result cache, and ``--no-cache`` to
+force recomputation.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 
+from repro.api.session import Session
+from repro.api.spec import DatasetSpec, EvalSpec, ExecSpec, ExperimentSpec
 from repro.core.config import SystemConfig
-from repro.harness.configs import TABLE2_CONFIGS, TABLE6_CONFIGS
-from repro.harness.experiment import (
-    run_experiment,
-    standard_citypersons,
-    standard_kitti,
-)
+from repro.harness.configs import table2_specs, table6_specs
 from repro.harness.sweeps import cthresh_sweep
 from repro.harness.tables import format_table
-from repro.metrics.kitti_eval import MODERATE
 from repro.simdet.zoo import MODEL_ZOO
+
+
+def _session(args: argparse.Namespace) -> Session:
+    cache_dir = None if args.no_cache else args.cache_dir
+    return Session(cache_dir=cache_dir)
+
+
+def _print_cache_stats(session: Session) -> None:
+    if session.cache is not None:
+        print(
+            f"[cache] {session.cache_hits} hit(s), "
+            f"{session.cache_misses} miss(es) in {session.cache.root}"
+        )
 
 
 def cmd_models(args: argparse.Namespace) -> int:
@@ -39,15 +56,27 @@ def cmd_models(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    dataset = standard_kitti(args.sequences, args.frames)
     config = SystemConfig(
         args.kind,
         args.refinement,
         args.proposal,
         c_thresh=args.c_thresh,
+        margin=args.margin,
         seed=args.seed,
+        input_scale=args.input_scale,
+        detailed_ops=args.detailed_ops,
     )
-    result = run_experiment(config, dataset, workers=args.workers)
+    spec = ExperimentSpec(
+        system=config,
+        dataset=DatasetSpec(
+            "kitti",
+            num_sequences=args.sequences,
+            frames_per_sequence=args.frames,
+        ),
+        exec=ExecSpec(workers=args.workers),
+    )
+    session = _session(args)
+    result = session.run(spec)
     print(f"system: {config.label}")
     print(f"ops/frame: {result.ops_gops:.1f} G")
     for diff in ("moderate", "hard"):
@@ -55,16 +84,17 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"[{diff:>8s}] mAP={result.mean_ap(diff):.3f} "
             f"mD@0.8={result.mean_delay(diff):.2f}"
         )
+    _print_cache_stats(session)
     return 0
 
 
 def cmd_table2(args: argparse.Namespace) -> int:
-    dataset = standard_kitti(args.sequences, args.frames)
+    session = _session(args)
+    specs = table2_specs(args.sequences, args.frames, workers=args.workers)
     rows = []
-    for config in TABLE2_CONFIGS:
-        res = run_experiment(config, dataset, workers=args.workers)
+    for spec, res in zip(specs, session.run_many(specs)):
         rows.append(
-            [config.label, res.ops_gops, res.mean_ap("moderate"),
+            [spec.system.label, res.ops_gops, res.mean_ap("moderate"),
              res.mean_ap("hard"), res.mean_delay("moderate"),
              res.mean_delay("hard")]
         )
@@ -72,31 +102,39 @@ def cmd_table2(args: argparse.Namespace) -> int:
         ["system", "ops(G)", "mAP_M", "mAP_H", "mD_M", "mD_H"], rows,
         title="Table 2 — KITTI main results",
     ))
+    _print_cache_stats(session)
     return 0
 
 
 def cmd_table6(args: argparse.Namespace) -> int:
-    dataset = standard_citypersons(args.sequences)
+    session = _session(args)
+    specs = table6_specs(args.sequences, workers=args.workers)
     rows = []
-    for config in TABLE6_CONFIGS:
-        res = run_experiment(
-            config, dataset, (MODERATE,), with_delay=False, workers=args.workers
-        )
+    for spec, res in zip(specs, session.run_many(specs)):
         rows.append(
-            [config.label, res.evaluation("moderate").mean_ap("voc11"), res.ops_gops]
+            [spec.system.label, res.evaluation("moderate").mean_ap("voc11"), res.ops_gops]
         )
     print(format_table(["system", "mAP", "ops(G)"], rows,
                        title="Table 6 — CityPersons"))
+    _print_cache_stats(session)
     return 0
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    dataset = standard_kitti(args.sequences, args.frames)
+    session = _session(args)
+    dataset = session.dataset(
+        DatasetSpec(
+            "kitti",
+            num_sequences=args.sequences,
+            frames_per_sequence=args.frames,
+        )
+    )
     points = cthresh_sweep(
         dataset,
         proposal_models=tuple(args.models.split(",")),
         c_values=tuple(float(c) for c in args.c_values.split(",")),
         workers=args.workers,
+        session=session,
     )
     rows = [
         [p.proposal_model, "yes" if p.with_tracker else "no",
@@ -107,6 +145,62 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         ["proposal", "tracker", "C-thresh", "mAP(H)", "mD@0.8", "ops(G)"],
         rows, title="Figure 6 — C-thresh sweep",
     ))
+    _print_cache_stats(session)
+    return 0
+
+
+_EXAMPLE_SPEC = ExperimentSpec(
+    system=SystemConfig("catdet", "resnet50", "resnet10a"),
+    dataset=DatasetSpec("kitti", num_sequences=4, frames_per_sequence=100),
+    eval=EvalSpec(difficulties=("moderate", "hard")),
+    exec=ExecSpec(workers=1),
+)
+
+
+def cmd_spec(args: argparse.Namespace) -> int:
+    if args.example:
+        print(_EXAMPLE_SPEC.to_json(indent=2))
+        return 0
+    if args.file is None:
+        print("error: a spec file is required (or --example)", file=sys.stderr)
+        return 2
+    with open(args.file, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    entries = payload if isinstance(payload, list) else [payload]
+    specs = [ExperimentSpec.from_dict(entry) for entry in entries]
+    if args.workers is not None:
+        specs = [
+            ExperimentSpec(
+                system=s.system, dataset=s.dataset, eval=s.eval,
+                exec=ExecSpec(executor=s.exec.executor, workers=args.workers),
+            )
+            for s in specs
+        ]
+    if args.dry_run:
+        for spec in specs:
+            print(f"{spec.fingerprint}  {spec.label}")
+        return 0
+    session = _session(args)
+    results = session.run_many(specs)
+    diff_names = []
+    for spec in specs:
+        for name in spec.eval.difficulties:
+            if name not in diff_names:
+                diff_names.append(name)
+    rows = []
+    for spec, res in zip(specs, results):
+        row = [spec.label, res.ops_gops]
+        for name in diff_names:
+            if name in spec.eval.difficulties:
+                row.append(res.evaluation(name).mean_ap(spec.eval.ap_method))
+            else:
+                row.append(None)
+        rows.append(row + [spec.fingerprint[:12]])
+    print(format_table(
+        ["spec", "ops(G)", *[f"mAP[{n}]" for n in diff_names], "fingerprint"],
+        rows, title=f"{len(specs)} spec(s)",
+    ))
+    _print_cache_stats(session)
     return 0
 
 
@@ -117,13 +211,27 @@ def _workers_count(value: str) -> int:
     return workers
 
 
-def _add_workers_flag(parser: argparse.ArgumentParser) -> None:
+def _add_workers_flag(parser: argparse.ArgumentParser, default=1) -> None:
     parser.add_argument(
         "--workers",
         type=_workers_count,
-        default=1,
+        default=default,
         help="sequence-level worker processes (1 = serial, 0 = one per CPU); "
         "results are identical at any worker count",
+    )
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        default=os.environ.get("REPRO_CACHE_DIR"),
+        help="content-addressed result cache directory "
+        "(default: $REPRO_CACHE_DIR; unset = no caching)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the result cache even when a cache dir is configured",
     )
 
 
@@ -134,14 +242,25 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("models", help="list the model zoo").set_defaults(func=cmd_models)
 
     run_p = sub.add_parser("run", help="run one system on KITTI-like data")
-    run_p.add_argument("kind", choices=("single", "cascade", "catdet"))
+    from repro.api.registry import SYSTEMS
+
+    run_p.add_argument("kind", choices=SYSTEMS.names())
     run_p.add_argument("refinement")
     run_p.add_argument("proposal", nargs="?", default=None)
     run_p.add_argument("--c-thresh", type=float, default=0.1)
+    run_p.add_argument("--margin", type=float, default=30.0,
+                       help="RoI context margin in pixels")
+    run_p.add_argument("--input-scale", type=float, default=1.0,
+                       help="frame downscale factor before the networks")
+    run_p.add_argument("--detailed-ops", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="also compute Table-3 per-source refinement costs "
+                       "(--no-detailed-ops speeds up throughput runs)")
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument("--sequences", type=int, default=4)
     run_p.add_argument("--frames", type=int, default=100)
     _add_workers_flag(run_p)
+    _add_cache_flags(run_p)
     run_p.set_defaults(func=cmd_run)
 
     for name, fn in (("table2", cmd_table2), ("table6", cmd_table6)):
@@ -150,6 +269,7 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "table2":
             p.add_argument("--frames", type=int, default=100)
         _add_workers_flag(p)
+        _add_cache_flags(p)
         p.set_defaults(func=fn)
 
     sweep_p = sub.add_parser("sweep", help="Figure-6 C-thresh sweep")
@@ -158,7 +278,21 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--sequences", type=int, default=3)
     sweep_p.add_argument("--frames", type=int, default=80)
     _add_workers_flag(sweep_p)
+    _add_cache_flags(sweep_p)
     sweep_p.set_defaults(func=cmd_sweep)
+
+    spec_p = sub.add_parser(
+        "spec", help="run ExperimentSpec JSON (an object or a list of objects)"
+    )
+    spec_p.add_argument("file", nargs="?", default=None,
+                        help="path to a spec JSON file")
+    spec_p.add_argument("--example", action="store_true",
+                        help="print a template spec and exit")
+    spec_p.add_argument("--dry-run", action="store_true",
+                        help="print each spec's fingerprint without running")
+    _add_workers_flag(spec_p, default=None)
+    _add_cache_flags(spec_p)
+    spec_p.set_defaults(func=cmd_spec)
     return parser
 
 

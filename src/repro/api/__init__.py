@@ -1,0 +1,78 @@
+"""Declarative experiment API: specs, registries, sessions, result cache.
+
+The composable-service layer on top of the engine::
+
+    from repro.api import DatasetSpec, ExperimentSpec, Session
+    from repro.core.config import SystemConfig
+
+    session = Session(cache_dir=".repro-cache")
+    spec = ExperimentSpec(
+        system=SystemConfig("catdet", "resnet50", "resnet10a"),
+        dataset=DatasetSpec("kitti", num_sequences=6, frames_per_sequence=100),
+    )
+    result = session.run(spec)     # cached on disk; reruns are instant
+
+Only the registry infrastructure is imported eagerly — everything else
+loads on first attribute access, so low-level modules (``core.config``,
+the dataset families, the engine) can import :mod:`repro.api.registry`
+to self-register without creating import cycles.
+"""
+
+from repro.api.registry import (
+    DATASET_FAMILIES,
+    EXECUTORS,
+    SYSTEMS,
+    Registry,
+    SystemEntry,
+    register_dataset_family,
+    register_executor,
+    register_system,
+)
+
+__all__ = [
+    "DATASET_FAMILIES",
+    "EXECUTORS",
+    "SYSTEMS",
+    "Registry",
+    "SystemEntry",
+    "register_dataset_family",
+    "register_executor",
+    "register_system",
+    # Lazy (see __getattr__):
+    "DatasetSpec",
+    "EvalSpec",
+    "ExecSpec",
+    "ExperimentSpec",
+    "SPEC_FORMAT",
+    "ResultCache",
+    "experiment_key",
+    "fingerprint_dataset",
+    "Session",
+    "build_dataset",
+]
+
+_LAZY = {
+    "DatasetSpec": "repro.api.spec",
+    "EvalSpec": "repro.api.spec",
+    "ExecSpec": "repro.api.spec",
+    "ExperimentSpec": "repro.api.spec",
+    "SPEC_FORMAT": "repro.api.spec",
+    "ResultCache": "repro.api.cache",
+    "experiment_key": "repro.api.cache",
+    "fingerprint_dataset": "repro.api.cache",
+    "Session": "repro.api.session",
+    "build_dataset": "repro.api.session",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

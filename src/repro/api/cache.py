@@ -1,0 +1,147 @@
+"""Content-addressed on-disk cache of experiment results.
+
+Entries are keyed by a spec fingerprint (see
+:attr:`repro.api.spec.ExperimentSpec.fingerprint`) or, for ad-hoc
+datasets, by a combined (config, dataset content, eval) digest from
+:func:`experiment_key`.  Payloads are the lossless
+``repro-experiment-full/1`` JSON of :mod:`repro.harness.io`, so a cache
+hit returns a result bit-identical to the original computation —
+boxes, scores, labels and op accounts included.
+
+Layout: ``<root>/<fp[:2]>/<fp>.json`` (two-level sharding keeps any one
+directory small on big sweeps).  Writes are atomic (tmp file + rename),
+so concurrent sessions sharing a cache directory at worst duplicate
+work, never corrupt entries; corrupt or truncated files are treated as
+misses and rewritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Optional, Union
+
+from repro.core.config import SystemConfig, config_to_dict
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.spec import EvalSpec
+    from repro.datasets.types import Dataset
+    from repro.harness.experiment import ExperimentResult
+
+
+def fingerprint_dataset(dataset: "Dataset") -> str:
+    """Stable content digest of a dataset's ground truth.
+
+    Hashes the geometry and every track's boxes/occlusion/truncation
+    arrays, so two datasets with identical content share cache entries
+    regardless of how they were constructed.
+    """
+    h = hashlib.sha256()
+    h.update(repr((dataset.name, [
+        (c.name, c.label, c.min_iou) for c in dataset.classes
+    ], dataset.labeled_frames)).encode("utf-8"))
+    for seq in dataset.sequences:
+        h.update(
+            repr((seq.name, seq.width, seq.height, seq.num_frames, seq.fps)).encode("utf-8")
+        )
+        for track in seq.tracks:
+            h.update(repr((track.track_id, track.label, track.first_frame)).encode("utf-8"))
+            h.update(track.boxes.tobytes())
+            h.update(track.occlusion.tobytes())
+            h.update(track.truncation.tobytes())
+    return h.hexdigest()
+
+
+def experiment_key(
+    config: SystemConfig, dataset_fingerprint: str, eval_spec: "EvalSpec"
+) -> str:
+    """Cache key for the classic ``run_experiment(config, dataset)`` path."""
+    payload = {
+        "format": "repro-experiment-key/1",
+        "system": config_to_dict(config),
+        "dataset": dataset_fingerprint,
+        "eval": eval_spec.result_key_dict(),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed store of serialized :class:`ExperimentResult`\\ s."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, fingerprint: str) -> Path:
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    def load(self, fingerprint: str) -> Optional["ExperimentResult"]:
+        """The cached result for ``fingerprint``, or ``None`` on a miss.
+
+        Unreadable entries (corrupt JSON, foreign formats) count as
+        misses: the caller recomputes and overwrites them.
+        """
+        from repro.harness.io import experiment_from_dict
+
+        path = self.path_for(fingerprint)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+            result = experiment_from_dict(payload["result"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (json.JSONDecodeError, KeyError, ValueError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(
+        self,
+        fingerprint: str,
+        result: "ExperimentResult",
+        *,
+        spec: Optional[Dict[str, Any]] = None,
+    ) -> Path:
+        """Atomically write ``result`` under ``fingerprint``.
+
+        ``spec`` (a plain dict, e.g. ``ExperimentSpec.to_dict()``) is
+        stored alongside for human inspection of what produced the entry.
+        """
+        from repro.harness.io import experiment_to_dict
+
+        payload: Dict[str, Any] = {
+            "format": "repro-result-cache/1",
+            "fingerprint": fingerprint,
+            "spec": spec,
+            "result": experiment_to_dict(result),
+        }
+        path = self.path_for(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, allow_nan=True)
+        os.replace(tmp, path)
+        return path
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self.path_for(fingerprint).exists()
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.root.exists():
+            for entry in self.root.glob("*/*.json"):
+                entry.unlink()
+                removed += 1
+        return removed

@@ -1,0 +1,188 @@
+"""The :class:`Session` facade: specs in, (cached) results out.
+
+The three-line happy path::
+
+    from repro.api import DatasetSpec, ExperimentSpec, Session, SystemConfig
+
+    session = Session(cache_dir="~/.cache/repro")
+    spec = ExperimentSpec(SystemConfig("catdet", "resnet50", "resnet10a"))
+    result = session.run(spec)          # second call: served from disk
+
+``run`` routes every spec through the content-addressed result cache —
+revisited operating points (the Figure-6 grid, tuning searches, repeated
+table regenerations) load from disk bit-identical instead of recomputing.
+``run_many`` additionally dedupes identical specs before scheduling, so a
+grid with repeated points costs one computation per distinct fingerprint.
+"""
+
+from __future__ import annotations
+
+import weakref
+from functools import lru_cache
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.api.cache import ResultCache, experiment_key, fingerprint_dataset
+from repro.api.registry import DATASET_FAMILIES, EXECUTORS
+from repro.api.spec import DatasetSpec, EvalSpec, ExperimentSpec
+from repro.core.config import SystemConfig
+from repro.core.pipeline import run_on_dataset
+from repro.datasets.types import Dataset
+from repro.harness.experiment import ExperimentResult
+from repro.metrics.evaluate import evaluate_dataset
+from repro.metrics.kitti_eval import DIFFICULTIES, HARD, MODERATE, DifficultyFilter
+
+
+@lru_cache(maxsize=8)
+def build_dataset(spec: DatasetSpec) -> Dataset:
+    """Build (and memoize per process) the dataset a spec describes."""
+    factory = DATASET_FAMILIES.get(spec.family)
+    return factory(
+        num_sequences=spec.num_sequences,
+        frames_per_sequence=spec.frames_per_sequence,
+        seed=spec.seed,
+    )
+
+
+class Session:
+    """Runs experiment specs through a content-addressed result cache.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory for the on-disk result cache; ``None`` disables
+        caching (every run computes).
+    """
+
+    def __init__(self, cache_dir: Optional[Union[str, Path]] = None):
+        self.cache: Optional[ResultCache] = (
+            ResultCache(cache_dir) if cache_dir is not None else None
+        )
+        # id -> (weakref, fingerprint): sweeps call run_experiment once per
+        # operating point on one dataset object; hash its content once.
+        self._dataset_fp_memo: Dict[int, Tuple[weakref.ref, str]] = {}
+
+    def _dataset_fingerprint(self, dataset: Dataset) -> str:
+        entry = self._dataset_fp_memo.get(id(dataset))
+        if entry is not None and entry[0]() is dataset:
+            return entry[1]
+        fp = fingerprint_dataset(dataset)
+        self._dataset_fp_memo[id(dataset)] = (weakref.ref(dataset), fp)
+        return fp
+
+    @property
+    def cache_hits(self) -> int:
+        return self.cache.hits if self.cache else 0
+
+    @property
+    def cache_misses(self) -> int:
+        return self.cache.misses if self.cache else 0
+
+    def dataset(self, spec: DatasetSpec) -> Dataset:
+        """The (memoized) dataset ``spec`` describes."""
+        return build_dataset(spec)
+
+    def run(self, spec: ExperimentSpec, *, use_cache: bool = True) -> ExperimentResult:
+        """Run one spec, serving revisited fingerprints from the cache.
+
+        A hit returns a result bit-identical to the original computation
+        (same boxes, scores, labels and op accounts) without running the
+        pipeline.
+        """
+        executor = EXECUTORS.get(spec.exec.executor)(spec.exec.workers)
+        return self._run(
+            spec.system,
+            lambda: self.dataset(spec.dataset),
+            tuple(DIFFICULTIES[name] for name in spec.eval.difficulties),
+            with_delay=spec.eval.with_delay,
+            key=spec.fingerprint,
+            spec_dict=spec.to_dict(),
+            executor=executor,
+            use_cache=use_cache,
+        )
+
+    def run_many(
+        self, specs: Iterable[ExperimentSpec], *, use_cache: bool = True
+    ) -> List[ExperimentResult]:
+        """Run several specs, computing each distinct fingerprint once.
+
+        Results come back aligned with the input order; duplicate specs
+        (same fingerprint — execution plans may differ) share one result
+        object.
+        """
+        specs = list(specs)
+        unique: Dict[str, ExperimentSpec] = {}
+        for spec in specs:
+            unique.setdefault(spec.fingerprint, spec)
+        results = {
+            fp: self.run(spec, use_cache=use_cache) for fp, spec in unique.items()
+        }
+        return [results[spec.fingerprint] for spec in specs]
+
+    def run_experiment(
+        self,
+        config: SystemConfig,
+        dataset: Dataset,
+        difficulties: Tuple[DifficultyFilter, ...] = (MODERATE, HARD),
+        *,
+        with_delay: bool = True,
+        workers: Optional[int] = 1,
+        use_cache: bool = True,
+    ) -> ExperimentResult:
+        """The classic ``(config, concrete dataset)`` entry point, cached.
+
+        The cache key hashes the dataset *content* (ground-truth tracks),
+        so ad-hoc datasets cache correctly too.  Custom difficulty
+        filters that aren't the standard named levels bypass the cache —
+        their names can't be trusted as content addresses.
+        """
+        key = None
+        if self.cache is not None and use_cache and all(
+            DIFFICULTIES.get(d.name) == d for d in difficulties
+        ):
+            eval_spec = EvalSpec(
+                difficulties=tuple(d.name for d in difficulties),
+                with_delay=with_delay,
+            )
+            key = experiment_key(config, self._dataset_fingerprint(dataset), eval_spec)
+        return self._run(
+            config,
+            lambda: dataset,
+            tuple(difficulties),
+            with_delay=with_delay,
+            key=key,
+            spec_dict=None,
+            executor=EXECUTORS.get("auto")(workers),
+            use_cache=use_cache,
+        )
+
+    def _run(
+        self,
+        config: SystemConfig,
+        dataset_fn: Callable[[], Dataset],
+        filters: Tuple[DifficultyFilter, ...],
+        *,
+        with_delay: bool,
+        key: Optional[str],
+        spec_dict,
+        executor,
+        use_cache: bool,
+    ) -> ExperimentResult:
+        if self.cache is not None and use_cache and key is not None:
+            cached = self.cache.load(key)
+            if cached is not None:
+                return cached
+        # A miss pays for dataset construction only now — warm sessions in
+        # fresh processes skip world generation entirely.
+        dataset = dataset_fn()
+        run = run_on_dataset(config, dataset, executor=executor)
+        evaluations = {
+            diff.name: evaluate_dataset(
+                dataset, run.detections_by_sequence, diff, with_delay=with_delay
+            )
+            for diff in filters
+        }
+        result = ExperimentResult(config=config, run=run, evaluations=evaluations)
+        if self.cache is not None and use_cache and key is not None:
+            self.cache.store(key, result, spec=spec_dict)
+        return result

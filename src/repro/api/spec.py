@@ -1,0 +1,238 @@
+"""Declarative, JSON-round-trippable experiment specifications.
+
+An :class:`ExperimentSpec` fully describes one operating point of the
+paper's grids — which system (:class:`~repro.core.config.SystemConfig`),
+on which data (:class:`DatasetSpec`), evaluated how (:class:`EvalSpec`),
+executed how (:class:`ExecSpec`).  Specs are frozen, hashable, serialize
+to/from JSON exactly (``spec == ExperimentSpec.from_json(spec.to_json())``)
+and carry a stable content :attr:`~ExperimentSpec.fingerprint` that keys
+the on-disk result cache (:mod:`repro.api.cache`).
+
+The fingerprint covers only result-affecting fields — the execution plan
+(worker count, executor choice) is excluded, because results are
+byte-identical at any worker count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.config import SystemConfig, config_from_dict, config_to_dict
+from repro.metrics.kitti_eval import DIFFICULTIES
+
+SPEC_FORMAT = "repro-spec/1"
+
+_AP_METHODS = ("r40", "voc11")
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Which evaluation data to generate.
+
+    Parameters
+    ----------
+    family:
+        A registered dataset family (built-ins: ``"kitti"``,
+        ``"citypersons"``; extend with
+        :func:`repro.api.registry.register_dataset_family`).
+    num_sequences / frames_per_sequence / seed:
+        Size and world seed; ``None`` defers to the family's defaults.
+    """
+
+    family: str = "kitti"
+    num_sequences: Optional[int] = None
+    frames_per_sequence: Optional[int] = None
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.family or not isinstance(self.family, str):
+            raise ValueError(f"family must be a non-empty string, got {self.family!r}")
+        for name in ("num_sequences", "frames_per_sequence"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "family": self.family,
+            "num_sequences": self.num_sequences,
+            "frames_per_sequence": self.frames_per_sequence,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DatasetSpec":
+        return cls(**_known_fields(cls, data))
+
+
+@dataclass(frozen=True)
+class EvalSpec:
+    """How to score a run.
+
+    Parameters
+    ----------
+    difficulties:
+        KITTI difficulty names to evaluate at (see
+        :data:`repro.metrics.kitti_eval.DIFFICULTIES`).
+    ap_method:
+        ``"r40"`` (KITTI 40-recall-point) or ``"voc11"``.
+    delay_beta:
+        Precision level of the reported mean delay (``mD@beta``).
+    with_delay:
+        Track per-object delay records (disable for sparse-label data).
+    """
+
+    difficulties: Tuple[str, ...] = ("moderate", "hard")
+    ap_method: str = "r40"
+    delay_beta: float = 0.8
+    with_delay: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "difficulties", tuple(self.difficulties))
+        if not self.difficulties:
+            raise ValueError("at least one difficulty is required")
+        for name in self.difficulties:
+            if name not in DIFFICULTIES:
+                raise ValueError(
+                    f"unknown difficulty {name!r}; known: {tuple(sorted(DIFFICULTIES))}"
+                )
+        if self.ap_method not in _AP_METHODS:
+            raise ValueError(f"ap_method must be one of {_AP_METHODS}, got {self.ap_method!r}")
+        if not (0.0 < self.delay_beta <= 1.0):
+            raise ValueError(f"delay_beta must lie in (0, 1], got {self.delay_beta}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "difficulties": list(self.difficulties),
+            "ap_method": self.ap_method,
+            "delay_beta": self.delay_beta,
+            "with_delay": self.with_delay,
+        }
+
+    def result_key_dict(self) -> Dict[str, Any]:
+        """The subset of fields that change the *stored* result.
+
+        ``ap_method`` and ``delay_beta`` are applied at read time on the
+        cached evaluation state, so specs differing only in them share one
+        cache entry.
+        """
+        return {"difficulties": list(self.difficulties), "with_delay": self.with_delay}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "EvalSpec":
+        return cls(**_known_fields(cls, data))
+
+
+@dataclass(frozen=True)
+class ExecSpec:
+    """How to execute a run — never affects the numbers, only the speed.
+
+    Parameters
+    ----------
+    executor:
+        A registered executor name (built-ins: ``"auto"``, ``"serial"``,
+        ``"process"``).
+    workers:
+        Sequence-level worker processes (``1`` = serial, ``0`` = one per
+        CPU).
+    """
+
+    executor: str = "auto"
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.executor or not isinstance(self.executor, str):
+            raise ValueError(f"executor must be a non-empty string, got {self.executor!r}")
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"executor": self.executor, "workers": self.workers}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExecSpec":
+        return cls(**_known_fields(cls, data))
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One fully-described experiment: system + data + scoring + execution."""
+
+    system: SystemConfig
+    dataset: DatasetSpec = field(default_factory=DatasetSpec)
+    eval: EvalSpec = field(default_factory=EvalSpec)
+    exec: ExecSpec = field(default_factory=ExecSpec)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.system, SystemConfig):
+            raise TypeError(f"system must be a SystemConfig, got {type(self.system).__name__}")
+
+    @property
+    def label(self) -> str:
+        """The system's table label plus the dataset family."""
+        return f"{self.system.label} @ {self.dataset.family}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": SPEC_FORMAT,
+            "system": config_to_dict(self.system),
+            "dataset": self.dataset.to_dict(),
+            "eval": self.eval.to_dict(),
+            "exec": self.exec.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentSpec":
+        fmt = data.get("format", SPEC_FORMAT)
+        if fmt != SPEC_FORMAT:
+            raise ValueError(f"unsupported spec format {fmt!r}, expected {SPEC_FORMAT!r}")
+        if "system" not in data:
+            raise ValueError("spec is missing the required 'system' section")
+        return cls(
+            system=config_from_dict(data["system"]),
+            dataset=DatasetSpec.from_dict(data.get("dataset", {})),
+            eval=EvalSpec.from_dict(data.get("eval", {})),
+            exec=ExecSpec.from_dict(data.get("exec", {})),
+        )
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        return cls.from_dict(json.loads(text))
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable content address of the *result* this spec determines.
+
+        Hashes the canonical JSON of the system, dataset and the
+        result-affecting eval fields — not ``exec`` (worker count and
+        executor choice never change the numbers) and not
+        ``ap_method``/``delay_beta`` (applied at read time on the cached
+        evaluation state).  Specs differing only in those therefore share
+        one cache entry.
+        """
+        payload = {
+            "format": SPEC_FORMAT,
+            "system": config_to_dict(self.system),
+            "dataset": self.dataset.to_dict(),
+            "eval": self.eval.result_key_dict(),
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def with_system(self, **changes: Any) -> "ExperimentSpec":
+        """A copy with :class:`SystemConfig` fields replaced."""
+        return replace(self, system=replace(self.system, **changes))
+
+
+def _known_fields(cls, data: Dict[str, Any]) -> Dict[str, Any]:
+    known = set(cls.__dataclass_fields__)
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(f"unknown {cls.__name__} fields: {sorted(unknown)}")
+    return dict(data)

@@ -2,13 +2,20 @@
 
 Experiments describe systems as :class:`SystemConfig` values; the factory
 builds the runnable object.  This keeps benchmark tables data-driven.
+
+Valid ``kind`` strings come from the system registry
+(:data:`repro.api.registry.SYSTEMS`): the built-ins below register
+``"single"``, ``"cascade"``, ``"catdet"`` and ``"keyframe"``, and
+third-party scenarios add their own with
+:func:`repro.api.registry.register_system` — no edits here required.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Dict, Optional
 
+from repro.api.registry import SYSTEMS, SystemEntry, register_system
 from repro.core.systems import (
     CascadedSystem,
     CaTDetSystem,
@@ -16,8 +23,6 @@ from repro.core.systems import (
     SingleModelSystem,
 )
 from repro.tracker.catdet_tracker import TrackerConfig
-
-_KINDS = ("single", "cascade", "catdet")
 
 
 @dataclass(frozen=True)
@@ -27,7 +32,8 @@ class SystemConfig:
     Parameters
     ----------
     kind:
-        ``"single"``, ``"cascade"`` or ``"catdet"``.
+        A registered system kind (built-ins: ``"single"``, ``"cascade"``,
+        ``"catdet"``, ``"keyframe"``).
     refinement_model:
         The (only, for ``single``) expensive model's zoo name.
     proposal_model:
@@ -35,7 +41,7 @@ class SystemConfig:
     c_thresh:
         Proposal-network output threshold.
     tracker:
-        Tracker hyper-parameters (catdet only).
+        Tracker hyper-parameters (catdet / keyframe only).
     margin:
         Region-of-interest context margin in pixels.
     seed:
@@ -49,6 +55,10 @@ class SystemConfig:
         Whether CaTDet systems also compute the hypothetical per-source
         refinement costs of Table 3 (two extra region-mask unions per
         frame); turn off on throughput-critical paths.
+    stride:
+        Key-frame interval (``keyframe`` systems only; ``None`` = the
+        system's default).  Lives here rather than in the builder so the
+        result cache's content fingerprint captures it.
     """
 
     kind: str
@@ -61,15 +71,18 @@ class SystemConfig:
     num_classes: int = 2
     input_scale: float = 1.0
     detailed_ops: bool = True
+    stride: Optional[int] = None
 
     def __post_init__(self) -> None:
-        if self.kind not in _KINDS:
-            raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
+        if self.kind not in SYSTEMS:
+            raise ValueError(
+                f"kind must be one of {SYSTEMS.names()}, got {self.kind!r}"
+            )
         if not self.refinement_model:
             raise ValueError(
                 f"refinement_model must be a model name, got {self.refinement_model!r}"
             )
-        if self.kind != "single" and not self.proposal_model:
+        if SYSTEMS.get(self.kind).requires_proposal and not self.proposal_model:
             raise ValueError(f"{self.kind!r} systems require a proposal_model")
         if not (0.0 <= self.c_thresh <= 1.0):
             raise ValueError(f"c_thresh must lie in [0, 1], got {self.c_thresh}")
@@ -79,35 +92,110 @@ class SystemConfig:
             raise ValueError(f"num_classes must be >= 1, got {self.num_classes}")
         if self.input_scale <= 0:
             raise ValueError(f"input_scale must be positive, got {self.input_scale}")
+        if self.stride is not None and self.stride < 1:
+            raise ValueError(f"stride must be >= 1, got {self.stride}")
 
     @property
     def label(self) -> str:
         """Short label in the paper's table style."""
         if self.kind == "single":
             return f"{self.refinement_model}, Faster R-CNN"
-        suffix = "CaTDet" if self.kind == "catdet" else "Cascaded"
-        return f"{self.proposal_model}, {self.refinement_model}, {suffix}"
+        if self.kind == "cascade":
+            return f"{self.proposal_model}, {self.refinement_model}, Cascaded"
+        if self.kind == "catdet":
+            return f"{self.proposal_model}, {self.refinement_model}, CaTDet"
+        if self.proposal_model:
+            return f"{self.proposal_model}, {self.refinement_model}, {self.kind}"
+        return f"{self.refinement_model}, {self.kind}"
 
 
 def build_system(config: SystemConfig) -> DetectionSystem:
-    """Instantiate the runnable system described by ``config``."""
-    if config.kind == "single":
-        return SingleModelSystem(
-            config.refinement_model,
-            seed=config.seed,
-            num_classes=config.num_classes,
-            input_scale=config.input_scale,
-        )
-    if config.kind == "cascade":
-        return CascadedSystem(
-            config.proposal_model,
-            config.refinement_model,
-            c_thresh=config.c_thresh,
-            margin=config.margin,
-            seed=config.seed,
-            num_classes=config.num_classes,
-            input_scale=config.input_scale,
-        )
+    """Instantiate the runnable system described by ``config``.
+
+    Dispatches through the system registry, so any kind registered with
+    :func:`repro.api.registry.register_system` builds here — including
+    from the CLI and the declarative :class:`repro.api.ExperimentSpec`.
+    """
+    entry: SystemEntry = SYSTEMS.get(config.kind)
+    return entry.builder(config)
+
+
+def config_to_dict(config: SystemConfig) -> Dict[str, Any]:
+    """``SystemConfig`` → plain JSON-safe dict (exact, lossless)."""
+    return {
+        "kind": config.kind,
+        "refinement_model": config.refinement_model,
+        "proposal_model": config.proposal_model,
+        "c_thresh": config.c_thresh,
+        "margin": config.margin,
+        "seed": config.seed,
+        "num_classes": config.num_classes,
+        "input_scale": config.input_scale,
+        "detailed_ops": config.detailed_ops,
+        "stride": config.stride,
+        "tracker": {
+            "eta": config.tracker.eta,
+            "iou_threshold": config.tracker.iou_threshold,
+            "input_score_threshold": config.tracker.input_score_threshold,
+            "match_gain": config.tracker.match_gain,
+            "miss_penalty": config.tracker.miss_penalty,
+            "max_confidence": config.tracker.max_confidence,
+            "initial_confidence": config.tracker.initial_confidence,
+            "min_prediction_width": config.tracker.min_prediction_width,
+            "min_visible_fraction": config.tracker.min_visible_fraction,
+            "motion_model": config.tracker.motion_model,
+        },
+    }
+
+
+def config_from_dict(data: Dict[str, Any]) -> SystemConfig:
+    """Inverse of :func:`config_to_dict`.
+
+    Tolerates missing optional keys (they fall back to the dataclass
+    defaults) so older saved experiments still load.
+    """
+    payload = dict(data)
+    tracker_data = payload.pop("tracker", None) or {}
+    known_config = {f for f in SystemConfig.__dataclass_fields__ if f != "tracker"}
+    known_tracker = set(TrackerConfig.__dataclass_fields__)
+    unknown = (set(payload) - known_config) | (set(tracker_data) - known_tracker)
+    if unknown:
+        raise ValueError(f"unknown SystemConfig fields: {sorted(unknown)}")
+    return SystemConfig(
+        tracker=TrackerConfig(**tracker_data),
+        **{k: v for k, v in payload.items() if k in known_config},
+    )
+
+
+# --------------------------------------------------------------------- #
+# Built-in system kinds
+# --------------------------------------------------------------------- #
+
+@register_system("single")
+def _build_single(config: SystemConfig) -> DetectionSystem:
+    return SingleModelSystem(
+        config.refinement_model,
+        seed=config.seed,
+        num_classes=config.num_classes,
+        input_scale=config.input_scale,
+    )
+
+
+@register_system("cascade", requires_proposal=True)
+def _build_cascade(config: SystemConfig) -> DetectionSystem:
+    return CascadedSystem(
+        config.proposal_model,
+        config.refinement_model,
+        c_thresh=config.c_thresh,
+        margin=config.margin,
+        seed=config.seed,
+        num_classes=config.num_classes,
+        input_scale=config.input_scale,
+    )
+
+
+@register_system("catdet", requires_proposal=True)
+def _build_catdet(config: SystemConfig) -> DetectionSystem:
     return CaTDetSystem(
         config.proposal_model,
         config.refinement_model,
@@ -118,4 +206,21 @@ def build_system(config: SystemConfig) -> DetectionSystem:
         input_scale=config.input_scale,
         tracker_config=config.tracker,
         detailed_ops=config.detailed_ops,
+    )
+
+
+@register_system("keyframe")
+def _build_keyframe(config: SystemConfig) -> DetectionSystem:
+    # Local import: core.keyframe depends on the engine package, which is
+    # mid-import when core/__init__ pulls this module in.
+    from repro.core.keyframe import KeyFrameSystem
+
+    kwargs = {} if config.stride is None else {"stride": config.stride}
+    return KeyFrameSystem(
+        config.refinement_model,
+        seed=config.seed,
+        tracker_config=config.tracker,
+        num_classes=config.num_classes,
+        input_scale=config.input_scale,
+        **kwargs,
     )

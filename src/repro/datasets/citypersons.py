@@ -84,3 +84,30 @@ def citypersons_like_dataset(
     }
     dataset.labeled_frames = labeled
     return dataset
+
+
+# --------------------------------------------------------------------- #
+# Dataset-family registration
+# --------------------------------------------------------------------- #
+
+from repro.api.registry import register_dataset_family  # noqa: E402
+
+
+@register_dataset_family("citypersons")
+def _citypersons_family(num_sequences=None, frames_per_sequence=None, seed=None):
+    """The ``"citypersons"`` dataset family (30-frame snippets, sparse labels).
+
+    ``frames_per_sequence`` is fixed by the benchmark protocol (every
+    snippet is 30 frames with one labeled frame) and must be left unset.
+    """
+    if frames_per_sequence is not None and frames_per_sequence != CITYPERSONS_SEQUENCE_LENGTH:
+        raise ValueError(
+            "citypersons snippets are fixed at "
+            f"{CITYPERSONS_SEQUENCE_LENGTH} frames, got {frames_per_sequence}"
+        )
+    kwargs = {}
+    if num_sequences is not None:
+        kwargs["num_sequences"] = num_sequences
+    if seed is not None:
+        kwargs["seed"] = seed
+    return citypersons_like_dataset(**kwargs)

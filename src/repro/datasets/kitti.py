@@ -252,3 +252,23 @@ def write_kitti_tracking_labels(
             fh.write(text)
     else:
         destination.write(text)
+
+
+# --------------------------------------------------------------------- #
+# Dataset-family registration
+# --------------------------------------------------------------------- #
+
+from repro.api.registry import register_dataset_family  # noqa: E402
+
+
+@register_dataset_family("kitti")
+def _kitti_family(num_sequences=None, frames_per_sequence=None, seed=None):
+    """The ``"kitti"`` family of :class:`repro.api.DatasetSpec` (None = default)."""
+    kwargs = {}
+    if num_sequences is not None:
+        kwargs["num_sequences"] = num_sequences
+    if frames_per_sequence is not None:
+        kwargs["frames_per_sequence"] = frames_per_sequence
+    if seed is not None:
+        kwargs["seed"] = seed
+    return kitti_like_dataset(**kwargs)

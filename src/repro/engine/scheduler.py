@@ -133,3 +133,33 @@ def make_executor(workers: Optional[int]) -> SequenceExecutor:
     if workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
     return ParallelExecutor(workers)
+
+
+# --------------------------------------------------------------------- #
+# Executor registration
+# --------------------------------------------------------------------- #
+
+from repro.api.registry import register_executor  # noqa: E402
+
+
+@register_executor("auto")
+def _auto_executor(workers: Optional[int]) -> SequenceExecutor:
+    """``workers``-driven choice: 1/None = serial, 0 = per CPU, N = pool."""
+    return make_executor(workers)
+
+
+@register_executor("serial")
+def _serial_executor(workers: Optional[int]) -> SequenceExecutor:
+    if workers not in (None, 0, 1):
+        raise ValueError(f"the serial executor is single-worker, got workers={workers}")
+    return SerialExecutor()
+
+
+@register_executor("process")
+def _process_executor(workers: Optional[int]) -> SequenceExecutor:
+    """A process pool even for ``workers=1`` (isolation testing)."""
+    if workers is None:
+        workers = 1
+    if workers == 0:
+        workers = effective_cpu_count()
+    return ParallelExecutor(workers)

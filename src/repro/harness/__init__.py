@@ -20,13 +20,22 @@ from repro.harness.configs import (
     TABLE5_REFINEMENT_MODELS,
     TABLE6_CONFIGS,
     CITYPERSONS_INPUT_SCALE,
+    table2_specs,
+    table6_specs,
 )
 from repro.harness.calibration import (
     CalibrationRow,
     calibration_report,
     max_absolute_error,
 )
-from repro.harness.io import load_experiment_summary, save_experiment
+from repro.harness.io import (
+    config_from_dict,
+    config_to_dict,
+    experiment_from_dict,
+    experiment_to_dict,
+    load_experiment_summary,
+    save_experiment,
+)
 from repro.harness.multiseed import (
     MetricSummary,
     ReplicatedResult,
@@ -52,6 +61,12 @@ __all__ = [
     "TABLE5_REFINEMENT_MODELS",
     "TABLE6_CONFIGS",
     "CITYPERSONS_INPUT_SCALE",
+    "table2_specs",
+    "table6_specs",
+    "config_from_dict",
+    "config_to_dict",
+    "experiment_from_dict",
+    "experiment_to_dict",
     "CalibrationRow",
     "calibration_report",
     "max_absolute_error",

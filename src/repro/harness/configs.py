@@ -1,7 +1,17 @@
-"""The system configurations evaluated in the paper's tables."""
+"""The system configurations evaluated in the paper's tables.
+
+``TABLE*_CONFIGS`` are the raw :class:`SystemConfig` grids; the
+``table*_specs`` builders lift them into full declarative
+:class:`~repro.api.ExperimentSpec` grids (system + dataset + eval +
+execution) ready for :meth:`repro.api.Session.run_many`, which dedupes
+and caches them.
+"""
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
+from repro.api.spec import DatasetSpec, EvalSpec, ExecSpec, ExperimentSpec
 from repro.core.config import SystemConfig
 
 #: CityPersons frames are processed at reduced resolution (the paper's
@@ -45,3 +55,39 @@ TABLE6_CONFIGS = tuple(
         ("catdet", "resnet10b"),
     )
 )
+
+
+def table2_specs(
+    num_sequences: Optional[int] = None,
+    frames_per_sequence: Optional[int] = None,
+    *,
+    workers: int = 1,
+) -> Tuple[ExperimentSpec, ...]:
+    """Table 2 as a declarative spec grid (KITTI, moderate+hard, delay)."""
+    dataset = DatasetSpec(
+        "kitti",
+        num_sequences=num_sequences,
+        frames_per_sequence=frames_per_sequence,
+    )
+    execution = ExecSpec(workers=workers)
+    return tuple(
+        ExperimentSpec(system=config, dataset=dataset, exec=execution)
+        for config in TABLE2_CONFIGS
+    )
+
+
+def table6_specs(
+    num_sequences: Optional[int] = None,
+    *,
+    workers: int = 1,
+) -> Tuple[ExperimentSpec, ...]:
+    """Table 6 as a spec grid (CityPersons, moderate, VOC-11 AP, no delay)."""
+    dataset = DatasetSpec("citypersons", num_sequences=num_sequences)
+    evaluation = EvalSpec(
+        difficulties=("moderate",), ap_method="voc11", with_delay=False
+    )
+    execution = ExecSpec(workers=workers)
+    return tuple(
+        ExperimentSpec(system=config, dataset=dataset, eval=evaluation, exec=execution)
+        for config in TABLE6_CONFIGS
+    )

@@ -1,19 +1,29 @@
-"""Run one system on one dataset and collect every reported metric."""
+"""Run one system on one dataset and collect every reported metric.
+
+Since the API redesign this module is a thin compatibility layer over
+:class:`repro.api.Session`: :func:`run_experiment` keeps its historical
+signature but routes through a session, so callers that construct one
+explicitly (``run_experiment(cfg, ds, session=my_session)``) get
+content-addressed result caching for free.  New code should prefer the
+declarative path::
+
+    from repro.api import ExperimentSpec, Session
+    Session(cache_dir=...).run(ExperimentSpec(config))
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.core.config import SystemConfig
-from repro.core.pipeline import run_on_dataset
 from repro.core.results import OpsAccount, SystemRunResult
-from repro.datasets.citypersons import citypersons_like_dataset
-from repro.datasets.kitti import kitti_like_dataset
 from repro.datasets.types import Dataset
-from repro.metrics.evaluate import EvaluationResult, evaluate_dataset
+from repro.metrics.evaluate import EvaluationResult
 from repro.metrics.kitti_eval import HARD, MODERATE, DifficultyFilter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.session import Session
 
 GIGA = 1e9
 
@@ -24,21 +34,33 @@ _KITTI_DEFAULT = (6, 100)         # sequences, frames each
 _CITYPERSONS_DEFAULT = 30         # 30-frame snippets
 
 
-@lru_cache(maxsize=4)
 def standard_kitti(
     num_sequences: int = _KITTI_DEFAULT[0],
     frames_per_sequence: int = _KITTI_DEFAULT[1],
 ) -> Dataset:
-    """The shared KITTI-like evaluation dataset (cached)."""
-    return kitti_like_dataset(
-        num_sequences=num_sequences, frames_per_sequence=frames_per_sequence
+    """The shared KITTI-like evaluation dataset (memoized).
+
+    Shim over the ``"kitti"`` dataset family — identical calls return the
+    same object via :func:`repro.api.session.build_dataset`'s memo.
+    """
+    from repro.api.session import build_dataset
+    from repro.api.spec import DatasetSpec
+
+    return build_dataset(
+        DatasetSpec(
+            "kitti",
+            num_sequences=num_sequences,
+            frames_per_sequence=frames_per_sequence,
+        )
     )
 
 
-@lru_cache(maxsize=4)
 def standard_citypersons(num_sequences: int = _CITYPERSONS_DEFAULT) -> Dataset:
-    """The shared CityPersons-like evaluation dataset (cached)."""
-    return citypersons_like_dataset(num_sequences=num_sequences)
+    """The shared CityPersons-like evaluation dataset (memoized shim)."""
+    from repro.api.session import build_dataset
+    from repro.api.spec import DatasetSpec
+
+    return build_dataset(DatasetSpec("citypersons", num_sequences=num_sequences))
 
 
 @dataclass
@@ -79,18 +101,19 @@ def run_experiment(
     *,
     with_delay: bool = True,
     workers: Optional[int] = 1,
+    session: Optional["Session"] = None,
 ) -> ExperimentResult:
     """Run ``config`` over ``dataset`` and evaluate at each difficulty.
 
     ``workers`` is sequence-level parallelism (see
     :func:`repro.core.pipeline.run_on_dataset`); results are identical at
-    any worker count.
+    any worker count.  ``session`` (optional) supplies the result cache —
+    without one, every call computes.
     """
-    run = run_on_dataset(config, dataset, workers=workers)
-    evaluations = {
-        diff.name: evaluate_dataset(
-            dataset, run.detections_by_sequence, diff, with_delay=with_delay
-        )
-        for diff in difficulties
-    }
-    return ExperimentResult(config=config, run=run, evaluations=evaluations)
+    if session is None:
+        from repro.api.session import Session
+
+        session = Session()
+    return session.run_experiment(
+        config, dataset, difficulties, with_delay=with_delay, workers=workers
+    )

@@ -1,53 +1,105 @@
 """Experiment result serialization (JSON) for logging and post-hoc analysis.
 
-Saves the numbers an experiment produced — per-frame op accounts, metric
-summaries — without the bulky raw detections, so runs can be archived and
-diffed cheaply.  Detections can optionally be included for full replay.
+Two formats live here:
+
+* ``repro-experiment/1`` — the compact human-oriented summary written by
+  :func:`save_experiment` (mean ops, metrics; detections optional).
+* ``repro-experiment-full/1`` — the *lossless* round trip used by the
+  result cache (:mod:`repro.api.cache`): every frame's boxes, scores,
+  labels and op account plus the full evaluation state, such that
+  :func:`experiment_from_dict` rebuilds an
+  :class:`~repro.harness.experiment.ExperimentResult` bit-identical to
+  the original (floats survive exactly via JSON's shortest-repr round
+  trip, including ``-Infinity`` miss markers in delay records).
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Any, Dict, List, Union
 
 import numpy as np
 
-from repro.core.config import SystemConfig
-from repro.core.results import SystemRunResult
+from repro.core.config import SystemConfig, config_from_dict, config_to_dict
+from repro.core.results import FrameResult, OpsAccount, SequenceResult, SystemRunResult
+from repro.detections import Detections
 from repro.harness.experiment import ExperimentResult
+from repro.metrics.delay import TrackDelayRecord
+from repro.metrics.evaluate import ClassEvaluation, EvaluationResult
+
+FULL_FORMAT = "repro-experiment-full/1"
+
+__all__ = [
+    "config_to_dict",
+    "config_from_dict",
+    "run_to_dict",
+    "run_from_dict",
+    "evaluation_to_dict",
+    "evaluation_from_dict",
+    "experiment_to_dict",
+    "experiment_from_dict",
+    "save_experiment",
+    "load_experiment_summary",
+]
 
 
 def _config_dict(config: SystemConfig) -> Dict:
+    # Lossless since the API redesign: previously dropped ``detailed_ops``
+    # and the tracker lifecycle fields, which broke cache round trips.
+    return config_to_dict(config)
+
+
+def _ops_dict(ops: OpsAccount) -> Dict[str, float]:
     return {
-        "kind": config.kind,
-        "refinement_model": config.refinement_model,
-        "proposal_model": config.proposal_model,
-        "c_thresh": config.c_thresh,
-        "margin": config.margin,
-        "seed": config.seed,
-        "num_classes": config.num_classes,
-        "input_scale": config.input_scale,
-        "tracker": {
-            "eta": config.tracker.eta,
-            "iou_threshold": config.tracker.iou_threshold,
-            "input_score_threshold": config.tracker.input_score_threshold,
-            "motion_model": config.tracker.motion_model,
-        },
+        "proposal": ops.proposal,
+        "refinement": ops.refinement,
+        "refinement_from_tracker": ops.refinement_from_tracker,
+        "refinement_from_proposal": ops.refinement_from_proposal,
     }
 
 
-def _run_dict(run: SystemRunResult, *, include_detections: bool) -> Dict:
+def _ops_from_dict(data: Dict[str, float]) -> OpsAccount:
+    return OpsAccount(
+        proposal=data["proposal"],
+        refinement=data["refinement"],
+        refinement_from_tracker=data["refinement_from_tracker"],
+        refinement_from_proposal=data["refinement_from_proposal"],
+    )
+
+
+def _frame_dict(frame: FrameResult) -> Dict[str, Any]:
+    return {
+        "frame": frame.frame,
+        "boxes": frame.detections.boxes.tolist(),
+        "scores": frame.detections.scores.tolist(),
+        "labels": frame.detections.labels.tolist(),
+        "ops": _ops_dict(frame.ops),
+        "num_regions": frame.num_regions,
+        "coverage": frame.coverage_fraction,
+    }
+
+
+def _frame_from_dict(data: Dict[str, Any]) -> FrameResult:
+    return FrameResult(
+        frame=data["frame"],
+        detections=Detections(
+            boxes=np.asarray(data["boxes"], dtype=np.float64).reshape(-1, 4),
+            scores=np.asarray(data["scores"], dtype=np.float64),
+            labels=np.asarray(data["labels"], dtype=np.int64),
+        ),
+        ops=_ops_from_dict(data["ops"]),
+        num_regions=data["num_regions"],
+        coverage_fraction=data["coverage"],
+    )
+
+
+def run_to_dict(run: SystemRunResult, *, include_detections: bool = True) -> Dict:
+    """Serialize a :class:`SystemRunResult`; lossless when detections kept."""
     ops = run.mean_ops()
     out: Dict = {
         "system_name": run.system_name,
-        "mean_ops": {
-            "proposal": ops.proposal,
-            "refinement": ops.refinement,
-            "refinement_from_tracker": ops.refinement_from_tracker,
-            "refinement_from_proposal": ops.refinement_from_proposal,
-            "total": ops.total,
-        },
+        "mean_ops": {**_ops_dict(ops), "total": ops.total},
         "mean_regions_per_frame": run.mean_regions_per_frame(),
         "mean_coverage": run.mean_coverage(),
         "sequences": {},
@@ -55,18 +107,104 @@ def _run_dict(run: SystemRunResult, *, include_detections: bool) -> Dict:
     for name, seq in run.sequences.items():
         entry: Dict = {"num_frames": seq.num_frames}
         if include_detections:
-            entry["frames"] = [
-                {
-                    "boxes": frame.detections.boxes.tolist(),
-                    "scores": frame.detections.scores.tolist(),
-                    "labels": frame.detections.labels.tolist(),
-                    "coverage": frame.coverage_fraction,
-                    "num_regions": frame.num_regions,
-                }
-                for frame in seq.frames
-            ]
+            entry["frames"] = [_frame_dict(frame) for frame in seq.frames]
         out["sequences"][name] = entry
     return out
+
+
+def run_from_dict(data: Dict) -> SystemRunResult:
+    """Inverse of :func:`run_to_dict` (requires stored detections)."""
+    run = SystemRunResult(system_name=data["system_name"])
+    for name, entry in data["sequences"].items():
+        if "frames" not in entry:
+            raise ValueError(
+                f"sequence {name!r} was saved without detections; "
+                "a full round trip needs include_detections=True"
+            )
+        run.sequences[name] = SequenceResult(
+            sequence_name=name,
+            frames=[_frame_from_dict(f) for f in entry["frames"]],
+        )
+    return run
+
+
+def evaluation_to_dict(evaluation: EvaluationResult) -> Dict:
+    """Serialize an :class:`EvaluationResult` losslessly."""
+    return {
+        "difficulty": evaluation.difficulty,
+        "per_class": [
+            {
+                "label": ce.label,
+                "name": ce.name,
+                "scores": ce.scores.tolist(),
+                "tp": ce.tp.astype(int).tolist(),
+                "num_gt": ce.num_gt,
+                "tracks": [
+                    {
+                        "frames": list(t.frames),
+                        "matched_scores": list(t.matched_scores),
+                        "ever_cared": t.ever_cared,
+                    }
+                    for t in ce.tracks
+                ],
+            }
+            for ce in evaluation.per_class
+        ],
+    }
+
+
+def evaluation_from_dict(data: Dict) -> EvaluationResult:
+    """Inverse of :func:`evaluation_to_dict`."""
+    per_class: List[ClassEvaluation] = []
+    for entry in data["per_class"]:
+        per_class.append(
+            ClassEvaluation(
+                label=entry["label"],
+                name=entry["name"],
+                scores=np.asarray(entry["scores"], dtype=np.float64),
+                tp=np.asarray(entry["tp"], dtype=bool),
+                num_gt=entry["num_gt"],
+                tracks=[
+                    TrackDelayRecord(
+                        frames=list(t["frames"]),
+                        matched_scores=[float(s) for s in t["matched_scores"]],
+                        ever_cared=t["ever_cared"],
+                    )
+                    for t in entry["tracks"]
+                ],
+            )
+        )
+    return EvaluationResult(difficulty=data["difficulty"], per_class=per_class)
+
+
+def experiment_to_dict(result: ExperimentResult) -> Dict:
+    """Lossless ``repro-experiment-full/1`` payload for the result cache."""
+    return {
+        "format": FULL_FORMAT,
+        "config": config_to_dict(result.config),
+        "label": result.label,
+        "run": run_to_dict(result.run, include_detections=True),
+        "evaluations": {
+            name: evaluation_to_dict(ev) for name, ev in result.evaluations.items()
+        },
+    }
+
+
+def experiment_from_dict(data: Dict) -> ExperimentResult:
+    """Rebuild a bit-identical :class:`ExperimentResult` from its payload."""
+    if data.get("format") != FULL_FORMAT:
+        raise ValueError(
+            f"unsupported experiment format: {data.get('format')!r}, "
+            f"expected {FULL_FORMAT!r}"
+        )
+    return ExperimentResult(
+        config=config_from_dict(data["config"]),
+        run=run_from_dict(data["run"]),
+        evaluations={
+            name: evaluation_from_dict(ev)
+            for name, ev in data["evaluations"].items()
+        },
+    )
 
 
 def save_experiment(
@@ -94,7 +232,7 @@ def save_experiment(
         "format": "repro-experiment/1",
         "config": _config_dict(result.config),
         "label": result.label,
-        "run": _run_dict(result.run, include_detections=include_detections),
+        "run": run_to_dict(result.run, include_detections=include_detections),
         "metrics": {},
     }
     for name, evaluation in result.evaluations.items():

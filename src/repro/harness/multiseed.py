@@ -9,9 +9,12 @@ two systems whose mAPs differ by less than a point.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.session import Session
 
 from repro.core.config import SystemConfig
 from repro.datasets.types import Dataset
@@ -71,12 +74,14 @@ def run_replicated(
     *,
     beta: float = 0.8,
     with_delay: bool = True,
+    session: Optional["Session"] = None,
 ) -> ReplicatedResult:
     """Run ``config`` once per seed and aggregate the headline metrics.
 
     Only the detector-simulation seed varies; the dataset (ground truth)
     stays fixed, so the spread measures detector-noise sensitivity, not
-    world-generation variance.
+    world-generation variance.  With a cached ``session``, growing the
+    seed list reuses every seed already replicated.
     """
     if not seeds:
         raise ValueError("at least one seed is required")
@@ -88,6 +93,7 @@ def run_replicated(
                 dataset,
                 difficulties,
                 with_delay=with_delay,
+                session=session,
             )
         )
 

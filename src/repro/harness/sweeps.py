@@ -3,12 +3,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.core.config import SystemConfig
 from repro.datasets.types import Dataset
 from repro.harness.experiment import run_experiment
 from repro.metrics.kitti_eval import HARD, DifficultyFilter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.session import Session
 
 #: The paper's Figure 6 x-axis.
 DEFAULT_CTHRESH_GRID = (0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 0.6)
@@ -35,14 +38,22 @@ def cthresh_sweep(
     difficulty: DifficultyFilter = HARD,
     beta: float = 0.8,
     workers: Optional[int] = 1,
+    session: Optional["Session"] = None,
 ) -> List[CThreshPoint]:
     """Sweep the proposal network's output threshold, with/without tracker.
 
     Reproduces Figure 6: with the tracker, mAP is nearly flat in C-thresh;
     without it (plain cascade) mAP degrades and both variants' delay grows
     as fewer proposals reach the refinement network.  ``workers``
-    parallelizes each operating point's dataset run across processes.
+    parallelizes each operating point's dataset run across processes;
+    ``session`` (a :class:`repro.api.Session`) serves revisited operating
+    points from its result cache — re-running the same grid warm skips
+    every pipeline execution.
     """
+    if session is None:
+        from repro.api.session import Session
+
+        session = Session()
     points: List[CThreshPoint] = []
     for proposal in proposal_models:
         for with_tracker in (True, False):
@@ -53,7 +64,9 @@ def cthresh_sweep(
                     proposal,
                     c_thresh=float(c),
                 )
-                result = run_experiment(config, dataset, (difficulty,), workers=workers)
+                result = run_experiment(
+                    config, dataset, (difficulty,), workers=workers, session=session
+                )
                 evaluation = result.evaluation(difficulty.name)
                 points.append(
                     CThreshPoint(

@@ -5,18 +5,24 @@ inference speed" — the proposal network's output threshold (C-thresh) and
 the tracker's input threshold.  These helpers search those knobs for a
 target operation budget or a target accuracy, so deployments don't hand
 tune them.
+
+All searches accept a :class:`repro.api.Session`; with a cached session,
+repeated searches over overlapping grids (budget then accuracy, coarse
+then fine) recompute nothing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional, Sequence as Seq, Tuple
+from typing import TYPE_CHECKING, Optional, Sequence as Seq, Tuple
 
 from repro.core.config import SystemConfig
-from repro.core.pipeline import run_on_dataset
 from repro.datasets.types import Dataset
-from repro.metrics.evaluate import evaluate_dataset
+from repro.harness.experiment import run_experiment
 from repro.metrics.kitti_eval import HARD, DifficultyFilter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.session import Session
 
 
 @dataclass(frozen=True)
@@ -36,27 +42,28 @@ def sweep_operating_points(
     difficulty: DifficultyFilter = HARD,
     max_sequences: Optional[int] = None,
     workers: Optional[int] = 1,
+    session: Optional["Session"] = None,
 ) -> Tuple[TuningPoint, ...]:
     """Evaluate ``config`` at each C-thresh, returning sorted points."""
     if config.kind == "single":
         raise ValueError("single-model systems have no C-thresh to tune")
+    eval_dataset = dataset if max_sequences is None else _subset(dataset, max_sequences)
     points = []
     for c in sorted(c_values):
         candidate = replace(config, c_thresh=float(c))
-        run = run_on_dataset(
-            candidate, dataset, max_sequences=max_sequences, workers=workers
-        )
-        result = evaluate_dataset(
-            dataset if max_sequences is None else _subset(dataset, max_sequences),
-            run.detections_by_sequence,
-            difficulty,
+        result = run_experiment(
+            candidate,
+            eval_dataset,
+            (difficulty,),
             with_delay=False,
+            workers=workers,
+            session=session,
         )
         points.append(
             TuningPoint(
                 c_thresh=float(c),
-                ops_gops=run.mean_ops_gops(),
-                mean_ap=result.mean_ap(),
+                ops_gops=result.ops_gops,
+                mean_ap=result.evaluation(difficulty.name).mean_ap(),
             )
         )
     return tuple(points)
@@ -80,6 +87,7 @@ def cthresh_for_budget(
     difficulty: DifficultyFilter = HARD,
     max_sequences: Optional[int] = None,
     workers: Optional[int] = 1,
+    session: Optional["Session"] = None,
 ) -> Optional[TuningPoint]:
     """Most accurate operating point within a per-frame op budget.
 
@@ -91,6 +99,7 @@ def cthresh_for_budget(
     points = sweep_operating_points(
         config, dataset, c_values,
         difficulty=difficulty, max_sequences=max_sequences, workers=workers,
+        session=session,
     )
     affordable = [p for p in points if p.ops_gops <= budget_gops]
     if not affordable:
@@ -107,6 +116,7 @@ def cheapest_cthresh_for_accuracy(
     difficulty: DifficultyFilter = HARD,
     max_sequences: Optional[int] = None,
     workers: Optional[int] = 1,
+    session: Optional["Session"] = None,
 ) -> Optional[TuningPoint]:
     """Cheapest operating point reaching at least ``min_map``."""
     if not (0.0 < min_map <= 1.0):
@@ -114,6 +124,7 @@ def cheapest_cthresh_for_accuracy(
     points = sweep_operating_points(
         config, dataset, c_values,
         difficulty=difficulty, max_sequences=max_sequences, workers=workers,
+        session=session,
     )
     qualified = [p for p in points if p.mean_ap >= min_map]
     if not qualified:

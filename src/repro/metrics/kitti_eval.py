@@ -55,6 +55,9 @@ MODERATE = DifficultyFilter(name="moderate", min_height=25.0, max_occlusion=0.5,
 #: occlusion level <= 2 ("difficult to see"), truncation <= 50 %, height >= 25 px.
 HARD = DifficultyFilter(name="hard", min_height=25.0, max_occlusion=0.8, max_truncation=0.5)
 
+#: Name → filter, for declarative specs that reference difficulties by string.
+DIFFICULTIES = {EASY.name: EASY, MODERATE.name: MODERATE, HARD.name: HARD}
+
 
 def care_mask(annotations: FrameAnnotations, difficulty: DifficultyFilter) -> np.ndarray:
     """Boolean mask of ground truths that count at this difficulty.

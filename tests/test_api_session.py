@@ -1,0 +1,220 @@
+"""Session facade: cache correctness (bit-identical hits), dedupe, shims."""
+
+import numpy as np
+import pytest
+
+import repro.core.pipeline as pipeline_mod
+from repro.api.cache import ResultCache, fingerprint_dataset
+from repro.api.session import Session, build_dataset
+from repro.api.spec import DatasetSpec, EvalSpec, ExecSpec, ExperimentSpec
+from repro.core.config import SystemConfig
+from repro.harness.experiment import run_experiment, standard_kitti
+from repro.metrics.kitti_eval import HARD, MODERATE, DifficultyFilter
+
+TINY = DatasetSpec("kitti", num_sequences=1, frames_per_sequence=25)
+
+
+def _spec(**system_kw) -> ExperimentSpec:
+    config = SystemConfig(
+        system_kw.pop("kind", "catdet"),
+        system_kw.pop("refinement", "resnet50"),
+        system_kw.pop("proposal", "resnet10a"),
+        **system_kw,
+    )
+    return ExperimentSpec(system=config, dataset=TINY, eval=EvalSpec(("hard",)))
+
+
+def _assert_bit_identical(a, b):
+    assert a.config == b.config
+    assert set(a.run.sequences) == set(b.run.sequences)
+    for name in a.run.sequences:
+        fa, fb = a.run.sequences[name].frames, b.run.sequences[name].frames
+        assert len(fa) == len(fb)
+        for x, y in zip(fa, fb):
+            assert x.frame == y.frame
+            assert np.array_equal(x.detections.boxes, y.detections.boxes)
+            assert np.array_equal(x.detections.scores, y.detections.scores)
+            assert np.array_equal(x.detections.labels, y.detections.labels)
+            assert x.ops.proposal == y.ops.proposal
+            assert x.ops.refinement == y.ops.refinement
+            assert x.ops.refinement_from_tracker == y.ops.refinement_from_tracker
+            assert x.ops.refinement_from_proposal == y.ops.refinement_from_proposal
+            assert x.num_regions == y.num_regions
+            assert x.coverage_fraction == y.coverage_fraction
+    assert set(a.evaluations) == set(b.evaluations)
+    for name in a.evaluations:
+        ea, eb = a.evaluations[name], b.evaluations[name]
+        assert ea.mean_ap() == eb.mean_ap()
+        for ca, cb in zip(ea.per_class, eb.per_class):
+            assert np.array_equal(ca.scores, cb.scores)
+            assert np.array_equal(ca.tp, cb.tp)
+            assert ca.num_gt == cb.num_gt
+            assert len(ca.tracks) == len(cb.tracks)
+            for ta, tb in zip(ca.tracks, cb.tracks):
+                assert ta.frames == tb.frames
+                assert ta.matched_scores == tb.matched_scores
+                assert ta.ever_cared == tb.ever_cared
+
+
+class TestSessionCache:
+    def test_second_run_is_bit_identical_without_pipeline(self, tmp_path, monkeypatch):
+        session = Session(cache_dir=tmp_path / "cache")
+        spec = _spec()
+        first = session.run(spec)
+        assert session.cache_misses == 1
+
+        def _boom(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("pipeline ran on a warm cache")
+
+        monkeypatch.setattr("repro.api.session.run_on_dataset", _boom)
+        second = session.run(spec)
+        assert session.cache_hits == 1
+        _assert_bit_identical(first, second)
+        # Delay metrics survive the -Infinity JSON round trip.
+        assert first.mean_delay("hard") == second.mean_delay("hard")
+
+    def test_cache_shared_across_sessions(self, tmp_path):
+        spec = _spec()
+        a = Session(cache_dir=tmp_path)
+        first = a.run(spec)
+        b = Session(cache_dir=tmp_path)
+        second = b.run(spec)
+        assert b.cache_hits == 1 and b.cache_misses == 0
+        _assert_bit_identical(first, second)
+
+    def test_no_cache_dir_means_no_files(self, tmp_path):
+        session = Session()
+        session.run(_spec())
+        assert session.cache is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_use_cache_false_bypasses(self, tmp_path):
+        session = Session(cache_dir=tmp_path)
+        session.run(_spec(), use_cache=False)
+        assert len(session.cache) == 0
+
+    def test_corrupt_entry_recomputed(self, tmp_path):
+        session = Session(cache_dir=tmp_path)
+        spec = _spec()
+        first = session.run(spec)
+        path = session.cache.path_for(spec.fingerprint)
+        path.write_text("{not json", encoding="utf-8")
+        second = session.run(spec)
+        _assert_bit_identical(first, second)
+        # The corrupt entry was rewritten with a valid payload.
+        third = session.run(spec)
+        _assert_bit_identical(first, third)
+
+    def test_exec_variants_share_entries(self, tmp_path):
+        session = Session(cache_dir=tmp_path)
+        spec = _spec()
+        serial = session.run(spec)
+        import dataclasses
+
+        parallel_spec = dataclasses.replace(spec, exec=ExecSpec(workers=2))
+        parallel = session.run(parallel_spec)
+        assert session.cache_hits == 1
+        _assert_bit_identical(serial, parallel)
+
+
+class TestRunMany:
+    def test_dedupes_identical_specs(self, tmp_path, monkeypatch):
+        session = Session(cache_dir=tmp_path)
+        calls = []
+        real = pipeline_mod.run_on_dataset
+
+        def _counting(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr("repro.api.session.run_on_dataset", _counting)
+        spec = _spec()
+        cheaper = spec.with_system(c_thresh=0.4)
+        results = session.run_many([spec, cheaper, spec, spec])
+        assert len(results) == 4
+        assert len(calls) == 2
+        assert results[0] is results[2] is results[3]
+        _assert_bit_identical(results[0], results[2])
+
+    def test_order_preserved(self):
+        session = Session()
+        specs = [_spec(), _spec(kind="cascade"), _spec()]
+        results = session.run_many(specs)
+        assert [r.config for r in results] == [s.system for s in specs]
+
+
+class TestRunExperimentShim:
+    def test_signature_and_result_shape(self):
+        dataset = build_dataset(TINY)
+        result = run_experiment(
+            SystemConfig("cascade", "resnet50", "resnet10a"), dataset
+        )
+        assert set(result.evaluations) == {"moderate", "hard"}
+        assert result.ops_gops > 0
+
+    def test_shim_caches_by_dataset_content(self, tmp_path, monkeypatch):
+        session = Session(cache_dir=tmp_path)
+        dataset = build_dataset(TINY)
+        config = SystemConfig("catdet", "resnet50", "resnet10a")
+        first = run_experiment(config, dataset, (HARD,), session=session)
+        monkeypatch.setattr(
+            "repro.api.session.run_on_dataset",
+            lambda *a, **k: pytest.fail("pipeline ran on a warm cache"),
+        )
+        second = run_experiment(config, dataset, (HARD,), session=session)
+        assert session.cache_hits == 1
+        _assert_bit_identical(first, second)
+
+    def test_custom_difficulty_bypasses_cache(self, tmp_path):
+        session = Session(cache_dir=tmp_path)
+        dataset = build_dataset(TINY)
+        custom = DifficultyFilter(
+            name="hard", min_height=30.0, max_occlusion=0.9, max_truncation=0.9
+        )
+        run_experiment(
+            SystemConfig("single", "resnet10a"), dataset, (custom,), session=session
+        )
+        assert len(session.cache) == 0
+
+    def test_spec_and_shim_agree(self, tmp_path):
+        """The declarative and classic paths produce identical numbers."""
+        spec = _spec()
+        via_spec = Session().run(spec)
+        via_shim = run_experiment(spec.system, build_dataset(TINY), (HARD,))
+        _assert_bit_identical(via_spec, via_shim)
+
+
+class TestDatasetHelpers:
+    def test_build_dataset_memoized(self):
+        assert build_dataset(TINY) is build_dataset(TINY)
+
+    def test_standard_kitti_shim_memoized(self):
+        assert standard_kitti(2, 30) is standard_kitti(2, 30)
+
+    def test_fingerprint_tracks_content(self):
+        a = build_dataset(TINY)
+        b = build_dataset(DatasetSpec("kitti", 1, 25, seed=7))
+        assert fingerprint_dataset(a) == fingerprint_dataset(a)
+        assert fingerprint_dataset(a) != fingerprint_dataset(b)
+
+    def test_unknown_family_error(self):
+        with pytest.raises(KeyError, match="dataset family"):
+            build_dataset(DatasetSpec("imagenet"))
+
+
+class TestResultCacheUnit:
+    def test_len_and_clear(self, tmp_path):
+        session = Session(cache_dir=tmp_path)
+        session.run(_spec())
+        session.run(_spec(kind="cascade"))
+        cache = session.cache
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_contains(self, tmp_path):
+        session = Session(cache_dir=tmp_path)
+        spec = _spec()
+        assert spec.fingerprint not in ResultCache(tmp_path)
+        session.run(spec)
+        assert spec.fingerprint in ResultCache(tmp_path)

@@ -1,0 +1,129 @@
+"""Smoke tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.api.spec import ExperimentSpec
+
+
+TINY_RUN = ["--sequences", "1", "--frames", "10"]
+
+
+class TestModels:
+    def test_lists_zoo(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "resnet50" in out and "resnet10a" in out
+
+
+class TestRun:
+    def test_catdet(self, capsys):
+        assert main(["run", "catdet", "resnet50", "resnet10a", *TINY_RUN]) == 0
+        out = capsys.readouterr().out
+        assert "CaTDet" in out
+        assert "mAP=" in out and "ops/frame" in out
+
+    def test_new_system_config_flags(self, capsys):
+        argv = [
+            "run", "cascade", "resnet50", "resnet10a", *TINY_RUN,
+            "--no-detailed-ops", "--input-scale", "0.72", "--margin", "10",
+        ]
+        assert main(argv) == 0
+        assert "Cascaded" in capsys.readouterr().out
+
+    def test_keyframe_kind_available(self, capsys):
+        assert main(["run", "keyframe", "resnet10a", *TINY_RUN]) == 0
+        assert "keyframe" in capsys.readouterr().out
+
+    def test_run_uses_cache(self, tmp_path, capsys):
+        argv = ["run", "single", "resnet10a", *TINY_RUN,
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        assert "1 miss(es)" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "1 hit(s)" in capsys.readouterr().out
+
+    def test_no_cache_flag(self, tmp_path, capsys):
+        argv = ["run", "single", "resnet10a", *TINY_RUN,
+                "--cache-dir", str(tmp_path), "--no-cache"]
+        assert main(argv) == 0
+        assert "[cache]" not in capsys.readouterr().out
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestTable2:
+    def test_structure(self, capsys):
+        assert main(["table2", "--sequences", "1", "--frames", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        # All five headline systems appear.
+        assert out.count("CaTDet") == 2
+        assert out.count("Cascaded") == 2
+        assert "Faster R-CNN" in out
+
+
+class TestSweep:
+    def test_tiny_grid(self, capsys):
+        argv = ["sweep", "--models", "resnet10a", "--c-values", "0.1,0.4",
+                "--sequences", "1", "--frames", "10"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "C-thresh sweep" in out
+        # 1 model x {tracker, no tracker} x 2 C values = 4 rows.
+        assert out.count("resnet10a") == 4
+
+
+class TestSpecCommand:
+    def test_example_is_valid_spec(self, capsys):
+        assert main(["spec", "--example"]) == 0
+        spec = ExperimentSpec.from_json(capsys.readouterr().out)
+        assert spec.system.kind == "catdet"
+
+    def test_missing_file_errors(self, capsys):
+        assert main(["spec"]) == 2
+        assert "spec file" in capsys.readouterr().err
+
+    def _tiny_spec_file(self, tmp_path, capsys, as_list=False):
+        main(["spec", "--example"])
+        payload = json.loads(capsys.readouterr().out)
+        payload["dataset"]["num_sequences"] = 1
+        payload["dataset"]["frames_per_sequence"] = 10
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps([payload, payload] if as_list else payload))
+        return path
+
+    def test_single_spec_runs(self, tmp_path, capsys):
+        path = self._tiny_spec_file(tmp_path, capsys)
+        assert main(["spec", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 spec(s)" in out and "CaTDet" in out
+
+    def test_grid_dedupes_and_caches(self, tmp_path, capsys):
+        path = self._tiny_spec_file(tmp_path, capsys, as_list=True)
+        cache = tmp_path / "cache"
+        assert main(["spec", str(path), "--cache-dir", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "2 spec(s)" in out
+        assert "1 miss(es)" in out  # two identical specs -> one computation
+        assert main(["spec", str(path), "--cache-dir", str(cache)]) == 0
+        assert "1 hit(s)" in capsys.readouterr().out
+
+    def test_dry_run_prints_fingerprints(self, tmp_path, capsys):
+        path = self._tiny_spec_file(tmp_path, capsys)
+        assert main(["spec", str(path), "--dry-run"]) == 0
+        line = capsys.readouterr().out.strip()
+        fingerprint = line.split()[0]
+        assert len(fingerprint) == 64
+        assert int(fingerprint, 16) >= 0
+
+
+class TestParser:
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table2", "--workers", "-1"])
