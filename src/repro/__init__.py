@@ -50,6 +50,12 @@ from repro.datasets import (
     citypersons_like_dataset,
     kitti_like_dataset,
 )
+from repro.cluster import (
+    FileWorkQueue,
+    MultiHostExecutor,
+    Worker,
+    dispatch_specs,
+)
 from repro.detections import Detections
 from repro.engine import (
     FrameRef,
@@ -93,6 +99,10 @@ __all__ = [
     "Sequence",
     "citypersons_like_dataset",
     "kitti_like_dataset",
+    "FileWorkQueue",
+    "MultiHostExecutor",
+    "Worker",
+    "dispatch_specs",
     "Detections",
     "FrameRef",
     "ParallelExecutor",

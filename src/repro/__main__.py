@@ -7,11 +7,15 @@ Commands
 ``table2`` / ``table6`` regenerate the paper's headline tables
 ``sweep``               the Figure-6 C-thresh sweep
 ``spec``                run declarative ExperimentSpec JSON (file or grid)
+``worker``              drain a shared cluster work queue (multi-host execution)
+``dispatch``            shard a spec grid across the worker fleet
+``cache``               inspect/prune the content-addressed result cache
 
 Every run-like command accepts ``--cache-dir`` (default: the
 ``REPRO_CACHE_DIR`` environment variable) to serve revisited operating
-points from the content-addressed result cache, and ``--no-cache`` to
-force recomputation.
+points from the content-addressed result cache, ``--no-cache`` to force
+recomputation, and ``--progress`` to report per-unit completion on
+stderr.
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ import argparse
 import json
 import os
 import sys
+import time
 
 from repro.api.session import Session
 from repro.api.spec import DatasetSpec, EvalSpec, ExecSpec, ExperimentSpec
@@ -33,6 +38,17 @@ from repro.simdet.zoo import MODEL_ZOO
 def _session(args: argparse.Namespace) -> Session:
     cache_dir = None if args.no_cache else args.cache_dir
     return Session(cache_dir=cache_dir)
+
+
+def _progress(args: argparse.Namespace):
+    """The ``--progress`` stderr reporter (or None when not requested)."""
+    if not getattr(args, "progress", False):
+        return None
+
+    def report(done: int, total: int, label: str) -> None:
+        print(f"[progress] {done}/{total}  {label}", file=sys.stderr, flush=True)
+
+    return report
 
 
 def _print_cache_stats(session: Session) -> None:
@@ -76,7 +92,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         exec=ExecSpec(workers=args.workers),
     )
     session = _session(args)
-    result = session.run(spec)
+    result = session.run(spec, on_progress=_progress(args))
     print(f"system: {config.label}")
     print(f"ops/frame: {result.ops_gops:.1f} G")
     for diff in ("moderate", "hard"):
@@ -92,7 +108,7 @@ def cmd_table2(args: argparse.Namespace) -> int:
     session = _session(args)
     specs = table2_specs(args.sequences, args.frames, workers=args.workers)
     rows = []
-    for spec, res in zip(specs, session.run_many(specs)):
+    for spec, res in zip(specs, session.run_many(specs, on_progress=_progress(args))):
         rows.append(
             [spec.system.label, res.ops_gops, res.mean_ap("moderate"),
              res.mean_ap("hard"), res.mean_delay("moderate"),
@@ -110,7 +126,7 @@ def cmd_table6(args: argparse.Namespace) -> int:
     session = _session(args)
     specs = table6_specs(args.sequences, workers=args.workers)
     rows = []
-    for spec, res in zip(specs, session.run_many(specs)):
+    for spec, res in zip(specs, session.run_many(specs, on_progress=_progress(args))):
         rows.append(
             [spec.system.label, res.evaluation("moderate").mean_ap("voc11"), res.ops_gops]
         )
@@ -135,6 +151,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         c_values=tuple(float(c) for c in args.c_values.split(",")),
         workers=args.workers,
         session=session,
+        on_progress=_progress(args),
     )
     rows = [
         [p.proposal_model, "yes" if p.with_tracker else "no",
@@ -157,31 +174,28 @@ _EXAMPLE_SPEC = ExperimentSpec(
 )
 
 
-def cmd_spec(args: argparse.Namespace) -> int:
-    if args.example:
-        print(_EXAMPLE_SPEC.to_json(indent=2))
-        return 0
-    if args.file is None:
-        print("error: a spec file is required (or --example)", file=sys.stderr)
-        return 2
-    with open(args.file, "r", encoding="utf-8") as fh:
+def _load_spec_file(path: str, workers) -> list:
+    """Read a spec JSON file (an object or a list) into ExperimentSpecs."""
+    with open(path, "r", encoding="utf-8") as fh:
         payload = json.load(fh)
     entries = payload if isinstance(payload, list) else [payload]
     specs = [ExperimentSpec.from_dict(entry) for entry in entries]
-    if args.workers is not None:
+    if workers is not None:
         specs = [
             ExperimentSpec(
                 system=s.system, dataset=s.dataset, eval=s.eval,
-                exec=ExecSpec(executor=s.exec.executor, workers=args.workers),
+                exec=ExecSpec(
+                    executor=s.exec.executor,
+                    workers=workers,
+                    queue_dir=s.exec.queue_dir,
+                ),
             )
             for s in specs
         ]
-    if args.dry_run:
-        for spec in specs:
-            print(f"{spec.fingerprint}  {spec.label}")
-        return 0
-    session = _session(args)
-    results = session.run_many(specs)
+    return specs
+
+
+def _print_spec_table(specs, results) -> None:
     diff_names = []
     for spec in specs:
         for name in spec.eval.difficulties:
@@ -200,8 +214,154 @@ def cmd_spec(args: argparse.Namespace) -> int:
         ["spec", "ops(G)", *[f"mAP[{n}]" for n in diff_names], "fingerprint"],
         rows, title=f"{len(specs)} spec(s)",
     ))
+
+
+def cmd_spec(args: argparse.Namespace) -> int:
+    if args.example:
+        print(_EXAMPLE_SPEC.to_json(indent=2))
+        return 0
+    if args.file is None:
+        print("error: a spec file is required (or --example)", file=sys.stderr)
+        return 2
+    specs = _load_spec_file(args.file, args.workers)
+    if args.dry_run:
+        for spec in specs:
+            print(f"{spec.fingerprint}  {spec.label}")
+        return 0
+    session = _session(args)
+    results = session.run_many(specs, on_progress=_progress(args))
+    _print_spec_table(specs, results)
     _print_cache_stats(session)
     return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    from repro.cluster.queue import FileWorkQueue
+    from repro.cluster.worker import Worker, default_cache_dir
+
+    queue = FileWorkQueue(
+        args.queue_dir, lease_ttl=args.lease_ttl, max_attempts=args.max_attempts
+    )
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir(queue.root))
+    worker = Worker(queue, cache_dir=cache_dir)
+    print(f"[worker {worker.worker_id}] polling {queue.root} "
+          f"(lease ttl {queue.lease_ttl:.0f}s, cache: {cache_dir or 'off'})",
+          file=sys.stderr, flush=True)
+
+    def on_task(processed: int) -> None:
+        print(f"[worker {worker.worker_id}] {processed} task(s) done "
+              f"({worker.tasks_failed} failed)", file=sys.stderr, flush=True)
+
+    try:
+        processed = worker.run(
+            max_tasks=args.max_tasks,
+            idle_timeout=args.idle_timeout,
+            poll_interval=args.poll,
+            on_task=on_task,
+        )
+    except KeyboardInterrupt:
+        print(f"[worker {worker.worker_id}] interrupted", file=sys.stderr)
+        return 130
+    print(f"[worker {worker.worker_id}] exiting after {processed} task(s)",
+          file=sys.stderr)
+    return 0
+
+
+def cmd_dispatch(args: argparse.Namespace) -> int:
+    from repro.cluster.coordinator import (
+        ClusterTaskError,
+        ClusterTimeout,
+        dispatch_specs,
+    )
+    from repro.cluster.queue import FileWorkQueue
+    from repro.cluster.worker import default_cache_dir
+
+    specs = _load_spec_file(args.file, args.workers)
+    queue = FileWorkQueue(args.queue_dir, lease_ttl=args.lease_ttl)
+    if args.no_cache:
+        cache_dir = None
+    else:
+        cache_dir = args.cache_dir or default_cache_dir(queue.root)
+    try:
+        out = dispatch_specs(
+            queue,
+            specs,
+            cache_dir=cache_dir,
+            wait=args.wait,
+            timeout=args.timeout,
+            on_progress=_progress(args),
+        )
+    except (ClusterTaskError, ClusterTimeout) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not args.wait:
+        for task_id in out:
+            print(task_id)
+        stats = queue.stats()
+        print(f"[queue] {stats['pending']} pending, {stats['leased']} leased, "
+              f"{stats['done']} done, {stats['dead']} dead in {queue.root}",
+              file=sys.stderr)
+        return 0
+    _print_spec_table(specs, out)
+    return 0
+
+
+def _parse_age(text: str) -> float:
+    """``"7d"`` / ``"12h"`` / ``"30m"`` / ``"45s"`` / plain seconds → seconds."""
+    units = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0, "w": 604800.0}
+    t = text.strip().lower()
+    try:
+        if t and t[-1] in units:
+            return float(t[:-1]) * units[t[-1]]
+        return float(t)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid age {text!r} (examples: 45s, 30m, 12h, 7d)"
+        ) from None
+
+
+def _format_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024
+    return f"{n:.1f} GiB"  # pragma: no cover - unreachable
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.api.cache import ResultCache
+
+    if args.cache_dir is None:
+        print("error: a cache directory is required "
+              "(--cache-dir or $REPRO_CACHE_DIR)", file=sys.stderr)
+        return 2
+    cache = ResultCache(args.cache_dir)
+    if args.cache_command == "stats":
+        stats = cache.stats()
+        print(f"root:    {stats['root']}")
+        print(f"entries: {stats['entries']}")
+        print(f"size:    {_format_bytes(stats['total_bytes'])}")
+        if stats["entries"]:
+            print(f"newest:  {stats['newest_age_seconds']:.0f}s ago")
+            print(f"oldest:  {stats['oldest_age_seconds']:.0f}s ago")
+        return 0
+    if args.cache_command == "ls":
+        entries = cache.entries(with_labels=True)
+        rows = [
+            [e.fingerprint[:16], _format_bytes(e.size_bytes),
+             f"{max(0.0, time.time() - e.mtime):.0f}s",
+             e.label or "?"]
+            for e in entries
+        ]
+        print(format_table(["fingerprint", "size", "age", "spec"], rows,
+                           title=f"{len(entries)} cached result(s)"))
+        return 0
+    if args.cache_command == "prune":
+        removed = cache.prune(args.older_than)
+        print(f"pruned {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"older than {args.older_than:.0f}s from {cache.root}")
+        return 0
+    raise AssertionError(f"unhandled cache command {args.cache_command!r}")
 
 
 def _workers_count(value: str) -> int:
@@ -235,6 +395,14 @@ def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_progress_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="report per-unit completion on stderr while running",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -261,6 +429,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--frames", type=int, default=100)
     _add_workers_flag(run_p)
     _add_cache_flags(run_p)
+    _add_progress_flag(run_p)
     run_p.set_defaults(func=cmd_run)
 
     for name, fn in (("table2", cmd_table2), ("table6", cmd_table6)):
@@ -270,6 +439,7 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--frames", type=int, default=100)
         _add_workers_flag(p)
         _add_cache_flags(p)
+        _add_progress_flag(p)
         p.set_defaults(func=fn)
 
     sweep_p = sub.add_parser("sweep", help="Figure-6 C-thresh sweep")
@@ -279,6 +449,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--frames", type=int, default=80)
     _add_workers_flag(sweep_p)
     _add_cache_flags(sweep_p)
+    _add_progress_flag(sweep_p)
     sweep_p.set_defaults(func=cmd_sweep)
 
     spec_p = sub.add_parser(
@@ -292,7 +463,77 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print each spec's fingerprint without running")
     _add_workers_flag(spec_p, default=None)
     _add_cache_flags(spec_p)
+    _add_progress_flag(spec_p)
     spec_p.set_defaults(func=cmd_spec)
+
+    from repro.cluster.queue import DEFAULT_LEASE_TTL, DEFAULT_MAX_ATTEMPTS
+
+    worker_p = sub.add_parser(
+        "worker", help="drain a shared cluster work queue (multi-host execution)"
+    )
+    worker_p.add_argument("queue_dir", help="shared queue directory")
+    worker_p.add_argument("--max-tasks", type=int, default=None,
+                          help="exit after this many tasks (default: unlimited)")
+    worker_p.add_argument("--idle-timeout", type=float, default=None,
+                          help="exit after the queue stays empty this many "
+                          "seconds (default: poll forever)")
+    worker_p.add_argument("--poll", type=float, default=0.2,
+                          help="queue poll interval in seconds")
+    worker_p.add_argument("--lease-ttl", type=float, default=DEFAULT_LEASE_TTL,
+                          help="seconds without a heartbeat before a task is "
+                          "re-leased to another worker")
+    worker_p.add_argument("--max-attempts", type=int, default=DEFAULT_MAX_ATTEMPTS,
+                          help="lease grants before a task is dead-lettered")
+    worker_p.add_argument("--cache-dir", default=None,
+                          help="shared result store (default: <queue-dir>/cache)")
+    worker_p.add_argument("--no-cache", action="store_true",
+                          help="do not route results through a shared cache "
+                          "(envelopes still carry them inline)")
+    worker_p.set_defaults(func=cmd_worker)
+
+    dispatch_p = sub.add_parser(
+        "dispatch", help="shard an ExperimentSpec grid across the worker fleet"
+    )
+    dispatch_p.add_argument("file", help="spec JSON (an object or a list)")
+    dispatch_p.add_argument("--queue-dir", required=True,
+                            help="shared queue directory workers poll")
+    dispatch_p.add_argument("--wait", action=argparse.BooleanOptionalAction,
+                            default=True,
+                            help="block until every shard finishes and print "
+                            "the result table (--no-wait prints task ids)")
+    dispatch_p.add_argument("--timeout", type=float, default=None,
+                            help="overall wall-clock budget in seconds")
+    dispatch_p.add_argument("--lease-ttl", type=float, default=DEFAULT_LEASE_TTL,
+                            help="straggler re-lease threshold in seconds")
+    dispatch_p.add_argument("--cache-dir", default=None,
+                            help="shared result store (default: <queue-dir>/cache)")
+    dispatch_p.add_argument("--no-cache", action="store_true",
+                            help="do not serve or store shard results via the "
+                            "shared cache")
+    _add_workers_flag(dispatch_p, default=None)
+    _add_progress_flag(dispatch_p)
+    dispatch_p.set_defaults(func=cmd_dispatch)
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect/prune the content-addressed result cache"
+    )
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+    cache_cmds = {
+        "stats": cache_sub.add_parser("stats", help="entry count, bytes, age range"),
+        "ls": cache_sub.add_parser("ls", help="list entries with sizes, ages and specs"),
+        "prune": cache_sub.add_parser("prune", help="delete old entries"),
+    }
+    for p in cache_cmds.values():
+        p.add_argument(
+            "--cache-dir",
+            default=os.environ.get("REPRO_CACHE_DIR"),
+            help="result cache directory (default: $REPRO_CACHE_DIR)",
+        )
+        p.set_defaults(func=cmd_cache)
+    cache_cmds["prune"].add_argument(
+        "--older-than", type=_parse_age, required=True,
+        help="age threshold: 45s, 30m, 12h, 7d or plain seconds",
+    )
     return parser
 
 

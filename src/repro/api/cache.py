@@ -20,8 +20,10 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
+from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Dict, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
 
 from repro.core.config import SystemConfig, config_to_dict
 
@@ -66,6 +68,17 @@ def experiment_key(
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One stored result: its key plus on-disk accounting."""
+
+    fingerprint: str
+    path: Path
+    size_bytes: int
+    mtime: float
+    label: Optional[str] = None
 
 
 class ResultCache:
@@ -144,4 +157,88 @@ class ResultCache:
             for entry in self.root.glob("*/*.json"):
                 entry.unlink()
                 removed += 1
+        return removed
+
+    def entries(self, *, with_labels: bool = False) -> List[CacheEntry]:
+        """Every stored entry, newest first.
+
+        ``with_labels`` additionally opens each file to pull the stored
+        spec's human label (slower — it reads every payload).
+        """
+        out: List[CacheEntry] = []
+        if not self.root.exists():
+            return out
+        for path in self.root.glob("*/*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # pruned/overwritten concurrently
+            label = None
+            if with_labels:
+                label = self._entry_label(path)
+            out.append(
+                CacheEntry(
+                    fingerprint=path.stem,
+                    path=path,
+                    size_bytes=stat.st_size,
+                    mtime=stat.st_mtime,
+                    label=label,
+                )
+            )
+        out.sort(key=lambda e: e.mtime, reverse=True)
+        return out
+
+    @staticmethod
+    def _entry_label(path: Path) -> Optional[str]:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+            spec = payload.get("spec") or {}
+            system = spec.get("system") or payload.get("result", {}).get("config")
+            if system is None:
+                return None
+            from repro.core.config import config_from_dict
+
+            label = config_from_dict(system).label
+            family = (spec.get("dataset") or {}).get("family")
+            return f"{label} @ {family}" if family else label
+        except (OSError, json.JSONDecodeError, ValueError, TypeError, KeyError):
+            return None
+
+    def stats(self) -> Dict[str, Any]:
+        """Aggregate accounting: entry count, bytes, oldest/newest age."""
+        entries = self.entries()
+        now = time.time()
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "total_bytes": sum(e.size_bytes for e in entries),
+            "newest_age_seconds": now - entries[0].mtime if entries else None,
+            "oldest_age_seconds": now - entries[-1].mtime if entries else None,
+        }
+
+    def prune(self, older_than_seconds: float) -> int:
+        """Delete entries not written in the last ``older_than_seconds``.
+
+        Returns how many entries were removed; empty shard directories
+        are cleaned up too.
+        """
+        if older_than_seconds < 0:
+            raise ValueError(f"older_than_seconds must be >= 0, got {older_than_seconds}")
+        cutoff = time.time() - older_than_seconds
+        removed = 0
+        for entry in self.entries():
+            if entry.mtime < cutoff:
+                try:
+                    entry.path.unlink()
+                    removed += 1
+                except OSError:
+                    continue
+        if self.root.exists():
+            for shard in self.root.iterdir():
+                if shard.is_dir():
+                    try:
+                        shard.rmdir()  # only succeeds when empty
+                    except OSError:
+                        pass
         return removed

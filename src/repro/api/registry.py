@@ -125,6 +125,7 @@ def _boot_datasets() -> None:
 
 
 def _boot_executors() -> None:
+    import repro.cluster.coordinator  # noqa: F401  (registers multihost)
     import repro.engine.scheduler  # noqa: F401
 
 

@@ -24,13 +24,29 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.api.cache import ResultCache, experiment_key, fingerprint_dataset
 from repro.api.registry import DATASET_FAMILIES, EXECUTORS
-from repro.api.spec import DatasetSpec, EvalSpec, ExperimentSpec
+from repro.api.spec import DatasetSpec, EvalSpec, ExecSpec, ExperimentSpec
 from repro.core.config import SystemConfig
 from repro.core.pipeline import run_on_dataset
 from repro.datasets.types import Dataset
 from repro.harness.experiment import ExperimentResult
 from repro.metrics.evaluate import evaluate_dataset
 from repro.metrics.kitti_eval import DIFFICULTIES, HARD, MODERATE, DifficultyFilter
+
+
+def make_spec_executor(exec_spec: ExecSpec):
+    """Build the executor an :class:`ExecSpec` names.
+
+    Distributed factories declare a ``queue_dir`` keyword and receive the
+    spec's; local factories keep their plain ``(workers)`` signature and
+    any ``queue_dir`` left on the spec is ignored, as documented.
+    """
+    import inspect
+
+    factory = EXECUTORS.get(exec_spec.executor)
+    if exec_spec.queue_dir is not None:
+        if "queue_dir" in inspect.signature(factory).parameters:
+            return factory(exec_spec.workers, queue_dir=exec_spec.queue_dir)
+    return factory(exec_spec.workers)
 
 
 @lru_cache(maxsize=8)
@@ -82,14 +98,21 @@ class Session:
         """The (memoized) dataset ``spec`` describes."""
         return build_dataset(spec)
 
-    def run(self, spec: ExperimentSpec, *, use_cache: bool = True) -> ExperimentResult:
+    def run(
+        self,
+        spec: ExperimentSpec,
+        *,
+        use_cache: bool = True,
+        on_progress: Optional[Callable[[int, int, str], None]] = None,
+    ) -> ExperimentResult:
         """Run one spec, serving revisited fingerprints from the cache.
 
         A hit returns a result bit-identical to the original computation
         (same boxes, scores, labels and op accounts) without running the
-        pipeline.
+        pipeline.  ``on_progress(done, total, sequence_name)`` fires per
+        finished sequence on a miss (a hit never fires it).
         """
-        executor = EXECUTORS.get(spec.exec.executor)(spec.exec.workers)
+        executor = make_spec_executor(spec.exec)
         return self._run(
             spec.system,
             lambda: self.dataset(spec.dataset),
@@ -99,25 +122,109 @@ class Session:
             spec_dict=spec.to_dict(),
             executor=executor,
             use_cache=use_cache,
+            on_progress=on_progress,
         )
 
     def run_many(
-        self, specs: Iterable[ExperimentSpec], *, use_cache: bool = True
+        self,
+        specs: Iterable[ExperimentSpec],
+        *,
+        use_cache: bool = True,
+        on_progress: Optional[Callable[[int, int, str], None]] = None,
     ) -> List[ExperimentResult]:
         """Run several specs, computing each distinct fingerprint once.
 
         Results come back aligned with the input order; duplicate specs
         (same fingerprint — execution plans may differ) share one result
-        object.
+        object.  ``on_progress(done, total, label)`` fires after each
+        distinct spec completes.
+
+        Specs whose execution plan names the ``"multihost"`` executor are
+        dispatched *as one batch* to the shared work queue — the whole
+        grid fans out across the worker fleet instead of blocking point
+        by point — and reassemble bit-identically in input order.
         """
         specs = list(specs)
         unique: Dict[str, ExperimentSpec] = {}
         for spec in specs:
             unique.setdefault(spec.fingerprint, spec)
-        results = {
-            fp: self.run(spec, use_cache=use_cache) for fp, spec in unique.items()
+
+        results: Dict[str, ExperimentResult] = {}
+        local = {
+            fp: spec
+            for fp, spec in unique.items()
+            if spec.exec.executor != "multihost"
         }
+        remote = [spec for fp, spec in unique.items() if fp not in local]
+        # One monotonic (done, total) stream over the whole grid, whether a
+        # spec resolves remotely, from cache, or in the local loop below.
+        total = len(unique)
+        done = 0
+
+        def remote_progress(_done: int, _total: int, label: str) -> None:
+            nonlocal done
+            done += 1
+            if on_progress is not None:
+                on_progress(done, total, label)
+
+        if remote:
+            results.update(
+                self._dispatch_remote(
+                    remote,
+                    use_cache=use_cache,
+                    on_progress=None if on_progress is None else remote_progress,
+                )
+            )
+            done = len(results)
+        for fp, spec in local.items():
+            results[fp] = self.run(spec, use_cache=use_cache)
+            done += 1
+            if on_progress is not None:
+                on_progress(done, total, spec.label)
         return [results[spec.fingerprint] for spec in specs]
+
+    def _dispatch_remote(
+        self,
+        specs: List[ExperimentSpec],
+        *,
+        use_cache: bool = True,
+        on_progress: Optional[Callable[[int, int, str], None]] = None,
+    ) -> Dict[str, ExperimentResult]:
+        """Batch-dispatch multihost specs through the cluster coordinator.
+
+        The session's own cache root (when set) doubles as the shared
+        result store, so workers' finished payloads land where ``run``
+        will find them on revisits; otherwise the queue's default
+        ``<queue>/cache`` is used.
+        """
+        import os
+
+        from repro.cluster.coordinator import QUEUE_DIR_ENV, dispatch_specs
+
+        by_queue: Dict[str, List[ExperimentSpec]] = {}
+        for spec in specs:
+            queue_dir = spec.exec.queue_dir or os.environ.get(QUEUE_DIR_ENV)
+            if not queue_dir:
+                raise ValueError(
+                    "multihost specs need ExecSpec(queue_dir=...) or "
+                    f"the {QUEUE_DIR_ENV} environment variable"
+                )
+            by_queue.setdefault(queue_dir, []).append(spec)
+        out: Dict[str, ExperimentResult] = {}
+        cache_dir = self.cache.root if self.cache is not None else "auto"
+        for queue_dir, batch in sorted(by_queue.items()):
+            for spec, result in zip(
+                batch,
+                dispatch_specs(
+                    queue_dir,
+                    batch,
+                    cache_dir=cache_dir,
+                    use_cache=use_cache,
+                    on_progress=on_progress,
+                ),
+            ):
+                out[spec.fingerprint] = result
+        return out
 
     def run_experiment(
         self,
@@ -167,6 +274,7 @@ class Session:
         spec_dict,
         executor,
         use_cache: bool,
+        on_progress: Optional[Callable[[int, int, str], None]] = None,
     ) -> ExperimentResult:
         if self.cache is not None and use_cache and key is not None:
             cached = self.cache.load(key)
@@ -175,7 +283,7 @@ class Session:
         # A miss pays for dataset construction only now — warm sessions in
         # fresh processes skip world generation entirely.
         dataset = dataset_fn()
-        run = run_on_dataset(config, dataset, executor=executor)
+        run = run_on_dataset(config, dataset, executor=executor, on_progress=on_progress)
         evaluations = {
             diff.name: evaluate_dataset(
                 dataset, run.detections_by_sequence, diff, with_delay=with_delay

@@ -134,23 +134,34 @@ class ExecSpec:
     ----------
     executor:
         A registered executor name (built-ins: ``"auto"``, ``"serial"``,
-        ``"process"``).
+        ``"process"``, ``"multihost"``).
     workers:
         Sequence-level worker processes (``1`` = serial, ``0`` = one per
-        CPU).
+        CPU; ignored by ``"multihost"``, whose fleet size is whoever runs
+        ``repro worker``).
+    queue_dir:
+        Shared work-queue directory for distributed executors
+        (``"multihost"``); local executors ignore it.
     """
 
     executor: str = "auto"
     workers: int = 1
+    queue_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.executor or not isinstance(self.executor, str):
             raise ValueError(f"executor must be a non-empty string, got {self.executor!r}")
         if self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.queue_dir is not None and not isinstance(self.queue_dir, str):
+            raise ValueError(f"queue_dir must be a string path, got {self.queue_dir!r}")
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"executor": self.executor, "workers": self.workers}
+        return {
+            "executor": self.executor,
+            "workers": self.workers,
+            "queue_dir": self.queue_dir,
+        }
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ExecSpec":

@@ -1,0 +1,68 @@
+"""Distributed multi-host execution: queue, protocol, worker, coordinator.
+
+The subsystem that takes the single-box reproduction past one machine::
+
+    # terminal 1..N (any host mounting the shared directory)
+    python -m repro worker /shared/queue
+
+    # terminal 0
+    python -m repro dispatch specs.json --queue-dir /shared/queue --wait
+
+The broker is a plain shared directory (:mod:`repro.cluster.queue` —
+durable task leases via atomic renames, heartbeat renewal, bounded
+retries, dead-letter state).  Work units and results are JSON envelopes
+(:mod:`repro.cluster.protocol`) routed through the content-addressed
+result cache, so revisited shards are served, not re-run.  Workers
+(:mod:`repro.cluster.worker`) are crash-safe claim/execute/ack loops;
+the coordinator (:mod:`repro.cluster.coordinator`) shards spec grids or
+dataset runs, recovers stragglers and reassembles results byte-identical
+to the serial executor — also available as the registered
+``"multihost"`` executor kind and through
+``Session.run_many`` via ``ExecSpec(executor="multihost", queue_dir=...)``.
+"""
+
+from repro.cluster.protocol import (
+    KIND_EXPERIMENT,
+    KIND_SEQUENCE,
+    RESULT_FORMAT,
+    TASK_FORMAT,
+    SequenceResultStore,
+    experiment_task,
+    sequence_task,
+)
+from repro.cluster.queue import (
+    DEFAULT_LEASE_TTL,
+    DEFAULT_MAX_ATTEMPTS,
+    FileWorkQueue,
+    Lease,
+    default_worker_id,
+)
+from repro.cluster.worker import Worker, default_cache_dir, execute_task
+from repro.cluster.coordinator import (
+    ClusterTaskError,
+    ClusterTimeout,
+    MultiHostExecutor,
+    dispatch_specs,
+)
+
+__all__ = [
+    "KIND_EXPERIMENT",
+    "KIND_SEQUENCE",
+    "RESULT_FORMAT",
+    "TASK_FORMAT",
+    "SequenceResultStore",
+    "experiment_task",
+    "sequence_task",
+    "DEFAULT_LEASE_TTL",
+    "DEFAULT_MAX_ATTEMPTS",
+    "FileWorkQueue",
+    "Lease",
+    "default_worker_id",
+    "Worker",
+    "default_cache_dir",
+    "execute_task",
+    "ClusterTaskError",
+    "ClusterTimeout",
+    "MultiHostExecutor",
+    "dispatch_specs",
+]

@@ -1,0 +1,248 @@
+"""Worker daemon: crash-safe claim → execute → ack loops.
+
+A worker owns nothing but a queue directory and (optionally) a shared
+cache root.  Its loop is::
+
+    claim a lease  →  heartbeat in the background  →  execute  →
+    write result envelope  →  release the lease
+
+Every transition is durable (see :mod:`repro.cluster.queue`), so a
+worker may be SIGKILL'd at any point: an unfinished shard's lease
+expires and the task is re-leased to a peer; a finished-but-unreleased
+shard reconciles as done.  Execution errors are *not* crashes — the
+worker records the traceback on the task and re-queues it, letting the
+attempt budget decide when it becomes a dead letter.
+
+Cache routing: experiment tasks run through a
+:class:`~repro.api.Session` on the shared cache, sequence tasks through
+a :class:`~repro.cluster.protocol.SequenceResultStore` under the same
+root — so any fingerprint any host has computed is served, not re-run.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+from repro.cluster.protocol import (
+    KIND_EXPERIMENT,
+    KIND_SEQUENCE,
+    SequenceResultStore,
+    resolve_task_config,
+    resolve_task_sequence,
+    result_envelope,
+)
+from repro.cluster.queue import FileWorkQueue, Lease, default_worker_id
+
+#: Cache subdirectories under a shared queue root (kept separate from the
+#: queue's own state dirs).
+CACHE_SUBDIR = "cache"
+SEQ_CACHE_SUBDIR = "seq"
+
+
+def default_cache_dir(queue_root: Union[str, Path]) -> Path:
+    """Where dispatch and workers meet by default: ``<queue>/cache``."""
+    return Path(queue_root) / CACHE_SUBDIR
+
+
+def execute_task(
+    task: Dict[str, Any],
+    *,
+    cache_dir: Optional[Union[str, Path]] = None,
+    worker_id: str = "inline",
+) -> Dict[str, Any]:
+    """Execute one task envelope and build its result envelope.
+
+    Pure with respect to the queue — callers (the worker loop, tests,
+    an inline fallback) decide where the envelope goes.  ``cached`` in
+    the returned envelope reports whether the fingerprint was served
+    from the shared store without executing the pipeline.
+    """
+    kind = task["kind"]
+    fingerprint = task["fingerprint"]
+    if kind == KIND_EXPERIMENT:
+        from dataclasses import replace
+
+        from repro.api.session import Session
+        from repro.api.spec import ExecSpec, ExperimentSpec
+        from repro.harness.io import experiment_to_dict
+
+        session = Session(cache_dir=cache_dir)
+        spec = ExperimentSpec.from_dict(task["payload"]["spec"])
+        # Execute locally whatever the spec's plan says — a "multihost"
+        # exec plan reaching a worker must not recurse into dispatch.
+        # The fingerprint excludes exec, so cache routing is unchanged.
+        result = session.run(
+            replace(spec, exec=ExecSpec(executor="serial")),
+            use_cache=task["payload"].get("use_cache", True),
+        )
+        return result_envelope(
+            kind,
+            fingerprint,
+            {"experiment": experiment_to_dict(result)},
+            worker=worker_id,
+            cached=session.cache_hits > 0,
+        )
+    if kind == KIND_SEQUENCE:
+        from repro.core.config import build_system
+        from repro.harness.io import sequence_result_to_dict
+
+        store = (
+            SequenceResultStore(Path(cache_dir) / SEQ_CACHE_SUBDIR)
+            if cache_dir is not None
+            else None
+        )
+        cached = True
+        result = store.load(fingerprint) if store is not None else None
+        if result is None:
+            cached = False
+            config = resolve_task_config(task["payload"])
+            sequence = resolve_task_sequence(task["payload"])
+            result = build_system(config).process_sequence(sequence)
+            if store is not None:
+                store.store(fingerprint, result)
+        return result_envelope(
+            kind,
+            fingerprint,
+            {"sequence": sequence_result_to_dict(result)},
+            worker=worker_id,
+            cached=cached,
+        )
+    raise ValueError(f"unknown task kind {kind!r}")
+
+
+class _Heartbeat:
+    """Background lease renewal while a shard executes."""
+
+    def __init__(self, lease: Lease, interval: float):
+        self._lease = lease
+        self._interval = interval
+        self._stop = threading.Event()
+        self.lost = False
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            if not self._lease.heartbeat():
+                # An observer re-queued us; keep executing (the result is
+                # deterministic and idempotent) but record the loss.
+                self.lost = True
+                return
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join(timeout=1.0)
+
+
+class Worker:
+    """A claim/execute/ack loop over one :class:`FileWorkQueue`.
+
+    Parameters
+    ----------
+    queue:
+        The queue (or its root directory).
+    cache_dir:
+        Shared result store; defaults to ``<queue root>/cache``.  Pass
+        ``cache_dir=None`` explicitly via ``use_cache=False`` semantics
+        by giving a falsy path — the CLI exposes ``--no-cache``.
+    worker_id:
+        Defaults to ``host:pid``.
+    heartbeat_interval:
+        Lease renewal period; defaults to a third of the queue's TTL.
+    """
+
+    def __init__(
+        self,
+        queue: Union[FileWorkQueue, str, Path],
+        *,
+        cache_dir: Optional[Union[str, Path]] = "auto",
+        worker_id: Optional[str] = None,
+        heartbeat_interval: Optional[float] = None,
+    ):
+        self.queue = queue if isinstance(queue, FileWorkQueue) else FileWorkQueue(queue)
+        if cache_dir == "auto":
+            cache_dir = default_cache_dir(self.queue.root)
+        self.cache_dir = cache_dir
+        self.worker_id = worker_id or default_worker_id()
+        self.heartbeat_interval = (
+            heartbeat_interval
+            if heartbeat_interval is not None
+            else max(0.05, self.queue.lease_ttl / 3.0)
+        )
+        self.tasks_done = 0
+        self.tasks_failed = 0
+        #: Shards finished after an observer had already re-leased them
+        #: (the duplicate result is byte-identical, so completion is
+        #: harmless — but the count signals the lease TTL is too short
+        #: for the shard size).
+        self.leases_lost = 0
+
+    def run_one(self) -> bool:
+        """Claim and finish (or fail) at most one task; ``True`` if claimed."""
+        lease = self.queue.claim(self.worker_id)
+        if lease is None:
+            return False
+        try:
+            with _Heartbeat(lease, self.heartbeat_interval) as heartbeat:
+                envelope = execute_task(
+                    lease.task, cache_dir=self.cache_dir, worker_id=self.worker_id
+                )
+            if heartbeat.lost:
+                self.leases_lost += 1
+                envelope["lease_lost"] = True
+        except KeyboardInterrupt:
+            # Put the shard straight back rather than waiting out the TTL.
+            lease.fail("interrupted")
+            raise
+        except Exception:
+            self.tasks_failed += 1
+            lease.fail(traceback.format_exc(limit=20))
+            return True
+        lease.complete(envelope)
+        self.tasks_done += 1
+        return True
+
+    def run(
+        self,
+        *,
+        max_tasks: Optional[int] = None,
+        idle_timeout: Optional[float] = None,
+        poll_interval: float = 0.2,
+        on_task: Optional[Callable[[int], None]] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        """Drain the queue; returns the number of tasks processed.
+
+        Runs until ``max_tasks`` tasks were processed, the queue stayed
+        empty for ``idle_timeout`` seconds, or ``should_stop()`` turns
+        true — whichever comes first (``None`` limits mean forever, the
+        daemon default).  Between claims the worker also sweeps expired
+        peers' leases, so a fleet self-heals without a coordinator.
+        """
+        processed = 0
+        idle_since: Optional[float] = None
+        while True:
+            if should_stop is not None and should_stop():
+                return processed
+            if max_tasks is not None and processed >= max_tasks:
+                return processed
+            self.queue.recover_expired()
+            if self.run_one():
+                processed += 1
+                idle_since = None
+                if on_task is not None:
+                    on_task(processed)
+                continue
+            now = time.time()
+            if idle_since is None:
+                idle_since = now
+            if idle_timeout is not None and now - idle_since >= idle_timeout:
+                return processed
+            time.sleep(poll_interval)

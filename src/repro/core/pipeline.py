@@ -18,6 +18,7 @@ def run_on_dataset(
     max_sequences: Optional[int] = None,
     workers: Optional[int] = 1,
     executor: Optional["engine_scheduler.SequenceExecutor"] = None,
+    on_progress: Optional["engine_scheduler.ProgressFn"] = None,
 ) -> SystemRunResult:
     """Process every sequence of ``dataset`` with ``system``.
 
@@ -36,8 +37,12 @@ def run_on_dataset(
         the serial run regardless of the worker count.
     executor:
         Explicit :class:`~repro.engine.scheduler.SerialExecutor` /
-        :class:`~repro.engine.scheduler.ParallelExecutor`; overrides
+        :class:`~repro.engine.scheduler.ParallelExecutor` /
+        :class:`~repro.cluster.coordinator.MultiHostExecutor`; overrides
         ``workers``.
+    on_progress:
+        Optional ``callback(done, total, sequence_name)`` fired as each
+        sequence finishes (completion order under parallel executors).
 
     Returns
     -------
@@ -57,6 +62,12 @@ def run_on_dataset(
     sequences = dataset.sequences
     if max_sequences is not None:
         sequences = sequences[:max_sequences]
-    for sequence, seq_result in zip(sequences, executor.map_sequences(system, sequences)):
+    if on_progress is None:
+        # Keep the bare call so executors predating the progress protocol
+        # (third-party map_sequences implementations) keep working.
+        seq_results = executor.map_sequences(system, sequences)
+    else:
+        seq_results = executor.map_sequences(system, sequences, on_progress=on_progress)
+    for sequence, seq_result in zip(sequences, seq_results):
         result.sequences[sequence.name] = seq_result
     return result

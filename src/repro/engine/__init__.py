@@ -26,6 +26,7 @@ from repro.engine.stages import (
 from repro.engine.stream import FrameRef, FrameStream, iter_frame_refs
 from repro.engine.scheduler import (
     ParallelExecutor,
+    SequenceExecutionError,
     SerialExecutor,
     SequenceExecutor,
     make_executor,
@@ -44,6 +45,7 @@ __all__ = [
     "FrameStream",
     "iter_frame_refs",
     "ParallelExecutor",
+    "SequenceExecutionError",
     "SerialExecutor",
     "SequenceExecutor",
     "make_executor",

@@ -15,8 +15,8 @@ the executor via :func:`make_executor`.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import TYPE_CHECKING, List, Optional, Union
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from typing import TYPE_CHECKING, Callable, List, Optional, Union
 
 from repro.core.results import SequenceResult
 from repro.datasets.types import Sequence
@@ -26,6 +26,22 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.systems import DetectionSystem
 
 SystemLike = Union["DetectionSystem", "SystemConfig"]
+
+#: Progress callback shape shared across the library:
+#: ``callback(done, total, sequence_name)``.
+ProgressFn = Callable[[int, int, str], None]
+
+
+class SequenceExecutionError(RuntimeError):
+    """A worker failed while processing one sequence.
+
+    Carries the sequence name so a many-hour parallel run that dies
+    reports *which* shard killed it, not just a bare traceback.
+    """
+
+    def __init__(self, sequence_name: str, cause: BaseException):
+        super().__init__(f"sequence {sequence_name!r} failed: {cause}")
+        self.sequence_name = sequence_name
 
 
 def effective_cpu_count() -> int:
@@ -63,7 +79,11 @@ class SerialExecutor:
     workers = 1
 
     def map_sequences(
-        self, target: SystemLike, sequences: List[Sequence]
+        self,
+        target: SystemLike,
+        sequences: List[Sequence],
+        *,
+        on_progress: Optional[ProgressFn] = None,
     ) -> List[SequenceResult]:
         if _is_config(target):
             from repro.core.config import build_system
@@ -73,6 +93,8 @@ class SerialExecutor:
         for sequence in sequences:
             target.reset()
             results.append(target.process_sequence(sequence))
+            if on_progress is not None:
+                on_progress(len(results), len(sequences), sequence.name)
         return results
 
 
@@ -98,7 +120,11 @@ class ParallelExecutor:
         self.workers = int(workers)
 
     def map_sequences(
-        self, target: SystemLike, sequences: List[Sequence]
+        self,
+        target: SystemLike,
+        sequences: List[Sequence],
+        *,
+        on_progress: Optional[ProgressFn] = None,
     ) -> List[SequenceResult]:
         if not sequences:
             return []
@@ -110,9 +136,41 @@ class ParallelExecutor:
             # avoids pickling populated detector caches once per sequence.
             target.reset()
         max_workers = min(self.workers, len(sequences))
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        pool = ProcessPoolExecutor(max_workers=max_workers)
+        interrupted = False
+        try:
             futures = [pool.submit(worker_fn, target, s) for s in sequences]
+            by_future = dict(zip(futures, sequences))
+            # Fail fast: observe completions as they land instead of
+            # blocking in-order on f.result() — the first worker exception
+            # cancels everything still pending and names its sequence.
+            pending = set(futures)
+            done_count = 0
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_EXCEPTION)
+                for future in finished:
+                    exc = future.exception()
+                    if exc is not None:
+                        for other in pending:
+                            other.cancel()
+                        raise SequenceExecutionError(
+                            by_future[future].name, exc
+                        ) from exc
+                    done_count += 1
+                    if on_progress is not None:
+                        on_progress(
+                            done_count, len(sequences), by_future[future].name
+                        )
             return [f.result() for f in futures]
+        except (KeyboardInterrupt, SystemExit):
+            # Don't wait for in-flight sequences on ^C — drop the pool's
+            # queue and kill it now.
+            interrupted = True
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        finally:
+            if not interrupted:
+                pool.shutdown(wait=True, cancel_futures=True)
 
 
 SequenceExecutor = Union[SerialExecutor, ParallelExecutor]

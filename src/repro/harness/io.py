@@ -33,6 +33,8 @@ FULL_FORMAT = "repro-experiment-full/1"
 __all__ = [
     "config_to_dict",
     "config_from_dict",
+    "sequence_result_to_dict",
+    "sequence_result_from_dict",
     "run_to_dict",
     "run_from_dict",
     "evaluation_to_dict",
@@ -91,6 +93,26 @@ def _frame_from_dict(data: Dict[str, Any]) -> FrameResult:
         ops=_ops_from_dict(data["ops"]),
         num_regions=data["num_regions"],
         coverage_fraction=data["coverage"],
+    )
+
+
+def sequence_result_to_dict(seq: SequenceResult) -> Dict[str, Any]:
+    """Lossless standalone :class:`SequenceResult` payload.
+
+    The unit the cluster protocol ships between hosts (one sequence's
+    frames is one work shard — see :mod:`repro.cluster.protocol`).
+    """
+    return {
+        "sequence_name": seq.sequence_name,
+        "frames": [_frame_dict(frame) for frame in seq.frames],
+    }
+
+
+def sequence_result_from_dict(data: Dict[str, Any]) -> SequenceResult:
+    """Inverse of :func:`sequence_result_to_dict` (bit-identical)."""
+    return SequenceResult(
+        sequence_name=data["sequence_name"],
+        frames=[_frame_from_dict(f) for f in data["frames"]],
     )
 
 

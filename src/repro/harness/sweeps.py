@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 from repro.core.config import SystemConfig
 from repro.datasets.types import Dataset
@@ -39,6 +39,7 @@ def cthresh_sweep(
     beta: float = 0.8,
     workers: Optional[int] = 1,
     session: Optional["Session"] = None,
+    on_progress: Optional[Callable[[int, int, str], None]] = None,
 ) -> List[CThreshPoint]:
     """Sweep the proposal network's output threshold, with/without tracker.
 
@@ -48,12 +49,14 @@ def cthresh_sweep(
     parallelizes each operating point's dataset run across processes;
     ``session`` (a :class:`repro.api.Session`) serves revisited operating
     points from its result cache — re-running the same grid warm skips
-    every pipeline execution.
+    every pipeline execution.  ``on_progress(done, total, label)`` fires
+    after each operating point.
     """
     if session is None:
         from repro.api.session import Session
 
         session = Session()
+    total = len(proposal_models) * 2 * len(c_values)
     points: List[CThreshPoint] = []
     for proposal in proposal_models:
         for with_tracker in (True, False):
@@ -78,4 +81,6 @@ def cthresh_sweep(
                         ops_gops=result.ops_gops,
                     )
                 )
+                if on_progress is not None:
+                    on_progress(len(points), total, config.label + f" C={c}")
     return points

@@ -127,3 +127,69 @@ class TestParser:
     def test_negative_workers_rejected(self):
         with pytest.raises(SystemExit):
             main(["table2", "--workers", "-1"])
+
+
+class TestClusterCommands:
+    def _spec_file(self, tmp_path, capsys):
+        main(["spec", "--example"])
+        payload = json.loads(capsys.readouterr().out)
+        payload["dataset"]["num_sequences"] = 1
+        payload["dataset"]["frames_per_sequence"] = 10
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_dispatch_no_wait_then_worker_then_cached_wait(self, tmp_path, capsys):
+        spec_file = self._spec_file(tmp_path, capsys)
+        queue_dir = str(tmp_path / "queue")
+        assert main(["dispatch", str(spec_file), "--queue-dir", queue_dir,
+                     "--no-wait"]) == 0
+        captured = capsys.readouterr()
+        assert len(captured.out.strip().splitlines()) == 1  # one task id
+        assert "1 pending" in captured.err
+
+        # Drain with the worker command, then re-dispatch: pure cache hits,
+        # so --wait returns the table without any worker running.
+        assert main(["worker", queue_dir, "--max-tasks", "1",
+                     "--idle-timeout", "30", "--poll", "0.02"]) == 0
+        assert "1 task(s) done" in capsys.readouterr().err
+        assert main(["dispatch", str(spec_file), "--queue-dir", queue_dir,
+                     "--wait", "--timeout", "30", "--progress"]) == 0
+        out = capsys.readouterr().out
+        assert "1 spec(s)" in out and "CaTDet" in out
+
+    def test_cache_stats_ls_prune(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["run", "single", "resnet10a", "--sequences", "1",
+                "--frames", "10", "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 1" in out
+
+        assert main(["cache", "ls", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "1 cached result(s)" in out and "kitti" in out
+
+        assert main(["cache", "prune", "--older-than", "1h",
+                     "--cache-dir", cache_dir]) == 0
+        assert "pruned 0" in capsys.readouterr().out
+        assert main(["cache", "prune", "--older-than", "0s",
+                     "--cache-dir", cache_dir]) == 0
+        assert "pruned 1" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+
+    def test_cache_requires_directory(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["cache", "stats"]) == 2
+        assert "cache directory" in capsys.readouterr().err
+
+    def test_progress_flag_reports_on_stderr(self, capsys):
+        argv = ["run", "single", "resnet10a", "--sequences", "2",
+                "--frames", "10", "--progress"]
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert "[progress] 1/2" in err and "[progress] 2/2" in err
