@@ -1,0 +1,94 @@
+"""Tour of the online serving subsystem.
+
+Generates an open-loop Poisson load over four synthetic camera streams,
+serves it through a micro-batched CaTDet server, verifies each stream's
+detections are byte-identical to the offline serial run, and compares
+batched vs unbatched serving under saturation.
+
+Run with::
+
+    PYTHONPATH=src python examples/serve_demo.py
+"""
+
+import numpy as np
+
+from repro.api.session import Session
+from repro.api.spec import DatasetSpec, ServeSpec
+from repro.core.config import SystemConfig
+from repro.core.pipeline import run_on_dataset
+from repro.datasets.kitti import kitti_like_dataset
+from repro.serve import (
+    DetectionServer,
+    LoadSpec,
+    ServePolicy,
+    ServiceModel,
+    generate_load,
+)
+
+SYSTEM = SystemConfig("catdet", "resnet50", "resnet10a", detailed_ops=False)
+#: A fast modeled accelerator: fixed per-invocation overhead dominates,
+#: which is exactly when micro-batching pays.
+SERVICE = ServiceModel(invocation_overhead_ms=4.0, gops_per_second=8000.0)
+
+
+def main() -> None:
+    dataset = kitti_like_dataset(num_sequences=4, frames_per_sequence=60)
+
+    # ----------------------------------------------------------------- #
+    # 1. A comfortable load: everything served, batched, inside the SLO.
+    # ----------------------------------------------------------------- #
+    load = LoadSpec(pattern="poisson", num_streams=4, rate_hz=10.0,
+                    frames_per_stream=60, seed=7)
+    policy = ServePolicy(max_batch_size=8, max_wait_ms=25.0, slo_ms=200.0)
+    server = DetectionServer(SYSTEM, policy=policy, service=SERVICE)
+    report = server.run(generate_load(load, dataset))
+    print(report.format())
+
+    # Byte-identity: every stream matches its offline serial run exactly,
+    # whatever frames it shared micro-batches with.
+    serial = run_on_dataset(SYSTEM, dataset, workers=1)
+    for i, sequence in enumerate(dataset.sequences):
+        served = report.frame_results[f"s{i}:{sequence.name}"]
+        reference = serial.sequences[sequence.name].frames
+        for fa, fb in zip(served, reference):
+            np.testing.assert_array_equal(fa.detections.boxes, fb.detections.boxes)
+            np.testing.assert_array_equal(fa.detections.scores, fb.detections.scores)
+    print("\nevery stream byte-identical to the offline serial run ✓")
+
+    # ----------------------------------------------------------------- #
+    # 2. Saturation: batched vs unbatched capacity.
+    # ----------------------------------------------------------------- #
+    heavy = LoadSpec(pattern="poisson", num_streams=4, rate_hz=60.0,
+                     frames_per_stream=40, seed=7)
+    for label, batch, wait in (("batched", 8, 30.0), ("unbatched", 1, 0.0)):
+        rep = DetectionServer(
+            SYSTEM,
+            policy=ServePolicy(max_batch_size=batch, max_wait_ms=wait,
+                               queue_capacity=16, slo_ms=500.0),
+            service=SERVICE,
+        ).run(generate_load(heavy, dataset))
+        print(f"{label:>9}: {rep.throughput_fps:6.1f} frames/s served, "
+              f"{rep.invocations} detector invocations, "
+              f"mean batch {rep.mean_batch_size:.2f}, shed {rep.frames_shed}")
+
+    # ----------------------------------------------------------------- #
+    # 3. Declarative + cached: a ServeSpec served through a Session.
+    # ----------------------------------------------------------------- #
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        session = Session(cache_dir=cache_dir)
+        spec = ServeSpec(
+            system=SYSTEM,
+            dataset=DatasetSpec("kitti", num_sequences=4, frames_per_sequence=60),
+            load=load, policy=policy, service=SERVICE,
+        )
+        fresh = session.serve(spec)
+        cached = session.serve(spec)
+        assert fresh.to_dict() == cached.to_dict()
+        print(f"\nServeSpec {spec.fingerprint[:12]} cached: "
+              f"{session.cache_hits} hit(s) — reports bit-identical ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,6 +7,8 @@ Commands
 ``table2`` / ``table6`` regenerate the paper's headline tables
 ``sweep``               the Figure-6 C-thresh sweep
 ``spec``                run declarative ExperimentSpec JSON (file or grid)
+``serve``               micro-batched multi-stream serving + SLO report
+``loadgen``             generate (and inspect) an open-loop arrival schedule
 ``worker``              drain a shared cluster work queue (multi-host execution)
 ``dispatch``            shard a spec grid across the worker fleet
 ``cache``               inspect/prune the content-addressed result cache
@@ -233,6 +235,132 @@ def cmd_spec(args: argparse.Namespace) -> int:
     _print_spec_table(specs, results)
     _print_cache_stats(session)
     return 0
+
+
+def _serve_spec_from_args(args: argparse.Namespace):
+    from repro.api.spec import ServeSpec
+    from repro.serve.loadgen import LoadSpec
+    from repro.serve.server import ServePolicy, ServiceModel
+
+    system = SystemConfig(
+        args.kind,
+        args.refinement,
+        args.proposal,
+        c_thresh=args.c_thresh,
+        seed=args.seed,
+        detailed_ops=False,  # throughput path: skip Table-3 extras
+    )
+    return ServeSpec(
+        system=system,
+        dataset=DatasetSpec(
+            args.dataset,
+            num_sequences=args.sequences,
+            frames_per_sequence=args.seq_frames,
+        ),
+        load=LoadSpec(
+            pattern=args.pattern,
+            num_streams=args.streams,
+            rate_hz=args.rate,
+            frames_per_stream=args.frames,
+            seed=args.load_seed,
+        ),
+        policy=ServePolicy(
+            max_batch_size=args.batch_size,
+            max_wait_ms=args.max_wait_ms,
+            queue_capacity=args.queue_capacity,
+            shed_policy=args.shed,
+            slo_ms=args.slo_ms,
+        ),
+        service=ServiceModel(
+            invocation_overhead_ms=args.overhead_ms,
+            gops_per_second=args.gops,
+        ),
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    spec = _serve_spec_from_args(args)
+    session = _session(args)
+    report = session.serve(spec, use_cache=not args.no_cache)
+    print(f"serving: {spec.label}")
+    print(f"fingerprint: {spec.fingerprint[:16]}")
+    print(report.format())
+    _print_cache_stats(session)
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.serve.loadgen import LoadSpec, generate_load, schedule_to_dicts
+
+    session = _session(args)
+    dataset = session.dataset(
+        DatasetSpec(
+            args.dataset,
+            num_sequences=args.sequences,
+            frames_per_sequence=args.seq_frames,
+        )
+    )
+    load = LoadSpec(
+        pattern=args.pattern,
+        num_streams=args.streams,
+        rate_hz=args.rate,
+        frames_per_stream=args.frames,
+        seed=args.load_seed,
+    )
+    requests = generate_load(load, dataset)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(
+                {"load": load.to_dict(), "schedule": schedule_to_dicts(requests)},
+                fh,
+                indent=2,
+            )
+        print(f"wrote {len(requests)} arrivals to {args.out}")
+    arrivals_by_stream: dict = {}
+    for r in requests:
+        arrivals_by_stream.setdefault(r.stream, []).append(r.arrival)
+    rows = [[stream, len(times)] for stream, times in sorted(arrivals_by_stream.items())]
+    print(format_table(["stream", "frames"], rows,
+                       title=f"{load.pattern} load, {load.num_streams} stream(s)"))
+    # Aggregate rate = sum of per-stream empirical rates ((N-1) intervals
+    # over each stream's own span) — pattern-agnostic, and exact whether
+    # a pattern's clock starts at 0 (replay) or at 1/rate (uniform).
+    offered = sum(
+        (len(times) - 1) / (times[-1] - times[0])
+        for times in arrivals_by_stream.values()
+        if len(times) > 1 and times[-1] > times[0]
+    )
+    span = requests[-1].arrival - requests[0].arrival
+    if offered > 0:
+        print(f"{len(requests)} frames over {span:.2f}s "
+              f"(aggregate offered rate ~{offered:.1f} frames/s)")
+    else:
+        print(f"{len(requests)} frame(s) over {span:.2f}s")
+    return 0
+
+
+def _add_serve_flags(parser: argparse.ArgumentParser) -> None:
+    """Load-shape flags shared by ``serve`` and ``loadgen``."""
+    from repro.serve.loadgen import LOAD_PATTERNS
+
+    parser.add_argument("--dataset", default="kitti",
+                        help="registered dataset family supplying the streams")
+    parser.add_argument("--streams", type=int, default=4,
+                        help="concurrent camera streams")
+    parser.add_argument("--pattern", choices=LOAD_PATTERNS.names(),
+                        default="poisson", help="arrival pattern")
+    parser.add_argument("--rate", type=float, default=15.0,
+                        help="per-stream arrival rate in frames/s "
+                        "(replay uses the sequence's native fps)")
+    parser.add_argument("--frames", type=int, default=60,
+                        help="frames offered per stream")
+    parser.add_argument("--sequences", type=int, default=None,
+                        help="dataset sequences to generate (default: "
+                        "the family's own default)")
+    parser.add_argument("--seq-frames", type=int, default=None,
+                        help="frames per generated sequence")
+    parser.add_argument("--load-seed", type=int, default=0,
+                        help="arrival-schedule seed (stochastic patterns)")
 
 
 def cmd_worker(args: argparse.Namespace) -> int:
@@ -465,6 +593,42 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_flags(spec_p)
     _add_progress_flag(spec_p)
     spec_p.set_defaults(func=cmd_spec)
+
+    serve_p = sub.add_parser(
+        "serve", help="micro-batched multi-stream serving with an SLO report"
+    )
+    serve_p.add_argument("kind", choices=SYSTEMS.names())
+    serve_p.add_argument("refinement")
+    serve_p.add_argument("proposal", nargs="?", default=None)
+    serve_p.add_argument("--c-thresh", type=float, default=0.1)
+    serve_p.add_argument("--seed", type=int, default=0,
+                         help="detector-simulation seed")
+    _add_serve_flags(serve_p)
+    serve_p.add_argument("--batch-size", type=int, default=8,
+                         help="micro-batch flush size (1 = unbatched)")
+    serve_p.add_argument("--max-wait-ms", type=float, default=25.0,
+                         help="max coalescing delay for the oldest ready frame")
+    serve_p.add_argument("--queue-capacity", type=int, default=64,
+                         help="admission queue bound before shedding")
+    serve_p.add_argument("--shed", choices=("oldest", "newest"), default="oldest",
+                         help="which frame to drop when the queue overflows")
+    serve_p.add_argument("--slo-ms", type=float, default=200.0,
+                         help="end-to-end latency objective")
+    serve_p.add_argument("--overhead-ms", type=float, default=2.0,
+                         help="modeled fixed cost per batched detector invocation")
+    serve_p.add_argument("--gops", type=float, default=2000.0,
+                         help="modeled accelerator throughput in Gops/s")
+    _add_cache_flags(serve_p)
+    serve_p.set_defaults(func=cmd_serve)
+
+    loadgen_p = sub.add_parser(
+        "loadgen", help="generate an open-loop arrival schedule over a dataset"
+    )
+    _add_serve_flags(loadgen_p)
+    loadgen_p.add_argument("--out", default=None,
+                           help="write the schedule as JSON to this path")
+    _add_cache_flags(loadgen_p)
+    loadgen_p.set_defaults(func=cmd_loadgen)
 
     from repro.cluster.queue import DEFAULT_LEASE_TTL, DEFAULT_MAX_ATTEMPTS
 

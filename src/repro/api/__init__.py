@@ -43,7 +43,9 @@ __all__ = [
     "EvalSpec",
     "ExecSpec",
     "ExperimentSpec",
+    "ServeSpec",
     "SPEC_FORMAT",
+    "SERVE_SPEC_FORMAT",
     "ResultCache",
     "experiment_key",
     "fingerprint_dataset",
@@ -56,7 +58,9 @@ _LAZY = {
     "EvalSpec": "repro.api.spec",
     "ExecSpec": "repro.api.spec",
     "ExperimentSpec": "repro.api.spec",
+    "ServeSpec": "repro.api.spec",
     "SPEC_FORMAT": "repro.api.spec",
+    "SERVE_SPEC_FORMAT": "repro.api.spec",
     "ResultCache": "repro.api.cache",
     "experiment_key": "repro.api.cache",
     "fingerprint_dataset": "repro.api.cache",

@@ -109,10 +109,16 @@ class SystemEntry:
     runnable :class:`~repro.core.systems.DetectionSystem`;
     ``requires_proposal`` drives config validation (cascade-style systems
     need a proposal network, single-model ones must not demand it).
+    ``frame_parallel`` declares that the system's frames are mutually
+    independent (no cross-frame feedback like a tracker), so executors
+    may split *within* a sequence by frame range and workers may execute
+    partial-sequence shards — output stays byte-identical to the serial
+    frame loop.
     """
 
     builder: Callable[[Any], Any]
     requires_proposal: bool = False
+    frame_parallel: bool = False
 
 
 def _boot_systems() -> None:
@@ -140,11 +146,19 @@ DATASET_FAMILIES = Registry("dataset family", bootstrap=_boot_datasets)
 EXECUTORS = Registry("executor", bootstrap=_boot_executors)
 
 
-def register_system(name: str, *, requires_proposal: bool = False, override: bool = False):
+def register_system(
+    name: str,
+    *,
+    requires_proposal: bool = False,
+    frame_parallel: bool = False,
+    override: bool = False,
+):
     """Decorator registering a system builder under ``name``.
 
     The decorated callable receives the full ``SystemConfig`` and returns a
     runnable system; ``name`` becomes a valid ``SystemConfig.kind``.
+    Declare ``frame_parallel=True`` only for systems with no cross-frame
+    feedback (see :class:`SystemEntry`).
 
     Cache-correctness contract: the builder must derive every
     result-affecting parameter from the config it receives.  A knob baked
@@ -156,7 +170,11 @@ def register_system(name: str, *, requires_proposal: bool = False, override: boo
     def _decorate(builder: Callable[[Any], Any]):
         SYSTEMS.register(
             name,
-            SystemEntry(builder=builder, requires_proposal=requires_proposal),
+            SystemEntry(
+                builder=builder,
+                requires_proposal=requires_proposal,
+                frame_parallel=frame_parallel,
+            ),
             override=override,
         )
         return builder

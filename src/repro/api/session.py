@@ -20,7 +20,7 @@ from __future__ import annotations
 import weakref
 from functools import lru_cache
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.api.cache import ResultCache, experiment_key, fingerprint_dataset
 from repro.api.registry import DATASET_FAMILIES, EXECUTORS
@@ -88,11 +88,14 @@ class Session:
 
     @property
     def cache_hits(self) -> int:
-        return self.cache.hits if self.cache else 0
+        # `is not None`, not truthiness: ResultCache.__len__ makes an
+        # *empty* cache falsy, which would hide hits on stores (like the
+        # serve report store) that don't live in the top-level layout.
+        return self.cache.hits if self.cache is not None else 0
 
     @property
     def cache_misses(self) -> int:
-        return self.cache.misses if self.cache else 0
+        return self.cache.misses if self.cache is not None else 0
 
     def dataset(self, spec: DatasetSpec) -> Dataset:
         """The (memoized) dataset ``spec`` describes."""
@@ -225,6 +228,45 @@ class Session:
             ):
                 out[spec.fingerprint] = result
         return out
+
+    def serve(
+        self,
+        spec: "Any",
+        *,
+        use_cache: bool = True,
+    ) -> "Any":
+        """Serve a :class:`~repro.api.spec.ServeSpec`, cached by fingerprint.
+
+        Serving is a deterministic discrete-event simulation, so the
+        throughput/latency :class:`~repro.serve.server.ServeReport` is a
+        pure function of the spec — revisited serving configurations load
+        from the cache's ``serve/`` store instead of re-simulating.
+        Cached reports carry the statistics only; per-frame detections
+        (`report.frame_results`) are available on fresh runs.
+        """
+        from repro.serve.loadgen import generate_load
+        from repro.serve.server import DetectionServer, ServeReportStore
+
+        # Same root as the experiment cache: `repro cache stats/ls/prune`
+        # then manage serving reports too (content addresses don't collide).
+        store = (
+            ServeReportStore(self.cache.root) if self.cache is not None else None
+        )
+        if store is not None and use_cache:
+            cached = store.load(spec.fingerprint)
+            if cached is not None:
+                self.cache.hits += 1
+                return cached
+            self.cache.misses += 1
+        dataset = self.dataset(spec.dataset)
+        requests = generate_load(spec.load, dataset)
+        server = DetectionServer(
+            spec.system, policy=spec.policy, service=spec.service
+        )
+        report = server.run(requests)
+        if store is not None and use_cache:
+            store.store(spec.fingerprint, report, spec=spec.to_dict())
+        return report
 
     def run_experiment(
         self,

@@ -247,3 +247,113 @@ def _known_fields(cls, data: Dict[str, Any]) -> Dict[str, Any]:
     if unknown:
         raise ValueError(f"unknown {cls.__name__} fields: {sorted(unknown)}")
     return dict(data)
+
+
+# --------------------------------------------------------------------- #
+# Serving specs
+# --------------------------------------------------------------------- #
+
+SERVE_SPEC_FORMAT = "repro-serve-spec/1"
+
+
+@dataclass(frozen=True)
+class ServeSpec:
+    """One fully-described serving deployment: system + data + load + knobs.
+
+    The online-serving sibling of :class:`ExperimentSpec`: which system
+    serves (:class:`~repro.core.config.SystemConfig`), which dataset
+    family supplies the camera streams (:class:`DatasetSpec`), the
+    open-loop load offered (:class:`~repro.serve.loadgen.LoadSpec`), the
+    server's admission/batching policy
+    (:class:`~repro.serve.server.ServePolicy`) and the accelerator timing
+    model (:class:`~repro.serve.server.ServiceModel`).  Frozen, JSON
+    round-trippable, and content-fingerprinted: serving is a
+    deterministic simulation, so a spec's throughput/latency report is a
+    pure function of the spec and
+    :meth:`repro.api.session.Session.serve` caches it by fingerprint.
+
+    Unlike :class:`ExperimentSpec`, *every* section is result-affecting
+    (the policy changes batching, the service model changes every
+    latency), so the fingerprint covers the whole spec.
+    """
+
+    system: SystemConfig
+    dataset: DatasetSpec = field(default_factory=DatasetSpec)
+    load: "Any" = None
+    policy: "Any" = None
+    service: "Any" = None
+
+    def __post_init__(self) -> None:
+        from repro.serve.loadgen import LoadSpec
+        from repro.serve.server import ServePolicy, ServiceModel
+
+        if not isinstance(self.system, SystemConfig):
+            raise TypeError(
+                f"system must be a SystemConfig, got {type(self.system).__name__}"
+            )
+        if self.load is None:
+            object.__setattr__(self, "load", LoadSpec())
+        elif not isinstance(self.load, LoadSpec):
+            raise TypeError(f"load must be a LoadSpec, got {type(self.load).__name__}")
+        if self.policy is None:
+            object.__setattr__(self, "policy", ServePolicy())
+        elif not isinstance(self.policy, ServePolicy):
+            raise TypeError(
+                f"policy must be a ServePolicy, got {type(self.policy).__name__}"
+            )
+        if self.service is None:
+            object.__setattr__(self, "service", ServiceModel())
+        elif not isinstance(self.service, ServiceModel):
+            raise TypeError(
+                f"service must be a ServiceModel, got {type(self.service).__name__}"
+            )
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{self.system.label} @ {self.dataset.family} "
+            f"x{self.load.num_streams} {self.load.pattern}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": SERVE_SPEC_FORMAT,
+            "system": config_to_dict(self.system),
+            "dataset": self.dataset.to_dict(),
+            "load": self.load.to_dict(),
+            "policy": self.policy.to_dict(),
+            "service": self.service.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ServeSpec":
+        from repro.serve.loadgen import LoadSpec
+        from repro.serve.server import ServePolicy, ServiceModel
+
+        fmt = data.get("format", SERVE_SPEC_FORMAT)
+        if fmt != SERVE_SPEC_FORMAT:
+            raise ValueError(
+                f"unsupported serve-spec format {fmt!r}, expected {SERVE_SPEC_FORMAT!r}"
+            )
+        if "system" not in data:
+            raise ValueError("serve spec is missing the required 'system' section")
+        return cls(
+            system=config_from_dict(data["system"]),
+            dataset=DatasetSpec.from_dict(data.get("dataset", {})),
+            load=LoadSpec.from_dict(data.get("load", {})),
+            policy=ServePolicy.from_dict(data.get("policy", {})),
+            service=ServiceModel.from_dict(data.get("service", {})),
+        )
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ServeSpec":
+        return cls.from_dict(json.loads(text))
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable content address of the report this spec determines."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

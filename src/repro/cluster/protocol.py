@@ -29,7 +29,7 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -141,6 +141,7 @@ def sequence_task(
     *,
     dataset: Optional[Dict[str, Any]] = None,
     index: Optional[int] = None,
+    frame_range: Optional[Tuple[int, int]] = None,
 ) -> Dict[str, Any]:
     """A task envelope for one ``(config, sequence)`` shard.
 
@@ -150,6 +151,14 @@ def sequence_task(
     content-addresses the resulting :class:`SequenceResult`: the system
     config plus the sequence's ground-truth content (inline) or its
     ``(dataset, index)`` coordinates (reference).
+
+    ``frame_range=(start, stop)`` narrows the shard to frames
+    ``[start, stop)`` — frame-level parallelism for system kinds whose
+    frames are independent (the executing worker enforces causal
+    validity, see :func:`repro.engine.scheduler.run_frame_range`).  The
+    range is part of the fingerprint, so partial- and full-sequence
+    results never alias in the shared store; omitting it keeps existing
+    fingerprints unchanged.
     """
     if (sequence is None) == (dataset is None or index is None):
         raise ValueError("pass exactly one of sequence= or (dataset=, index=)")
@@ -164,12 +173,21 @@ def sequence_task(
         "system": config_to_dict(config),
         "sequence": seq_key,
     }
+    envelope_payload = {"system": config_to_dict(config), "sequence": payload}
+    if frame_range is not None:
+        start, stop = (int(frame_range[0]), int(frame_range[1]))
+        if not (0 <= start < stop):
+            raise ValueError(
+                f"frame_range must satisfy 0 <= start < stop, got {frame_range}"
+            )
+        key["frame_range"] = [start, stop]
+        envelope_payload["frame_range"] = [start, stop]
     canonical = json.dumps(key, sort_keys=True, separators=(",", ":"))
     return {
         "format": TASK_FORMAT,
         "kind": KIND_SEQUENCE,
         "fingerprint": hashlib.sha256(canonical.encode("utf-8")).hexdigest(),
-        "payload": {"system": config_to_dict(config), "sequence": payload},
+        "payload": envelope_payload,
     }
 
 

@@ -101,7 +101,17 @@ def execute_task(
             cached = False
             config = resolve_task_config(task["payload"])
             sequence = resolve_task_sequence(task["payload"])
-            result = build_system(config).process_sequence(sequence)
+            frame_range = task["payload"].get("frame_range")
+            if frame_range is not None:
+                from repro.engine.scheduler import run_frame_range
+
+                # No clamping: a range beyond the sequence raises (the
+                # task records a failure) rather than storing a silently
+                # truncated result under the full-range fingerprint.
+                start, stop = frame_range
+                result = run_frame_range(config, sequence, int(start), int(stop))
+            else:
+                result = build_system(config).process_sequence(sequence)
             if store is not None:
                 store.store(fingerprint, result)
         return result_envelope(

@@ -171,7 +171,7 @@ def config_from_dict(data: Dict[str, Any]) -> SystemConfig:
 # Built-in system kinds
 # --------------------------------------------------------------------- #
 
-@register_system("single")
+@register_system("single", frame_parallel=True)
 def _build_single(config: SystemConfig) -> DetectionSystem:
     return SingleModelSystem(
         config.refinement_model,
@@ -181,7 +181,7 @@ def _build_single(config: SystemConfig) -> DetectionSystem:
     )
 
 
-@register_system("cascade", requires_proposal=True)
+@register_system("cascade", requires_proposal=True, frame_parallel=True)
 def _build_cascade(config: SystemConfig) -> DetectionSystem:
     return CascadedSystem(
         config.proposal_model,

@@ -53,9 +53,10 @@ class _KeyFrameStage:
         self.tracker: Optional[CaTDetTracker] = None
 
     def begin_sequence(self, sequence: Sequence) -> None:
+        # Name-reuse protection for the detector's per-sequence caches is
+        # handled by the detector's own ownership guard, so concurrent
+        # streams sharing this detector keep their caches warm.
         self.tracker = CaTDetTracker(self.tracker_config, image_size=sequence.image_size)
-        # Pure per-sequence caches; clearing protects name reuse in streams.
-        self.detector.reset()
 
     def process(self, ctx: "engine_stages.FrameContext") -> None:
         if self.tracker is None:

@@ -44,7 +44,17 @@ class DetectionSystem(ABC):
     """
 
     name: str
-    _stream_state = None  # lazily-created FrameStream for stream()
+    _stream_state = None  # lazily-created StreamRouter for stream()
+
+    #: Whether every frame is a pure function of ``(config, sequence,
+    #: frame)`` — no cross-frame feedback — so frame ranges may execute
+    #: independently (mirrors ``SystemEntry.frame_parallel`` for live
+    #: instances).  Default False: unknown systems are assumed causal.
+    frame_parallel = False
+
+    #: Concurrent sequences :meth:`stream` retains isolated state for;
+    #: the least-recently-fed beyond this restarts fresh when it returns.
+    max_concurrent_streams = 32
 
     @abstractmethod
     def build_pipeline(self) -> "engine_stages.StagePipeline":
@@ -63,12 +73,21 @@ class DetectionSystem(ABC):
         iterable of :class:`~repro.engine.stream.FrameRef`, or an iterable
         of ``(sequence, frame)`` pairs.  Cross-frame state — most
         importantly the tracker — persists across successive ``stream``
-        calls, so a live feed can be consumed in arbitrary chunks; feeding
-        a frame of a different sequence starts that sequence fresh.  Call
+        calls, so a live feed can be consumed in arbitrary chunks.
+        Frames of *different* sequences may be interleaved freely: each
+        sequence object gets isolated per-stream state (its own tracker)
+        and sees exactly the results it would have seen streamed alone —
+        for up to :attr:`max_concurrent_streams` concurrent sequences
+        (raise it before streaming for larger fleets; the
+        least-recently-fed sequence beyond the cap restarts fresh when
+        it returns, exactly as any sequence switch did before routing).
+        Within one sequence, frames must arrive in causal order.  Call
         :meth:`reset` to drop all streaming state.
         """
         if self._stream_state is None:
-            self._stream_state = engine_stream.FrameStream(self.build_pipeline())
+            self._stream_state = engine_stream.StreamRouter(
+                self.build_pipeline, max_streams=self.max_concurrent_streams
+            )
         yield from self._stream_state.run(frame_source)
 
     def _detectors(self) -> tuple:
@@ -92,6 +111,8 @@ class DetectionSystem(ABC):
 class SingleModelSystem(DetectionSystem):
     """One detector on every full frame (Figure 1a).
 
+    Frames are mutually independent (``frame_parallel``).
+
     Parameters
     ----------
     model:
@@ -106,6 +127,8 @@ class SingleModelSystem(DetectionSystem):
     num_classes:
         Class count for the op model's output layers.
     """
+
+    frame_parallel = True
 
     def __init__(
         self,
@@ -169,6 +192,8 @@ class CascadedSystem(DetectionSystem):
         ``"faster_rcnn"`` (regions + per-proposal head) or ``"retinanet"``
         (dense head over the region mask, Appendix II).
     """
+
+    frame_parallel = True  # no tracker feedback; CaTDetSystem overrides
 
     def __init__(
         self,
@@ -259,6 +284,8 @@ class CaTDetSystem(CascadedSystem):
         Turn off on throughput-critical paths; the actual ``proposal`` /
         ``refinement`` accounting is unaffected.
     """
+
+    frame_parallel = False  # the tracker loop makes frames causal
 
     def __init__(
         self,

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
-from typing import TYPE_CHECKING, Callable, List, Optional, Union
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple, Union
 
 from repro.core.results import SequenceResult
 from repro.datasets.types import Sequence
@@ -71,6 +71,82 @@ def _run_sequence_with_system(
     """Worker entry point for a pickled system instance."""
     system.reset()
     return system.process_sequence(sequence)
+
+
+def config_is_frame_parallel(config: "SystemConfig") -> bool:
+    """Whether ``config``'s registered kind declares independent frames."""
+    from repro.api.registry import SYSTEMS
+
+    return bool(getattr(SYSTEMS.get(config.kind), "frame_parallel", False))
+
+
+def run_frame_range(
+    target: SystemLike, sequence: Sequence, start: int, stop: int
+) -> SequenceResult:
+    """Process frames ``[start, stop)`` of one sequence.
+
+    For frame-parallel systems (no cross-frame feedback) any range is a
+    pure function of ``(config, sequence, range)`` and splicing adjacent
+    ranges back together is byte-identical to the serial frame loop.
+    Causal systems (tracker feedback) may only run *prefixes* — a range
+    starting past frame 0 would need tracker state it never saw, so it is
+    rejected rather than silently computed wrong.
+    """
+    from repro.core.config import build_system
+
+    if not (0 <= start < stop <= sequence.num_frames):
+        raise ValueError(
+            f"frame range [{start}, {stop}) is invalid for sequence "
+            f"{sequence.name!r} with {sequence.num_frames} frames"
+        )
+    if _is_config(target):
+        independent = config_is_frame_parallel(target)
+        label = f"system kind {target.kind!r}"
+        target = build_system(target)
+    else:
+        # Live instances declare independence themselves (default False:
+        # unknown systems are assumed causal rather than computed wrong).
+        independent = bool(getattr(target, "frame_parallel", False))
+        label = f"system {type(target).__name__}"
+    if start > 0 and not independent:
+        raise ValueError(
+            f"{label} has cross-frame feedback; "
+            "only prefix ranges (start=0) are causally valid"
+        )
+    pipeline = target.build_pipeline()
+    pipeline.begin_sequence(sequence)
+    result = SequenceResult(sequence_name=sequence.name)
+    for frame in range(start, stop):
+        result.frames.append(pipeline.run_frame(sequence, frame))
+    return result
+
+
+def _run_frame_range_from_config(
+    config: "SystemConfig", sequence: Sequence, start: int, stop: int
+) -> List["object"]:
+    """Worker entry point: one frame chunk, rebuilt from the config."""
+    return run_frame_range(config, sequence, start, stop).frames
+
+
+def split_frame_ranges(
+    num_frames: int, chunks: int
+) -> List[Tuple[int, int]]:
+    """Split ``range(num_frames)`` into ``chunks`` contiguous ranges.
+
+    Near-equal sizes (the first ``num_frames % chunks`` ranges get one
+    extra frame); never returns an empty range.
+    """
+    if num_frames <= 0:
+        return []
+    chunks = max(1, min(int(chunks), num_frames))
+    base, extra = divmod(num_frames, chunks)
+    ranges = []
+    start = 0
+    for i in range(chunks):
+        stop = start + base + (1 if i < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
 
 
 class SerialExecutor:
@@ -173,7 +249,109 @@ class ParallelExecutor:
                 pool.shutdown(wait=True, cancel_futures=True)
 
 
-SequenceExecutor = Union[SerialExecutor, ParallelExecutor]
+class FrameParallelExecutor:
+    """Split *within* sequences: frame-range shards on a process pool.
+
+    Sequence-level parallelism (:class:`ParallelExecutor`) saturates once
+    the dataset has fewer sequences than cores — the long tail is one
+    worker grinding through the longest sequence.  For systems whose
+    registered kind declares ``frame_parallel`` (single, cascade: every
+    frame is a pure function of ``(config, sequence, frame)``), this
+    executor fans contiguous frame ranges of *every* sequence out to the
+    pool and splices the chunks back in order, byte-identical to the
+    serial loop.  Systems with cross-frame feedback (catdet, keyframe)
+    fall back to whole-sequence shards — tracker causality keeps them
+    sequence-serial, exactly like :class:`ParallelExecutor`.
+
+    Requires a declarative :class:`~repro.core.config.SystemConfig`
+    target so workers can rebuild the system (and so the kind's
+    ``frame_parallel`` declaration can be trusted).
+    """
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+
+    def map_sequences(
+        self,
+        target: SystemLike,
+        sequences: List[Sequence],
+        *,
+        on_progress: Optional[ProgressFn] = None,
+    ) -> List[SequenceResult]:
+        if not _is_config(target):
+            raise TypeError(
+                "the frame-parallel executor needs a SystemConfig (the "
+                "registered kind declares whether frames are independent)"
+            )
+        if not sequences:
+            return []
+        if not config_is_frame_parallel(target):
+            return ParallelExecutor(self.workers).map_sequences(
+                target, sequences, on_progress=on_progress
+            )
+        # Aim for a few chunks per worker so uneven chunk runtimes level
+        # out, without splintering short sequences into per-frame tasks.
+        total_frames = sum(s.num_frames for s in sequences)
+        target_chunk = max(8, total_frames // (self.workers * 4) or 1)
+        plan: List[Tuple[int, Tuple[int, int]]] = []  # (seq idx, range)
+        for i, sequence in enumerate(sequences):
+            chunks = max(1, sequence.num_frames // target_chunk)
+            for frame_range in split_frame_ranges(sequence.num_frames, chunks):
+                plan.append((i, frame_range))
+        results: List[Optional[SequenceResult]] = [None] * len(sequences)
+        chunks_left = [0] * len(sequences)
+        for i, _ in plan:
+            chunks_left[i] += 1
+        parts: List[dict] = [dict() for _ in sequences]
+        done_sequences = 0
+        pool = ProcessPoolExecutor(max_workers=min(self.workers, len(plan)))
+        interrupted = False
+        try:
+            futures = {
+                pool.submit(
+                    _run_frame_range_from_config, target, sequences[i], start, stop
+                ): (i, start)
+                for i, (start, stop) in plan
+            }
+            pending = set(futures)
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_EXCEPTION)
+                for future in finished:
+                    i, start = futures[future]
+                    exc = future.exception()
+                    if exc is not None:
+                        for other in pending:
+                            other.cancel()
+                        raise SequenceExecutionError(
+                            sequences[i].name, exc
+                        ) from exc
+                    parts[i][start] = future.result()
+                    chunks_left[i] -= 1
+                    if chunks_left[i] == 0:
+                        frames = []
+                        for _, chunk in sorted(parts[i].items()):
+                            frames.extend(chunk)
+                        results[i] = SequenceResult(
+                            sequence_name=sequences[i].name, frames=frames
+                        )
+                        done_sequences += 1
+                        if on_progress is not None:
+                            on_progress(
+                                done_sequences, len(sequences), sequences[i].name
+                            )
+            return results  # type: ignore[return-value]
+        except (KeyboardInterrupt, SystemExit):
+            interrupted = True
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        finally:
+            if not interrupted:
+                pool.shutdown(wait=True, cancel_futures=True)
+
+
+SequenceExecutor = Union[SerialExecutor, ParallelExecutor, FrameParallelExecutor]
 
 
 def make_executor(workers: Optional[int]) -> SequenceExecutor:
@@ -221,3 +399,15 @@ def _process_executor(workers: Optional[int]) -> SequenceExecutor:
     if workers == 0:
         workers = effective_cpu_count()
     return ParallelExecutor(workers)
+
+
+@register_executor("frames")
+def _frames_executor(workers: Optional[int]) -> SequenceExecutor:
+    """Frame-range sharding for frame-parallel system kinds.
+
+    ``None``/``0`` → one worker per available CPU.  Kinds with
+    cross-frame feedback degrade to sequence-level shards.
+    """
+    if workers in (None, 0):
+        workers = effective_cpu_count()
+    return FrameParallelExecutor(workers)

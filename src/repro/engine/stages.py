@@ -102,6 +102,15 @@ class Stage:
     :meth:`process` (in pipeline order) followed by :meth:`end_frame`
     (also in pipeline order, after every stage has processed).  ``reset``
     drops all cross-sequence state.
+
+    Batched execution: :meth:`process_batch` / :meth:`end_frame_batch`
+    receive one frame from each of several *different* concurrent
+    streams.  The defaults loop over the serial hooks, so every stage is
+    batch-correct by construction; stages that wrap a detector override
+    ``process_batch`` to coalesce the whole batch into a **single**
+    batched detector invocation (the micro-batching seam
+    :mod:`repro.serve` is built on).  Per-frame outputs must be
+    byte-identical to the serial path whatever the batch composition.
     """
 
     def begin_sequence(self, sequence: Sequence) -> None:
@@ -111,8 +120,28 @@ class Stage:
         """Consume/produce blackboard fields for the current frame."""
         raise NotImplementedError
 
+    def process_batch(self, ctxs: List[FrameContext]) -> None:
+        """Process one frame from each of several concurrent streams."""
+        for ctx in ctxs:
+            self.process(ctx)
+
     def end_frame(self, ctx: FrameContext) -> None:
         """Post-frame feedback hook (runs after all ``process`` calls)."""
+
+    def end_frame_batch(self, ctxs: List[FrameContext]) -> None:
+        """Batched counterpart of :meth:`end_frame`."""
+        for ctx in ctxs:
+            self.end_frame(ctx)
+
+    # Multi-stream protocol (opt-in): a stage may define
+    #   per_stream() -> Stage
+    # returning the instance to use for ONE stream of a multi-stream
+    # engine — `self` for stateless stages (sharing enables cross-stream
+    # detector batching), a fresh instance for stateful ones (the
+    # tracker).  There is deliberately NO base-class default: a stateful
+    # subclass that forgot to opt in must degrade to safe fully-isolated
+    # pipelines (see StagePipeline.per_stream), never to silently shared
+    # mutable state.
 
     def reset(self) -> None:
         """Drop all internal state (sequence- and run-level)."""
@@ -189,16 +218,21 @@ class ProposalStage(Stage):
         self.detector = detector
         self.c_thresh = float(c_thresh)
 
-    def begin_sequence(self, sequence: Sequence) -> None:
-        # The detector's latent caches are pure functions of
-        # (model, seed, sequence name), so clearing them never changes
-        # results — but it protects streaming callers that feed a new
-        # sequence object reusing an earlier name.
-        self.detector.reset()
+    def per_stream(self) -> "ProposalStage":
+        # Stateless (the shared detector's caches are deterministic and
+        # collision-guarded): safe to share across concurrent streams.
+        return self
 
     def process(self, ctx: FrameContext) -> None:
         proposals = self.detector.detect_full_frame(ctx.sequence, ctx.frame)
         ctx.proposed = proposals.above_score(self.c_thresh)
+
+    def process_batch(self, ctxs: List[FrameContext]) -> None:
+        batched = self.detector.detect_full_frame_batch(
+            [(ctx.sequence, ctx.frame) for ctx in ctxs]
+        )
+        for ctx, proposals in zip(ctxs, batched):
+            ctx.proposed = proposals.above_score(self.c_thresh)
 
 
 class TrackerStage(Stage):
@@ -228,6 +262,11 @@ class TrackerStage(Stage):
     def end_frame(self, ctx: FrameContext) -> None:
         self.tracker.update(ctx.detections)
 
+    def per_stream(self) -> "TrackerStage":
+        # The tracker is the one genuinely stateful stage: each stream of
+        # a multi-stream engine needs its own instance.
+        return TrackerStage(self.config)
+
     def reset(self) -> None:
         self.tracker = None
 
@@ -253,17 +292,45 @@ class RefinementStage(Stage):
         self.full_frame = bool(full_frame)
         self.output_threshold = float(output_threshold)
 
-    def begin_sequence(self, sequence: Sequence) -> None:
-        self.detector.reset()  # see ProposalStage.begin_sequence
+    def per_stream(self) -> "RefinementStage":
+        return self  # stateless, see ProposalStage.per_stream
 
     def process(self, ctx: FrameContext) -> None:
         if self.full_frame:
             detections = self.detector.detect_full_frame(ctx.sequence, ctx.frame)
-            if self.output_threshold > 0:
-                detections = detections.above_score(self.output_threshold)
-            ctx.detections = detections
+            ctx.detections = self._thresholded(detections)
             ctx.coverage_fraction = 1.0
             return
+        self._build_mask(ctx)
+        ctx.detections = self._thresholded(
+            self.detector.detect_regions(ctx.sequence, ctx.frame, ctx.mask)
+        )
+
+    def process_batch(self, ctxs: List[FrameContext]) -> None:
+        if self.full_frame:
+            batched = self.detector.detect_full_frame_batch(
+                [(ctx.sequence, ctx.frame) for ctx in ctxs]
+            )
+            for ctx, detections in zip(ctxs, batched):
+                ctx.detections = self._thresholded(detections)
+                ctx.coverage_fraction = 1.0
+            return
+        # Region masks are cheap CPU-side geometry — build them per frame,
+        # then validate every stream's regions in one batched invocation.
+        for ctx in ctxs:
+            self._build_mask(ctx)
+        batched = self.detector.detect_regions_batch(
+            [(ctx.sequence, ctx.frame, ctx.mask) for ctx in ctxs]
+        )
+        for ctx, detections in zip(ctxs, batched):
+            ctx.detections = self._thresholded(detections)
+
+    def _thresholded(self, detections: Detections) -> Detections:
+        if self.output_threshold > 0:
+            return detections.above_score(self.output_threshold)
+        return detections
+
+    def _build_mask(self, ctx: FrameContext) -> None:
         sources: List[Detections] = [
             s for s in (ctx.tracked, ctx.proposed) if s is not None
         ]
@@ -274,9 +341,6 @@ class RefinementStage(Stage):
             regions.boxes, ctx.sequence.width, ctx.sequence.height, self.margin
         )
         ctx.coverage_fraction = ctx.mask.coverage_fraction()
-        ctx.detections = self.detector.detect_regions(ctx.sequence, ctx.frame, ctx.mask)
-        if self.output_threshold > 0:
-            ctx.detections = ctx.detections.above_score(self.output_threshold)
 
 
 class OpsAccountingStage(Stage):
@@ -301,6 +365,9 @@ class OpsAccountingStage(Stage):
         self.proposal_macs = proposal_macs
         self.margin = float(margin)
         self.detailed = bool(detailed)
+
+    def per_stream(self) -> "OpsAccountingStage":
+        return self  # pure math over memoized-pure MacsModels
 
     def _hypothetical(self, ctx: FrameContext, regions: Detections) -> float:
         mask = RegionMask(
@@ -351,6 +418,28 @@ class StagePipeline:
             raise ValueError("a pipeline needs at least one stage")
         self.stages = list(stages)
 
+    def per_stream(self) -> "StagePipeline":
+        """A pipeline for one stream of a multi-stream engine.
+
+        Stateless stages are shared with this pipeline (so their detector
+        calls can be coalesced across streams by
+        :func:`run_frame_batch`); stateful ones are cloned per stream.
+        Raises :class:`TypeError` when any stage has not opted into the
+        ``per_stream`` protocol — callers must then fall back to fully
+        independent pipelines (safe for arbitrary stage state, at the
+        price of no cross-stream coalescing).
+        """
+        clones = []
+        for stage in self.stages:
+            fn = getattr(stage, "per_stream", None)
+            if fn is None:
+                raise TypeError(
+                    f"stage {type(stage).__name__} does not implement "
+                    "per_stream(); build a fresh pipeline per stream instead"
+                )
+            clones.append(fn())
+        return StagePipeline(clones)
+
     def begin_sequence(self, sequence: Sequence) -> None:
         """Start a new sequence: every stage clears per-sequence state."""
         for stage in self.stages:
@@ -376,3 +465,68 @@ class StagePipeline:
     def reset(self) -> None:
         for stage in self.stages:
             stage.reset()
+
+
+def run_frame_batch(
+    work: List[Tuple["StagePipeline", Sequence, int]]
+) -> List[FrameResult]:
+    """Execute one frame from each of several streams in stage lockstep.
+
+    ``work`` pairs each stream's (already begun) pipeline with the frame
+    it should process next.  All pipelines must share the same stage
+    composition (the serving layer derives them from one template via
+    :meth:`StagePipeline.per_stream`).  Execution walks the stage
+    positions in order; at each position, contexts whose pipelines share
+    the *same* stage instance are handed to that stage's
+    ``process_batch`` in one call — which is where shared detector
+    stages coalesce the whole cohort into a single batched detector
+    invocation.  Per-stream stages (the tracker) receive their own
+    context exactly as on the serial path.
+
+    Frames of different streams share no blackboard state, so the
+    results are byte-identical to running each pipeline's
+    :meth:`StagePipeline.run_frame` serially.
+    """
+    if not work:
+        return []
+    n_stages = len(work[0][0].stages)
+    for pipeline, _, _ in work:
+        if len(pipeline.stages) != n_stages:
+            raise ValueError(
+                "all pipelines in a batch must share one stage composition"
+            )
+    ctxs = [FrameContext(sequence, frame) for _, sequence, frame in work]
+    for position in range(n_stages):
+        for stage, group in _group_by_stage(work, ctxs, position):
+            fn = getattr(stage, "process_batch", None)
+            if fn is not None:
+                fn(group)
+            else:  # duck-typed stage predating the batch protocol
+                for ctx in group:
+                    stage.process(ctx)
+    for position in range(n_stages):
+        for stage, group in _group_by_stage(work, ctxs, position):
+            fn = getattr(stage, "end_frame_batch", None)
+            if fn is not None:
+                fn(group)
+            else:
+                for ctx in group:
+                    stage.end_frame(ctx)
+    return [ctx.to_frame_result() for ctx in ctxs]
+
+
+def _group_by_stage(work, ctxs, position):
+    """Contexts grouped by the identity of their stage at ``position``.
+
+    First-appearance order; shared stage instances get the whole cohort
+    in one group, per-stream instances a singleton.
+    """
+    groups: Dict[int, Tuple[Stage, List[FrameContext]]] = {}
+    for (pipeline, _, _), ctx in zip(work, ctxs):
+        stage = pipeline.stages[position]
+        entry = groups.get(id(stage))
+        if entry is None:
+            groups[id(stage)] = (stage, [ctx])
+        else:
+            entry[1].append(ctx)
+    return list(groups.values())

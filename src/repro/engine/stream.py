@@ -9,6 +9,7 @@ contract; :func:`repro.core.systems.DetectionSystem.stream` builds on it.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional, Union
 
@@ -93,3 +94,66 @@ class FrameStream:
         """Drop all cross-frame state (tracker included)."""
         self.pipeline.reset()
         self._current = None
+
+
+class StreamRouter:
+    """Multi-stream frontend: interleaved frames, isolated per-stream state.
+
+    A single :class:`FrameStream` re-initializes whenever the fed
+    sequence changes, so interleaving two live feeds through it corrupts
+    (well — constantly restarts) the tracker of both.  The router keeps
+    one :class:`FrameStream` per *sequence object*, each wrapping its own
+    pipeline from ``pipeline_factory``, so frames of several sequences
+    may arrive in any interleaving and every sequence sees exactly the
+    causal frame order it would have seen streamed alone.  Within one
+    sequence, frames must still arrive in causal order.
+
+    Pipelines created by one factory share the system's simulated
+    detectors; that is safe because detector caches are deterministic
+    per-sequence values guarded against name collisions (see
+    :meth:`repro.simdet.detector.SimulatedDetector.reset`), while the
+    stateful tracker stage is instantiated fresh per pipeline.
+
+    ``max_streams`` bounds retained state: the least-recently-fed
+    sequence beyond the cap is evicted, and feeding it again later starts
+    it fresh — exactly the semantics every sequence switch had before
+    routing existed.
+    """
+
+    def __init__(self, pipeline_factory, max_streams: int = 32):
+        if max_streams < 1:
+            raise ValueError(f"max_streams must be >= 1, got {max_streams}")
+        self._factory = pipeline_factory
+        self._max_streams = int(max_streams)
+        # id(sequence) -> (sequence, stream); the strong sequence ref both
+        # guards against id() reuse and keeps feed() O(1).
+        self._streams: "OrderedDict[int, tuple]" = OrderedDict()
+
+    @property
+    def active_streams(self) -> int:
+        """How many sequences currently hold live streaming state."""
+        return len(self._streams)
+
+    def feed(self, sequence: Sequence, frame: int) -> FrameResult:
+        """Process one frame of one (possibly interleaved) sequence."""
+        key = id(sequence)
+        entry = self._streams.get(key)
+        if entry is None:
+            while len(self._streams) >= self._max_streams:
+                self._streams.popitem(last=False)
+            entry = (sequence, FrameStream(self._factory()))
+            self._streams[key] = entry
+        else:
+            self._streams.move_to_end(key)
+        return entry[1].feed(sequence, frame)
+
+    def run(self, source: FrameSource) -> Iterator[FrameResult]:
+        """Yield one :class:`FrameResult` per frame of ``source``."""
+        for ref in iter_frame_refs(source):
+            yield self.feed(ref.sequence, ref.frame)
+
+    def reset(self) -> None:
+        """Drop every stream's state."""
+        for _, stream in self._streams.values():
+            stream.reset()
+        self._streams.clear()

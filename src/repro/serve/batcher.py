@@ -1,0 +1,94 @@
+"""Micro-batching policy: coalesce frames across streams, bounded delay.
+
+The classic serving dilemma: a bigger batch amortizes the accelerator's
+fixed per-invocation cost over more frames (throughput), but the first
+frame of a forming batch pays the wait for the last (latency).  The
+:class:`MicroBatcher` resolves it with the standard two-knob policy —
+flush when ``max_batch_size`` frames are ready **or** when the oldest
+ready frame has waited ``max_wait`` seconds, whichever comes first.
+
+Causality across a stream is preserved structurally: only the
+*head-of-line* frame of each stream is ever batchable (frame ``t+1``
+needs the tracker feedback of frame ``t``), so a batch holds at most one
+frame per stream and two frames of one stream can never ride together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.serve.loadgen import FrameRequest
+
+
+@dataclass
+class QueuedFrame:
+    """One admitted frame waiting for dispatch."""
+
+    request: FrameRequest
+    enqueued: float  # admission time on the server clock
+
+
+class MicroBatcher:
+    """Size-or-deadline batch formation over the admission queue.
+
+    Parameters
+    ----------
+    max_batch_size:
+        Flush as soon as this many streams have a ready frame.
+    max_wait:
+        Seconds the oldest ready frame may wait for co-riders before the
+        batch is flushed regardless of size.  ``0`` disables coalescing
+        delay entirely (every idle moment flushes whatever is ready).
+    """
+
+    def __init__(self, max_batch_size: int = 8, max_wait: float = 0.025):
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_wait < 0:
+            raise ValueError(f"max_wait must be >= 0, got {max_wait}")
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait = float(max_wait)
+
+    def ready(self, queue: List[QueuedFrame]) -> List[QueuedFrame]:
+        """The batchable frontier: each stream's head-of-line frame.
+
+        Queue order (FIFO by admission) is preserved, so ``ready[0]`` is
+        always the oldest batchable frame.
+        """
+        seen: Set[str] = set()
+        heads: List[QueuedFrame] = []
+        for item in queue:
+            if item.request.stream in seen:
+                continue
+            seen.add(item.request.stream)
+            heads.append(item)
+        return heads
+
+    def decide(
+        self,
+        now: float,
+        ready: List[QueuedFrame],
+        *,
+        more_arrivals: bool,
+    ) -> Tuple[Optional[List[QueuedFrame]], Optional[float]]:
+        """Flush now, or wake later?
+
+        Returns ``(batch, None)`` when a batch should dispatch at ``now``
+        (the oldest ``max_batch_size`` ready frames), or ``(None, wake)``
+        when it pays to keep coalescing until time ``wake`` (the oldest
+        frame's deadline) or the next arrival, whichever is earlier —
+        the caller owns the arrival clock, so it takes the ``min``.
+        With no future arrivals there is nothing to wait for and any
+        non-empty frontier flushes immediately.
+        """
+        if not ready:
+            return None, None
+        deadline = ready[0].enqueued + self.max_wait
+        if (
+            len(ready) >= self.max_batch_size
+            or not more_arrivals
+            or now >= deadline
+        ):
+            return ready[: self.max_batch_size], None
+        return None, deadline

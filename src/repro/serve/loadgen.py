@@ -1,0 +1,188 @@
+"""Open-loop load generation: arrival schedules over dataset sequences.
+
+An *open-loop* generator emits frames on its own clock regardless of how
+the server keeps up — the regime under which queueing delay, batching and
+shedding actually matter (a closed loop would politely wait and hide all
+three).  Arrival patterns are registered by name (the same plugin idiom
+as system kinds and dataset families), so scenarios can add their own::
+
+    from repro.serve import register_load_pattern
+
+    @register_load_pattern("bursty")
+    def _bursty(spec, stream_index, sequence, rng):
+        ...  # -> arrival time in seconds for each served frame
+
+Determinism: every stream derives its own RNG child from
+``(seed, pattern, stream index)``, so schedules are reproducible and
+adding a stream never perturbs the others' arrivals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.api.registry import Registry
+from repro.datasets.types import Dataset, Sequence
+from repro.utils.rng import RngFactory
+
+#: Arrival-pattern name → generator
+#: ``(spec, stream_index, sequence, rng) -> array of arrival seconds``
+#: (one entry per served frame, non-decreasing).
+LOAD_PATTERNS = Registry("load pattern")
+
+
+def register_load_pattern(name: str, *, override: bool = False):
+    """Decorator registering an arrival-pattern generator under ``name``."""
+
+    def _decorate(fn):
+        LOAD_PATTERNS.register(name, fn, override=override)
+        return fn
+
+    return _decorate
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """One open-loop load: how many streams, arriving how, for how long.
+
+    Parameters
+    ----------
+    pattern:
+        A registered arrival pattern (built-ins: ``"poisson"``,
+        ``"uniform"``, ``"replay"``).
+    num_streams:
+        Concurrent camera streams; stream ``i`` replays dataset sequence
+        ``i mod len(dataset)`` (so more streams than sequences is fine).
+    rate_hz:
+        Per-stream frame arrival rate (ignored by ``"replay"``, which
+        uses each sequence's native fps).
+    frames_per_stream:
+        Frames each stream offers (capped by its sequence length;
+        ``None`` = the whole sequence).
+    seed:
+        Root seed for stochastic patterns.
+    """
+
+    pattern: str = "poisson"
+    num_streams: int = 4
+    rate_hz: float = 15.0
+    frames_per_stream: Optional[int] = 60
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.pattern or not isinstance(self.pattern, str):
+            raise ValueError(f"pattern must be a non-empty string, got {self.pattern!r}")
+        if self.num_streams < 1:
+            raise ValueError(f"num_streams must be >= 1, got {self.num_streams}")
+        if self.rate_hz <= 0:
+            raise ValueError(f"rate_hz must be positive, got {self.rate_hz}")
+        if self.frames_per_stream is not None and self.frames_per_stream < 1:
+            raise ValueError(
+                f"frames_per_stream must be >= 1, got {self.frames_per_stream}"
+            )
+
+    def stream_frames(self, sequence: Sequence) -> int:
+        """How many frames one stream over ``sequence`` offers."""
+        if self.frames_per_stream is None:
+            return sequence.num_frames
+        return min(self.frames_per_stream, sequence.num_frames)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "pattern": self.pattern,
+            "num_streams": self.num_streams,
+            "rate_hz": self.rate_hz,
+            "frames_per_stream": self.frames_per_stream,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "LoadSpec":
+        from repro.api.spec import _known_fields
+
+        return cls(**_known_fields(cls, data))
+
+
+@dataclass(frozen=True)
+class FrameRequest:
+    """One frame of one stream arriving at the server."""
+
+    stream: str
+    sequence: Sequence
+    frame: int
+    arrival: float  # seconds on the load generator's clock
+
+
+def generate_load(spec: LoadSpec, dataset: Dataset) -> List[FrameRequest]:
+    """The arrival schedule ``spec`` describes over ``dataset``.
+
+    Returns requests sorted by ``(arrival, stream index, frame)`` —
+    within each stream, frames arrive in causal order by construction
+    (arrival times are non-decreasing cumulative sums).
+    """
+    if not dataset.sequences:
+        raise ValueError("the dataset has no sequences to serve")
+    pattern = LOAD_PATTERNS.get(spec.pattern)
+    factory = RngFactory(spec.seed)
+    requests: List[tuple] = []
+    for i in range(spec.num_streams):
+        sequence = dataset.sequences[i % len(dataset.sequences)]
+        frames = spec.stream_frames(sequence)
+        rng = factory.child("loadgen", spec.pattern, i)
+        arrivals = np.asarray(pattern(spec, i, sequence, rng), dtype=np.float64)
+        if arrivals.shape[0] < frames:
+            raise ValueError(
+                f"pattern {spec.pattern!r} produced {arrivals.shape[0]} arrivals "
+                f"for stream {i}, need {frames}"
+            )
+        stream_id = f"s{i}:{sequence.name}"
+        for frame in range(frames):
+            requests.append((float(arrivals[frame]), i, frame, stream_id, sequence))
+    requests.sort(key=lambda r: (r[0], r[1], r[2]))
+    return [
+        FrameRequest(stream=stream_id, sequence=sequence, frame=frame, arrival=arrival)
+        for arrival, _i, frame, stream_id, sequence in requests
+    ]
+
+
+def schedule_to_dicts(requests: List[FrameRequest]) -> List[Dict[str, Any]]:
+    """JSON-safe view of a schedule (sequence by name, no ground truth)."""
+    return [
+        {
+            "stream": r.stream,
+            "sequence": r.sequence.name,
+            "frame": r.frame,
+            "arrival": r.arrival,
+        }
+        for r in requests
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Built-in arrival patterns
+# --------------------------------------------------------------------- #
+
+
+@register_load_pattern("poisson")
+def _poisson(spec: LoadSpec, stream_index: int, sequence: Sequence, rng) -> np.ndarray:
+    """Memoryless arrivals at ``rate_hz`` (exponential inter-arrivals)."""
+    frames = spec.stream_frames(sequence)
+    return np.cumsum(rng.exponential(1.0 / spec.rate_hz, size=frames))
+
+
+@register_load_pattern("uniform")
+def _uniform(spec: LoadSpec, stream_index: int, sequence: Sequence, rng) -> np.ndarray:
+    """Metronome arrivals: exactly ``rate_hz`` frames per second."""
+    frames = spec.stream_frames(sequence)
+    return (np.arange(frames, dtype=np.float64) + 1.0) / spec.rate_hz
+
+
+@register_load_pattern("replay")
+def _replay(spec: LoadSpec, stream_index: int, sequence: Sequence, rng) -> np.ndarray:
+    """Trace replay: frames at the sequence's native capture timestamps."""
+    frames = spec.stream_frames(sequence)
+    fps = float(sequence.fps) if sequence.fps else spec.rate_hz
+    return np.arange(frames, dtype=np.float64) / fps

@@ -1,0 +1,515 @@
+"""The detection server: one shared engine, many concurrent streams.
+
+:class:`DetectionServer` owns per-stream causal pipeline state (one
+tracker per stream, detectors shared across all of them), a bounded
+admission queue with a shedding policy, and a
+:class:`~repro.serve.batcher.MicroBatcher` that coalesces the streams'
+detector calls into cross-stream batched invocations.
+
+Execution is a deterministic discrete-event simulation.  Wall time on
+the host measures *this machine's Python*, not the modeled accelerator;
+instead, every dispatched batch is charged a service time by the
+:class:`ServiceModel` from two measured quantities — how many batched
+detector invocations the batch actually made (the per-call fixed
+overhead being amortized) and how many MACs its frames cost (the ops
+accounting the pipeline already produces).  Queue waits, latencies and
+SLO statistics all live on this simulated clock, so a served
+configuration is a pure function of its spec: reports are reproducible,
+cacheable, and safe to assert on in tests.
+
+Per-frame detections are byte-identical to the offline serial path
+whatever the batch composition — the determinism contract keys every
+sample by ``(model, seed, sequence, frame)``, never by batch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.api.spec import _known_fields
+from repro.core.config import SystemConfig, build_system
+from repro.core.results import FrameResult
+from repro.core.systems import DetectionSystem
+from repro.datasets.types import Sequence
+from repro.engine.stages import StagePipeline, run_frame_batch
+from repro.serve.batcher import MicroBatcher, QueuedFrame
+from repro.serve.loadgen import FrameRequest
+from repro.serve.slo import SLOAccount
+
+REPORT_FORMAT = "repro-serve-report/1"
+
+#: Shedding policies for a full admission queue.
+SHED_OLDEST = "oldest"  #: drop the oldest queued frame, admit the new one
+SHED_NEWEST = "newest"  #: reject the arriving frame, keep the queue
+SHED_POLICIES = (SHED_OLDEST, SHED_NEWEST)
+
+
+@dataclass(frozen=True)
+class ServePolicy:
+    """Admission + batching + SLO knobs of one server deployment.
+
+    Parameters
+    ----------
+    max_batch_size / max_wait_ms:
+        Micro-batching policy (see :class:`~repro.serve.batcher.MicroBatcher`).
+    queue_capacity:
+        Bound on queued (admitted, undispatched) frames; arrivals beyond
+        it trigger the shedding policy.
+    shed_policy:
+        ``"oldest"`` sheds the longest-queued frame in favour of the
+        arrival (fresh frames are worth more than stale ones on a live
+        feed); ``"newest"`` rejects the arrival.
+    slo_ms:
+        End-to-end latency objective used for violation counting.
+    """
+
+    max_batch_size: int = 8
+    max_wait_ms: float = 25.0
+    queue_capacity: int = 64
+    shed_policy: str = SHED_OLDEST
+    slo_ms: float = 200.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
+        if self.max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
+        if self.queue_capacity < 1:
+            raise ValueError(f"queue_capacity must be >= 1, got {self.queue_capacity}")
+        if self.shed_policy not in SHED_POLICIES:
+            raise ValueError(
+                f"shed_policy must be one of {SHED_POLICIES}, got {self.shed_policy!r}"
+            )
+        if self.slo_ms <= 0:
+            raise ValueError(f"slo_ms must be positive, got {self.slo_ms}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "max_batch_size": self.max_batch_size,
+            "max_wait_ms": self.max_wait_ms,
+            "queue_capacity": self.queue_capacity,
+            "shed_policy": self.shed_policy,
+            "slo_ms": self.slo_ms,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ServePolicy":
+        return cls(**_known_fields(cls, data))
+
+
+@dataclass(frozen=True)
+class ServiceModel:
+    """Accelerator timing model: fixed per-invocation cost + MAC rate.
+
+    The paper's systems run DNNs on an accelerator whose every
+    invocation pays a fixed overhead (kernel launch, host round-trip,
+    weight residency) before the data-dependent compute.  Micro-batching
+    exists because of that first term: a batch of N frames pays it once
+    instead of N times.
+
+    Parameters
+    ----------
+    invocation_overhead_ms:
+        Fixed cost charged per batched detector invocation.
+    gops_per_second:
+        Sustained accelerator throughput the MAC volume is divided by.
+    """
+
+    invocation_overhead_ms: float = 2.0
+    gops_per_second: float = 2000.0
+
+    def __post_init__(self) -> None:
+        if self.invocation_overhead_ms < 0:
+            raise ValueError(
+                f"invocation_overhead_ms must be >= 0, got {self.invocation_overhead_ms}"
+            )
+        if self.gops_per_second <= 0:
+            raise ValueError(
+                f"gops_per_second must be positive, got {self.gops_per_second}"
+            )
+
+    def batch_seconds(self, invocations: int, macs: float) -> float:
+        """Service time of one batch from measured invocations + MACs."""
+        return (
+            invocations * self.invocation_overhead_ms / 1e3
+            + macs / (self.gops_per_second * 1e9)
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "invocation_overhead_ms": self.invocation_overhead_ms,
+            "gops_per_second": self.gops_per_second,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ServiceModel":
+        return cls(**_known_fields(cls, data))
+
+
+@dataclass
+class ServeReport:
+    """What one served load cost: throughput, latency, SLO accounting.
+
+    ``frame_results`` (per-stream :class:`FrameResult` lists, dispatch
+    order) is populated only by a live :meth:`DetectionServer.run` — it
+    is the byte-identity evidence and is deliberately excluded from
+    :meth:`to_dict`, so cached reports carry statistics only.
+    ``wall_seconds`` measures this host's Python and is likewise
+    excluded (it is not part of the deterministic result).
+    """
+
+    policy: ServePolicy
+    service: ServiceModel
+    frames_offered: int
+    frames_served: int
+    frames_shed: int
+    batches: int
+    invocations: int
+    makespan_seconds: float
+    compute_seconds: float
+    slo: Dict[str, Any]
+    frame_results: Optional[Dict[str, List[FrameResult]]] = None
+    wall_seconds: float = 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.frames_served / self.batches if self.batches else 0.0
+
+    @property
+    def throughput_fps(self) -> float:
+        """Aggregate served frames per second of simulated time."""
+        return (
+            self.frames_served / self.makespan_seconds
+            if self.makespan_seconds > 0
+            else 0.0
+        )
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the makespan the modeled engine spent computing."""
+        return (
+            self.compute_seconds / self.makespan_seconds
+            if self.makespan_seconds > 0
+            else 0.0
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": REPORT_FORMAT,
+            "policy": self.policy.to_dict(),
+            "service": self.service.to_dict(),
+            "frames_offered": self.frames_offered,
+            "frames_served": self.frames_served,
+            "frames_shed": self.frames_shed,
+            "batches": self.batches,
+            "invocations": self.invocations,
+            "mean_batch_size": self.mean_batch_size,
+            "makespan_seconds": self.makespan_seconds,
+            "compute_seconds": self.compute_seconds,
+            "throughput_fps": self.throughput_fps,
+            "utilization": self.utilization,
+            "slo": self.slo,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ServeReport":
+        if data.get("format") != REPORT_FORMAT:
+            raise ValueError(
+                f"unsupported report format {data.get('format')!r}, "
+                f"expected {REPORT_FORMAT!r}"
+            )
+        return cls(
+            policy=ServePolicy.from_dict(data["policy"]),
+            service=ServiceModel.from_dict(data["service"]),
+            frames_offered=data["frames_offered"],
+            frames_served=data["frames_served"],
+            frames_shed=data["frames_shed"],
+            batches=data["batches"],
+            invocations=data["invocations"],
+            makespan_seconds=data["makespan_seconds"],
+            compute_seconds=data["compute_seconds"],
+            slo=data["slo"],
+        )
+
+    def format(self) -> str:
+        """Human-readable throughput/latency report."""
+        from repro.harness.tables import format_table
+
+        rows = []
+        slo_streams = self.slo.get("streams", {})
+        for name, s in slo_streams.items():
+            rows.append(
+                [name, s["served"], s["shed"], s["violations"],
+                 s["p50_ms"], s["p95_ms"], s["p99_ms"],
+                 s["mean_wait_ms"], s["mean_compute_ms"]]
+            )
+        fleet = self.slo.get("fleet", {})
+        if fleet:
+            rows.append(
+                ["(fleet)", fleet["served"], fleet["shed"], fleet["violations"],
+                 fleet["p50_ms"], fleet["p95_ms"], fleet["p99_ms"],
+                 fleet["mean_wait_ms"], fleet["mean_compute_ms"]]
+            )
+        table = format_table(
+            ["stream", "served", "shed", "viol",
+             "p50(ms)", "p95(ms)", "p99(ms)", "wait(ms)", "compute(ms)"],
+            rows,
+            precision=1,
+            title="Serving report",
+        )
+        slo_ms = self.slo.get("slo_ms")
+        summary = (
+            f"offered {self.frames_offered} frames, served {self.frames_served}, "
+            f"shed {self.frames_shed}\n"
+            f"batches: {self.batches} (mean size {self.mean_batch_size:.2f}), "
+            f"detector invocations: {self.invocations}\n"
+            f"throughput: {self.throughput_fps:.1f} frames/s over "
+            f"{self.makespan_seconds:.3f}s simulated "
+            f"(engine utilization {self.utilization:.0%})"
+        )
+        if slo_ms is not None:
+            summary += f"\nSLO: {slo_ms:.0f} ms end-to-end"
+        return f"{table}\n{summary}"
+
+
+class _StreamState:
+    """One stream's causal serving state."""
+
+    __slots__ = ("pipeline", "sequence", "results")
+
+    def __init__(self, pipeline: StagePipeline):
+        self.pipeline = pipeline
+        self.sequence: Optional[Sequence] = None
+        self.results: List[FrameResult] = []
+
+
+class DetectionServer:
+    """Micro-batched multi-stream serving over one shared engine.
+
+    Parameters
+    ----------
+    system:
+        A :class:`~repro.core.config.SystemConfig` (built internally) or
+        a live :class:`~repro.core.systems.DetectionSystem`.  All streams
+        share its detectors (and their deterministic caches); each stream
+        gets its own tracker state.
+    policy / service:
+        Admission/batching knobs and the accelerator timing model.
+    """
+
+    def __init__(
+        self,
+        system: Union[SystemConfig, DetectionSystem],
+        *,
+        policy: ServePolicy = ServePolicy(),
+        service: ServiceModel = ServiceModel(),
+    ):
+        self.system = build_system(system) if isinstance(system, SystemConfig) else system
+        self.policy = policy
+        self.service = service
+        self.batcher = MicroBatcher(
+            max_batch_size=policy.max_batch_size,
+            max_wait=policy.max_wait_ms / 1e3,
+        )
+        self._template = self.system.build_pipeline()
+        try:
+            self._template.per_stream()
+            self._shareable = True
+        except TypeError:
+            # Duck-typed stages predating the per_stream protocol: build
+            # fully independent pipelines per stream (no cross-stream
+            # stage sharing, hence no coalescing for this system kind).
+            self._shareable = False
+        self._streams: Dict[str, _StreamState] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def _stream_state(self, request: FrameRequest) -> _StreamState:
+        state = self._streams.get(request.stream)
+        if state is None:
+            pipeline = (
+                self._template.per_stream()
+                if self._shareable
+                else self.system.build_pipeline()
+            )
+            state = self._streams[request.stream] = _StreamState(pipeline)
+        if state.sequence is not request.sequence:
+            state.pipeline.begin_sequence(request.sequence)
+            state.sequence = request.sequence
+        return state
+
+    def _measured_invocations(self) -> int:
+        return sum(
+            getattr(d, "invocations", 0) for d in self.system._detectors()
+        )
+
+    def _execute(self, batch: List[QueuedFrame]) -> tuple:
+        """Run one batch through the engine; returns (results, inv, macs)."""
+        work = []
+        states = []
+        for item in batch:
+            state = self._stream_state(item.request)
+            states.append(state)
+            work.append((state.pipeline, item.request.sequence, item.request.frame))
+        before = self._measured_invocations()
+        frame_results = run_frame_batch(work)
+        invocations = self._measured_invocations() - before
+        macs = sum(fr.ops.total for fr in frame_results)
+        for state, fr in zip(states, frame_results):
+            state.results.append(fr)
+        return frame_results, invocations, macs
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, requests: List[FrameRequest]) -> ServeReport:
+        """Serve an arrival schedule to completion; returns the report.
+
+        ``requests`` must be sorted by arrival time (the load generator's
+        contract) with frames of each stream in causal order.  Each call
+        is independent: per-stream state (trackers, result lists) is
+        rebuilt, so back-to-back runs of one schedule produce identical
+        reports and never mutate previously returned ones.  (Detector
+        caches persist across runs — they are deterministic pure values.)
+        """
+        # Fresh per-stream pipelines and result lists per run: stale
+        # tracker state would make a repeat run diverge, and the report
+        # returned below aliases the per-stream result lists.
+        self._streams = {}
+        wall_start = time.perf_counter()
+        account = SLOAccount(self.policy.slo_ms / 1e3)
+        arrivals = deque(requests)
+        queue: List[QueuedFrame] = []
+        now = 0.0
+        batches = 0
+        invocations = 0
+        compute_seconds = 0.0
+        last_completion = 0.0
+
+        def admit(request: FrameRequest) -> None:
+            # A frame is batchable from the moment it arrives, so its
+            # coalescing deadline counts from the arrival timestamp.
+            if len(queue) >= self.policy.queue_capacity:
+                if self.policy.shed_policy == SHED_OLDEST:
+                    victim = queue.pop(0)
+                    account.record_shed(victim.request.stream)
+                else:
+                    account.record_shed(request.stream)
+                    return
+            queue.append(QueuedFrame(request=request, enqueued=request.arrival))
+
+        while arrivals or queue:
+            # Fold in everything that has arrived by the current time.
+            while arrivals and arrivals[0].arrival <= now:
+                admit(arrivals.popleft())
+            if not queue:
+                # Idle: jump to the next arrival.
+                now = max(now, arrivals[0].arrival)
+                admit(arrivals.popleft())
+                continue
+            ready = self.batcher.ready(queue)
+            batch, wake = self.batcher.decide(
+                now, ready, more_arrivals=bool(arrivals)
+            )
+            if batch is None:
+                # Keep coalescing until the deadline or the next arrival.
+                now = min(wake, arrivals[0].arrival) if arrivals else wake
+                continue
+            for item in batch:
+                queue.remove(item)
+            _, batch_inv, macs = self._execute(batch)
+            service = self.service.batch_seconds(batch_inv, macs)
+            completion = now + service
+            batches += 1
+            invocations += batch_inv
+            compute_seconds += service
+            last_completion = completion
+            for item in batch:
+                account.record(
+                    item.request.stream,
+                    wait=now - item.request.arrival,
+                    compute=service,
+                    latency=completion - item.request.arrival,
+                )
+            # The engine is busy until `completion`: arrivals during the
+            # batch just queue up (and may be shed) before the next
+            # dispatch decision at `completion`.
+            while arrivals and arrivals[0].arrival <= completion:
+                admit(arrivals.popleft())
+            now = completion
+
+        fleet = account.fleet()
+        return ServeReport(
+            policy=self.policy,
+            service=self.service,
+            frames_offered=len(requests),
+            frames_served=fleet.served,
+            frames_shed=fleet.shed,
+            batches=batches,
+            invocations=invocations,
+            makespan_seconds=last_completion,
+            compute_seconds=compute_seconds,
+            slo=account.to_dict(),
+            frame_results={
+                stream: state.results for stream, state in sorted(self._streams.items())
+            },
+            wall_seconds=time.perf_counter() - wall_start,
+        )
+
+
+class ServeReportStore:
+    """Content-addressed store of serialized :class:`ServeReport`\\ s.
+
+    The serving sibling of :class:`~repro.api.cache.ResultCache`, sharing
+    its two-level ``<root>/<fp[:2]>/<fp>.json`` layout and atomic-write /
+    corrupt-entry-is-a-miss semantics — in the *same* root, so ``repro
+    cache stats/ls/prune`` manage serving reports alongside experiment
+    results (fingerprints are sha256 content addresses; the two entry
+    kinds cannot collide).
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+
+    def path_for(self, fingerprint: str) -> Path:
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    def load(self, fingerprint: str) -> Optional[ServeReport]:
+        try:
+            with open(self.path_for(fingerprint), "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+            return ServeReport.from_dict(payload["report"])
+        except (OSError, json.JSONDecodeError, KeyError, ValueError, TypeError):
+            return None
+
+    def store(
+        self,
+        fingerprint: str,
+        report: ServeReport,
+        *,
+        spec: Optional[Dict[str, Any]] = None,
+    ) -> Path:
+        path = self.path_for(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(
+                {
+                    "format": "repro-serve-cache/1",
+                    "fingerprint": fingerprint,
+                    "spec": spec,
+                    "report": report.to_dict(),
+                },
+                fh,
+                allow_nan=True,
+            )
+        os.replace(tmp, path)
+        return path
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self.path_for(fingerprint).exists()

@@ -1,0 +1,128 @@
+"""Latency accounting: per-stream and fleet SLO statistics.
+
+Every served frame contributes three durations:
+
+* **queue wait** — arrival to batch dispatch (admission + batching delay);
+* **compute** — its batch's service time on the engine;
+* **latency** — arrival to completion (wait + compute, end to end).
+
+Frames the admission queue sheds never reach the engine; they are
+counted separately (a shed frame is an SLO *loss*, not a latency
+sample).  All durations are seconds on the server's simulated clock, so
+the statistics are exact and deterministic; the reporting layer converts
+to milliseconds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+#: The percentiles every latency report carries.
+REPORT_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+class LatencyStats:
+    """Streaming accumulator of one stream's (or the fleet's) samples."""
+
+    def __init__(self) -> None:
+        self.latencies: List[float] = []
+        self.waits: List[float] = []
+        self.computes: List[float] = []
+        self.shed = 0
+        self.violations = 0
+
+    @property
+    def served(self) -> int:
+        return len(self.latencies)
+
+    def add(self, wait: float, compute: float, latency: float, *, violated: bool) -> None:
+        self.waits.append(float(wait))
+        self.computes.append(float(compute))
+        self.latencies.append(float(latency))
+        if violated:
+            self.violations += 1
+
+    def add_shed(self) -> None:
+        self.shed += 1
+
+    def merge(self, other: "LatencyStats") -> None:
+        self.latencies.extend(other.latencies)
+        self.waits.extend(other.waits)
+        self.computes.extend(other.computes)
+        self.shed += other.shed
+        self.violations += other.violations
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th latency percentile in seconds (0 when empty)."""
+        if not self.latencies:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies), q))
+
+    def mean_wait(self) -> float:
+        return float(np.mean(self.waits)) if self.waits else 0.0
+
+    def mean_compute(self) -> float:
+        return float(np.mean(self.computes)) if self.computes else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Summary in milliseconds (JSON-safe; samples are not included)."""
+        out: Dict[str, Any] = {
+            "served": self.served,
+            "shed": self.shed,
+            "violations": self.violations,
+            "mean_wait_ms": self.mean_wait() * 1e3,
+            "mean_compute_ms": self.mean_compute() * 1e3,
+            "max_ms": (max(self.latencies) * 1e3) if self.latencies else 0.0,
+        }
+        for q in REPORT_PERCENTILES:
+            out[f"p{q:g}_ms"] = self.percentile(q) * 1e3
+        return out
+
+
+class SLOAccount:
+    """Per-stream + fleet accounting against one latency objective.
+
+    Parameters
+    ----------
+    slo_seconds:
+        The end-to-end latency objective; a served frame whose latency
+        exceeds it counts as a violation.  ``None`` disables violation
+        counting (latency distributions are still tracked).
+    """
+
+    def __init__(self, slo_seconds: Optional[float] = None):
+        if slo_seconds is not None and slo_seconds <= 0:
+            raise ValueError(f"slo_seconds must be positive, got {slo_seconds}")
+        self.slo_seconds = slo_seconds
+        self.streams: Dict[str, LatencyStats] = {}
+
+    def _stream(self, stream: str) -> LatencyStats:
+        stats = self.streams.get(stream)
+        if stats is None:
+            stats = self.streams[stream] = LatencyStats()
+        return stats
+
+    def record(self, stream: str, wait: float, compute: float, latency: float) -> None:
+        violated = self.slo_seconds is not None and latency > self.slo_seconds
+        self._stream(stream).add(wait, compute, latency, violated=violated)
+
+    def record_shed(self, stream: str) -> None:
+        self._stream(stream).add_shed()
+
+    def fleet(self) -> LatencyStats:
+        """All streams' samples merged into one distribution."""
+        merged = LatencyStats()
+        for stats in self.streams.values():
+            merged.merge(stats)
+        return merged
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "slo_ms": None if self.slo_seconds is None else self.slo_seconds * 1e3,
+            "fleet": self.fleet().to_dict(),
+            "streams": {
+                name: stats.to_dict() for name, stats in sorted(self.streams.items())
+            },
+        }

@@ -8,8 +8,10 @@ RNG streams (see :class:`repro.utils.rng.RngFactory`) and cached.
 
 from __future__ import annotations
 
+import weakref
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -63,19 +65,73 @@ class SimulatedDetector:
         self._temporal: Dict[Tuple[str, int], np.ndarray] = {}
         self._clutter: Dict[str, List[_ClutterSource]] = {}
         self._track_index: Dict[str, Dict[int, object]] = {}
+        # name -> weakref of the sequence object currently owning that
+        # name's cache entries, in least-recently-claimed order (see
+        # _claim).
+        self._owners: "OrderedDict[str, weakref.ref]" = OrderedDict()
+        #: Sequences whose latents stay cached at once.  Caches are pure
+        #: deterministic values, so eviction never changes results — it
+        #: only bounds memory for long-lived detectors serving stream
+        #: churn (new sequence names arriving over days).
+        self.max_cached_sequences = 64
+        #: Detector invocations so far; a batched call counts as **one**
+        #: (the quantity serving layers amortize fixed per-call overhead
+        #: over — see :mod:`repro.serve`).
+        self.invocations = 0
 
-    def reset(self) -> None:
-        """Drop every cached RNG-derived latent.
+    def reset(self, sequence_name: Optional[str] = None) -> None:
+        """Drop cached RNG-derived latents (all, or one sequence's).
 
         The caches are themselves deterministic functions of
         ``(model, seed, sequence)``, so this restores the detector to the
         exact state of a freshly-constructed instance — back-to-back runs
         on one detector are bit-identical to runs on separate ones.
+        ``sequence_name`` restricts the purge to that sequence's entries,
+        leaving other concurrently-streamed sequences' caches warm.
+        The invocation counter is *not* cleared: it is execution
+        accounting, not sampled state, and never affects results.
         """
-        self._persistent.clear()
-        self._temporal.clear()
-        self._clutter.clear()
-        self._track_index.clear()
+        if sequence_name is None:
+            self._persistent.clear()
+            self._temporal.clear()
+            self._clutter.clear()
+            self._track_index.clear()
+            self._owners.clear()
+            return
+        for cache in (self._persistent, self._temporal):
+            for key in [k for k in cache if k[0] == sequence_name]:
+                del cache[key]
+        self._clutter.pop(sequence_name, None)
+        self._track_index.pop(sequence_name, None)
+        self._owners.pop(sequence_name, None)
+
+    def _claim(self, sequence: Sequence) -> None:
+        """Guard the name-keyed caches against sequence-name collisions.
+
+        Caches are keyed by ``sequence.name``, but their contents depend
+        on the sequence's ground truth.  When a *different* sequence
+        object shows up under a name whose caches another object
+        populated (live feeds reusing camera ids, ad-hoc test data), the
+        stale entries are purged so every sample is derived from the
+        claiming sequence.  Interleaved multi-stream use with distinct
+        names never triggers a purge, so concurrent streams sharing one
+        detector keep their caches warm.
+
+        Also bounds total cache footprint: beyond
+        :attr:`max_cached_sequences` distinct names, the
+        least-recently-claimed sequence's latents are evicted (a pure
+        recompute cost — never a result change).
+        """
+        owner = self._owners.get(sequence.name)
+        if owner is not None:
+            if owner() is sequence:
+                self._owners.move_to_end(sequence.name)
+                return
+            self.reset(sequence.name)
+        while len(self._owners) >= self.max_cached_sequences:
+            stale, _ = self._owners.popitem(last=False)
+            self.reset(stale)
+        self._owners[sequence.name] = weakref.ref(sequence)
 
     def _track_of(self, sequence: Sequence, track_id: int):
         index = self._track_index.get(sequence.name)
@@ -263,6 +319,29 @@ class SimulatedDetector:
 
         Returns NMS-filtered detections with confidence scores in [0, 1].
         """
+        self.invocations += 1
+        return self._full_frame_impl(sequence, frame)
+
+    def detect_full_frame_batch(
+        self, items: Iterable[Tuple[Sequence, int]]
+    ) -> List[Detections]:
+        """One *batched* full-frame invocation over several frames.
+
+        The per-frame samples are bit-identical to per-frame
+        :meth:`detect_full_frame` calls — the determinism contract keys
+        every draw by ``(model, seed, sequence, frame)``, never by batch
+        composition — but the whole batch counts as a single detector
+        invocation, which is what serving layers amortize fixed per-call
+        overhead (kernel launch, weight residency, host round-trip) over.
+        """
+        items = list(items)
+        if not items:
+            return []
+        self.invocations += 1
+        return [self._full_frame_impl(seq, frame) for seq, frame in items]
+
+    def _full_frame_impl(self, sequence: Sequence, frame: int) -> Detections:
+        self._claim(sequence)
         annotations = sequence.annotations(frame)
         logits = self._object_logits(sequence, annotations)
         rng = self._factory.child("frame", self._model_key, sequence.name, frame)
@@ -300,6 +379,30 @@ class SimulatedDetector:
         from background-region confirmations plus a coverage-scaled
         transient rate.
         """
+        self.invocations += 1
+        return self._regions_impl(sequence, frame, region)
+
+    def detect_regions_batch(
+        self, items: Iterable[Tuple[Sequence, int, RegionMask]]
+    ) -> List[Detections]:
+        """One batched region-restricted invocation over several frames.
+
+        Same contract as :meth:`detect_full_frame_batch`: per-frame
+        results are bit-identical to serial :meth:`detect_regions` calls,
+        and the batch costs one detector invocation.
+        """
+        items = list(items)
+        if not items:
+            return []
+        self.invocations += 1
+        return [
+            self._regions_impl(seq, frame, region) for seq, frame, region in items
+        ]
+
+    def _regions_impl(
+        self, sequence: Sequence, frame: int, region: RegionMask
+    ) -> Detections:
+        self._claim(sequence)
         annotations = sequence.annotations(frame)
         logits = self._object_logits(sequence, annotations)
         rng = self._factory.child("refine", self._model_key, sequence.name, frame)

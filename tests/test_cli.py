@@ -119,6 +119,45 @@ class TestSpecCommand:
         assert int(fingerprint, 16) >= 0
 
 
+SERVE_TINY = ["--streams", "2", "--frames", "8", "--sequences", "2",
+              "--seq-frames", "15", "--rate", "10"]
+
+
+class TestServeCommands:
+    def test_serve_reports_throughput_and_slo(self, capsys):
+        assert main(["serve", "catdet", "resnet50", "resnet10a",
+                     *SERVE_TINY, "--batch-size", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Serving report" in out
+        assert "(fleet)" in out and "p99(ms)" in out
+        assert "throughput:" in out and "detector invocations" in out
+
+    def test_serve_uses_cache(self, tmp_path, capsys):
+        argv = ["serve", "single", "resnet10a", *SERVE_TINY,
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "1 hit(s)" in second
+        # The cached report reproduces the fresh run's numbers exactly.
+        assert first.splitlines()[2:-1] == second.splitlines()[2:-1]
+
+    def test_loadgen_summary_and_out_file(self, tmp_path, capsys):
+        out_file = tmp_path / "schedule.json"
+        assert main(["loadgen", *SERVE_TINY, "--pattern", "uniform",
+                     "--out", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "uniform load" in out and "aggregate offered rate" in out
+        payload = json.loads(out_file.read_text())
+        assert payload["load"]["pattern"] == "uniform"
+        assert len(payload["schedule"]) == 16
+
+    def test_serve_rejects_bad_shed_policy(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "single", "resnet10a", "--shed", "coinflip"])
+
+
 class TestParser:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):

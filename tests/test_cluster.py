@@ -225,6 +225,48 @@ class TestWorkerExecution:
         b = execute_task(ref, cache_dir=None)
         assert a["payload"] == b["payload"]
 
+    def test_frame_range_task_matches_serial_slice(self, kitti_small):
+        """A frame-range shard equals the same frames of a serial run."""
+        from repro.harness.io import sequence_result_from_dict
+
+        sequence = kitti_small.sequences[0]
+        config = SystemConfig("cascade", "resnet50", "resnet10a")
+        task = sequence_task(config, sequence, frame_range=(10, 20))
+        envelope = execute_task(task, cache_dir=None)
+        chunk = sequence_result_from_dict(envelope["payload"]["sequence"])
+        serial = run_on_dataset(config, kitti_small, workers=1)
+        reference = serial.sequences[sequence.name].frames[10:20]
+        assert [fr.frame for fr in chunk.frames] == list(range(10, 20))
+        for fa, fb in zip(chunk.frames, reference):
+            assert fa.frame == fb.frame
+            assert fa.ops.total == fb.ops.total
+            assert (fa.detections.boxes == fb.detections.boxes).all()
+            assert (fa.detections.scores == fb.detections.scores).all()
+
+    def test_frame_range_changes_fingerprint(self, kitti_small):
+        """Partial and full shards must never alias in the shared store."""
+        sequence = kitti_small.sequences[0]
+        config = SystemConfig("cascade", "resnet50", "resnet10a")
+        full = sequence_task(config, sequence)
+        first_half = sequence_task(config, sequence, frame_range=(0, 30))
+        second_half = sequence_task(config, sequence, frame_range=(30, 60))
+        fingerprints = {
+            full["fingerprint"],
+            first_half["fingerprint"],
+            second_half["fingerprint"],
+        }
+        assert len(fingerprints) == 3
+        with pytest.raises(ValueError, match="frame_range"):
+            sequence_task(config, sequence, frame_range=(5, 5))
+
+    def test_frame_range_causal_guard_on_worker(self, kitti_small):
+        """A mid-sequence range for a tracker system fails execution
+        (recorded as a task failure, never a silently-wrong result)."""
+        sequence = kitti_small.sequences[0]
+        task = sequence_task(CONFIG, sequence, frame_range=(5, 10))
+        with pytest.raises(ValueError, match="cross-frame feedback"):
+            execute_task(task, cache_dir=None)
+
 
 def stuck_worker_script(queue_dir):
     """A worker that claims a shard, heartbeats, and never finishes."""

@@ -16,9 +16,12 @@ from repro.core.keyframe import KeyFrameSystem
 from repro.core.pipeline import run_on_dataset
 from repro.core.systems import CaTDetSystem
 from repro.engine.scheduler import (
+    FrameParallelExecutor,
     ParallelExecutor,
     SerialExecutor,
     make_executor,
+    run_frame_range,
+    split_frame_ranges,
 )
 from repro.engine.stream import FrameRef, sequence_frames
 
@@ -88,6 +91,80 @@ class TestParallelExecutor:
         assert len(run.sequences) == 1
 
 
+class TestFrameParallelExecutor:
+    @pytest.mark.parametrize(
+        "config",
+        [SystemConfig("single", "resnet10b"),
+         SystemConfig("cascade", "resnet50", "resnet10a")],
+        ids=lambda c: c.kind,
+    )
+    def test_frame_chunks_match_serial(self, config, kitti_small):
+        """Frame-range sharding is byte-identical for independent-frame kinds."""
+        serial = run_on_dataset(config, kitti_small, workers=1)
+        chunked = run_on_dataset(
+            config, kitti_small, executor=FrameParallelExecutor(3)
+        )
+        assert_runs_identical(serial, chunked)
+
+    def test_tracker_kinds_stay_sequence_serial(self, kitti_small):
+        """catdet degrades to whole-sequence shards — still identical."""
+        config = SystemConfig("catdet", "resnet50", "resnet10a")
+        serial = run_on_dataset(config, kitti_small, workers=1)
+        fallback = run_on_dataset(
+            config, kitti_small, executor=FrameParallelExecutor(2)
+        )
+        assert_runs_identical(serial, fallback)
+
+    def test_requires_declarative_config(self, kitti_small):
+        system = build_system(SystemConfig("single", "resnet10b"))
+        with pytest.raises(TypeError, match="SystemConfig"):
+            FrameParallelExecutor(2).map_sequences(
+                system, kitti_small.sequences[:1]
+            )
+
+    def test_run_frame_range_prefix_only_for_causal_kinds(self, kitti_small):
+        sequence = kitti_small.sequences[0]
+        catdet = SystemConfig("catdet", "resnet50", "resnet10a")
+        with pytest.raises(ValueError, match="cross-frame feedback"):
+            run_frame_range(catdet, sequence, 5, 10)
+        # The guard must hold for live instances too, not just configs.
+        with pytest.raises(ValueError, match="cross-frame feedback"):
+            run_frame_range(build_system(catdet), sequence, 5, 10)
+        prefix = run_frame_range(catdet, sequence, 0, 10)
+        serial = build_system(catdet).process_sequence(sequence)
+        for fa, fb in zip(prefix.frames, serial.frames[:10]):
+            assert_frames_identical(fa, fb)
+
+    def test_run_frame_range_accepts_live_independent_system(self, kitti_small):
+        sequence = kitti_small.sequences[0]
+        config = SystemConfig("cascade", "resnet50", "resnet10a")
+        chunk = run_frame_range(build_system(config), sequence, 10, 15)
+        serial = build_system(config).process_sequence(sequence)
+        for fa, fb in zip(chunk.frames, serial.frames[10:15]):
+            assert_frames_identical(fa, fb)
+
+    def test_run_frame_range_mid_sequence_for_independent_kinds(self, kitti_small):
+        sequence = kitti_small.sequences[0]
+        config = SystemConfig("cascade", "resnet50", "resnet10a")
+        chunk = run_frame_range(config, sequence, 20, 30)
+        serial = build_system(config).process_sequence(sequence)
+        assert [fr.frame for fr in chunk.frames] == list(range(20, 30))
+        for fa, fb in zip(chunk.frames, serial.frames[20:30]):
+            assert_frames_identical(fa, fb)
+
+    def test_split_frame_ranges_covers_exactly(self):
+        assert split_frame_ranges(10, 3) == [(0, 4), (4, 7), (7, 10)]
+        assert split_frame_ranges(2, 5) == [(0, 1), (1, 2)]
+        assert split_frame_ranges(0, 3) == []
+
+    def test_frames_executor_registered(self):
+        from repro.api.registry import EXECUTORS
+
+        executor = EXECUTORS.get("frames")(2)
+        assert isinstance(executor, FrameParallelExecutor)
+        assert executor.workers == 2
+
+
 class TestStream:
     @pytest.mark.parametrize("config", ALL_KINDS, ids=lambda c: c.kind)
     def test_stream_matches_process_sequence(self, config, kitti_small):
@@ -155,6 +232,66 @@ class TestStream:
         assert interleaved[10].ops.refinement_from_tracker == pytest.approx(0.0)
         for fa, fb in zip(interleaved[10:], fresh):
             assert_frames_identical(fa, fb)
+
+    @pytest.mark.parametrize("config", ALL_KINDS, ids=lambda c: c.kind)
+    def test_interleaved_streams_match_back_to_back(self, config, kitti_small):
+        """Multi-stream regression: two live feeds interleaved frame by
+        frame through *one* system must equal running each back-to-back.
+
+        Before stream routing, every sequence switch re-initialized the
+        single pipeline, so interleaving corrupted (restarted) the
+        tracker on each alternation.
+        """
+        seq_a, seq_b = kitti_small.sequences[:2]
+        system = build_system(config)
+        interleaved = list(
+            system.stream(
+                ref
+                for frame in range(20)
+                for ref in ((seq_a, frame), (seq_b, frame))
+            )
+        )
+        solo_a = list(build_system(config).stream(sequence_frames(seq_a, 0, 20)))
+        solo_b = list(build_system(config).stream(sequence_frames(seq_b, 0, 20)))
+        for i in range(20):
+            assert_frames_identical(interleaved[2 * i], solo_a[i])
+            assert_frames_identical(interleaved[2 * i + 1], solo_b[i])
+
+    def test_interleaved_keyframe_streams_match_solo(self, kitti_small):
+        """The duck-typed keyframe stage is stateful too — interleaving
+        must not share its tracker across streams."""
+        seq_a, seq_b = kitti_small.sequences[:2]
+        system = KeyFrameSystem("resnet50", stride=4, seed=0)
+        interleaved = list(
+            system.stream(
+                ref
+                for frame in range(16)
+                for ref in ((seq_a, frame), (seq_b, frame))
+            )
+        )
+        solo_b = list(
+            KeyFrameSystem("resnet50", stride=4, seed=0).stream(
+                sequence_frames(seq_b, 0, 16)
+            )
+        )
+        for i in range(16):
+            assert_frames_identical(interleaved[2 * i + 1], solo_b[i])
+
+    def test_stream_router_evicts_least_recently_fed(self, kitti_small):
+        """Beyond max_streams the stalest stream restarts when it returns."""
+        from repro.engine.stream import StreamRouter
+
+        seq_a, seq_b = kitti_small.sequences[:2]
+        system = build_system(SystemConfig("catdet", "resnet50", "resnet10a"))
+        router = StreamRouter(system.build_pipeline, max_streams=1)
+        router.feed(seq_a, 0)
+        router.feed(seq_b, 0)  # evicts seq_a's state
+        assert router.active_streams == 1
+        restarted = router.feed(seq_a, 0)
+        fresh = next(iter(build_system(
+            SystemConfig("catdet", "resnet50", "resnet10a")
+        ).stream(sequence_frames(seq_a, 0, 1))))
+        assert_frames_identical(restarted, fresh)
 
 
 class TestReset:

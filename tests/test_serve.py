@@ -1,0 +1,394 @@
+"""Serving subsystem tests.
+
+The load-bearing guarantees:
+
+* a frame served through the batched path carries detections
+  byte-identical to the offline :class:`SerialExecutor` run, for single
+  streams and for every stream of a coalesced multi-stream cohort;
+* the micro-batcher flushes on both of its triggers (size, deadline);
+* the shedding policy drops the oldest queued frame and counts it in
+  the SLO statistics;
+* the load generator is deterministic under a fixed seed;
+* serve specs round-trip through JSON and their reports are served
+  bit-identically from the session cache.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api.spec import DatasetSpec, ServeSpec
+from repro.core.config import SystemConfig
+from repro.core.pipeline import run_on_dataset
+from repro.serve import (
+    DetectionServer,
+    FrameRequest,
+    LoadSpec,
+    MicroBatcher,
+    QueuedFrame,
+    ServePolicy,
+    ServeReport,
+    ServiceModel,
+    generate_load,
+)
+
+CATDET = SystemConfig("catdet", "resnet50", "resnet10a", detailed_ops=False)
+#: Modeled accelerator where per-invocation overhead matters: the regime
+#: micro-batching exists for.
+FAST_ACCEL = ServiceModel(invocation_overhead_ms=4.0, gops_per_second=8000.0)
+
+
+def assert_frames_identical(fa, fb):
+    assert fa.frame == fb.frame
+    np.testing.assert_array_equal(fa.detections.boxes, fb.detections.boxes)
+    np.testing.assert_array_equal(fa.detections.scores, fb.detections.scores)
+    np.testing.assert_array_equal(fa.detections.labels, fb.detections.labels)
+    assert fa.ops.proposal == fb.ops.proposal
+    assert fa.ops.refinement == fb.ops.refinement
+    assert fa.num_regions == fb.num_regions
+    assert fa.coverage_fraction == fb.coverage_fraction
+
+
+class TestByteIdentity:
+    def test_single_stream_matches_serial_executor(self, kitti_small):
+        """Acceptance gate: batched-path serving == SerialExecutor output."""
+        serial = run_on_dataset(CATDET, kitti_small, workers=1)
+        load = LoadSpec(pattern="replay", num_streams=1, frames_per_stream=60)
+        requests = generate_load(load, kitti_small)
+        report = DetectionServer(CATDET, policy=ServePolicy(max_batch_size=8)).run(
+            requests
+        )
+        (stream_id,) = report.frame_results
+        served = report.frame_results[stream_id]
+        reference = serial.sequences[kitti_small.sequences[0].name].frames
+        assert len(served) == len(reference) == 60
+        for fa, fb in zip(served, reference):
+            assert_frames_identical(fa, fb)
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            SystemConfig("single", "resnet10b"),
+            SystemConfig("cascade", "resnet50", "resnet10a"),
+            CATDET,
+            SystemConfig("keyframe", "resnet50", stride=4),
+        ],
+        ids=lambda c: c.kind,
+    )
+    def test_interleaved_streams_each_match_solo_runs(self, config, kitti_small):
+        """Every stream of a coalesced cohort is byte-identical to running
+        its sequence alone — whatever frames it shared batches with."""
+        serial = run_on_dataset(config, kitti_small, workers=1)
+        load = LoadSpec(
+            pattern="poisson", num_streams=2, rate_hz=8.0,
+            frames_per_stream=40, seed=5,
+        )
+        requests = generate_load(load, kitti_small)
+        report = DetectionServer(
+            config, policy=ServePolicy(max_batch_size=4, max_wait_ms=50.0)
+        ).run(requests)
+        assert report.frames_shed == 0
+        for i, sequence in enumerate(kitti_small.sequences):
+            served = report.frame_results[f"s{i}:{sequence.name}"]
+            reference = serial.sequences[sequence.name].frames
+            assert len(served) == 40
+            for fa, fb in zip(served, reference):
+                assert_frames_identical(fa, fb)
+
+    def test_rerun_on_one_server_is_identical_and_isolated(self, kitti_small):
+        """run() is reentrant: a repeat of the same schedule reproduces
+        the report exactly and never mutates the earlier report."""
+        load = LoadSpec(pattern="uniform", num_streams=2, rate_hz=10.0,
+                        frames_per_stream=12)
+        server = DetectionServer(CATDET, policy=ServePolicy(max_batch_size=4))
+        first = server.run(generate_load(load, kitti_small))
+        first_lengths = {s: len(r) for s, r in first.frame_results.items()}
+        second = server.run(generate_load(load, kitti_small))
+        assert first.to_dict() == second.to_dict()
+        # The earlier report's per-stream results must not have grown.
+        assert {s: len(r) for s, r in first.frame_results.items()} == first_lengths
+        for stream, results in second.frame_results.items():
+            for fa, fb in zip(first.frame_results[stream], results):
+                assert_frames_identical(fa, fb)
+
+    def test_batching_coalesces_detector_invocations(self, kitti_small):
+        """Same frames, strictly fewer detector invocations when batched."""
+        load = LoadSpec(
+            pattern="uniform", num_streams=2, rate_hz=10.0, frames_per_stream=30
+        )
+        batched = DetectionServer(
+            CATDET, policy=ServePolicy(max_batch_size=8, max_wait_ms=60.0)
+        ).run(generate_load(load, kitti_small))
+        unbatched = DetectionServer(
+            CATDET, policy=ServePolicy(max_batch_size=1, max_wait_ms=0.0)
+        ).run(generate_load(load, kitti_small))
+        assert batched.frames_served == unbatched.frames_served == 60
+        assert batched.invocations < unbatched.invocations
+        # Unbatched: one proposal + one refinement invocation per frame.
+        assert unbatched.invocations == 2 * unbatched.frames_served
+        assert batched.mean_batch_size > 1.0
+
+
+def _request(stream, frame, arrival, sequence):
+    return QueuedFrame(
+        request=FrameRequest(
+            stream=stream, sequence=sequence, frame=frame, arrival=arrival
+        ),
+        enqueued=arrival,
+    )
+
+
+class TestMicroBatcher:
+    def test_flushes_on_size(self, kitti_sequence):
+        batcher = MicroBatcher(max_batch_size=3, max_wait=1.0)
+        ready = [_request(f"s{i}", 0, 0.0, kitti_sequence) for i in range(3)]
+        batch, wake = batcher.decide(0.0, ready, more_arrivals=True)
+        assert batch is not None and len(batch) == 3
+        assert wake is None
+
+    def test_waits_below_size_until_deadline(self, kitti_sequence):
+        batcher = MicroBatcher(max_batch_size=4, max_wait=0.030)
+        ready = [_request("s0", 0, 0.0, kitti_sequence)]
+        batch, wake = batcher.decide(0.010, ready, more_arrivals=True)
+        assert batch is None
+        assert wake == pytest.approx(0.030)
+
+    def test_flushes_on_deadline(self, kitti_sequence):
+        batcher = MicroBatcher(max_batch_size=4, max_wait=0.030)
+        ready = [_request("s0", 0, 0.0, kitti_sequence)]
+        batch, _ = batcher.decide(0.030, ready, more_arrivals=True)
+        assert batch is not None and len(batch) == 1
+
+    def test_flushes_partial_when_no_more_arrivals(self, kitti_sequence):
+        batcher = MicroBatcher(max_batch_size=4, max_wait=10.0)
+        ready = [_request("s0", 0, 0.0, kitti_sequence)]
+        batch, _ = batcher.decide(0.0, ready, more_arrivals=False)
+        assert batch is not None
+
+    def test_one_frame_per_stream_per_batch(self, kitti_sequence):
+        """Causality: only head-of-line frames are batchable."""
+        batcher = MicroBatcher(max_batch_size=8, max_wait=0.0)
+        queue = [
+            _request("s0", 0, 0.0, kitti_sequence),
+            _request("s0", 1, 0.001, kitti_sequence),
+            _request("s1", 0, 0.002, kitti_sequence),
+        ]
+        ready = batcher.ready(queue)
+        assert [(q.request.stream, q.request.frame) for q in ready] == [
+            ("s0", 0),
+            ("s1", 0),
+        ]
+
+    def test_server_batches_simultaneous_arrivals_by_size(self, kitti_small):
+        """Four streams arriving in lockstep + max_batch_size=2 → every
+        dispatch is a full batch of exactly 2."""
+        load = LoadSpec(
+            pattern="uniform", num_streams=4, rate_hz=5.0, frames_per_stream=10
+        )
+        report = DetectionServer(
+            CATDET,
+            policy=ServePolicy(max_batch_size=2, max_wait_ms=1000.0),
+            service=ServiceModel(invocation_overhead_ms=0.1, gops_per_second=1e6),
+        ).run(generate_load(load, kitti_small))
+        assert report.frames_served == 40
+        assert report.mean_batch_size == pytest.approx(2.0)
+
+    def test_server_respects_deadline_under_sparse_arrivals(self, kitti_small):
+        """Arrivals spaced wider than max_wait → no coalescing, and no
+        frame waits past its deadline while the engine sits idle."""
+        load = LoadSpec(
+            pattern="uniform", num_streams=1, rate_hz=2.0, frames_per_stream=8
+        )
+        policy = ServePolicy(max_batch_size=8, max_wait_ms=20.0)
+        report = DetectionServer(
+            CATDET,
+            policy=policy,
+            service=ServiceModel(invocation_overhead_ms=0.1, gops_per_second=1e6),
+        ).run(generate_load(load, kitti_small))
+        assert report.mean_batch_size == pytest.approx(1.0)
+        fleet = report.slo["fleet"]
+        # Queue wait is bounded by the coalescing deadline (compute is
+        # near-free under this service model).
+        assert fleet["mean_wait_ms"] <= policy.max_wait_ms + 1e-6
+
+
+class TestShedding:
+    def _overload(self, kitti_small, shed_policy):
+        # 2 streams, every frame of both arrives in one instant burst; a
+        # 3-slot queue must shed most of it.
+        sequence = kitti_small.sequences[0]
+        requests = [
+            FrameRequest(
+                stream=f"s{i}", sequence=sequence, frame=f, arrival=0.001 * (f + 1)
+            )
+            for f in range(6)
+            for i in range(2)
+        ]
+        requests.sort(key=lambda r: (r.arrival, r.stream))
+        policy = ServePolicy(
+            max_batch_size=2,
+            max_wait_ms=0.0,
+            queue_capacity=3,
+            shed_policy=shed_policy,
+            slo_ms=500.0,
+        )
+        # Slow engine: the burst lands while the first batch computes.
+        service = ServiceModel(invocation_overhead_ms=50.0, gops_per_second=2000.0)
+        return DetectionServer(CATDET, policy=policy, service=service).run(requests)
+
+    def test_oldest_policy_sheds_and_counts(self, kitti_small):
+        report = self._overload(kitti_small, "oldest")
+        assert report.frames_shed > 0
+        assert report.frames_served + report.frames_shed == report.frames_offered
+        fleet = report.slo["fleet"]
+        assert fleet["shed"] == report.frames_shed
+        # Drop-oldest keeps the *newest* frames: both streams' final
+        # frames get served, their earliest queued ones are the victims.
+        for stream, results in report.frame_results.items():
+            if results:
+                assert results[-1].frame == 5
+
+    def test_oldest_drops_head_of_queue(self, kitti_small):
+        """The first shed victim is exactly the oldest queued frame."""
+        report = self._overload(kitti_small, "oldest")
+        served_frames = {
+            stream: [fr.frame for fr in results]
+            for stream, results in report.frame_results.items()
+        }
+        # The burst overflows while frame 0 of each stream is queued
+        # behind the in-flight batch; drop-oldest evicts those first, so
+        # some early frame of some stream never runs.
+        all_served = sorted(f for frames in served_frames.values() for f in frames)
+        assert 0 not in all_served or len(all_served) < 12
+
+    def test_newest_policy_rejects_arrivals(self, kitti_small):
+        report = self._overload(kitti_small, "newest")
+        assert report.frames_shed > 0
+        # Reject-newest preserves the oldest queued work instead.
+        earliest_served = min(
+            fr.frame
+            for results in report.frame_results.values()
+            for fr in results
+        )
+        assert earliest_served == 0
+
+    def test_shed_frames_never_execute(self, kitti_small):
+        report = self._overload(kitti_small, "oldest")
+        executed = sum(len(r) for r in report.frame_results.values())
+        assert executed == report.frames_served
+
+
+class TestLoadgen:
+    def test_deterministic_under_fixed_seed(self, kitti_small):
+        load = LoadSpec(pattern="poisson", num_streams=3, rate_hz=12.0,
+                        frames_per_stream=25, seed=42)
+        a = generate_load(load, kitti_small)
+        b = generate_load(load, kitti_small)
+        assert [(r.stream, r.frame, r.arrival) for r in a] == [
+            (r.stream, r.frame, r.arrival) for r in b
+        ]
+
+    def test_seed_changes_schedule(self, kitti_small):
+        base = LoadSpec(pattern="poisson", num_streams=2, frames_per_stream=20, seed=0)
+        other = LoadSpec(pattern="poisson", num_streams=2, frames_per_stream=20, seed=1)
+        a = generate_load(base, kitti_small)
+        b = generate_load(other, kitti_small)
+        assert [r.arrival for r in a] != [r.arrival for r in b]
+
+    def test_streams_are_causal_and_sorted(self, kitti_small):
+        load = LoadSpec(pattern="poisson", num_streams=3, frames_per_stream=30, seed=7)
+        requests = generate_load(load, kitti_small)
+        assert all(
+            requests[i].arrival <= requests[i + 1].arrival
+            for i in range(len(requests) - 1)
+        )
+        per_stream = {}
+        for r in requests:
+            per_stream.setdefault(r.stream, []).append(r.frame)
+        for frames in per_stream.values():
+            assert frames == sorted(frames)
+
+    def test_replay_uses_native_fps(self, kitti_small):
+        load = LoadSpec(pattern="replay", num_streams=1, frames_per_stream=10)
+        requests = generate_load(load, kitti_small)
+        fps = kitti_small.sequences[0].fps
+        assert requests[1].arrival - requests[0].arrival == pytest.approx(1.0 / fps)
+
+    def test_more_streams_than_sequences_wraps(self, kitti_small):
+        n = len(kitti_small.sequences)
+        load = LoadSpec(pattern="uniform", num_streams=n + 1, frames_per_stream=5)
+        requests = generate_load(load, kitti_small)
+        streams = {r.stream for r in requests}
+        assert len(streams) == n + 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="num_streams"):
+            LoadSpec(num_streams=0)
+        with pytest.raises(ValueError, match="rate_hz"):
+            LoadSpec(rate_hz=0.0)
+        with pytest.raises(ValueError, match="unknown LoadSpec"):
+            LoadSpec.from_dict({"pattern": "poisson", "bogus": 1})
+
+
+class TestServeSpec:
+    def _spec(self):
+        return ServeSpec(
+            system=CATDET,
+            dataset=DatasetSpec("kitti", num_sequences=2, frames_per_sequence=30),
+            load=LoadSpec(pattern="uniform", num_streams=2, rate_hz=10.0,
+                          frames_per_stream=15),
+            policy=ServePolicy(max_batch_size=4),
+            service=FAST_ACCEL,
+        )
+
+    def test_json_round_trip(self):
+        spec = self._spec()
+        again = ServeSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.fingerprint == spec.fingerprint
+
+    def test_fingerprint_covers_policy_and_service(self):
+        import dataclasses
+
+        spec = self._spec()
+        repoliced = dataclasses.replace(spec, policy=ServePolicy(max_batch_size=2))
+        remodeled = dataclasses.replace(spec, service=ServiceModel())
+        assert spec.fingerprint != repoliced.fingerprint
+        assert spec.fingerprint != remodeled.fingerprint
+
+    def test_session_serve_cached_bit_identical(self, tmp_path):
+        from repro.api.session import Session
+
+        session = Session(cache_dir=tmp_path)
+        spec = self._spec()
+        fresh = session.serve(spec)
+        cached = session.serve(spec)
+        assert isinstance(cached, ServeReport)
+        assert cached.frame_results is None  # stats-only from the store
+        assert fresh.to_dict() == cached.to_dict()
+        assert session.cache_hits == 1
+
+    def test_validation_rejects_wrong_types(self):
+        with pytest.raises(TypeError, match="load"):
+            ServeSpec(system=CATDET, load=3)
+        with pytest.raises(ValueError, match="shed_policy"):
+            ServePolicy(shed_policy="coinflip")
+        with pytest.raises(ValueError, match="gops"):
+            ServiceModel(gops_per_second=0.0)
+
+
+class TestReport:
+    def test_report_dict_round_trip(self, kitti_small):
+        load = LoadSpec(pattern="uniform", num_streams=2, rate_hz=10.0,
+                        frames_per_stream=10)
+        report = DetectionServer(CATDET).run(generate_load(load, kitti_small))
+        again = ServeReport.from_dict(report.to_dict())
+        assert again.to_dict() == report.to_dict()
+
+    def test_report_formats(self, kitti_small):
+        load = LoadSpec(pattern="uniform", num_streams=2, rate_hz=10.0,
+                        frames_per_stream=10)
+        report = DetectionServer(CATDET).run(generate_load(load, kitti_small))
+        text = report.format()
+        assert "Serving report" in text
+        assert "throughput" in text
+        assert "(fleet)" in text

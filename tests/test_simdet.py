@@ -89,6 +89,62 @@ class TestDeterminism:
         b = SimulatedDetector(p, seed=2).detect_full_frame(kitti_sequence, 5)
         assert len(a) != len(b) or not np.allclose(a.boxes, b.boxes)
 
+    def test_batched_calls_match_serial_and_count_one_invocation(
+        self, kitti_sequence
+    ):
+        p = get_model("resnet50").profile
+        serial = SimulatedDetector(p, seed=5)
+        batched = SimulatedDetector(p, seed=5)
+        expected = [serial.detect_full_frame(kitti_sequence, f) for f in (0, 3, 7)]
+        got = batched.detect_full_frame_batch(
+            [(kitti_sequence, f) for f in (0, 3, 7)]
+        )
+        for a, b in zip(expected, got):
+            np.testing.assert_array_equal(a.boxes, b.boxes)
+            np.testing.assert_array_equal(a.scores, b.scores)
+        assert serial.invocations == 3
+        assert batched.invocations == 1
+        assert batched.detect_full_frame_batch([]) == []
+        assert batched.invocations == 1  # empty batches are free
+
+    def test_name_collision_purges_stale_caches(self, kitti_sequence):
+        """A different sequence object reusing a name must not inherit the
+        first owner's latents."""
+        import dataclasses
+
+        p = get_model("resnet50").profile
+        shifted = dataclasses.replace(
+            kitti_sequence,
+            tracks=kitti_sequence.tracks[: len(kitti_sequence.tracks) // 2],
+        )
+        detector = SimulatedDetector(p, seed=5)
+        detector.detect_full_frame(kitti_sequence, 0)  # warm original caches
+        collided = detector.detect_full_frame(shifted, 0)
+        fresh = SimulatedDetector(p, seed=5).detect_full_frame(shifted, 0)
+        np.testing.assert_array_equal(collided.boxes, fresh.boxes)
+        np.testing.assert_array_equal(collided.scores, fresh.scores)
+
+    def test_cached_sequences_are_bounded(self, kitti_small):
+        """Long-lived detectors under stream churn keep bounded caches."""
+        import dataclasses
+
+        p = get_model("resnet50").profile
+        detector = SimulatedDetector(p, seed=5)
+        detector.max_cached_sequences = 3
+        variants = [
+            dataclasses.replace(kitti_small.sequences[0], name=f"cam-{i:03d}")
+            for i in range(10)
+        ]
+        for sequence in variants:
+            detector.detect_full_frame(sequence, 0)
+        assert len(detector._owners) <= 3
+        assert len(detector._clutter) <= 3
+        # Eviction is a recompute cost, never a result change.
+        evicted = variants[0]
+        again = detector.detect_full_frame(evicted, 0)
+        fresh = SimulatedDetector(p, seed=5).detect_full_frame(evicted, 0)
+        np.testing.assert_array_equal(again.boxes, fresh.boxes)
+
 
 class TestDetectionBehavior:
     def test_detections_inside_image(self, kitti_sequence):
