@@ -11,17 +11,11 @@ actual per-frame regions produced by a CaTDet run, including the greedy box
 merging the appendix introduces.
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import run_once
-from repro.core.config import SystemConfig
-from repro.core.systems import CaTDetSystem
-from repro.gpu.timing import (
-    GpuTimingModel,
-    estimate_catdet_timing,
-    estimate_single_model_timing,
-)
+from repro.cost import CostModel
+from repro.gpu.table7 import compute_table7_timings
 from repro.harness.tables import format_table
 
 GIGA = 1e9
@@ -33,49 +27,13 @@ PAPER = {
 
 
 def compute_timings(kitti_dataset):
-    model = GpuTimingModel()
-    sequence = kitti_dataset.sequences[0]
-
-    from repro.simdet.zoo import get_model
-
-    single_macs = (
-        get_model("resnet50").rcnn_ops(sequence.width, sequence.height)
-        .full_frame(300)
-        .total
+    # One sequence suffices for stable means; the shared implementation
+    # (also behind `python -m repro table7`) captures each frame's real
+    # regions from a CaTDet re-run and prices them on the titanx profile.
+    timings = compute_table7_timings(
+        kitti_dataset.sequences[:1], CostModel.for_device("titanx")
     )
-    single = estimate_single_model_timing(single_macs, model)
-
-    # Re-run CaTDet on one sequence, capturing per-frame regions.
-    system = CaTDetSystem("resnet10a", "resnet50", seed=0)
-    proposal_macs = system._proposal_macs(sequence)
-    head_per_proposal = get_model("resnet50").rcnn_ops(
-        sequence.width, sequence.height
-    ).head_macs_per_proposal
-
-    from repro.boxes.mask import RegionMask
-    from repro.detections import Detections
-    from repro.tracker.catdet_tracker import CaTDetTracker
-
-    tracker = CaTDetTracker(system.tracker_config, image_size=sequence.image_size)
-    frame_timings = []
-    for frame in range(sequence.num_frames):
-        tracked = tracker.predict()
-        proposed = system._regions_for_frame(sequence, frame)
-        regions = Detections.concatenate([tracked, proposed])
-        mask = RegionMask(regions.boxes, sequence.width, sequence.height, 30.0)
-        detections = system.refinement_detector.detect_regions(sequence, frame, mask)
-        tracker.update(detections)
-        timing = estimate_catdet_timing(
-            proposal_macs,
-            mask.expanded_boxes,
-            head_per_proposal * len(regions),
-            model,
-        )
-        frame_timings.append(timing)
-
-    catdet_gpu = float(np.mean([t.gpu_seconds for t in frame_timings]))
-    catdet_total = float(np.mean([t.total_seconds for t in frame_timings]))
-    return single, catdet_total, catdet_gpu
+    return timings.single, timings.catdet_total_seconds, timings.catdet_gpu_seconds
 
 
 def test_table7_gpu_timing(benchmark, kitti_dataset):

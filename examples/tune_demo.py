@@ -1,0 +1,73 @@
+"""Closed-loop serving-policy tuning on a calibrated device.
+
+Everything here runs on the unified cost layer: the same ``titanx``
+profile that regenerates the paper's Table 7 prices every simulated
+micro-batch, so the policy the tuner picks is the one the paper's
+hardware would actually want.
+
+Run:
+    PYTHONPATH=src python examples/tune_demo.py
+"""
+
+from repro.api import DatasetSpec, Session
+from repro.api.spec import ServeSpec
+from repro.core.config import SystemConfig
+from repro.cost import CostModel, get_device
+from repro.serve import LoadSpec, ServePolicy
+
+CACHE_DIR = ".repro-cache"
+SLO_P99_MS = 350.0
+
+
+def main() -> None:
+    # ---------------------------------------------------------------- #
+    # 1. The device: one profile, three consumers.
+    # ---------------------------------------------------------------- #
+    profile = get_device("titanx")
+    cost = CostModel(profile)
+    print(f"device {profile.name}: {profile.gops_per_second:.0f} Gops/s, "
+          f"{profile.invocation_overhead_ms:.1f} ms/invocation, "
+          f"{profile.cpu_frame_overhead * 1e3:.0f} ms CPU/frame")
+    single = cost.single_model_timing(254.3e9)
+    print(f"Res50 full frame on it: {single.total_seconds * 1e3:.0f} ms "
+          f"(paper Table 7: 193 ms)\n")
+
+    # ---------------------------------------------------------------- #
+    # 2. The deployment to tune: 2 bursty camera streams of CaTDet.
+    # ---------------------------------------------------------------- #
+    spec = ServeSpec(
+        system=SystemConfig(
+            "catdet", "resnet50", "resnet10a", detailed_ops=False
+        ),
+        dataset=DatasetSpec("kitti", num_sequences=2, frames_per_sequence=40),
+        load=LoadSpec(
+            pattern="bursty", num_streams=2, rate_hz=3.0,
+            frames_per_stream=20, seed=7,
+        ),
+        policy=ServePolicy(slo_ms=SLO_P99_MS),
+        device="titanx",  # calibrates the ServiceModel from the profile
+    )
+    print(f"tuning {spec.label} against p99 <= {SLO_P99_MS:.0f} ms")
+
+    # ---------------------------------------------------------------- #
+    # 3. Sweep (batch size, wait) grids through the cached simulator.
+    # ---------------------------------------------------------------- #
+    session = Session(cache_dir=CACHE_DIR)
+    result = session.tune_serve(
+        spec,
+        slo_p99_ms=SLO_P99_MS,
+        batch_sizes=(1, 2, 4, 8),
+        max_waits_ms=(0.0, 25.0),
+    )
+    print(result.format())
+    print(f"\n[cache] {session.cache_hits} hit(s), "
+          f"{session.cache_misses} miss(es) — rerun this script and the "
+          "whole sweep comes back from the cache")
+
+    if result.best is not None:
+        print("\nchosen policy's full report:")
+        print(result.best.report.format())
+
+
+if __name__ == "__main__":
+    main()

@@ -56,6 +56,12 @@ from repro.cluster import (
     Worker,
     dispatch_specs,
 )
+from repro.cost import (
+    DEVICE_PROFILES,
+    CostModel,
+    DeviceProfile,
+    register_device,
+)
 from repro.detections import Detections
 from repro.engine import (
     FrameRef,
@@ -103,6 +109,10 @@ __all__ = [
     "MultiHostExecutor",
     "Worker",
     "dispatch_specs",
+    "CostModel",
+    "DEVICE_PROFILES",
+    "DeviceProfile",
+    "register_device",
     "Detections",
     "FrameRef",
     "ParallelExecutor",

@@ -5,9 +5,11 @@ Commands
 ``models``              list the model zoo with op counts
 ``run``                 run one system on a KITTI-like dataset and report
 ``table2`` / ``table6`` regenerate the paper's headline tables
+``table7``              GPU-timing comparison from the calibrated cost model
 ``sweep``               the Figure-6 C-thresh sweep
 ``spec``                run declarative ExperimentSpec JSON (file or grid)
 ``serve``               micro-batched multi-stream serving + SLO report
+                        (``--tune`` sweeps policies against an SLO target)
 ``loadgen``             generate (and inspect) an open-loop arrival schedule
 ``worker``              drain a shared cluster work queue (multi-host execution)
 ``dispatch``            shard a spec grid across the worker fleet
@@ -83,6 +85,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         input_scale=args.input_scale,
         detailed_ops=args.detailed_ops,
+        device=args.device,
     )
     spec = ExperimentSpec(
         system=config,
@@ -97,6 +100,16 @@ def cmd_run(args: argparse.Namespace) -> int:
     result = session.run(spec, on_progress=_progress(args))
     print(f"system: {config.label}")
     print(f"ops/frame: {result.ops_gops:.1f} G")
+    timing = result.mean_timing()
+    if timing is not None:
+        print(
+            f"modeled latency on {config.device}: "
+            f"{timing.gpu_seconds * 1e3:.1f} ms GPU + "
+            f"{timing.cpu_seconds * 1e3:.1f} ms CPU = "
+            f"{timing.total_seconds * 1e3:.1f} ms/frame "
+            f"(~{result.modeled_fps:.1f} fps, "
+            f"{timing.num_launches:.1f} launches/frame)"
+        )
     for diff in ("moderate", "hard"):
         print(
             f"[{diff:>8s}] mAP={result.mean_ap(diff):.3f} "
@@ -250,6 +263,14 @@ def _serve_spec_from_args(args: argparse.Namespace):
         seed=args.seed,
         detailed_ops=False,  # throughput path: skip Table-3 extras
     )
+    service = None
+    if args.overhead_ms is not None or args.gops is not None:
+        # Explicit uncalibrated rates; ServeSpec rejects combining them
+        # with --device (the profile is what calibrates the model).
+        service = ServiceModel(
+            invocation_overhead_ms=args.overhead_ms,
+            gops_per_second=args.gops,
+        )
     return ServeSpec(
         system=system,
         dataset=DatasetSpec(
@@ -271,21 +292,117 @@ def _serve_spec_from_args(args: argparse.Namespace):
             shed_policy=args.shed,
             slo_ms=args.slo_ms,
         ),
-        service=ServiceModel(
-            invocation_overhead_ms=args.overhead_ms,
-            gops_per_second=args.gops,
-        ),
+        service=service,
+        device=args.device,
     )
 
 
+def _grid_type(convert):
+    """An argparse ``type=`` callback parsing \"1,2,4\"-style grids."""
+
+    def parse(text: str):
+        try:
+            values = tuple(convert(v) for v in text.split(",") if v.strip())
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"invalid grid {text!r} (expected comma-separated "
+                f"{convert.__name__} values)"
+            ) from None
+        if not values:
+            raise argparse.ArgumentTypeError(f"empty grid {text!r}")
+        return values
+
+    return parse
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
-    spec = _serve_spec_from_args(args)
+    try:
+        spec = _serve_spec_from_args(args)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     session = _session(args)
+    if args.tune:
+        if args.slo_p99_ms is None:
+            print("error: --tune requires --slo-p99-ms <target>", file=sys.stderr)
+            return 2
+        try:
+            result = session.tune_serve(
+                spec,
+                slo_p99_ms=args.slo_p99_ms,
+                batch_sizes=args.batch_grid,
+                max_waits_ms=args.wait_grid,
+                use_cache=not args.no_cache,
+                on_progress=_progress(args),
+            )
+        except ValueError as exc:
+            # e.g. a grid value ServePolicy rejects (batch size 0).
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"tuning: {spec.label} on device {spec.device or 'custom'}")
+        print(result.format())
+        if result.best is not None:
+            print()
+            print(f"fingerprint: {result.best.spec.fingerprint[:16]}")
+            print(result.best.report.format())
+        _print_cache_stats(session)
+        return 0 if result.best is not None else 1
     report = session.serve(spec, use_cache=not args.no_cache)
     print(f"serving: {spec.label}")
     print(f"fingerprint: {spec.fingerprint[:16]}")
     print(report.format())
     _print_cache_stats(session)
+    return 0
+
+
+#: Table 7 reference numbers (seconds per frame, Maxwell Titan X).
+_TABLE7_PAPER = {
+    "single": (0.193, 0.159),
+    "catdet": (0.094, 0.042),
+}
+
+
+def cmd_table7(args: argparse.Namespace) -> int:
+    """The paper's GPU-timing comparison from the calibrated cost model.
+
+    Drives the linear model ``T = alpha * W + b`` (plus the appendix's
+    greedy region merging) with the actual per-frame regions a CaTDet
+    run produces; the CaTDet row averages over every requested sequence.
+    Shares its implementation with ``benchmarks/test_table7_gpu_timing``.
+    """
+    from repro.cost import CostModel
+    from repro.gpu.table7 import compute_table7_timings
+
+    session = _session(args)
+    dataset = session.dataset(
+        DatasetSpec(
+            "kitti",
+            num_sequences=args.sequences,
+            frames_per_sequence=args.frames,
+        )
+    )
+    timings = compute_table7_timings(
+        dataset.sequences, CostModel.for_device(args.device)
+    )
+    single = timings.single
+    rows = [
+        ["Res50 Faster R-CNN", single.total_seconds, _TABLE7_PAPER["single"][0],
+         single.gpu_seconds, _TABLE7_PAPER["single"][1]],
+        ["Res10a-Res50 CaTDet", timings.catdet_total_seconds,
+         _TABLE7_PAPER["catdet"][0], timings.catdet_gpu_seconds,
+         _TABLE7_PAPER["catdet"][1]],
+    ]
+    print(format_table(
+        ["system", "total(s)", "(paper)", "GPU-only(s)", "(paper)"],
+        rows,
+        title=f"Table 7 — GPU timing on device {args.device!r}",
+    ))
+    print(
+        f"speedup: {single.total_seconds / timings.catdet_total_seconds:.2f}x total, "
+        f"{single.gpu_seconds / timings.catdet_gpu_seconds:.2f}x GPU-only "
+        f"(paper: {_TABLE7_PAPER['single'][0] / _TABLE7_PAPER['catdet'][0]:.2f}x, "
+        f"{_TABLE7_PAPER['single'][1] / _TABLE7_PAPER['catdet'][1]:.2f}x)"
+    )
     return 0
 
 
@@ -553,6 +670,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also compute Table-3 per-source refinement costs "
                        "(--no-detailed-ops speeds up throughput runs)")
     run_p.add_argument("--seed", type=int, default=0)
+    from repro.cost import DEVICE_PROFILES as _DEVICES
+
+    run_p.add_argument("--device", choices=_DEVICES.names(), default=None,
+                       help="modeled device: also report estimated per-frame "
+                       "latency from the calibrated cost model")
     run_p.add_argument("--sequences", type=int, default=4)
     run_p.add_argument("--frames", type=int, default=100)
     _add_workers_flag(run_p)
@@ -569,6 +691,18 @@ def build_parser() -> argparse.ArgumentParser:
         _add_cache_flags(p)
         _add_progress_flag(p)
         p.set_defaults(func=fn)
+
+    table7_p = sub.add_parser(
+        "table7", help="paper Table 7 — GPU timing from the calibrated cost model"
+    )
+    table7_p.add_argument("--device", choices=_DEVICES.names(), default="titanx",
+                          help="device profile to time on (paper: titanx)")
+    table7_p.add_argument("--sequences", type=int, default=1,
+                          help="sequences the CaTDet row averages over")
+    table7_p.add_argument("--frames", type=int, default=60,
+                          help="frames per sequence of the driving CaTDet run")
+    _add_cache_flags(table7_p)
+    table7_p.set_defaults(func=cmd_table7)
 
     sweep_p = sub.add_parser("sweep", help="Figure-6 C-thresh sweep")
     sweep_p.add_argument("--models", default="resnet10a")
@@ -614,11 +748,29 @@ def build_parser() -> argparse.ArgumentParser:
                          help="which frame to drop when the queue overflows")
     serve_p.add_argument("--slo-ms", type=float, default=200.0,
                          help="end-to-end latency objective")
-    serve_p.add_argument("--overhead-ms", type=float, default=2.0,
-                         help="modeled fixed cost per batched detector invocation")
-    serve_p.add_argument("--gops", type=float, default=2000.0,
-                         help="modeled accelerator throughput in Gops/s")
+    from repro.cost import DEVICE_PROFILES
+
+    serve_p.add_argument("--device", choices=DEVICE_PROFILES.names(), default=None,
+                         help="calibrated device profile the service model is "
+                         "derived from (default: abstract)")
+    serve_p.add_argument("--overhead-ms", type=float, default=None,
+                         help="explicit fixed cost per batched detector "
+                         "invocation (incompatible with --device)")
+    serve_p.add_argument("--gops", type=float, default=None,
+                         help="explicit accelerator throughput in Gops/s "
+                         "(incompatible with --device)")
+    serve_p.add_argument("--tune", action="store_true",
+                         help="sweep (batch size, max wait) policies and pick "
+                         "the cheapest one meeting --slo-p99-ms")
+    serve_p.add_argument("--slo-p99-ms", type=float, default=None,
+                         help="fleet p99 latency target for --tune feasibility")
+    serve_p.add_argument("--batch-grid", type=_grid_type(int), default=(1, 2, 4, 8),
+                         help="comma-separated max_batch_size grid for --tune")
+    serve_p.add_argument("--wait-grid", type=_grid_type(float),
+                         default=(0.0, 10.0, 25.0, 50.0),
+                         help="comma-separated max_wait_ms grid for --tune")
     _add_cache_flags(serve_p)
+    _add_progress_flag(serve_p)
     serve_p.set_defaults(func=cmd_serve)
 
     loadgen_p = sub.add_parser(

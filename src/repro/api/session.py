@@ -268,6 +268,39 @@ class Session:
             store.store(spec.fingerprint, report, spec=spec.to_dict())
         return report
 
+    def tune_serve(
+        self,
+        spec: "Any",
+        *,
+        slo_p99_ms: float,
+        batch_sizes=None,
+        max_waits_ms=None,
+        use_cache: bool = True,
+        on_progress: Optional[Callable[[int, int, str], None]] = None,
+    ) -> "Any":
+        """Sweep batching policies for ``spec`` and pick the SLO-optimal one.
+
+        Thin wrapper over :func:`repro.serve.tune.tune_policy`: every
+        grid point routes through :meth:`serve`, so a repeated tune of
+        the same deployment is served entirely from the report cache.
+        Returns a :class:`repro.serve.tune.TuneResult`.
+        """
+        from repro.serve.tune import (
+            DEFAULT_BATCH_SIZES,
+            DEFAULT_MAX_WAITS_MS,
+            tune_policy,
+        )
+
+        return tune_policy(
+            self,
+            spec,
+            slo_p99_ms=slo_p99_ms,
+            batch_sizes=DEFAULT_BATCH_SIZES if batch_sizes is None else batch_sizes,
+            max_waits_ms=DEFAULT_MAX_WAITS_MS if max_waits_ms is None else max_waits_ms,
+            use_cache=use_cache,
+            on_progress=on_progress,
+        )
+
     def run_experiment(
         self,
         config: SystemConfig,

@@ -240,6 +240,24 @@ class ExperimentSpec:
         """A copy with :class:`SystemConfig` fields replaced."""
         return replace(self, system=replace(self.system, **changes))
 
+    @property
+    def device(self) -> Optional[str]:
+        """The modeled device the run reports latency for.
+
+        Lives on the :class:`SystemConfig` (it rides along wherever the
+        system description travels — worker processes, cluster
+        envelopes, cache keys) and is therefore part of the content
+        fingerprint: the same system on a different modeled device is a
+        different result.
+        """
+        return self.system.device
+
+    def with_device(self, device: Optional[str]) -> "ExperimentSpec":
+        """A copy reporting latency for ``device`` (a registered
+        :data:`repro.cost.DEVICE_PROFILES` name, or ``None`` to disable
+        timing accounting)."""
+        return self.with_system(device=device)
+
 
 def _known_fields(cls, data: Dict[str, Any]) -> Dict[str, Any]:
     known = set(cls.__dataclass_fields__)
@@ -274,7 +292,18 @@ class ServeSpec:
 
     Unlike :class:`ExperimentSpec`, *every* section is result-affecting
     (the policy changes batching, the service model changes every
-    latency), so the fingerprint covers the whole spec.
+    latency), so the fingerprint covers the whole spec — including the
+    ``device``.
+
+    The accelerator is named once: pass ``device`` (a registered
+    :data:`repro.cost.DEVICE_PROFILES` name) and the
+    :class:`~repro.serve.server.ServiceModel` is calibrated from that
+    profile.  Passing an *explicit* uncalibrated service model together
+    with a device is an error — the two would silently disagree about
+    what a MAC costs.  With neither, the ``"abstract"`` profile (the
+    historical serving defaults) applies; a ``device`` on the
+    :class:`SystemConfig` itself, if any, takes precedence over that
+    fallback so offline timing and serving simulate the same hardware.
     """
 
     system: SystemConfig
@@ -282,6 +311,7 @@ class ServeSpec:
     load: "Any" = None
     policy: "Any" = None
     service: "Any" = None
+    device: Optional[str] = None
 
     def __post_init__(self) -> None:
         from repro.serve.loadgen import LoadSpec
@@ -301,12 +331,27 @@ class ServeSpec:
             raise TypeError(
                 f"policy must be a ServePolicy, got {type(self.policy).__name__}"
             )
+        if self.device is not None and not isinstance(self.device, str):
+            raise TypeError(f"device must be a string, got {type(self.device).__name__}")
         if self.service is None:
-            object.__setattr__(self, "service", ServiceModel())
+            device = self.device or self.system.device or "abstract"
+            object.__setattr__(self, "service", ServiceModel.for_device(device))
+            object.__setattr__(self, "device", device)
         elif not isinstance(self.service, ServiceModel):
             raise TypeError(
                 f"service must be a ServiceModel, got {type(self.service).__name__}"
             )
+        elif self.device is not None and self.device != self.service.device:
+            raise ValueError(
+                f"ServeSpec got both an explicit service model and "
+                f"device={self.device!r}; pass one or the other — the device "
+                f"profile is what calibrates the service model "
+                f"(use ServiceModel.for_device({self.device!r}))"
+            )
+        else:
+            # Record the service model's provenance (None for explicit
+            # uncalibrated rates) so to_dict/from_dict round-trips exactly.
+            object.__setattr__(self, "device", self.service.device)
 
     @property
     def label(self) -> str:
@@ -323,6 +368,7 @@ class ServeSpec:
             "load": self.load.to_dict(),
             "policy": self.policy.to_dict(),
             "service": self.service.to_dict(),
+            "device": self.device,
         }
 
     @classmethod
@@ -343,6 +389,7 @@ class ServeSpec:
             load=LoadSpec.from_dict(data.get("load", {})),
             policy=ServePolicy.from_dict(data.get("policy", {})),
             service=ServiceModel.from_dict(data.get("service", {})),
+            device=data.get("device"),
         )
 
     def to_json(self, *, indent: Optional[int] = None) -> str:

@@ -16,6 +16,14 @@ Two shard granularities travel through the work queue
   payloads are content-addressed in a :class:`SequenceResultStore` under
   the same cache root.
 
+Both envelope kinds serialize the system via
+:func:`~repro.core.config.config_to_dict`, so every config field —
+including the cost-layer ``device`` that makes workers attach a
+:class:`~repro.engine.stages.TimingAccountingStage` — rides along and is
+part of the task fingerprint: shards of the same system on different
+modeled devices never alias in the shared store, and reassembled results
+carry per-frame timing byte-identical to a local serial run.
+
 Every envelope is plain JSON.  Result envelopes always carry the payload
 inline *and* the cache fingerprint it was stored under — readers prefer
 the shared store (free revisits) and fall back to the inline copy, so a

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from repro.api.registry import SYSTEMS, SystemEntry, register_system
+from repro.cost import DEVICE_PROFILES
 from repro.core.systems import (
     CascadedSystem,
     CaTDetSystem,
@@ -59,6 +60,12 @@ class SystemConfig:
         Key-frame interval (``keyframe`` systems only; ``None`` = the
         system's default).  Lives here rather than in the builder so the
         result cache's content fingerprint captures it.
+    device:
+        Modeled device for per-frame latency accounting — a registered
+        :data:`repro.cost.DEVICE_PROFILES` name (``"titanx"``,
+        ``"abstract"``, ...).  ``None`` (default) skips timing accounting
+        entirely.  Part of the content fingerprint: runs on different
+        modeled devices report different timing columns.
     """
 
     kind: str
@@ -72,6 +79,7 @@ class SystemConfig:
     input_scale: float = 1.0
     detailed_ops: bool = True
     stride: Optional[int] = None
+    device: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kind not in SYSTEMS:
@@ -94,6 +102,11 @@ class SystemConfig:
             raise ValueError(f"input_scale must be positive, got {self.input_scale}")
         if self.stride is not None and self.stride < 1:
             raise ValueError(f"stride must be >= 1, got {self.stride}")
+        if self.device is not None and self.device not in DEVICE_PROFILES:
+            raise ValueError(
+                f"unknown device {self.device!r}; registered device "
+                f"profiles: {DEVICE_PROFILES.names()}"
+            )
 
     @property
     def label(self) -> str:
@@ -133,6 +146,7 @@ def config_to_dict(config: SystemConfig) -> Dict[str, Any]:
         "input_scale": config.input_scale,
         "detailed_ops": config.detailed_ops,
         "stride": config.stride,
+        "device": config.device,
         "tracker": {
             "eta": config.tracker.eta,
             "iou_threshold": config.tracker.iou_threshold,
@@ -178,6 +192,7 @@ def _build_single(config: SystemConfig) -> DetectionSystem:
         seed=config.seed,
         num_classes=config.num_classes,
         input_scale=config.input_scale,
+        device=config.device,
     )
 
 
@@ -191,6 +206,7 @@ def _build_cascade(config: SystemConfig) -> DetectionSystem:
         seed=config.seed,
         num_classes=config.num_classes,
         input_scale=config.input_scale,
+        device=config.device,
     )
 
 
@@ -204,6 +220,7 @@ def _build_catdet(config: SystemConfig) -> DetectionSystem:
         seed=config.seed,
         num_classes=config.num_classes,
         input_scale=config.input_scale,
+        device=config.device,
         tracker_config=config.tracker,
         detailed_ops=config.detailed_ops,
     )
@@ -222,5 +239,6 @@ def _build_keyframe(config: SystemConfig) -> DetectionSystem:
         tracker_config=config.tracker,
         num_classes=config.num_classes,
         input_scale=config.input_scale,
+        device=config.device,
         **kwargs,
     )

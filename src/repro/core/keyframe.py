@@ -106,10 +106,12 @@ class KeyFrameSystem(DetectionSystem):
         tracker_config: TrackerConfig = TrackerConfig(),
         num_classes: int = 2,
         input_scale: float = 1.0,
+        device: Optional[str] = None,
     ):
         if stride < 1:
             raise ValueError(f"stride must be >= 1, got {stride}")
         self.entry = _resolve(model)
+        self.device = device
         self.stride = int(stride)
         self.detector = SimulatedDetector(self.entry.profile, seed, input_scale=input_scale)
         self.tracker_config = tracker_config
@@ -125,11 +127,13 @@ class KeyFrameSystem(DetectionSystem):
 
     def build_pipeline(self) -> "engine_stages.StagePipeline":
         return engine_stages.StagePipeline(
-            [
-                _KeyFrameStage(
-                    self.detector, self._macs, self.stride, self.tracker_config
-                )
-            ]
+            self._with_timing(
+                [
+                    _KeyFrameStage(
+                        self.detector, self._macs, self.stride, self.tracker_config
+                    )
+                ]
+            )
         )
 
     def _detectors(self) -> tuple:

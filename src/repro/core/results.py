@@ -50,15 +50,67 @@ class OpsAccount:
         )
 
 
+@dataclass(frozen=True)
+class FrameTiming:
+    """Estimated execution time of one frame on a modeled device.
+
+    Produced by the cost layer (:mod:`repro.cost`) under the paper's
+    linear model ``T = alpha * W + b`` per launch, split the way Table 7
+    reports it.  ``num_launches`` is an integer for a single frame and a
+    fractional mean when averaged over many.
+    """
+
+    gpu_seconds: float
+    cpu_seconds: float
+    num_launches: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock per frame; CPU partially hidden behind GPU is ignored,
+        matching the paper's unpipelined measurement."""
+        return self.gpu_seconds + self.cpu_seconds
+
+    def __add__(self, other: "FrameTiming") -> "FrameTiming":
+        return FrameTiming(
+            gpu_seconds=self.gpu_seconds + other.gpu_seconds,
+            cpu_seconds=self.cpu_seconds + other.cpu_seconds,
+            num_launches=self.num_launches + other.num_launches,
+        )
+
+    def scaled(self, factor: float) -> "FrameTiming":
+        return FrameTiming(
+            gpu_seconds=self.gpu_seconds * factor,
+            cpu_seconds=self.cpu_seconds * factor,
+            num_launches=self.num_launches * factor,
+        )
+
+
+def _mean_timing(frames: List["FrameResult"]) -> Optional[FrameTiming]:
+    """Mean per-frame timing over frames that carry one (None if none do)."""
+    timed = [f.timing for f in frames if f.timing is not None]
+    if not timed:
+        return None
+    total = FrameTiming(0.0, 0.0, 0.0)
+    for t in timed:
+        total = total + t
+    return total.scaled(1.0 / len(timed))
+
+
 @dataclass
 class FrameResult:
-    """One processed frame: final detections + ops + region stats."""
+    """One processed frame: final detections + ops + region stats.
+
+    ``timing`` is populated only when the system was configured with a
+    modeled device (``SystemConfig(device=...)``); it is the per-frame
+    estimate of the :class:`~repro.engine.stages.TimingAccountingStage`.
+    """
 
     frame: int
     detections: Detections
     ops: OpsAccount
     num_regions: int = 0
     coverage_fraction: float = 0.0
+    timing: Optional[FrameTiming] = None
 
 
 @dataclass
@@ -86,6 +138,10 @@ class SequenceResult:
             total = total + f.ops
         return total.scaled(1.0 / len(self.frames))
 
+    def mean_timing(self) -> Optional[FrameTiming]:
+        """Average per-frame device timing (None without a modeled device)."""
+        return _mean_timing(self.frames)
+
 
 @dataclass
 class SystemRunResult:
@@ -112,6 +168,12 @@ class SystemRunResult:
     def mean_ops_gops(self) -> float:
         """Average per-frame total ops in Gops — the paper's headline column."""
         return self.mean_ops().total / GIGA
+
+    def mean_timing(self) -> Optional[FrameTiming]:
+        """Average per-frame device timing over all frames of all sequences."""
+        return _mean_timing(
+            [f for seq in self.sequences.values() for f in seq.frames]
+        )
 
     def mean_regions_per_frame(self) -> float:
         counts = [f.num_regions for s in self.sequences.values() for f in s.frames]

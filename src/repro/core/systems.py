@@ -46,6 +46,11 @@ class DetectionSystem(ABC):
     name: str
     _stream_state = None  # lazily-created StreamRouter for stream()
 
+    #: Modeled device for per-frame latency estimates (a registered
+    #: :data:`repro.cost.DEVICE_PROFILES` name); ``None`` disables timing
+    #: accounting entirely (zero overhead on existing paths).
+    device = None
+
     #: Whether every frame is a pure function of ``(config, sequence,
     #: frame)`` — no cross-frame feedback — so frame ranges may execute
     #: independently (mirrors ``SystemEntry.frame_parallel`` for live
@@ -59,6 +64,19 @@ class DetectionSystem(ABC):
     @abstractmethod
     def build_pipeline(self) -> "engine_stages.StagePipeline":
         """A fresh stage composition bound to this system's detectors."""
+
+    def _with_timing(self, stages: list) -> list:
+        """Append a :class:`~repro.engine.stages.TimingAccountingStage`
+        when :attr:`device` names a cost-layer profile; subclass
+        ``build_pipeline`` implementations route their stage lists
+        through here."""
+        if self.device is not None:
+            from repro.cost import CostModel
+
+            stages.append(
+                engine_stages.TimingAccountingStage(CostModel.for_device(self.device))
+            )
+        return stages
 
     def process_sequence(self, sequence: Sequence) -> SequenceResult:
         """Run the system over every frame of ``sequence`` in order."""
@@ -139,8 +157,10 @@ class SingleModelSystem(DetectionSystem):
         output_threshold: float = 0.0,
         num_classes: int = 2,
         input_scale: float = 1.0,
+        device: str = None,
     ):
         self.entry = _resolve(model)
+        self.device = device
         self.input_scale = float(input_scale)
         self.detector = SimulatedDetector(self.entry.profile, seed, input_scale=input_scale)
         self.num_proposals = int(num_proposals)
@@ -159,14 +179,16 @@ class SingleModelSystem(DetectionSystem):
 
     def build_pipeline(self) -> "engine_stages.StagePipeline":
         return engine_stages.StagePipeline(
-            [
-                engine_stages.RefinementStage(
-                    self.detector,
-                    full_frame=True,
-                    output_threshold=self.output_threshold,
-                ),
-                engine_stages.OpsAccountingStage(self._macs),
-            ]
+            self._with_timing(
+                [
+                    engine_stages.RefinementStage(
+                        self.detector,
+                        full_frame=True,
+                        output_threshold=self.output_threshold,
+                    ),
+                    engine_stages.OpsAccountingStage(self._macs),
+                ]
+            )
         )
 
     def _detectors(self) -> tuple:
@@ -205,11 +227,13 @@ class CascadedSystem(DetectionSystem):
         seed: int = 0,
         num_classes: int = 2,
         input_scale: float = 1.0,
+        device: str = None,
     ):
         if not (0.0 <= c_thresh <= 1.0):
             raise ValueError(f"c_thresh must lie in [0, 1], got {c_thresh}")
         if margin < 0:
             raise ValueError(f"margin must be >= 0, got {margin}")
+        self.device = device
         self.proposal_entry = _resolve(proposal_model)
         self.refinement_entry = _resolve(refinement_model)
         self.input_scale = float(input_scale)
@@ -249,17 +273,19 @@ class CascadedSystem(DetectionSystem):
 
     def build_pipeline(self) -> "engine_stages.StagePipeline":
         return engine_stages.StagePipeline(
-            [
-                engine_stages.ProposalStage(self.proposal_detector, self.c_thresh),
-                engine_stages.RefinementStage(
-                    self.refinement_detector, margin=self.margin
-                ),
-                engine_stages.OpsAccountingStage(
-                    self._refinement_macs_model,
-                    self._proposal_macs_model,
-                    margin=self.margin,
-                ),
-            ]
+            self._with_timing(
+                [
+                    engine_stages.ProposalStage(self.proposal_detector, self.c_thresh),
+                    engine_stages.RefinementStage(
+                        self.refinement_detector, margin=self.margin
+                    ),
+                    engine_stages.OpsAccountingStage(
+                        self._refinement_macs_model,
+                        self._proposal_macs_model,
+                        margin=self.margin,
+                    ),
+                ]
+            )
         )
 
     def _detectors(self) -> tuple:
@@ -297,6 +323,7 @@ class CaTDetSystem(CascadedSystem):
         seed: int = 0,
         num_classes: int = 2,
         input_scale: float = 1.0,
+        device: str = None,
         tracker_config: TrackerConfig = TrackerConfig(),
         detailed_ops: bool = True,
     ):
@@ -308,6 +335,7 @@ class CaTDetSystem(CascadedSystem):
             seed=seed,
             num_classes=num_classes,
             input_scale=input_scale,
+            device=device,
         )
         self.tracker_config = tracker_config
         self.detailed_ops = bool(detailed_ops)
@@ -318,17 +346,19 @@ class CaTDetSystem(CascadedSystem):
 
     def build_pipeline(self) -> "engine_stages.StagePipeline":
         return engine_stages.StagePipeline(
-            [
-                engine_stages.TrackerStage(self.tracker_config),
-                engine_stages.ProposalStage(self.proposal_detector, self.c_thresh),
-                engine_stages.RefinementStage(
-                    self.refinement_detector, margin=self.margin
-                ),
-                engine_stages.OpsAccountingStage(
-                    self._refinement_macs_model,
-                    self._proposal_macs_model,
-                    margin=self.margin,
-                    detailed=self.detailed_ops,
-                ),
-            ]
+            self._with_timing(
+                [
+                    engine_stages.TrackerStage(self.tracker_config),
+                    engine_stages.ProposalStage(self.proposal_detector, self.c_thresh),
+                    engine_stages.RefinementStage(
+                        self.refinement_detector, margin=self.margin
+                    ),
+                    engine_stages.OpsAccountingStage(
+                        self._refinement_macs_model,
+                        self._proposal_macs_model,
+                        margin=self.margin,
+                        detailed=self.detailed_ops,
+                    ),
+                ]
+            )
         )

@@ -1,0 +1,42 @@
+"""Unified device cost-model layer.
+
+One calibrated :class:`DeviceProfile` (the ``T = alpha * W + b``
+constants of paper Appendix I, plus CPU overheads) feeds one
+:class:`CostModel`, and every timing consumer in the repo derives from
+it: the legacy Table-7 estimators (:mod:`repro.gpu.timing`), the
+engine's per-frame :class:`~repro.engine.stages.TimingAccountingStage`
+(``SystemConfig(device=...)``), and the serving simulator's
+:class:`~repro.serve.server.ServiceModel` (``ServeSpec(device=...)``).
+
+Profiles are frozen, JSON-round-trippable, and registered by name
+(:data:`DEVICE_PROFILES`; built-ins ``"titanx"`` and ``"abstract"``,
+extend with :func:`register_device`).
+"""
+
+from repro.core.results import FrameTiming
+from repro.cost.model import CostModel
+from repro.cost.profile import (
+    ABSTRACT,
+    DEFAULT_DEVICE,
+    DEVICE_PROFILES,
+    GIGA,
+    TITANX,
+    DeviceProfile,
+    get_device,
+    profile_from_service_rates,
+    register_device,
+)
+
+__all__ = [
+    "ABSTRACT",
+    "CostModel",
+    "DEFAULT_DEVICE",
+    "DEVICE_PROFILES",
+    "DeviceProfile",
+    "FrameTiming",
+    "GIGA",
+    "TITANX",
+    "get_device",
+    "profile_from_service_rates",
+    "register_device",
+]

@@ -21,6 +21,7 @@ from repro.engine.stages import (
     RefinementStage,
     Stage,
     StagePipeline,
+    TimingAccountingStage,
     TrackerStage,
 )
 from repro.engine.stream import FrameRef, FrameStream, iter_frame_refs
@@ -40,6 +41,7 @@ __all__ = [
     "RefinementStage",
     "Stage",
     "StagePipeline",
+    "TimingAccountingStage",
     "TrackerStage",
     "FrameRef",
     "FrameStream",

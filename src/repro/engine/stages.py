@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.boxes.mask import RegionMask
-from repro.core.results import FrameResult, OpsAccount, SequenceResult
+from repro.core.results import FrameResult, FrameTiming, OpsAccount, SequenceResult
 from repro.datasets.types import Sequence
 from repro.detections import Detections
 from repro.simdet.detector import SimulatedDetector
@@ -57,6 +57,9 @@ class FrameContext:
         The frame's operation account (set by the accounting stage).
     num_regions:
         Region count reported in the :class:`FrameResult`.
+    timing:
+        Estimated device latency (set by the
+        :class:`TimingAccountingStage`; ``None`` without one).
     """
 
     __slots__ = (
@@ -70,6 +73,7 @@ class FrameContext:
         "detections",
         "ops",
         "num_regions",
+        "timing",
     )
 
     def __init__(self, sequence: Sequence, frame: int):
@@ -83,6 +87,7 @@ class FrameContext:
         self.detections: Detections = Detections.empty()
         self.ops: OpsAccount = OpsAccount()
         self.num_regions: int = 0
+        self.timing: Optional[FrameTiming] = None
 
     def to_frame_result(self) -> FrameResult:
         """Freeze the blackboard into the public result record."""
@@ -92,6 +97,7 @@ class FrameContext:
             ops=self.ops,
             num_regions=self.num_regions,
             coverage_fraction=self.coverage_fraction,
+            timing=self.timing,
         )
 
 
@@ -407,6 +413,39 @@ class OpsAccountingStage(Stage):
             refinement=refinement,
             refinement_from_tracker=from_tracker,
             refinement_from_proposal=from_proposal,
+        )
+
+
+class TimingAccountingStage(Stage):
+    """Estimated per-frame device latency from the unified cost layer.
+
+    Runs after the :class:`OpsAccountingStage`: it charges the frame's
+    *measured* MAC account at the device's calibrated throughput
+    (``T = alpha * W + b`` per launch) and counts launches from the
+    frame's actual structure — one full-frame launch per network that
+    ran, or one proposal launch plus one per greedily-merged refinement
+    region.  Added to a pipeline when the system's
+    :class:`~repro.core.config.SystemConfig` names a ``device``; offline
+    runs then report estimated per-frame latency alongside ops.
+
+    ``cost_model`` is a :class:`repro.cost.CostModel` (duck-typed here to
+    keep this module import-light).
+    """
+
+    def __init__(self, cost_model, *, merge: bool = True):
+        self.cost = cost_model
+        self.merge = bool(merge)
+
+    def per_stream(self) -> "TimingAccountingStage":
+        return self  # pure math over a frozen profile
+
+    def process(self, ctx: FrameContext) -> None:
+        if ctx.mask is None:
+            ctx.timing = self.cost.frame_timing(ctx.ops, full_frame=True)
+            return
+        boxes = ctx.regions.boxes if ctx.regions is not None else None
+        ctx.timing = self.cost.frame_timing(
+            ctx.ops, region_boxes=boxes, merge=self.merge
         )
 
 

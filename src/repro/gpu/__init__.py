@@ -1,8 +1,11 @@
 """GPU execution-time model (paper Appendix I).
 
 The paper approximates GPU time of a CNN workload as ``T = alpha * W + b``
-and derives a greedy box-merging heuristic from it.  This package applies
-that model to the systems' per-frame op accounts to regenerate Table 7.
+and derives a greedy box-merging heuristic from it.  The calibrated
+constants and all computation now live in the unified cost layer
+(:mod:`repro.cost`, profile ``"titanx"``); this package keeps the
+historical API as thin deprecation shims and regenerates Table 7
+(``python -m repro table7``).
 """
 
 from repro.gpu.timing import (

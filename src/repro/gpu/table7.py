@@ -1,0 +1,96 @@
+"""Shared Table-7 computation: drive the cost model with real regions.
+
+Both the CLI (``python -m repro table7``) and the benchmark
+(``benchmarks/test_table7_gpu_timing.py``) regenerate the paper's
+GPU-timing comparison the same way — re-running CaTDet's tracker +
+proposal loop to capture each frame's *actual* expanded regions, then
+pricing them (greedy merging included) under the calibrated linear
+model.  This module is the single implementation, so the two surfaces
+can never drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence as Seq
+
+from repro.core.results import FrameTiming
+from repro.cost.model import CostModel
+from repro.datasets.types import Sequence
+
+
+@dataclass(frozen=True)
+class Table7Timings:
+    """The two rows of Table 7 on one modeled device."""
+
+    single: FrameTiming
+    catdet_gpu_seconds: float
+    catdet_total_seconds: float
+
+
+def compute_table7_timings(
+    sequences: Seq[Sequence],
+    cost: CostModel,
+    *,
+    proposal_model: str = "resnet10a",
+    refinement_model: str = "resnet50",
+) -> Table7Timings:
+    """Single-model vs CaTDet per-frame timing over ``sequences``.
+
+    The single-model row is one full-frame launch of the refinement
+    network at the first sequence's resolution; the CaTDet row averages
+    per-frame estimates over every frame of every given sequence, using
+    the regions the system's own tracker + proposal loop produces (with
+    the system's RoI margin).
+    """
+    from repro.boxes.mask import RegionMask
+    from repro.core.systems import CaTDetSystem
+    from repro.detections import Detections
+    from repro.simdet.zoo import get_model
+    from repro.tracker.catdet_tracker import CaTDetTracker
+
+    if not sequences:
+        raise ValueError("at least one sequence is required")
+    first = sequences[0]
+    single_macs = (
+        get_model(refinement_model)
+        .rcnn_ops(first.width, first.height)
+        .full_frame(300)
+        .total
+    )
+    single = cost.single_model_timing(single_macs)
+
+    system = CaTDetSystem(proposal_model, refinement_model, seed=0)
+    gpu_seconds = []
+    total_seconds = []
+    for sequence in sequences:
+        proposal_macs = system._proposal_macs(sequence)
+        head_per_proposal = get_model(refinement_model).rcnn_ops(
+            sequence.width, sequence.height
+        ).head_macs_per_proposal
+        tracker = CaTDetTracker(
+            system.tracker_config, image_size=sequence.image_size
+        )
+        for frame in range(sequence.num_frames):
+            tracked = tracker.predict()
+            proposed = system._regions_for_frame(sequence, frame)
+            regions = Detections.concatenate([tracked, proposed])
+            mask = RegionMask(
+                regions.boxes, sequence.width, sequence.height, system.margin
+            )
+            detections = system.refinement_detector.detect_regions(
+                sequence, frame, mask
+            )
+            tracker.update(detections)
+            timing = cost.catdet_timing(
+                proposal_macs,
+                mask.expanded_boxes,
+                head_per_proposal * len(regions),
+            )
+            gpu_seconds.append(timing.gpu_seconds)
+            total_seconds.append(timing.total_seconds)
+    return Table7Timings(
+        single=single,
+        catdet_gpu_seconds=sum(gpu_seconds) / len(gpu_seconds),
+        catdet_total_seconds=sum(total_seconds) / len(total_seconds),
+    )

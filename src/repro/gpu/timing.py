@@ -1,37 +1,48 @@
 """Linear GPU-time model and pipeline timing estimates (Appendix I).
 
+.. deprecated::
+    This module is a thin compatibility shim over the unified cost layer
+    (:mod:`repro.cost`).  The calibrated Titan X constants now live in
+    :data:`repro.cost.TITANX`; :class:`GpuTimingModel` converts itself to
+    a :class:`~repro.cost.DeviceProfile` and every estimator delegates to
+    :class:`~repro.cost.CostModel` — outputs are bit-for-bit identical to
+    the historical implementation.  New code should use the cost layer
+    directly (``CostModel.for_device("titanx")``).
+
 The paper measures on a Maxwell Titan X: a ResNet-50 Faster R-CNN frame
 takes 0.159 s of GPU kernel time (0.193 s wall), and the Res10a+Res50
 CaTDet takes 0.042 s GPU (0.094 s wall).  It models GPU time of a workload
 ``W`` as ``T = alpha * W + b``, with ``b`` roughly the execution time of a
 400x400 crop, and merges regions greedily under that model before launch.
-
-This module reproduces those numbers structurally: ``alpha`` is calibrated
-from the single-model measurement, per-region launches pay ``b``, and the
-CPU side (data loading, NMS, tracker, framework wrapping) is a per-frame
-constant plus a per-region term.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence as Seq
 
 import numpy as np
 
-from repro.boxes.merge import MergeCostModel, greedy_merge_boxes
-from repro.boxes.box import area
-
-GIGA = 1e9
+from repro.boxes.merge import MergeCostModel
+from repro.core.results import FrameTiming
+from repro.cost import GIGA, TITANX, CostModel, DeviceProfile
 
 #: Titan X effective throughput implied by the paper's single-model numbers
-#: (254.3 Gops in 0.159 s): ~1.6 Tops/s.
-DEFAULT_ALPHA = 0.159 / (254.3 * GIGA)
+#: (254.3 Gops in 0.159 s): ~1.6 Tops/s.  Defined in :mod:`repro.cost`.
+DEFAULT_ALPHA = TITANX.alpha
+
+#: Backwards-compatible name for the per-frame timing record, which now
+#: lives beside the other result containers as
+#: :class:`repro.core.results.FrameTiming`.
+PipelineTiming = FrameTiming
 
 
 @dataclass(frozen=True)
 class GpuTimingModel:
     """``T = alpha * W + b`` with per-launch overhead.
+
+    .. deprecated:: prefer :class:`repro.cost.DeviceProfile` — this class
+       keeps the historical field names and delegates all computation to
+       the cost layer.
 
     Parameters
     ----------
@@ -49,63 +60,54 @@ class GpuTimingModel:
     """
 
     alpha: float = DEFAULT_ALPHA
-    base_crop_pixels: float = 400.0 * 400.0
-    trunk_macs_per_pixel: float = 66_000.0  # ResNet-50 C4 trunk on KITTI
-    cpu_frame_overhead: float = 0.034
-    cpu_region_overhead: float = 0.001
+    base_crop_pixels: float = TITANX.base_crop_pixels
+    trunk_macs_per_pixel: float = TITANX.trunk_macs_per_pixel
+    cpu_frame_overhead: float = TITANX.cpu_frame_overhead
+    cpu_region_overhead: float = TITANX.cpu_invocation_overhead
 
     def __post_init__(self) -> None:
-        if self.alpha <= 0:
-            raise ValueError(f"alpha must be positive, got {self.alpha}")
-        if self.base_crop_pixels < 0 or self.trunk_macs_per_pixel < 0:
-            raise ValueError("workload parameters must be >= 0")
-        if self.cpu_frame_overhead < 0 or self.cpu_region_overhead < 0:
-            raise ValueError("CPU overheads must be >= 0")
+        # Validation lives in DeviceProfile; constructing one here keeps
+        # the historical error messages and fail-fast behavior.
+        self.profile()
+
+    def profile(self) -> DeviceProfile:
+        """This model's constants as a cost-layer :class:`DeviceProfile`."""
+        return DeviceProfile(
+            name="gpu-timing-model",
+            alpha=self.alpha,
+            base_crop_pixels=self.base_crop_pixels,
+            trunk_macs_per_pixel=self.trunk_macs_per_pixel,
+            cpu_frame_overhead=self.cpu_frame_overhead,
+            cpu_invocation_overhead=self.cpu_region_overhead,
+        )
+
+    def cost_model(self) -> CostModel:
+        """The :class:`~repro.cost.CostModel` this shim delegates to."""
+        return CostModel(self.profile())
 
     @property
     def launch_overhead_seconds(self) -> float:
         """The ``b`` term in seconds."""
-        return self.alpha * self.base_crop_pixels * self.trunk_macs_per_pixel
+        return self.profile().launch_overhead_seconds
 
     def kernel_time(self, macs: float) -> float:
         """GPU time for one launch of ``macs`` multiply-accumulates."""
-        if macs < 0:
-            raise ValueError(f"macs must be >= 0, got {macs}")
-        return self.alpha * macs + self.launch_overhead_seconds
+        return self.cost_model().kernel_seconds(macs)
 
     def merge_cost_model(self) -> MergeCostModel:
         """The equivalent area-based model for greedy box merging."""
-        return MergeCostModel(
-            alpha=self.alpha * self.trunk_macs_per_pixel,
-            base_area=self.base_crop_pixels,
-        )
-
-
-@dataclass(frozen=True)
-class PipelineTiming:
-    """Per-frame timing estimate, split the way Table 7 reports it."""
-
-    gpu_seconds: float
-    cpu_seconds: float
-    num_launches: int
-
-    @property
-    def total_seconds(self) -> float:
-        """Wall-clock per frame; CPU partially hidden behind GPU is ignored,
-        matching the paper's unpipelined measurement."""
-        return self.gpu_seconds + self.cpu_seconds
+        return self.cost_model().merge_cost_model()
 
 
 def estimate_single_model_timing(
     frame_macs: float,
     model: GpuTimingModel = GpuTimingModel(),
-) -> PipelineTiming:
-    """Timing of a single-model detector: one full-frame launch."""
-    return PipelineTiming(
-        gpu_seconds=model.kernel_time(frame_macs),
-        cpu_seconds=model.cpu_frame_overhead,
-        num_launches=1,
-    )
+) -> FrameTiming:
+    """Timing of a single-model detector: one full-frame launch.
+
+    .. deprecated:: shim over :meth:`repro.cost.CostModel.single_model_timing`.
+    """
+    return model.cost_model().single_model_timing(frame_macs)
 
 
 def estimate_catdet_timing(
@@ -115,35 +117,12 @@ def estimate_catdet_timing(
     model: GpuTimingModel = GpuTimingModel(),
     *,
     merge: bool = True,
-) -> PipelineTiming:
+) -> FrameTiming:
     """Timing of one CaTDet frame.
 
-    Parameters
-    ----------
-    proposal_macs:
-        Full-frame cost of the proposal network.
-    region_boxes : (N, 4) array
-        Regions of interest fed to the refinement network (tracker +
-        proposal sources, margin already applied).
-    refinement_head_macs:
-        Total RoI-head cost for the frame's proposals.
-    model:
-        The timing model.
-    merge:
-        Apply the paper's greedy merging before timing regions.  Merging
-        *increases* the computed workload (merged rectangles cover more
-        area) but reduces launch overhead — the Appendix I trade-off.
+    .. deprecated:: shim over :meth:`repro.cost.CostModel.catdet_timing`
+       (see there for parameter semantics).
     """
-    region_boxes = np.asarray(region_boxes, dtype=np.float64).reshape(-1, 4)
-    if merge and region_boxes.shape[0] > 1:
-        region_boxes, _ = greedy_merge_boxes(region_boxes, model.merge_cost_model())
-
-    gpu = model.kernel_time(proposal_macs)  # proposal network launch
-    for region_area in area(region_boxes):
-        gpu += model.kernel_time(region_area * model.trunk_macs_per_pixel)
-    if refinement_head_macs > 0:
-        gpu += model.alpha * refinement_head_macs  # batched RoI heads
-
-    launches = 1 + region_boxes.shape[0]
-    cpu = model.cpu_frame_overhead + model.cpu_region_overhead * launches
-    return PipelineTiming(gpu_seconds=gpu, cpu_seconds=cpu, num_launches=launches)
+    return model.cost_model().catdet_timing(
+        proposal_macs, region_boxes, refinement_head_macs, merge=merge
+    )

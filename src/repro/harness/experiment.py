@@ -84,6 +84,19 @@ class ExperimentResult:
     def ops_account(self) -> OpsAccount:
         return self.run.mean_ops()
 
+    def mean_timing(self):
+        """Mean per-frame device timing (:class:`repro.core.results.FrameTiming`)
+        when the config named a ``device``; ``None`` otherwise."""
+        return self.run.mean_timing()
+
+    @property
+    def modeled_fps(self) -> Optional[float]:
+        """Frames/s the modeled device sustains (``None`` without timing)."""
+        timing = self.run.mean_timing()
+        if timing is None or timing.total_seconds <= 0:
+            return None
+        return 1.0 / timing.total_seconds
+
     def mean_ap(self, difficulty: str = "hard", method: str = "r40") -> float:
         return self.evaluations[difficulty].mean_ap(method)
 

@@ -22,7 +22,13 @@ from typing import Any, Dict, List, Union
 import numpy as np
 
 from repro.core.config import SystemConfig, config_from_dict, config_to_dict
-from repro.core.results import FrameResult, OpsAccount, SequenceResult, SystemRunResult
+from repro.core.results import (
+    FrameResult,
+    FrameTiming,
+    OpsAccount,
+    SequenceResult,
+    SystemRunResult,
+)
 from repro.detections import Detections
 from repro.harness.experiment import ExperimentResult
 from repro.metrics.delay import TrackDelayRecord
@@ -71,7 +77,7 @@ def _ops_from_dict(data: Dict[str, float]) -> OpsAccount:
 
 
 def _frame_dict(frame: FrameResult) -> Dict[str, Any]:
-    return {
+    out = {
         "frame": frame.frame,
         "boxes": frame.detections.boxes.tolist(),
         "scores": frame.detections.scores.tolist(),
@@ -80,9 +86,19 @@ def _frame_dict(frame: FrameResult) -> Dict[str, Any]:
         "num_regions": frame.num_regions,
         "coverage": frame.coverage_fraction,
     }
+    if frame.timing is not None:
+        # Optional key keeps pre-cost-layer payloads loadable while the
+        # cluster protocol ships timing losslessly between hosts.
+        out["timing"] = {
+            "gpu_seconds": frame.timing.gpu_seconds,
+            "cpu_seconds": frame.timing.cpu_seconds,
+            "num_launches": frame.timing.num_launches,
+        }
+    return out
 
 
 def _frame_from_dict(data: Dict[str, Any]) -> FrameResult:
+    timing = data.get("timing")
     return FrameResult(
         frame=data["frame"],
         detections=Detections(
@@ -93,6 +109,11 @@ def _frame_from_dict(data: Dict[str, Any]) -> FrameResult:
         ops=_ops_from_dict(data["ops"]),
         num_regions=data["num_regions"],
         coverage_fraction=data["coverage"],
+        timing=None if timing is None else FrameTiming(
+            gpu_seconds=timing["gpu_seconds"],
+            cpu_seconds=timing["cpu_seconds"],
+            num_launches=timing["num_launches"],
+        ),
     )
 
 
@@ -126,6 +147,15 @@ def run_to_dict(run: SystemRunResult, *, include_detections: bool = True) -> Dic
         "mean_coverage": run.mean_coverage(),
         "sequences": {},
     }
+    mean_timing = run.mean_timing()
+    if mean_timing is not None:
+        # Derived summary (rebuilt from per-frame records on load).
+        out["mean_timing"] = {
+            "gpu_seconds": mean_timing.gpu_seconds,
+            "cpu_seconds": mean_timing.cpu_seconds,
+            "total_seconds": mean_timing.total_seconds,
+            "num_launches": mean_timing.num_launches,
+        }
     for name, seq in run.sequences.items():
         entry: Dict = {"num_frames": seq.num_frames}
         if include_detections:

@@ -12,11 +12,16 @@ registered dataset sequences with Poisson, uniform or trace-replay
 arrivals.
 
 Time is a deterministic discrete-event simulation: service times come
-from a :class:`~repro.serve.server.ServiceModel` fed by *measured*
-detector invocations and the MAC accounting the pipeline already
-produces, so identical specs yield identical reports — cacheable by
-content fingerprint like every other result in this repo — while
+from a :class:`~repro.serve.server.ServiceModel` — calibrated from a
+:mod:`repro.cost` device profile (``ServeSpec(device="titanx")``) — fed
+by *measured* detector invocations and the MAC accounting the pipeline
+already produces, so identical specs yield identical reports — cacheable
+by content fingerprint like every other result in this repo — while
 per-frame detections stay byte-identical to the offline serial path.
+Because simulated operating points are cached, policy search is cheap:
+:func:`~repro.serve.tune.tune_policy` (CLI ``repro serve --tune``)
+sweeps ``(max_batch_size, max_wait_ms)`` grids and picks the cheapest
+policy meeting a p99 latency target.
 """
 
 from repro.serve.batcher import MicroBatcher, QueuedFrame
@@ -35,6 +40,7 @@ from repro.serve.server import (
     ServiceModel,
 )
 from repro.serve.slo import LatencyStats, SLOAccount
+from repro.serve.tune import PolicyCandidate, TuneResult, tune_policy
 
 __all__ = [
     "DetectionServer",
@@ -43,6 +49,7 @@ __all__ = [
     "LoadSpec",
     "LOAD_PATTERNS",
     "MicroBatcher",
+    "PolicyCandidate",
     "QueuedFrame",
     "register_load_pattern",
     "ServePolicy",
@@ -50,5 +57,7 @@ __all__ = [
     "ServeReportStore",
     "ServiceModel",
     "SLOAccount",
+    "TuneResult",
     "generate_load",
+    "tune_policy",
 ]

@@ -186,3 +186,87 @@ def _replay(spec: LoadSpec, stream_index: int, sequence: Sequence, rng) -> np.nd
     frames = spec.stream_frames(sequence)
     fps = float(sequence.fps) if sequence.fps else spec.rate_hz
     return np.arange(frames, dtype=np.float64) / fps
+
+
+#: Two-state MMPP shape: the burst state arrives ``BURSTY_FACTOR`` times
+#: faster than the calm state; dwell times are exponential with these
+#: means.  Rates are scaled so the *long-run* mean equals ``rate_hz``.
+BURSTY_FACTOR = 4.0
+BURSTY_CALM_DWELL_S = 4.0
+BURSTY_BURST_DWELL_S = 1.0
+
+#: Diurnal shape: one sinusoidal "day" per minute of simulated time (long
+#: enough to see both phases inside a short serve run), swinging the
+#: instantaneous rate by ±80 % around ``rate_hz``.
+DIURNAL_PERIOD_S = 60.0
+DIURNAL_AMPLITUDE = 0.8
+
+
+@register_load_pattern("bursty")
+def _bursty(spec: LoadSpec, stream_index: int, sequence: Sequence, rng) -> np.ndarray:
+    """Two-state Markov-modulated Poisson process (bursty traffic).
+
+    The stream alternates between a calm and a burst state (exponential
+    dwell times); within each state arrivals are Poisson at that state's
+    rate.  Camera fleets behave like this — rush hour and quiet night
+    are different regimes, not one homogeneous rate — and it is the
+    classic stress test for admission control: the long-run offered rate
+    equals ``rate_hz``, but bursts transiently exceed it by
+    ``BURSTY_FACTOR`` and fill queues that a Poisson load of the same
+    mean never would.
+    """
+    frames = spec.stream_frames(sequence)
+    # Stationary occupancy is proportional to dwell time; solve the calm
+    # rate so the stationary mean is exactly rate_hz.
+    p_calm = BURSTY_CALM_DWELL_S / (BURSTY_CALM_DWELL_S + BURSTY_BURST_DWELL_S)
+    calm_rate = spec.rate_hz / (p_calm + (1.0 - p_calm) * BURSTY_FACTOR)
+    burst_rate = calm_rate * BURSTY_FACTOR
+    arrivals = np.empty(frames, dtype=np.float64)
+    t = 0.0
+    in_burst = rng.random() < (1.0 - p_calm)  # start in the stationary mix
+    state_end = t + rng.exponential(
+        BURSTY_BURST_DWELL_S if in_burst else BURSTY_CALM_DWELL_S
+    )
+    emitted = 0
+    while emitted < frames:
+        gap = rng.exponential(1.0 / (burst_rate if in_burst else calm_rate))
+        if t + gap >= state_end:
+            # Jump to the state boundary and redraw — valid because the
+            # exponential is memoryless.
+            t = state_end
+            in_burst = not in_burst
+            state_end = t + rng.exponential(
+                BURSTY_BURST_DWELL_S if in_burst else BURSTY_CALM_DWELL_S
+            )
+            continue
+        t += gap
+        arrivals[emitted] = t
+        emitted += 1
+    return arrivals
+
+
+@register_load_pattern("diurnal")
+def _diurnal(spec: LoadSpec, stream_index: int, sequence: Sequence, rng) -> np.ndarray:
+    """Sinusoidal-rate Poisson arrivals (a compressed day/night cycle).
+
+    A non-homogeneous Poisson process with instantaneous rate
+    ``rate_hz * (1 + DIURNAL_AMPLITUDE * sin(2*pi*t / DIURNAL_PERIOD_S))``,
+    generated by thinning against the peak rate.  Streams are phase-
+    aligned (every camera sees the same day), so the fleet-wide load
+    swings coherently — the autoscaling scenario ``repro serve --tune``
+    provisions for.
+    """
+    frames = spec.stream_frames(sequence)
+    peak = spec.rate_hz * (1.0 + DIURNAL_AMPLITUDE)
+    arrivals = np.empty(frames, dtype=np.float64)
+    t = 0.0
+    emitted = 0
+    while emitted < frames:
+        t += rng.exponential(1.0 / peak)
+        rate = spec.rate_hz * (
+            1.0 + DIURNAL_AMPLITUDE * np.sin(2.0 * np.pi * t / DIURNAL_PERIOD_S)
+        )
+        if rng.random() * peak <= rate:
+            arrivals[emitted] = t
+            emitted += 1
+    return arrivals

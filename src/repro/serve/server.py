@@ -113,18 +113,67 @@ class ServiceModel:
     exists because of that first term: a batch of N frames pays it once
     instead of N times.
 
+    Since the unified cost layer (:mod:`repro.cost`) every service time
+    is computed by a :class:`~repro.cost.CostModel`.  The preferred
+    construction is :meth:`for_device` (or just ``ServiceModel()``,
+    which calibrates from the ``"abstract"`` profile): the model then
+    carries its device provenance, uses the *full* profile — including
+    per-frame CPU overhead — and its displayed rates are derived, never
+    invented.  Explicit ``invocation_overhead_ms`` / ``gops_per_second``
+    values remain supported for ad-hoc what-if models, but such a model
+    records ``device=None`` and cannot be combined with a device-naming
+    spec (the spec layer rejects the pair as contradictory).
+
     Parameters
     ----------
     invocation_overhead_ms:
-        Fixed cost charged per batched detector invocation.
+        Fixed cost charged per batched detector invocation (``None``
+        derives it from the device profile).
     gops_per_second:
-        Sustained accelerator throughput the MAC volume is divided by.
+        Sustained accelerator throughput the MAC volume is costed at
+        (``None`` derives it from the device profile).
+    device:
+        Registered :data:`repro.cost.DEVICE_PROFILES` name this model is
+        calibrated from; ``None`` marks explicit uncalibrated rates.
     """
 
-    invocation_overhead_ms: float = 2.0
-    gops_per_second: float = 2000.0
+    invocation_overhead_ms: Optional[float] = None
+    gops_per_second: Optional[float] = None
+    device: Optional[str] = None
 
     def __post_init__(self) -> None:
+        from repro.cost import get_device
+
+        explicit = (
+            self.invocation_overhead_ms is not None
+            or self.gops_per_second is not None
+        )
+        if self.device is None and not explicit:
+            object.__setattr__(self, "device", "abstract")
+        if self.device is not None:
+            profile = get_device(self.device)  # raises for unknown names
+            for name, derived in (
+                ("invocation_overhead_ms", profile.invocation_overhead_ms),
+                ("gops_per_second", profile.gops_per_second),
+            ):
+                value = getattr(self, name)
+                if value is None:
+                    object.__setattr__(self, name, derived)
+                elif value != derived:
+                    raise ValueError(
+                        f"{name}={value} contradicts device {self.device!r} "
+                        f"(its calibrated value is {derived}); pass explicit "
+                        f"rates or a device, not both"
+                    )
+        else:
+            from repro.cost import ABSTRACT
+
+            if self.invocation_overhead_ms is None:
+                object.__setattr__(
+                    self, "invocation_overhead_ms", ABSTRACT.invocation_overhead_ms
+                )
+            if self.gops_per_second is None:
+                object.__setattr__(self, "gops_per_second", ABSTRACT.gops_per_second)
         if self.invocation_overhead_ms < 0:
             raise ValueError(
                 f"invocation_overhead_ms must be >= 0, got {self.invocation_overhead_ms}"
@@ -133,18 +182,45 @@ class ServiceModel:
             raise ValueError(
                 f"gops_per_second must be positive, got {self.gops_per_second}"
             )
+        # batch_seconds sits in the simulator's per-batch hot loop: build
+        # the cost model once, not per call.  Not a dataclass field, so
+        # equality/repr/serialization are untouched.
+        from repro.cost import CostModel, get_device, profile_from_service_rates
 
-    def batch_seconds(self, invocations: int, macs: float) -> float:
-        """Service time of one batch from measured invocations + MACs."""
-        return (
-            invocations * self.invocation_overhead_ms / 1e3
-            + macs / (self.gops_per_second * 1e9)
-        )
+        if self.device is not None:
+            cost = CostModel(get_device(self.device))
+        else:
+            cost = CostModel(
+                profile_from_service_rates(
+                    self.invocation_overhead_ms, self.gops_per_second
+                )
+            )
+        object.__setattr__(self, "_cost_model", cost)
+
+    @classmethod
+    def for_device(cls, device: str) -> "ServiceModel":
+        """A service model calibrated from a registered device profile."""
+        from repro.cost import get_device
+
+        return cls(device=get_device(device).name)
+
+    def cost_model(self):
+        """The :class:`~repro.cost.CostModel` service times come from."""
+        return self._cost_model
+
+    def batch_seconds(self, invocations: int, macs: float, frames: int = 0) -> float:
+        """Service time of one batch from measured invocations + MACs.
+
+        ``frames`` (the batch's frame count) charges the profile's
+        per-frame CPU overhead; zero for uncalibrated explicit rates.
+        """
+        return self._cost_model.batch_seconds(invocations, macs, frames)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
             "invocation_overhead_ms": self.invocation_overhead_ms,
             "gops_per_second": self.gops_per_second,
+            "device": self.device,
         }
 
     @classmethod
@@ -301,6 +377,11 @@ class DetectionServer:
         gets its own tracker state.
     policy / service:
         Admission/batching knobs and the accelerator timing model.
+    device:
+        Shorthand for ``service=ServiceModel.for_device(device)``; passing
+        both an explicit ``service`` and a ``device`` is an error (an
+        uncalibrated service model would silently disagree with the
+        profile).  With neither, the ``"abstract"`` profile applies.
     """
 
     def __init__(
@@ -308,8 +389,17 @@ class DetectionServer:
         system: Union[SystemConfig, DetectionSystem],
         *,
         policy: ServePolicy = ServePolicy(),
-        service: ServiceModel = ServiceModel(),
+        service: Optional[ServiceModel] = None,
+        device: Optional[str] = None,
     ):
+        if service is None:
+            service = ServiceModel.for_device(device or "abstract")
+        elif device is not None and device != service.device:
+            raise ValueError(
+                f"DetectionServer got both an explicit service model and "
+                f"device={device!r}; pass one or the other "
+                f"(use ServiceModel.for_device({device!r}))"
+            )
         self.system = build_system(system) if isinstance(system, SystemConfig) else system
         self.policy = policy
         self.service = service
@@ -423,7 +513,7 @@ class DetectionServer:
             for item in batch:
                 queue.remove(item)
             _, batch_inv, macs = self._execute(batch)
-            service = self.service.batch_seconds(batch_inv, macs)
+            service = self.service.batch_seconds(batch_inv, macs, len(batch))
             completion = now + service
             batches += 1
             invocations += batch_inv

@@ -1,0 +1,176 @@
+"""Closed-loop policy tuning: sweep batching knobs, pick the SLO-optimal one.
+
+The serving simulator is deterministic and content-addressed, which makes
+policy search nearly free: every ``(max_batch_size, max_wait_ms)`` grid
+point is one :class:`~repro.api.spec.ServeSpec` with its own fingerprint,
+so :meth:`repro.api.session.Session.serve` computes each operating point
+once and serves every revisit — including a whole re-tune — from the
+cache.  :func:`tune_policy` sweeps the grid and reports the *cheapest*
+feasible policy:
+
+* **feasible** — the fleet p99 end-to-end latency meets the target *and*
+  nothing was shed (shed frames have no latency; dropping load to pass an
+  SLO is not a win);
+* **cheapest** — least modeled engine-busy time (``compute_seconds``),
+  i.e. most headroom on the same device; ties break toward lower p99,
+  then smaller batches and shorter waits.
+
+Surfaced on the CLI as ``repro serve --tune --slo-p99-ms <target>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Sequence as Seq
+
+from repro.api.spec import ServeSpec
+from repro.serve.server import ServeReport
+
+#: Default sweep grids: batch depths in powers of two, coalescing windows
+#: from "dispatch immediately" to a generous 50 ms.
+DEFAULT_BATCH_SIZES = (1, 2, 4, 8)
+DEFAULT_MAX_WAITS_MS = (0.0, 10.0, 25.0, 50.0)
+
+
+@dataclass(frozen=True)
+class PolicyCandidate:
+    """One evaluated grid point of a tuning sweep."""
+
+    spec: ServeSpec
+    report: ServeReport
+    feasible: bool
+
+    @property
+    def p99_ms(self) -> float:
+        return float(self.report.slo["fleet"]["p99_ms"])
+
+    @property
+    def cost_seconds(self) -> float:
+        """Modeled engine-busy seconds — the "price" of this policy."""
+        return self.report.compute_seconds
+
+    def sort_key(self):
+        policy = self.spec.policy
+        return (
+            self.cost_seconds,
+            self.p99_ms,
+            policy.max_batch_size,
+            policy.max_wait_ms,
+        )
+
+
+@dataclass
+class TuneResult:
+    """Outcome of one tuning sweep.
+
+    ``best`` is ``None`` when no grid point met the target — the load is
+    infeasible on this device at any swept policy (shed load, saturated
+    engine), which is itself the tuner's most valuable answer.
+    """
+
+    slo_p99_ms: float
+    candidates: List[PolicyCandidate]
+    best: Optional[PolicyCandidate]
+
+    def format(self) -> str:
+        """Human-readable sweep table plus the verdict."""
+        from repro.harness.tables import format_table
+
+        rows = []
+        for cand in self.candidates:
+            policy = cand.spec.policy
+            marker = ""
+            if cand is self.best:
+                marker = "<= best"
+            elif cand.feasible:
+                marker = "ok"
+            rows.append(
+                [
+                    policy.max_batch_size,
+                    policy.max_wait_ms,
+                    cand.p99_ms,
+                    cand.report.frames_shed,
+                    cand.cost_seconds,
+                    cand.report.throughput_fps,
+                    marker,
+                ]
+            )
+        table = format_table(
+            ["batch", "wait(ms)", "p99(ms)", "shed", "busy(s)", "fps", ""],
+            rows,
+            precision=1,
+            title=f"Policy sweep — SLO p99 <= {self.slo_p99_ms:.0f} ms",
+        )
+        if self.best is None:
+            verdict = (
+                f"no swept policy meets p99 <= {self.slo_p99_ms:.0f} ms — "
+                "the offered load is infeasible on this device"
+            )
+        else:
+            policy = self.best.spec.policy
+            verdict = (
+                f"best policy: max_batch_size={policy.max_batch_size}, "
+                f"max_wait_ms={policy.max_wait_ms:g} "
+                f"(p99 {self.best.p99_ms:.1f} ms, "
+                f"engine busy {self.best.cost_seconds:.3f}s)"
+            )
+        return f"{table}\n{verdict}"
+
+
+def tune_policy(
+    session,
+    spec: ServeSpec,
+    *,
+    slo_p99_ms: float,
+    batch_sizes: Seq[int] = DEFAULT_BATCH_SIZES,
+    max_waits_ms: Seq[float] = DEFAULT_MAX_WAITS_MS,
+    use_cache: bool = True,
+    on_progress: Optional[Callable[[int, int, str], None]] = None,
+) -> TuneResult:
+    """Sweep ``(max_batch_size, max_wait_ms)`` and pick the SLO-optimal policy.
+
+    Every grid point is ``spec`` with only its batching knobs replaced;
+    all other sections (system, dataset, load, device/service, admission
+    and shedding) are held fixed, and each point routes through
+    ``session.serve`` — so revisited points, including a full re-tune,
+    are pure cache hits.
+
+    Parameters
+    ----------
+    session:
+        A :class:`repro.api.session.Session` (supplies the report cache).
+    spec:
+        The base deployment to tune.
+    slo_p99_ms:
+        Feasibility target for the fleet p99 end-to-end latency.
+    batch_sizes / max_waits_ms:
+        The grid axes.
+    on_progress:
+        Optional ``callback(done, total, label)`` per evaluated point.
+    """
+    if slo_p99_ms <= 0:
+        raise ValueError(f"slo_p99_ms must be positive, got {slo_p99_ms}")
+    if not batch_sizes or not max_waits_ms:
+        raise ValueError("batch_sizes and max_waits_ms must be non-empty")
+    grid = [
+        (int(batch), float(wait)) for batch in batch_sizes for wait in max_waits_ms
+    ]
+    candidates: List[PolicyCandidate] = []
+    for i, (batch, wait) in enumerate(grid):
+        point = replace(
+            spec,
+            policy=replace(spec.policy, max_batch_size=batch, max_wait_ms=wait),
+        )
+        report = session.serve(point, use_cache=use_cache)
+        feasible = (
+            float(report.slo["fleet"]["p99_ms"]) <= slo_p99_ms
+            and report.frames_shed == 0
+        )
+        candidates.append(
+            PolicyCandidate(spec=point, report=report, feasible=feasible)
+        )
+        if on_progress is not None:
+            on_progress(i + 1, len(grid), f"batch={batch} wait={wait:g}ms")
+    feasible = [c for c in candidates if c.feasible]
+    best = min(feasible, key=PolicyCandidate.sort_key) if feasible else None
+    return TuneResult(slo_p99_ms=slo_p99_ms, candidates=candidates, best=best)

@@ -103,6 +103,27 @@ class TestFingerprint:
         spec = _rich_spec()
         assert spec.fingerprint == ExperimentSpec.from_json(spec.to_json()).fingerprint
 
+    def test_device_changes_fingerprint(self):
+        # The modeled device changes the reported timing column, so the
+        # same system on different devices must not share a cache entry.
+        spec = ExperimentSpec(SystemConfig("catdet", "resnet50", "resnet10a"))
+        titanx = spec.with_device("titanx")
+        assert titanx.device == "titanx"
+        assert titanx.fingerprint != spec.fingerprint
+        assert titanx.with_device(None).fingerprint == spec.fingerprint
+
+    def test_device_round_trips(self):
+        spec = ExperimentSpec(
+            SystemConfig("single", "resnet50", device="abstract")
+        )
+        again = ExperimentSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.device == "abstract"
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(ValueError, match="unknown device"):
+            SystemConfig("single", "resnet50", device="warp-core")
+
 
 class TestConfigDictRoundTrip:
     def test_round_trip_preserves_every_field(self):

@@ -158,6 +158,57 @@ class TestServeCommands:
             main(["serve", "single", "resnet10a", "--shed", "coinflip"])
 
 
+class TestCostModelCommands:
+    def test_run_device_reports_modeled_latency(self, capsys):
+        assert main(["run", "catdet", "resnet50", "resnet10a", *TINY_RUN,
+                     "--device", "titanx"]) == 0
+        out = capsys.readouterr().out
+        assert "modeled latency on titanx" in out
+        assert "ms/frame" in out and "fps" in out
+
+    def test_table7_prints_paper_comparison(self, capsys):
+        assert main(["table7", "--frames", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 7" in out and "titanx" in out
+        assert "Res50 Faster R-CNN" in out and "CaTDet" in out
+        assert "speedup" in out
+
+    def test_serve_accepts_device(self, capsys):
+        assert main(["serve", "catdet", "resnet50", "resnet10a",
+                     *SERVE_TINY, "--device", "titanx"]) == 0
+        assert "Serving report" in capsys.readouterr().out
+
+    def test_serve_device_conflicts_with_explicit_rates(self, capsys):
+        assert main(["serve", "catdet", "resnet50", "resnet10a",
+                     *SERVE_TINY, "--device", "titanx", "--gops", "100"]) == 2
+        assert "explicit service model" in capsys.readouterr().err
+
+    def test_serve_tune_requires_target(self, capsys):
+        assert main(["serve", "catdet", "resnet50", "resnet10a",
+                     *SERVE_TINY, "--tune"]) == 2
+        assert "--slo-p99-ms" in capsys.readouterr().err
+
+    def test_serve_tune_picks_policy(self, tmp_path, capsys):
+        argv = ["serve", "catdet", "resnet50", "resnet10a", *SERVE_TINY,
+                "--rate", "3", "--overhead-ms", "50", "--gops", "1000000",
+                "--tune", "--slo-p99-ms", "2000",
+                "--batch-grid", "1,8", "--wait-grid", "0",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Policy sweep" in out and "best policy" in out
+        # Re-tune: every grid point must come back from the cache.
+        assert main(argv) == 0
+        assert "0 miss(es)" in capsys.readouterr().out
+
+    def test_loadgen_bursty_pattern(self, tmp_path, capsys):
+        out_file = tmp_path / "bursty.json"
+        assert main(["loadgen", *SERVE_TINY, "--pattern", "bursty",
+                     "--out", str(out_file)]) == 0
+        assert "bursty load" in capsys.readouterr().out
+        assert json.loads(out_file.read_text())["load"]["pattern"] == "bursty"
+
+
 class TestParser:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):

@@ -329,6 +329,66 @@ class TestLoadgen:
             LoadSpec.from_dict({"pattern": "poisson", "bogus": 1})
 
 
+class TestTrafficModels:
+    """Bursty (two-state MMPP) and diurnal (sinusoidal-rate) arrivals."""
+
+    @pytest.mark.parametrize("pattern", ["bursty", "diurnal"])
+    def test_registered_and_deterministic(self, pattern, kitti_small):
+        load = LoadSpec(pattern=pattern, num_streams=3, rate_hz=12.0,
+                        frames_per_stream=30, seed=11)
+        a = generate_load(load, kitti_small)
+        b = generate_load(load, kitti_small)
+        assert [(r.stream, r.frame, r.arrival) for r in a] == [
+            (r.stream, r.frame, r.arrival) for r in b
+        ]
+        # Per-stream counts and causal order hold like any other pattern.
+        per_stream = {}
+        for r in a:
+            per_stream.setdefault(r.stream, []).append(r)
+        assert all(len(rs) == 30 for rs in per_stream.values())
+        for rs in per_stream.values():
+            arrivals = [r.arrival for r in rs]
+            assert arrivals == sorted(arrivals)
+            assert all(t > 0 for t in arrivals)
+
+    @pytest.mark.parametrize("pattern", ["bursty", "diurnal"])
+    def test_seed_and_stream_independence(self, pattern, kitti_small):
+        base = LoadSpec(pattern=pattern, num_streams=2, frames_per_stream=25, seed=0)
+        reseeded = LoadSpec(pattern=pattern, num_streams=2, frames_per_stream=25, seed=1)
+        a = generate_load(base, kitti_small)
+        b = generate_load(reseeded, kitti_small)
+        assert [r.arrival for r in a] != [r.arrival for r in b]
+        # Adding a stream never perturbs existing streams' schedules.
+        widened = LoadSpec(pattern=pattern, num_streams=3,
+                           frames_per_stream=25, seed=0)
+        c = generate_load(widened, kitti_small)
+        for stream in {r.stream for r in a}:
+            assert [r.arrival for r in a if r.stream == stream] == [
+                r.arrival for r in c if r.stream == stream
+            ]
+
+    def test_bursty_is_burstier_than_poisson(self, kitti_small):
+        """The MMPP's inter-arrival dispersion exceeds the memoryless
+        baseline: squared coefficient of variation > 1 for an MMPP, == 1
+        in expectation for Poisson."""
+        import numpy as np
+
+        def scv(pattern):
+            load = LoadSpec(pattern=pattern, num_streams=1, rate_hz=20.0,
+                            frames_per_stream=60, seed=3)
+            gaps = np.diff([r.arrival for r in generate_load(load, kitti_small)])
+            return np.var(gaps) / np.mean(gaps) ** 2
+
+        assert scv("bursty") > scv("poisson")
+
+    @pytest.mark.parametrize("pattern", ["bursty", "diurnal"])
+    def test_served_end_to_end(self, pattern, kitti_small):
+        load = LoadSpec(pattern=pattern, num_streams=2, rate_hz=8.0,
+                        frames_per_stream=10, seed=2)
+        report = DetectionServer(CATDET).run(generate_load(load, kitti_small))
+        assert report.frames_served + report.frames_shed == 20
+
+
 class TestServeSpec:
     def _spec(self):
         return ServeSpec(
@@ -374,6 +434,83 @@ class TestServeSpec:
             ServePolicy(shed_policy="coinflip")
         with pytest.raises(ValueError, match="gops"):
             ServiceModel(gops_per_second=0.0)
+
+
+class TestDeviceCalibration:
+    """One accelerator description per spec: device XOR explicit rates."""
+
+    def test_default_service_is_calibrated_from_abstract(self):
+        model = ServiceModel()
+        assert model.device == "abstract"
+        assert model.invocation_overhead_ms == 2.0
+        assert model.gops_per_second == 2000.0
+        spec = ServeSpec(system=CATDET)
+        assert spec.device == "abstract"
+        assert spec.service == model
+
+    def test_device_spec_round_trips_with_fingerprint(self):
+        spec = ServeSpec(system=CATDET, device="titanx")
+        assert spec.service.device == "titanx"
+        again = ServeSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.fingerprint == spec.fingerprint
+
+    def test_fingerprint_changes_on_device(self):
+        base = ServeSpec(system=CATDET)
+        titanx = ServeSpec(system=CATDET, device="titanx")
+        assert base.fingerprint != titanx.fingerprint
+
+    def test_explicit_service_plus_device_raises(self):
+        with pytest.raises(ValueError, match="both an explicit service model"):
+            ServeSpec(system=CATDET, service=FAST_ACCEL, device="titanx")
+        with pytest.raises(ValueError, match="both an explicit service model"):
+            DetectionServer(CATDET, service=FAST_ACCEL, device="titanx")
+        with pytest.raises(ValueError, match="contradicts device"):
+            ServiceModel(device="titanx", gops_per_second=123.0)
+
+    def test_unknown_device_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="titanx"):
+            ServeSpec(system=CATDET, device="tpu-v9")
+
+    def test_system_device_flows_into_service_model(self):
+        config = SystemConfig(
+            "catdet", "resnet50", "resnet10a",
+            detailed_ops=False, device="titanx",
+        )
+        spec = ServeSpec(system=config)
+        assert spec.device == "titanx"
+        assert spec.service.device == "titanx"
+
+    def test_device_profile_charges_cpu_per_frame(self):
+        from repro.cost import TITANX
+
+        model = ServiceModel.for_device("titanx")
+        without_frames = model.batch_seconds(2, 1e9)
+        with_frames = model.batch_seconds(2, 1e9, frames=4)
+        assert with_frames - without_frames == pytest.approx(
+            4 * TITANX.cpu_frame_overhead
+        )
+        # Uncalibrated explicit rates model no CPU side (legacy behavior).
+        assert FAST_ACCEL.batch_seconds(2, 1e9, frames=4) == pytest.approx(
+            FAST_ACCEL.batch_seconds(2, 1e9)
+        )
+
+    def test_titanx_serving_report_is_deterministic(self, kitti_small, tmp_path):
+        from repro.api.session import Session
+
+        spec = ServeSpec(
+            system=CATDET,
+            dataset=DatasetSpec("kitti", num_sequences=2, frames_per_sequence=30),
+            load=LoadSpec(pattern="uniform", num_streams=2, rate_hz=4.0,
+                          frames_per_stream=8),
+            device="titanx",
+        )
+        session = Session(cache_dir=tmp_path)
+        fresh = session.serve(spec)
+        cached = session.serve(spec)
+        assert session.cache_hits == 1
+        assert fresh.to_dict() == cached.to_dict()
+        assert cached.service.device == "titanx"
 
 
 class TestReport:

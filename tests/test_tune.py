@@ -1,0 +1,129 @@
+"""Closed-loop policy tuning tests (``repro serve --tune``).
+
+The scenario is the regime micro-batching exists for: a device with a
+large per-invocation overhead (50 ms) under a load that saturates the
+unbatched server.  Batch-size 1 policies blow the p99 target, batch-8
+policies meet it — the tuner must pick a feasible point, report the
+infeasible ones as such, and serve a complete re-tune from the cache.
+"""
+
+import pytest
+
+from repro.api.session import Session
+from repro.api.spec import DatasetSpec, ServeSpec
+from repro.core.config import SystemConfig
+from repro.serve import LoadSpec, ServePolicy, ServiceModel
+from repro.serve.tune import tune_policy
+
+SLO_P99_MS = 300.0
+BATCH_GRID = (1, 8)
+WAIT_GRID = (0.0, 40.0)
+
+
+def _base_spec():
+    return ServeSpec(
+        system=SystemConfig("catdet", "resnet50", "resnet10a", detailed_ops=False),
+        dataset=DatasetSpec("kitti", num_sequences=2, frames_per_sequence=20),
+        load=LoadSpec(
+            pattern="uniform", num_streams=2, rate_hz=10.0, frames_per_stream=15
+        ),
+        policy=ServePolicy(slo_ms=500.0),
+        # Overhead-dominated accelerator: unbatched service costs 100 ms
+        # per frame against a 100 ms per-stream inter-arrival — saturated.
+        service=ServiceModel(invocation_overhead_ms=50.0, gops_per_second=1e6),
+    )
+
+
+@pytest.fixture(scope="module")
+def tuned(tmp_path_factory):
+    session = Session(cache_dir=tmp_path_factory.mktemp("tune-cache"))
+    result = session.tune_serve(
+        _base_spec(),
+        slo_p99_ms=SLO_P99_MS,
+        batch_sizes=BATCH_GRID,
+        max_waits_ms=WAIT_GRID,
+    )
+    return session, result
+
+
+class TestTunePolicy:
+    def test_best_meets_slo_and_rejected_does_not(self, tuned):
+        _, result = tuned
+        assert result.best is not None
+        assert result.best.feasible
+        assert result.best.p99_ms <= SLO_P99_MS
+        assert result.best.report.frames_shed == 0
+        rejected = [c for c in result.candidates if not c.feasible]
+        assert rejected, "the grid must contain an infeasible policy"
+        assert all(c.p99_ms > SLO_P99_MS for c in rejected)
+        # The saturating unbatched policies are the infeasible ones.
+        assert {c.spec.policy.max_batch_size for c in rejected} == {1}
+        assert result.best.spec.policy.max_batch_size == 8
+
+    def test_best_is_cheapest_feasible(self, tuned):
+        _, result = tuned
+        feasible = [c for c in result.candidates if c.feasible]
+        assert result.best.cost_seconds == min(c.cost_seconds for c in feasible)
+
+    def test_grid_covers_all_points(self, tuned):
+        _, result = tuned
+        points = {
+            (c.spec.policy.max_batch_size, c.spec.policy.max_wait_ms)
+            for c in result.candidates
+        }
+        assert points == {(b, w) for b in BATCH_GRID for w in WAIT_GRID}
+
+    def test_retune_is_pure_cache_hits(self, tuned):
+        session, first = tuned
+        hits_before = session.cache_hits
+        misses_before = session.cache_misses
+        again = session.tune_serve(
+            _base_spec(),
+            slo_p99_ms=SLO_P99_MS,
+            batch_sizes=BATCH_GRID,
+            max_waits_ms=WAIT_GRID,
+        )
+        assert session.cache_misses == misses_before  # zero new computes
+        assert session.cache_hits == hits_before + len(first.candidates)
+        assert again.best.spec.fingerprint == first.best.spec.fingerprint
+        assert again.best.report.to_dict() == first.best.report.to_dict()
+
+    def test_format_names_best_policy(self, tuned):
+        _, result = tuned
+        text = result.format()
+        assert "Policy sweep" in text
+        assert "best policy: max_batch_size=8" in text
+
+    def test_infeasible_everywhere_returns_none(self, tuned):
+        session, _ = tuned
+        result = tune_policy(
+            session,
+            _base_spec(),
+            slo_p99_ms=1.0,  # nothing meets 1 ms end-to-end
+            batch_sizes=BATCH_GRID,
+            max_waits_ms=WAIT_GRID,
+        )
+        assert result.best is None
+        assert "infeasible" in result.format()
+
+    def test_validation(self, tuned):
+        session, _ = tuned
+        with pytest.raises(ValueError, match="slo_p99_ms"):
+            tune_policy(session, _base_spec(), slo_p99_ms=0.0)
+        with pytest.raises(ValueError, match="non-empty"):
+            tune_policy(
+                session, _base_spec(), slo_p99_ms=100.0, batch_sizes=()
+            )
+
+    def test_progress_callback_fires_per_point(self, tuned):
+        session, _ = tuned
+        seen = []
+        tune_policy(
+            session,
+            _base_spec(),
+            slo_p99_ms=SLO_P99_MS,
+            batch_sizes=BATCH_GRID,
+            max_waits_ms=WAIT_GRID,
+            on_progress=lambda done, total, label: seen.append((done, total)),
+        )
+        assert seen == [(i + 1, 4) for i in range(4)]
