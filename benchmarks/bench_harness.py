@@ -1,0 +1,31 @@
+"""Runnable perf-trajectory harness: ``python benchmarks/bench_harness.py``.
+
+Thin wrapper over :mod:`repro.bench` (the library behind ``repro bench``).
+Runs every registered system plus the vectorized-vs-scalar kernel
+micro-benchmarks and writes the next ``BENCH_<n>.json`` at the repository
+root, so the committed file sequence records the project's performance
+trajectory over time.
+
+Flags are shared with the CLI subcommand; ``--help`` lists them.  Typical
+invocations::
+
+    python benchmarks/bench_harness.py                # full run, write entry
+    python benchmarks/bench_harness.py --quick --check   # CI smoke + gate
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.__main__ import main  # noqa: E402
+
+
+if __name__ == "__main__":
+    argv = sys.argv[1:]
+    if not any(a.startswith("--output-dir") for a in argv):
+        argv = ["--output-dir", str(REPO_ROOT)] + argv
+    sys.exit(main(["bench"] + argv))

@@ -62,7 +62,7 @@ from repro.cost import (
     DeviceProfile,
     register_device,
 )
-from repro.detections import Detections
+from repro.detections import Detections, DetectionsBuffer
 from repro.engine import (
     FrameRef,
     ParallelExecutor,
@@ -114,6 +114,7 @@ __all__ = [
     "DeviceProfile",
     "register_device",
     "Detections",
+    "DetectionsBuffer",
     "FrameRef",
     "ParallelExecutor",
     "SerialExecutor",

@@ -14,6 +14,9 @@ Commands
 ``worker``              drain a shared cluster work queue (multi-host execution)
 ``dispatch``            shard a spec grid across the worker fleet
 ``cache``               inspect/prune the content-addressed result cache
+``bench``               performance harness: systems fps + kernel speedups,
+                        appended as ``BENCH_<n>.json`` (``--check`` gates
+                        the speedup ratios against the committed baseline)
 
 Every run-like command accepts ``--cache-dir`` (default: the
 ``REPRO_CACHE_DIR`` environment variable) to serve revisited operating
@@ -609,6 +612,66 @@ def cmd_cache(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled cache command {args.cache_command!r}")
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the perf harness; write the next BENCH_<n>.json trajectory entry.
+
+    The baseline for ``--check`` is the highest-index committed entry in
+    the output directory *before* this run's file is written, so CI can
+    write (and upload) the fresh entry and still gate against the
+    committed one.
+    """
+    from pathlib import Path
+
+    from repro.bench import (
+        REGRESSION_TOLERANCE,
+        check_regression,
+        latest_bench,
+        run_bench,
+        write_bench,
+    )
+
+    root = Path(args.output_dir)
+    on_progress = None
+    if getattr(args, "progress", False):
+        def on_progress(label: str) -> None:
+            print(f"[bench] {label}", file=sys.stderr, flush=True)
+
+    baseline = latest_bench(root)
+    payload = run_bench(
+        quick=args.quick, num_tracks=args.tracks, on_progress=on_progress
+    )
+
+    rows = [
+        [name, f"{s['fps']:.1f}", str(s["frames"])]
+        for name, s in payload["systems"].items()
+    ]
+    print(format_table(["system", "fps", "frames"], rows, title="systems"))
+    rows = [
+        [name, f"{k['speedup']:.2f}x"] for name, k in payload["kernels"].items()
+    ]
+    print(format_table(["kernel", "vectorized/scalar"], rows, title="kernels"))
+
+    if not args.no_write:
+        path = write_bench(root, payload)
+        print(f"wrote {path}")
+
+    if args.check:
+        if baseline is None:
+            print("no committed BENCH_*.json baseline; nothing to check")
+            return 0
+        index, base_payload = baseline
+        failures = check_regression(payload, base_payload)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"gated speedups within {REGRESSION_TOLERANCE:.0%} "
+            f"of BENCH_{index}.json"
+        )
+    return 0
+
+
 def _workers_count(value: str) -> int:
     workers = int(value)
     if workers < 0:
@@ -850,6 +913,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--older-than", type=_parse_age, required=True,
         help="age threshold: 45s, 30m, 12h, 7d or plain seconds",
     )
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="perf harness: systems fps + kernel speedups -> BENCH_<n>.json",
+    )
+    bench_p.add_argument(
+        "--quick", action="store_true",
+        help="reduced frames and repeats (CI smoke; noisier numbers)",
+    )
+    bench_p.add_argument(
+        "--tracks", type=int, default=60,
+        help="concurrent tracks in the tracker kernel benchmarks",
+    )
+    bench_p.add_argument(
+        "--output-dir", default=".",
+        help="directory holding the BENCH_<n>.json trajectory (default: cwd; "
+        "the baseline for --check is read from here before writing)",
+    )
+    bench_p.add_argument(
+        "--no-write", action="store_true",
+        help="print the summary without writing a BENCH file",
+    )
+    bench_p.add_argument(
+        "--check", action="store_true",
+        help="exit 1 if a gated speedup ratio drops more than the tolerance "
+        "below the committed baseline entry",
+    )
+    _add_progress_flag(bench_p)
+    bench_p.set_defaults(func=cmd_bench)
     return parser
 
 

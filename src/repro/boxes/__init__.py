@@ -23,6 +23,7 @@ from repro.boxes.iou import iou_matrix, iou_pairwise, ioa_matrix
 from repro.boxes.nms import nms, class_aware_nms, soft_nms
 from repro.boxes.mask import RegionMask, boxes_coverage_fraction
 from repro.boxes.merge import greedy_merge_boxes, MergeCostModel
+from repro.boxes.reference import scalar_greedy_merge_boxes, scalar_nms
 from repro.boxes.anchors import (
     AnchorCoverage,
     anchor_coverage,
@@ -53,6 +54,8 @@ __all__ = [
     "boxes_coverage_fraction",
     "greedy_merge_boxes",
     "MergeCostModel",
+    "scalar_greedy_merge_boxes",
+    "scalar_nms",
     "AnchorCoverage",
     "anchor_coverage",
     "anchor_shapes",

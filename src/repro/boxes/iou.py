@@ -1,38 +1,85 @@
-"""Vectorized Intersection-over-Union computations."""
+"""Vectorized Intersection-over-Union computations.
+
+All pairwise kernels share the same structure: broadcast the coordinate
+extrema, clamp negative overlaps to zero, and guard the degenerate
+zero-area denominators explicitly (``np.divide(..., where=valid)`` over a
+zero-filled result — no division ever executes on a degenerate pair).
+Empty inputs short-circuit before any ``(N, M)`` broadcast is built.
+
+:func:`iou_matrix` additionally accepts a preallocated ``out`` buffer so
+per-frame hot paths (NMS runs once or twice per frame per class) can
+reuse one growing scratch matrix instead of reallocating ``(N, N)``
+arrays every call.
+"""
 
 from __future__ import annotations
+
+from typing import Optional
 
 import numpy as np
 
 from repro.boxes.box import area
 
 
-def iou_matrix(boxes_a: np.ndarray, boxes_b: np.ndarray) -> np.ndarray:
+def iou_matrix(
+    boxes_a: np.ndarray,
+    boxes_b: np.ndarray,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
     """Pairwise IoU between two box sets.
 
     Parameters
     ----------
     boxes_a : (N, 4) array
     boxes_b : (M, 4) array
+    out : optional C-contiguous float64 array with at least N * M elements
+        In-place variant: the result is written into the buffer's first
+        ``N * M`` elements (viewed as a contiguous ``(N, M)`` block — not
+        ``out[:N, :M]``, which would be a strided view) and no ``(N, M)``
+        allocation happens.
 
     Returns
     -------
-    (N, M) array of IoU values in [0, 1].  Degenerate boxes yield IoU 0.
+    (N, M) array of IoU values in [0, 1].  Degenerate boxes (zero-area
+    union) yield IoU 0 without ever dividing by zero.
     """
     a = np.asarray(boxes_a, dtype=np.float64).reshape(-1, 4)
     b = np.asarray(boxes_b, dtype=np.float64).reshape(-1, 4)
-    if a.shape[0] == 0 or b.shape[0] == 0:
-        return np.zeros((a.shape[0], b.shape[0]))
+    n, m = a.shape[0], b.shape[0]
+    if n == 0 or m == 0:
+        # Empty fast path: skip the (N, M) broadcast entirely.
+        return np.zeros((n, m))
 
+    if out is None:
+        inter = np.empty((n, m))
+    else:
+        if out.dtype != np.float64 or not out.flags["C_CONTIGUOUS"]:
+            raise ValueError("out must be a C-contiguous float64 array")
+        if out.size < n * m:
+            raise ValueError(
+                f"out buffer with {out.size} elements too small for ({n}, {m}) result"
+            )
+        inter = out.reshape(-1)[: n * m].reshape(n, m)
+
+    # inter = max(0, x2 - x1) * max(0, y2 - y1), built in-place.
     x1 = np.maximum(a[:, None, 0], b[None, :, 0])
     y1 = np.maximum(a[:, None, 1], b[None, :, 1])
     x2 = np.minimum(a[:, None, 2], b[None, :, 2])
     y2 = np.minimum(a[:, None, 3], b[None, :, 3])
+    np.subtract(x2, x1, out=x2)
+    np.maximum(x2, 0.0, out=x2)
+    np.subtract(y2, y1, out=y2)
+    np.maximum(y2, 0.0, out=y2)
+    np.multiply(x2, y2, out=inter)
 
-    inter = np.maximum(0.0, x2 - x1) * np.maximum(0.0, y2 - y1)
-    union = area(a)[:, None] + area(b)[None, :] - inter
-    with np.errstate(divide="ignore", invalid="ignore"):
-        iou = np.where(union > 0, inter / union, 0.0)
+    union = x2  # reuse: x2's overlap widths are no longer needed
+    np.add(area(a)[:, None], area(b)[None, :], out=union)
+    np.subtract(union, inter, out=union)
+
+    valid = union > 0
+    iou = inter  # divide in place; invalid entries are zeroed below
+    np.divide(inter, union, out=iou, where=valid)
+    iou[~valid] = 0.0
     return iou
 
 
@@ -42,14 +89,18 @@ def iou_pairwise(boxes_a: np.ndarray, boxes_b: np.ndarray) -> np.ndarray:
     b = np.asarray(boxes_b, dtype=np.float64).reshape(-1, 4)
     if a.shape[0] != b.shape[0]:
         raise ValueError(f"box sets must have equal length, got {a.shape[0]} and {b.shape[0]}")
+    if a.shape[0] == 0:
+        return np.zeros(0)
     x1 = np.maximum(a[:, 0], b[:, 0])
     y1 = np.maximum(a[:, 1], b[:, 1])
     x2 = np.minimum(a[:, 2], b[:, 2])
     y2 = np.minimum(a[:, 3], b[:, 3])
     inter = np.maximum(0.0, x2 - x1) * np.maximum(0.0, y2 - y1)
     union = area(a) + area(b) - inter
-    with np.errstate(divide="ignore", invalid="ignore"):
-        return np.where(union > 0, inter / union, 0.0)
+    valid = union > 0
+    result = np.zeros_like(inter)
+    np.divide(inter, union, out=result, where=valid)
+    return result
 
 
 def ioa_matrix(boxes_a: np.ndarray, boxes_b: np.ndarray) -> np.ndarray:
@@ -68,5 +119,7 @@ def ioa_matrix(boxes_a: np.ndarray, boxes_b: np.ndarray) -> np.ndarray:
     y2 = np.minimum(a[:, None, 3], b[None, :, 3])
     inter = np.maximum(0.0, x2 - x1) * np.maximum(0.0, y2 - y1)
     area_a = area(a)[:, None]
-    with np.errstate(divide="ignore", invalid="ignore"):
-        return np.where(area_a > 0, inter / area_a, 0.0)
+    valid = area_a > 0
+    result = np.zeros_like(inter)
+    np.divide(inter, np.broadcast_to(area_a, inter.shape), out=result, where=valid)
+    return result

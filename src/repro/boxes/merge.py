@@ -6,6 +6,14 @@ rectangle is *cheaper under a linear time model* than running the two parts
 separately: the model is ``T = alpha * W + b`` where ``W`` is the conv
 workload (proportional to area) and ``b`` a fixed per-launch overhead
 (roughly the cost of a 400x400 crop).
+
+The greedy loop is vectorized: each step computes the full pairwise gain
+matrix with broadcasting (one ``(m, m)`` kernel instead of ``m^2 / 2``
+Python-level cost-model calls) and merges the best positive pair.  The
+per-pair arithmetic mirrors the scalar cost model term for term, so merge
+decisions — including tie-breaking on the first best pair in row-major
+order — are exactly those of the original double loop (kept as
+:func:`repro.boxes.reference.scalar_greedy_merge_boxes`).
 """
 
 from __future__ import annotations
@@ -15,7 +23,7 @@ from typing import List, Tuple
 
 import numpy as np
 
-from repro.boxes.box import area, union_box
+from repro.boxes.box import area
 
 
 @dataclass(frozen=True)
@@ -47,23 +55,35 @@ class MergeCostModel:
             raise ValueError(f"region_area must be >= 0, got {region_area}")
         return self.alpha * (region_area + self.base_area)
 
+    def region_times(self, region_areas: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`region_time` over an array of areas."""
+        region_areas = np.asarray(region_areas, dtype=np.float64)
+        if np.any(region_areas < 0):
+            raise ValueError("region areas must be >= 0")
+        return self.alpha * (region_areas + self.base_area)
+
     def total_time(self, boxes: np.ndarray) -> float:
         """Estimated GPU time for running each region separately."""
         boxes = np.asarray(boxes, dtype=np.float64).reshape(-1, 4)
         return float(sum(self.region_time(a) for a in area(boxes)))
 
 
-def _merge_gain(model: MergeCostModel, box_a: np.ndarray, box_b: np.ndarray) -> float:
-    """Time saved by merging two boxes into their bounding rectangle.
+def _pairwise_gains(model: MergeCostModel, boxes: np.ndarray) -> np.ndarray:
+    """(m, m) matrix of time saved by merging each pair of boxes.
 
-    Positive gain means the merged box is cheaper than the two separately.
+    Entry ``(i, j)`` is ``region_time(a_i) + region_time(a_j) -
+    region_time(union_area(i, j))``, computed with the exact elementwise
+    operation sequence of the scalar cost model so every gain is
+    bit-identical to :func:`repro.boxes.reference._merge_gain`.
     """
-    merged = union_box(np.stack([box_a, box_b]))
-    t_merged = model.region_time(float(area(merged[None, :])[0]))
-    t_separate = model.region_time(float(area(box_a[None, :])[0])) + model.region_time(
-        float(area(box_b[None, :])[0])
-    )
-    return t_separate - t_merged
+    times = model.alpha * (area(boxes) + model.base_area)  # region_time per box
+    x1 = np.minimum(boxes[:, None, 0], boxes[None, :, 0])
+    y1 = np.minimum(boxes[:, None, 1], boxes[None, :, 1])
+    x2 = np.maximum(boxes[:, None, 2], boxes[None, :, 2])
+    y2 = np.maximum(boxes[:, None, 3], boxes[None, :, 3])
+    merged_area = np.maximum(0.0, x2 - x1) * np.maximum(0.0, y2 - y1)
+    t_merged = model.alpha * (merged_area + model.base_area)
+    return (times[:, None] + times[None, :]) - t_merged
 
 
 def greedy_merge_boxes(
@@ -89,36 +109,41 @@ def greedy_merge_boxes(
     if n == 0:
         return boxes.copy(), np.zeros(0, dtype=np.int64)
 
-    current: List[np.ndarray] = [boxes[i].copy() for i in range(n)]
+    current = boxes.copy()
     groups: List[List[int]] = [[i] for i in range(n)]
 
     for _ in range(max_iterations):
-        m = len(current)
+        m = current.shape[0]
         if m <= 1:
             break
-        best_gain = 0.0
-        best_pair = None
-        for i in range(m):
-            for j in range(i + 1, m):
-                gain = _merge_gain(model, current[i], current[j])
-                if gain > best_gain:
-                    best_gain = gain
-                    best_pair = (i, j)
-        if best_pair is None:
+        gains = _pairwise_gains(model, current)
+        # Only pairs i < j are candidates; the greedy scalar loop scanned
+        # them in row-major order with a strict ">" so np.argmax (first
+        # maximum, row-major) reproduces its tie-breaking exactly.
+        gains[np.tril_indices(m)] = -np.inf
+        flat = int(np.argmax(gains))
+        if not (gains.flat[flat] > 0.0):
             break
-        i, j = best_pair
-        merged = union_box(np.stack([current[i], current[j]]))
+        i, j = divmod(flat, m)
+        merged = np.array(
+            [
+                min(current[i, 0], current[j, 0]),
+                min(current[i, 1], current[j, 1]),
+                max(current[i, 2], current[j, 2]),
+                max(current[i, 3], current[j, 3]),
+            ]
+        )
         new_group = groups[i] + groups[j]
+        keep = np.ones(m, dtype=bool)
+        keep[[i, j]] = False
+        current = np.concatenate([current[keep], merged[None, :]], axis=0)
         # Remove j first (higher index) to keep i valid.
         for k in sorted((i, j), reverse=True):
-            current.pop(k)
             groups.pop(k)
-        current.append(merged)
         groups.append(new_group)
 
-    merged_boxes = np.stack(current) if current else np.zeros((0, 4))
     assignment = np.zeros(n, dtype=np.int64)
     for region_idx, members in enumerate(groups):
         for member in members:
             assignment[member] = region_idx
-    return merged_boxes, assignment
+    return current, assignment

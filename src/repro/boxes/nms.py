@@ -3,15 +3,51 @@
 CaTDet applies NMS at two points: inside each simulated detector's output
 head, and after the refinement network where tracker- and proposal-sourced
 duplicates of the same object must be collapsed (Figure 2d of the paper).
+
+The greedy :func:`nms` is fully array-level: boxes are reindexed into
+score order once, suppression is IoU-matrix row masking, and the only
+Python loop is over the *kept* boxes (``K`` iterations, not ``N`` — on
+detector outputs most boxes are suppressed duplicates).  The pairwise IoU
+matrix is computed into a per-thread scratch buffer via
+``iou_matrix(..., out=...)``, so steady-state NMS performs no per-call
+``(N, N)`` allocation.  Outputs are exactly those of the original
+per-box loop (see :mod:`repro.boxes.reference`), including tie order.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Tuple
 
 import numpy as np
 
 from repro.boxes.iou import iou_matrix
+
+_scratch = threading.local()
+
+
+def _iou_scratch(n: int) -> np.ndarray:
+    """Per-thread square scratch matrix, grown geometrically."""
+    buf = getattr(_scratch, "iou", None)
+    if buf is None or buf.shape[0] < n:
+        cap = 32
+        while cap < n:
+            cap <<= 1
+        buf = np.empty((cap, cap), dtype=np.float64)
+        _scratch.iou = buf
+    return buf
+
+
+def _mask_scratch(n: int) -> np.ndarray:
+    """Per-thread square boolean scratch matrix, grown geometrically."""
+    buf = getattr(_scratch, "mask", None)
+    if buf is None or buf.shape[0] < n:
+        cap = 32
+        while cap < n:
+            cap <<= 1
+        buf = np.empty((cap, cap), dtype=bool)
+        _scratch.mask = buf
+    return buf
 
 
 def nms(boxes: np.ndarray, scores: np.ndarray, iou_threshold: float = 0.5) -> np.ndarray:
@@ -40,17 +76,25 @@ def nms(boxes: np.ndarray, scores: np.ndarray, iou_threshold: float = 0.5) -> np
     n = boxes.shape[0]
     if n == 0:
         return np.zeros(0, dtype=np.int64)
+    if n == 1:
+        return np.zeros(1, dtype=np.int64)
 
     order = np.argsort(-scores, kind="stable")
-    ious = iou_matrix(boxes, boxes)
+    ious = iou_matrix(boxes[order], boxes[order], out=_iou_scratch(n))
+    # Threshold the whole matrix once; the loop is then pure row masking.
+    over = _mask_scratch(n).reshape(-1)[: n * n].reshape(n, n)
+    np.greater(ious, iou_threshold, out=over)
     suppressed = np.zeros(n, dtype=bool)
     keep = []
-    for idx in order:
-        if suppressed[idx]:
-            continue
-        keep.append(idx)
-        suppressed |= ious[idx] > iou_threshold
-        suppressed[idx] = True  # a box never suppresses itself out of `keep`
+    p = 0
+    while p < n:
+        keep.append(int(order[p]))
+        # Mask everything this box suppresses, in one row operation.
+        np.logical_or(suppressed, over[p], out=suppressed)
+        # Scan forward to the next surviving candidate.
+        p += 1
+        while p < n and suppressed[p]:
+            p += 1
     return np.asarray(keep, dtype=np.int64)
 
 
@@ -63,18 +107,24 @@ def class_aware_nms(
     """NMS applied independently per class label.
 
     Returns kept indices into the original arrays (descending score within
-    each class, classes interleaved by global score order).
+    each class, classes interleaved by global score order).  Classes are
+    sliced from one stable label-sorted permutation instead of rescanning
+    the label array once per class.
     """
     boxes = np.asarray(boxes, dtype=np.float64).reshape(-1, 4)
     scores = np.asarray(scores, dtype=np.float64).reshape(-1)
     labels = np.asarray(labels).reshape(-1)
     if not (boxes.shape[0] == scores.shape[0] == labels.shape[0]):
         raise ValueError("boxes, scores and labels must have equal length")
-    keep_mask = np.zeros(boxes.shape[0], dtype=bool)
-    for cls in np.unique(labels):
-        cls_idx = np.flatnonzero(labels == cls)
-        kept = nms(boxes[cls_idx], scores[cls_idx], iou_threshold)
-        keep_mask[cls_idx[kept]] = True
+    n = boxes.shape[0]
+    keep_mask = np.zeros(n, dtype=bool)
+    if n:
+        perm = np.argsort(labels, kind="stable")
+        sorted_labels = labels[perm]
+        splits = np.flatnonzero(sorted_labels[1:] != sorted_labels[:-1]) + 1
+        for cls_idx in np.split(perm, splits):
+            kept = nms(boxes[cls_idx], scores[cls_idx], iou_threshold)
+            keep_mask[cls_idx[kept]] = True
     kept_all = np.flatnonzero(keep_mask)
     return kept_all[np.argsort(-scores[kept_all], kind="stable")]
 

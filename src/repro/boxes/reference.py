@@ -1,0 +1,109 @@
+"""Scalar (pre-vectorization) reference implementations of the box kernels.
+
+These are the original per-box Python loops that :func:`repro.boxes.nms.nms`
+and :func:`repro.boxes.merge.greedy_merge_boxes` replaced with array-level
+code.  They are kept verbatim for two reasons:
+
+* **oracles** — the property tests assert the vectorized kernels produce
+  *exactly* the same outputs on randomized inputs (including tie-breaking
+  order), so any future change that silently alters semantics fails fast;
+* **baselines** — ``repro bench`` measures the vectorized kernels against
+  these loops, making the speedup a recorded, regression-gated number.
+
+Do not use them in production paths.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.boxes.box import area, union_box
+from repro.boxes.iou import iou_matrix
+from repro.boxes.merge import MergeCostModel
+
+
+def scalar_nms(
+    boxes: np.ndarray, scores: np.ndarray, iou_threshold: float = 0.5
+) -> np.ndarray:
+    """Greedy NMS with the original per-box Python loop."""
+    boxes = np.asarray(boxes, dtype=np.float64).reshape(-1, 4)
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    if boxes.shape[0] != scores.shape[0]:
+        raise ValueError(
+            f"boxes and scores must have equal length, got {boxes.shape[0]} and {scores.shape[0]}"
+        )
+    if not (0.0 <= iou_threshold <= 1.0):
+        raise ValueError(f"iou_threshold must lie in [0, 1], got {iou_threshold}")
+    n = boxes.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+
+    order = np.argsort(-scores, kind="stable")
+    ious = iou_matrix(boxes, boxes)
+    suppressed = np.zeros(n, dtype=bool)
+    keep = []
+    for idx in order:
+        if suppressed[idx]:
+            continue
+        keep.append(idx)
+        suppressed |= ious[idx] > iou_threshold
+        suppressed[idx] = True  # a box never suppresses itself out of `keep`
+    return np.asarray(keep, dtype=np.int64)
+
+
+def _merge_gain(model: MergeCostModel, box_a: np.ndarray, box_b: np.ndarray) -> float:
+    """Time saved by merging two boxes into their bounding rectangle."""
+    merged = union_box(np.stack([box_a, box_b]))
+    t_merged = model.region_time(float(area(merged[None, :])[0]))
+    t_separate = model.region_time(float(area(box_a[None, :])[0])) + model.region_time(
+        float(area(box_b[None, :])[0])
+    )
+    return t_separate - t_merged
+
+
+def scalar_greedy_merge_boxes(
+    boxes: np.ndarray,
+    model: MergeCostModel = MergeCostModel(),
+    max_iterations: int = 10_000,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Greedy box merging with the original O(m^2)-per-step Python loop."""
+    boxes = np.asarray(boxes, dtype=np.float64).reshape(-1, 4)
+    n = boxes.shape[0]
+    if n == 0:
+        return boxes.copy(), np.zeros(0, dtype=np.int64)
+
+    current: List[np.ndarray] = [boxes[i].copy() for i in range(n)]
+    groups: List[List[int]] = [[i] for i in range(n)]
+
+    for _ in range(max_iterations):
+        m = len(current)
+        if m <= 1:
+            break
+        best_gain = 0.0
+        best_pair = None
+        for i in range(m):
+            for j in range(i + 1, m):
+                gain = _merge_gain(model, current[i], current[j])
+                if gain > best_gain:
+                    best_gain = gain
+                    best_pair = (i, j)
+        if best_pair is None:
+            break
+        i, j = best_pair
+        merged = union_box(np.stack([current[i], current[j]]))
+        new_group = groups[i] + groups[j]
+        # Remove j first (higher index) to keep i valid.
+        for k in sorted((i, j), reverse=True):
+            current.pop(k)
+            groups.pop(k)
+        current.append(merged)
+        groups.append(new_group)
+
+    merged_boxes = np.stack(current) if current else np.zeros((0, 4))
+    assignment = np.zeros(n, dtype=np.int64)
+    for region_idx, members in enumerate(groups):
+        for member in members:
+            assignment[member] = region_idx
+    return merged_boxes, assignment

@@ -8,7 +8,13 @@
 """
 
 from repro.core.config import SystemConfig, build_system
-from repro.core.results import FrameResult, OpsAccount, SequenceResult, SystemRunResult
+from repro.core.results import (
+    FrameResult,
+    FrameResultBuffer,
+    OpsAccount,
+    SequenceResult,
+    SystemRunResult,
+)
 from repro.core.keyframe import KeyFrameSystem
 from repro.core.systems import (
     CascadedSystem,
@@ -22,6 +28,7 @@ __all__ = [
     "SystemConfig",
     "build_system",
     "FrameResult",
+    "FrameResultBuffer",
     "OpsAccount",
     "SequenceResult",
     "SystemRunResult",

@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
+from collections.abc import Sequence as SequenceABC
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, Iterator, List, Mapping, Optional, Union
 
 import numpy as np
 
-from repro.detections import Detections
+from repro.detections import Detections, DetectionsBuffer
 
 GIGA = 1e9
 
@@ -111,6 +112,109 @@ class FrameResult:
     num_regions: int = 0
     coverage_fraction: float = 0.0
     timing: Optional[FrameTiming] = None
+
+
+class FrameResultBuffer(SequenceABC):
+    """Columnar accumulator of :class:`FrameResult` objects.
+
+    Long served runs append one result per executed frame; storing them as
+    Python objects costs five objects plus three small arrays per frame.
+    This buffer keeps every numeric field in flat growing arrays and the
+    detections in one :class:`~repro.detections.DetectionsBuffer`, and
+    materializes :class:`FrameResult` values on access — bit-identical to
+    what was appended.
+
+    It is a :class:`collections.abc.Sequence` (with ``append``), so code
+    written against ``List[FrameResult]`` — iteration, ``len``, indexing,
+    slicing, ``zip`` — keeps working unchanged.
+    """
+
+    def __init__(self, capacity: int = 64):
+        cap = max(capacity, 1)
+        self._frame = np.zeros(cap, dtype=np.int64)
+        self._num_regions = np.zeros(cap, dtype=np.int64)
+        self._coverage = np.zeros(cap)
+        self._ops = np.zeros((cap, 4))  # proposal, refinement, from_tracker, from_proposal
+        self._timing = np.zeros((cap, 3))  # gpu_seconds, cpu_seconds, num_launches
+        self._has_timing = np.zeros(cap, dtype=bool)
+        self._detections = DetectionsBuffer(capacity_frames=cap)
+        self._size = 0
+
+    def append(self, result: FrameResult) -> None:
+        if self._size == self._frame.shape[0]:
+            cap = self._frame.shape[0] * 2
+            for name in ("_frame", "_num_regions", "_has_timing"):
+                old = getattr(self, name)
+                grown = np.zeros(cap, dtype=old.dtype)
+                grown[: self._size] = old
+                setattr(self, name, grown)
+            grown = np.zeros(cap)
+            grown[: self._size] = self._coverage
+            self._coverage = grown
+            for name, width in (("_ops", 4), ("_timing", 3)):
+                old = getattr(self, name)
+                grown = np.zeros((cap, width))
+                grown[: self._size] = old
+                setattr(self, name, grown)
+        i = self._size
+        self._frame[i] = result.frame
+        self._num_regions[i] = result.num_regions
+        self._coverage[i] = result.coverage_fraction
+        ops = result.ops
+        self._ops[i] = (
+            ops.proposal,
+            ops.refinement,
+            ops.refinement_from_tracker,
+            ops.refinement_from_proposal,
+        )
+        if result.timing is not None:
+            self._timing[i] = (
+                result.timing.gpu_seconds,
+                result.timing.cpu_seconds,
+                result.timing.num_launches,
+            )
+            self._has_timing[i] = True
+        self._detections.append(result.detections)
+        self._size += 1
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _materialize(self, i: int) -> FrameResult:
+        timing = None
+        if self._has_timing[i]:
+            timing = FrameTiming(
+                gpu_seconds=float(self._timing[i, 0]),
+                cpu_seconds=float(self._timing[i, 1]),
+                num_launches=float(self._timing[i, 2]),
+            )
+        return FrameResult(
+            frame=int(self._frame[i]),
+            detections=self._detections.frame(i),
+            ops=OpsAccount(
+                proposal=float(self._ops[i, 0]),
+                refinement=float(self._ops[i, 1]),
+                refinement_from_tracker=float(self._ops[i, 2]),
+                refinement_from_proposal=float(self._ops[i, 3]),
+            ),
+            num_regions=int(self._num_regions[i]),
+            coverage_fraction=float(self._coverage[i]),
+            timing=timing,
+        )
+
+    def __getitem__(self, index: Union[int, slice]):
+        if isinstance(index, slice):
+            return [self._materialize(i) for i in range(*index.indices(self._size))]
+        i = int(index)
+        if i < 0:
+            i += self._size
+        if not (0 <= i < self._size):
+            raise IndexError(f"index {index} out of range for {self._size} frames")
+        return self._materialize(i)
+
+    def __iter__(self) -> Iterator[FrameResult]:
+        for i in range(self._size):
+            yield self._materialize(i)
 
 
 @dataclass

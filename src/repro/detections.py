@@ -93,3 +93,118 @@ class Detections:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Detections(n={len(self)})"
+
+
+class DetectionsBuffer:
+    """Columnar (struct-of-arrays) accumulator of per-frame detections.
+
+    Long runs accumulate one :class:`Detections` per frame; keeping each as
+    its own object means three small arrays plus a Python object per frame.
+    This buffer stores all frames' boxes/scores/labels/track-ids in four
+    preallocated growing arrays with a frame-offset index, so appending a
+    frame is a couple of array copies and memory stays contiguous.
+
+    ``frame(i)`` materializes frame ``i`` back into a :class:`Detections`
+    with values bit-identical to what was appended.
+    """
+
+    def __init__(self, capacity_rows: int = 256, capacity_frames: int = 64):
+        rows = max(capacity_rows, 1)
+        frames = max(capacity_frames, 1)
+        self._boxes = np.zeros((rows, 4))
+        self._scores = np.zeros(rows)
+        self._labels = np.zeros(rows, dtype=np.int64)
+        self._track_ids = np.zeros(rows, dtype=np.int64)
+        self._offsets = np.zeros(frames + 1, dtype=np.int64)
+        self._num_frames = 0
+        self._num_rows = 0
+
+    def __len__(self) -> int:
+        """Number of frames appended so far."""
+        return self._num_frames
+
+    @property
+    def num_rows(self) -> int:
+        """Total detections across all frames."""
+        return self._num_rows
+
+    def _ensure_rows(self, extra: int) -> None:
+        needed = self._num_rows + extra
+        cap = self._scores.shape[0]
+        if needed <= cap:
+            return
+        while cap < needed:
+            cap *= 2
+        for name, blank in (
+            ("_boxes", np.zeros((cap, 4))),
+            ("_scores", np.zeros(cap)),
+            ("_labels", np.zeros(cap, dtype=np.int64)),
+            ("_track_ids", np.zeros(cap, dtype=np.int64)),
+        ):
+            old = getattr(self, name)
+            blank[: self._num_rows] = old[: self._num_rows]
+            setattr(self, name, blank)
+
+    def append(
+        self, detections: "Detections", track_ids: Optional[np.ndarray] = None
+    ) -> int:
+        """Append one frame's detections; returns its frame index.
+
+        ``track_ids`` optionally attaches per-detection track identities
+        (stored as -1 when absent).
+        """
+        n = len(detections)
+        self._ensure_rows(n)
+        if self._num_frames + 1 >= self._offsets.shape[0]:
+            grown = np.zeros(self._offsets.shape[0] * 2, dtype=np.int64)
+            grown[: self._num_frames + 1] = self._offsets[: self._num_frames + 1]
+            self._offsets = grown
+        lo = self._num_rows
+        hi = lo + n
+        self._boxes[lo:hi] = detections.boxes
+        self._scores[lo:hi] = detections.scores
+        self._labels[lo:hi] = detections.labels
+        if track_ids is None:
+            self._track_ids[lo:hi] = -1
+        else:
+            ids = np.asarray(track_ids, dtype=np.int64).reshape(-1)
+            if ids.shape[0] != n:
+                raise ValueError(f"track_ids must have length {n}, got {ids.shape[0]}")
+            self._track_ids[lo:hi] = ids
+        self._num_rows = hi
+        frame_index = self._num_frames
+        self._num_frames += 1
+        self._offsets[self._num_frames] = hi
+        return frame_index
+
+    def _bounds(self, index: int) -> Tuple[int, int]:
+        if index < 0:
+            index += self._num_frames
+        if not (0 <= index < self._num_frames):
+            raise IndexError(f"frame index {index} out of range for {self._num_frames} frames")
+        return int(self._offsets[index]), int(self._offsets[index + 1])
+
+    def frame(self, index: int) -> Detections:
+        """Materialize frame ``index`` as a :class:`Detections`."""
+        lo, hi = self._bounds(index)
+        return Detections(self._boxes[lo:hi], self._scores[lo:hi], self._labels[lo:hi])
+
+    def frame_track_ids(self, index: int) -> np.ndarray:
+        """Track ids of frame ``index`` (-1 where none was attached)."""
+        lo, hi = self._bounds(index)
+        return self._track_ids[lo:hi].copy()
+
+    @property
+    def boxes(self) -> np.ndarray:
+        """(R, 4) view of all frames' boxes, in append order."""
+        return self._boxes[: self._num_rows]
+
+    @property
+    def scores(self) -> np.ndarray:
+        """(R,) view of all frames' scores, in append order."""
+        return self._scores[: self._num_rows]
+
+    @property
+    def labels(self) -> np.ndarray:
+        """(R,) view of all frames' labels, in append order."""
+        return self._labels[: self._num_rows]

@@ -23,7 +23,13 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.boxes.mask import RegionMask
-from repro.core.results import FrameResult, FrameTiming, OpsAccount, SequenceResult
+from repro.core.results import (
+    FrameResult,
+    FrameResultBuffer,
+    FrameTiming,
+    OpsAccount,
+    SequenceResult,
+)
 from repro.datasets.types import Sequence
 from repro.detections import Detections
 from repro.simdet.detector import SimulatedDetector
@@ -494,9 +500,14 @@ class StagePipeline:
         return ctx.to_frame_result()
 
     def run_sequence(self, sequence: Sequence) -> SequenceResult:
-        """Convenience: ``begin_sequence`` plus every frame in order."""
+        """Convenience: ``begin_sequence`` plus every frame in order.
+
+        Frame results accumulate into a columnar
+        :class:`~repro.core.results.FrameResultBuffer` (a drop-in
+        ``Sequence[FrameResult]``) rather than a list of per-frame objects.
+        """
         self.begin_sequence(sequence)
-        result = SequenceResult(sequence_name=sequence.name)
+        result = SequenceResult(sequence_name=sequence.name, frames=FrameResultBuffer())
         for frame in range(sequence.num_frames):
             result.frames.append(self.run_frame(sequence, frame))
         return result

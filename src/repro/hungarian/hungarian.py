@@ -50,6 +50,25 @@ def hungarian(cost: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     if transposed:
         cost = cost.T
         n, m = m, n
+
+    # Fast path: a single row is matched to its cheapest column, exactly as
+    # the augmenting-path search would (np.argmin picks the first minimum,
+    # matching the search's column order).
+    if n == 1:
+        return _finish(np.zeros(1, dtype=np.int64), np.array([np.argmin(cost[0])], dtype=np.int64), transposed)
+
+    # Fast path for diagonal-dominant instances (the common association case
+    # where every track overlaps one detection far more than the others):
+    # when each row's minimum is strictly unique within the row and the
+    # argmin columns are pairwise distinct, that assignment attains the
+    # row-minima lower bound and any other assignment is strictly worse, so
+    # it is the unique optimum — identical to the full algorithm's output.
+    argmins = np.argmin(cost, axis=1)
+    row_mins = cost[np.arange(n), argmins]
+    strictly_unique = np.count_nonzero(cost == row_mins[:, None], axis=1) == 1
+    if strictly_unique.all() and np.unique(argmins).size == n:
+        return _finish(np.arange(n, dtype=np.int64), argmins.astype(np.int64), transposed)
+
     # Pad to 1-indexed internal arrays; column 0 is the virtual start column.
     a = np.zeros((n + 1, m + 1))
     a[1:, 1:] = cost
@@ -94,8 +113,13 @@ def hungarian(cost: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     rows = p[1:] - 1
     cols = np.arange(m)
     valid = rows >= 0
-    row_indices = rows[valid].astype(np.int64)
-    col_indices = cols[valid].astype(np.int64)
+    return _finish(rows[valid].astype(np.int64), cols[valid].astype(np.int64), transposed)
+
+
+def _finish(
+    row_indices: np.ndarray, col_indices: np.ndarray, transposed: bool
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Undo the transpose and sort matched pairs by row index."""
     if transposed:
         row_indices, col_indices = col_indices, row_indices
     order = np.argsort(row_indices, kind="stable")

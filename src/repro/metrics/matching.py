@@ -106,7 +106,12 @@ def match_frame(
 
     if n_det and n_gt:
         ious = iou_matrix(det_boxes, gt_boxes)
-        for d in range(n_det):
+        # A detection whose best IoU over *all* ground truths is below the
+        # bar can never claim one (masking claimed GTs only lowers its
+        # candidates), so those rows are skipped without touching state —
+        # exactly equivalent to visiting them.
+        viable = np.flatnonzero(ious.max(axis=1) >= min_iou)
+        for d in viable:
             candidates = np.where(~gt_claimed, ious[d], -1.0)
             g = int(np.argmax(candidates))
             if candidates[g] >= min_iou:

@@ -30,11 +30,11 @@ import time
 from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Sequence as SequenceType, Union
 
 from repro.api.spec import _known_fields
 from repro.core.config import SystemConfig, build_system
-from repro.core.results import FrameResult
+from repro.core.results import FrameResult, FrameResultBuffer
 from repro.core.systems import DetectionSystem
 from repro.datasets.types import Sequence
 from repro.engine.stages import StagePipeline, run_frame_batch
@@ -250,7 +250,7 @@ class ServeReport:
     makespan_seconds: float
     compute_seconds: float
     slo: Dict[str, Any]
-    frame_results: Optional[Dict[str, List[FrameResult]]] = None
+    frame_results: Optional[Dict[str, SequenceType[FrameResult]]] = None
     wall_seconds: float = 0.0
 
     @property
@@ -362,7 +362,7 @@ class _StreamState:
     def __init__(self, pipeline: StagePipeline):
         self.pipeline = pipeline
         self.sequence: Optional[Sequence] = None
-        self.results: List[FrameResult] = []
+        self.results = FrameResultBuffer()
 
 
 class DetectionServer:

@@ -5,10 +5,17 @@ the predicted next-frame locations of currently tracked objects, which are
 fed to the refinement network as regions of interest.
 """
 
-from repro.tracker.kalman import KalmanFilter, ConstantVelocityBoxKalman
+from repro.tracker.kalman import (
+    BatchBoxKalman,
+    BatchKalman,
+    ConstantVelocityBoxKalman,
+    KalmanFilter,
+)
 from repro.tracker.motion import (
+    DecayMotionBank,
     ExponentialDecayMotion,
     KalmanMotion,
+    KalmanMotionBank,
     MotionModel,
 )
 from repro.tracker.state import TrackState
@@ -19,13 +26,18 @@ from repro.tracker.mot_metrics import (
     evaluate_tracking,
     hypothesis_frames_from_tracklets,
 )
+from repro.tracker.reference import ScalarCaTDetTracker, ScalarSort
 from repro.tracker.sort import Sort, SortConfig, Tracklet
 
 __all__ = [
     "KalmanFilter",
     "ConstantVelocityBoxKalman",
+    "BatchKalman",
+    "BatchBoxKalman",
     "ExponentialDecayMotion",
     "KalmanMotion",
+    "DecayMotionBank",
+    "KalmanMotionBank",
     "MotionModel",
     "TrackState",
     "AssociationResult",
@@ -36,6 +48,8 @@ __all__ = [
     "Sort",
     "SortConfig",
     "Tracklet",
+    "ScalarCaTDetTracker",
+    "ScalarSort",
     "MotAccumulator",
     "evaluate_tracking",
     "hypothesis_frames_from_tracklets",

@@ -73,10 +73,10 @@ def associate(
 
     keep = ious[rows, cols] > iou_threshold
     matches = np.stack([rows[keep], cols[keep]], axis=1) if keep.any() else np.zeros((0, 2), dtype=np.int64)
-    matched_tracks = set(matches[:, 0].tolist())
-    matched_dets = set(matches[:, 1].tolist())
-    unmatched_tracks = np.array([i for i in range(n) if i not in matched_tracks], dtype=np.int64)
-    unmatched_detections = np.array([j for j in range(m) if j not in matched_dets], dtype=np.int64)
+    # Assignment indices are unique, so the unmatched sets are plain sorted
+    # set differences — no per-index membership scan.
+    unmatched_tracks = np.setdiff1d(np.arange(n, dtype=np.int64), matches[:, 0], assume_unique=True)
+    unmatched_detections = np.setdiff1d(np.arange(m, dtype=np.int64), matches[:, 1], assume_unique=True)
     return AssociationResult(matches.astype(np.int64), unmatched_tracks, unmatched_detections)
 
 
@@ -104,9 +104,20 @@ def associate_per_class(
     unmatched_tracks: List[np.ndarray] = []
     unmatched_dets: List[np.ndarray] = []
     labels = np.unique(np.concatenate([track_labels, detection_labels]))
-    for cls in labels:
-        t_idx = np.flatnonzero(track_labels == cls)
-        d_idx = np.flatnonzero(detection_labels == cls)
+    # One stable label-sorted permutation per side; each class's indices are
+    # then a contiguous block (in ascending original order, since the sort is
+    # stable) instead of a fresh full scan of the label arrays per class.
+    t_perm = np.argsort(track_labels, kind="stable")
+    d_perm = np.argsort(detection_labels, kind="stable")
+    t_sorted = track_labels[t_perm]
+    d_sorted = detection_labels[d_perm]
+    t_lo = np.searchsorted(t_sorted, labels, side="left")
+    t_hi = np.searchsorted(t_sorted, labels, side="right")
+    d_lo = np.searchsorted(d_sorted, labels, side="left")
+    d_hi = np.searchsorted(d_sorted, labels, side="right")
+    for k, cls in enumerate(labels):
+        t_idx = t_perm[t_lo[k] : t_hi[k]]
+        d_idx = d_perm[d_lo[k] : d_hi[k]]
         res = associate(track_boxes[t_idx], detection_boxes[d_idx], iou_threshold)
         if res.matches.shape[0]:
             all_matches.append(

@@ -13,19 +13,27 @@ refinement network.  The implementation follows the paper:
 * prediction filters that drop objects that are too small (width < 10 px)
   or largely chopped by the image boundary, to keep the refinement-network
   workload low.
+
+Track state is columnar: one motion bank (see :mod:`repro.tracker.motion`)
+plus flat per-field arrays (ids, labels, confidence, hits/misses/age,
+last boxes), so per-frame maintenance — predict, filter, lifecycle update,
+prune — is a handful of array operations instead of a Python loop over
+track objects.  Outputs are bit-identical to the original per-object loop
+(kept as :class:`repro.tracker.reference.ScalarCaTDetTracker`) for the
+decay motion model, whose math is purely elementwise.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 
-from repro.boxes.box import clip_boxes, empty_boxes, is_valid, width_height
+from repro.boxes.box import clip_boxes, is_valid
 from repro.detections import Detections
 from repro.tracker.association import associate_per_class
-from repro.tracker.motion import ExponentialDecayMotion, KalmanMotion, MotionModel
+from repro.tracker.motion import DecayMotionBank, KalmanMotionBank
 from repro.tracker.state import TrackState
 
 
@@ -107,10 +115,45 @@ class CaTDetTracker:
         """
         self.config = config
         self.image_size = image_size
-        self._tracks: List[TrackState] = []
+        self._size = 0
+        cap = 16
+        self._track_ids = np.zeros(cap, dtype=np.int64)
+        self._labels = np.zeros(cap, dtype=np.int64)
+        self._confidence = np.zeros(cap)
+        self._hits = np.zeros(cap, dtype=np.int64)
+        self._misses = np.zeros(cap, dtype=np.int64)
+        self._age = np.zeros(cap, dtype=np.int64)
+        self._last_boxes = np.zeros((cap, 4))
+        self._bank = self._make_bank()
         self._next_id = 0
         self._frames_processed = 0
-        self._last_predictions: Dict[int, np.ndarray] = {}
+        # Prediction cache: boxes for the exact id-set they were made for.
+        self._pred_boxes: Optional[np.ndarray] = None
+        self._pred_ids: Optional[np.ndarray] = None
+
+    def _make_bank(self):
+        if self.config.motion_model == "decay":
+            return DecayMotionBank(eta=self.config.eta)
+        return KalmanMotionBank()
+
+    def _ensure_capacity(self, extra: int) -> None:
+        needed = self._size + extra
+        cap = self._track_ids.shape[0]
+        if needed <= cap:
+            return
+        while cap < needed:
+            cap *= 2
+        for name in ("_track_ids", "_labels", "_hits", "_misses", "_age"):
+            arr = getattr(self, name)
+            grown = np.zeros(cap, dtype=np.int64)
+            grown[: self._size] = arr[: self._size]
+            setattr(self, name, grown)
+        grown = np.zeros(cap)
+        grown[: self._size] = self._confidence[: self._size]
+        self._confidence = grown
+        grown_boxes = np.zeros((cap, 4))
+        grown_boxes[: self._size] = self._last_boxes[: self._size]
+        self._last_boxes = grown_boxes
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -118,8 +161,20 @@ class CaTDetTracker:
 
     @property
     def tracks(self) -> List[TrackState]:
-        """Live tracks (read-only view)."""
-        return list(self._tracks)
+        """Live tracks as per-track state snapshots (read-only view)."""
+        return [
+            TrackState(
+                track_id=int(self._track_ids[i]),
+                label=int(self._labels[i]),
+                motion=self._bank.snapshot(i),
+                confidence=float(self._confidence[i]),
+                hits=int(self._hits[i]),
+                misses=int(self._misses[i]),
+                age=int(self._age[i]),
+                last_box=self._last_boxes[i].copy(),
+            )
+            for i in range(self._size)
+        ]
 
     @property
     def frames_processed(self) -> int:
@@ -128,10 +183,12 @@ class CaTDetTracker:
 
     def reset(self) -> None:
         """Drop all state (start of a new sequence)."""
-        self._tracks.clear()
+        self._size = 0
+        self._bank = self._make_bank()
         self._next_id = 0
         self._frames_processed = 0
-        self._last_predictions.clear()
+        self._pred_boxes = None
+        self._pred_ids = None
 
     def predict(self) -> Detections:
         """Predicted next-frame locations of tracked objects.
@@ -139,23 +196,33 @@ class CaTDetTracker:
         Applies the size and boundary filters; the returned scores are
         lifecycle confidences normalized to [0, 1].
         """
-        self._last_predictions = {}
-        if not self._tracks:
+        self._pred_boxes = None
+        self._pred_ids = None
+        t = self._size
+        if t == 0:
             return Detections.empty()
-        boxes = []
-        scores = []
-        labels = []
-        for track in self._tracks:
-            pred = track.motion.predict()
-            self._last_predictions[track.track_id] = pred
-            if not self._passes_filters(pred):
-                continue
-            boxes.append(self._clip(pred))
-            scores.append(min(track.confidence / self.config.max_confidence, 1.0))
-            labels.append(track.label)
-        if not boxes:
+        preds = self._bank.predict_all()
+        self._pred_boxes = preds
+        self._pred_ids = self._track_ids[:t].copy()
+
+        cfg = self.config
+        width = preds[:, 2] - preds[:, 0]
+        height = preds[:, 3] - preds[:, 1]
+        mask = (width >= cfg.min_prediction_width) & (height > 0)
+        out_boxes = preds
+        if self.image_size is not None:
+            img_w, img_h = self.image_size
+            clipped = clip_boxes(preds, img_w, img_h)
+            full_area = np.maximum(width * height, 1e-9)
+            vis_area = np.maximum(0.0, clipped[:, 2] - clipped[:, 0]) * np.maximum(
+                0.0, clipped[:, 3] - clipped[:, 1]
+            )
+            mask &= vis_area / full_area >= cfg.min_visible_fraction
+            out_boxes = clipped
+        if not mask.any():
             return Detections.empty()
-        return Detections(np.stack(boxes), np.array(scores), np.array(labels, dtype=np.int64))
+        scores = np.minimum(self._confidence[:t] / cfg.max_confidence, 1.0)
+        return Detections(out_boxes[mask], scores[mask], self._labels[:t][mask].copy())
 
     def update(self, detections: Detections) -> None:
         """Feed back the calibrated detections of the current frame.
@@ -166,76 +233,89 @@ class CaTDetTracker:
         """
         cfg = self.config
         dets = detections.above_score(cfg.input_score_threshold)
+        t = self._size
 
         # Predicted boxes for association: use cached predictions from the
-        # last predict() call when available (unfiltered), else recompute.
-        if self._tracks and set(self._last_predictions) != {t.track_id for t in self._tracks}:
-            self._last_predictions = {t.track_id: t.motion.predict() for t in self._tracks}
+        # last predict() call when they cover exactly the live id-set
+        # (unfiltered), else recompute.
+        if t and (
+            self._pred_ids is None
+            or not np.array_equal(self._pred_ids, self._track_ids[:t])
+        ):
+            self._pred_boxes = self._bank.predict_all()
+            self._pred_ids = self._track_ids[:t].copy()
 
-        track_boxes = (
-            np.stack([self._last_predictions[t.track_id] for t in self._tracks])
-            if self._tracks
-            else empty_boxes()
-        )
-        track_labels = np.array([t.label for t in self._tracks], dtype=np.int64)
+        track_boxes = self._pred_boxes if t else np.zeros((0, 4))
+        track_labels = self._labels[:t]
 
         result = associate_per_class(
             track_boxes, track_labels, dets.boxes, dets.labels, cfg.iou_threshold
         )
 
-        for t_idx, d_idx in result.matches:
-            self._tracks[t_idx].mark_matched(
-                dets.boxes[d_idx], cfg.match_gain, cfg.max_confidence
+        if result.matches.shape[0]:
+            rows = result.matches[:, 0]
+            matched_boxes = dets.boxes[result.matches[:, 1]]
+            self._bank.update(rows, matched_boxes)
+            self._last_boxes[rows] = matched_boxes
+            self._confidence[rows] = np.minimum(
+                self._confidence[rows] + cfg.match_gain, cfg.max_confidence
             )
-        for t_idx in result.unmatched_tracks:
-            self._tracks[t_idx].mark_missed(cfg.miss_penalty)
-        for d_idx in result.unmatched_detections:
-            self._spawn(dets.boxes[d_idx], int(dets.labels[d_idx]))
+            self._hits[rows] += 1
+            self._misses[rows] = 0
+            self._age[rows] += 1
+        if result.unmatched_tracks.size:
+            rows = result.unmatched_tracks
+            self._bank.coast(rows)
+            self._confidence[rows] -= cfg.miss_penalty
+            self._misses[rows] += 1
+            self._age[rows] += 1
+        if result.unmatched_detections.size:
+            self._spawn_many(
+                dets.boxes[result.unmatched_detections],
+                dets.labels[result.unmatched_detections],
+            )
 
-        self._tracks = [t for t in self._tracks if t.alive]
+        alive = self._confidence[: self._size] >= 0.0
+        if not alive.all():
+            kept = int(alive.sum())
+            self._track_ids[:kept] = self._track_ids[: self._size][alive]
+            self._labels[:kept] = self._labels[: self._size][alive]
+            self._confidence[:kept] = self._confidence[: self._size][alive]
+            self._hits[:kept] = self._hits[: self._size][alive]
+            self._misses[:kept] = self._misses[: self._size][alive]
+            self._age[:kept] = self._age[: self._size][alive]
+            self._last_boxes[:kept] = self._last_boxes[: self._size][alive]
+            self._bank.keep(alive)
+            self._size = kept
         self._frames_processed += 1
-        self._last_predictions = {}
+        self._pred_boxes = None
+        self._pred_ids = None
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
 
-    def _spawn(self, box: np.ndarray, label: int) -> None:
-        if not is_valid(box[None, :])[0]:
+    def _spawn_many(self, boxes: np.ndarray, labels: np.ndarray) -> None:
+        """Start one track per valid box, in input order.
+
+        Invalid boxes are skipped without consuming a track id, exactly as
+        the original per-detection spawn loop did.
+        """
+        boxes = np.asarray(boxes, dtype=np.float64).reshape(-1, 4)
+        valid = is_valid(boxes)
+        boxes = boxes[valid]
+        b = boxes.shape[0]
+        if b == 0:
             return
-        motion: MotionModel
-        if self.config.motion_model == "decay":
-            motion = ExponentialDecayMotion(box, eta=self.config.eta)
-        else:
-            motion = KalmanMotion(box)
-        self._tracks.append(
-            TrackState(
-                track_id=self._next_id,
-                label=label,
-                motion=motion,
-                confidence=self.config.initial_confidence,
-                last_box=np.asarray(box, dtype=np.float64).copy(),
-            )
-        )
-        self._next_id += 1
-
-    def _clip(self, box: np.ndarray) -> np.ndarray:
-        if self.image_size is None:
-            return box
-        w, h = self.image_size
-        return clip_boxes(box[None, :], w, h)[0]
-
-    def _passes_filters(self, box: np.ndarray) -> bool:
-        cfg = self.config
-        width = box[2] - box[0]
-        height = box[3] - box[1]
-        if width < cfg.min_prediction_width or height <= 0:
-            return False
-        if self.image_size is not None:
-            img_w, img_h = self.image_size
-            clipped = self._clip(box)
-            full_area = max(width * height, 1e-9)
-            vis_area = max(0.0, clipped[2] - clipped[0]) * max(0.0, clipped[3] - clipped[1])
-            if vis_area / full_area < cfg.min_visible_fraction:
-                return False
-        return True
+        self._ensure_capacity(b)
+        lo, hi = self._size, self._size + b
+        self._bank.add_many(boxes)
+        self._track_ids[lo:hi] = np.arange(self._next_id, self._next_id + b)
+        self._labels[lo:hi] = np.asarray(labels, dtype=np.int64).reshape(-1)[valid]
+        self._confidence[lo:hi] = self.config.initial_confidence
+        self._hits[lo:hi] = 1
+        self._misses[lo:hi] = 0
+        self._age[lo:hi] = 0
+        self._last_boxes[lo:hi] = boxes
+        self._size = hi
+        self._next_id += b

@@ -5,6 +5,16 @@ system over ``[cx, cy, area, aspect]`` with velocities on the first three
 components.  CaTDet replaces this with an exponential-decay model (see
 :mod:`repro.tracker.motion`); the Kalman version is kept as the ablation
 baseline the paper compares against.
+
+Two layers are provided:
+
+* :class:`KalmanFilter` / :class:`ConstantVelocityBoxKalman` — one filter
+  per track, the original scalar formulation;
+* :class:`BatchKalman` / :class:`BatchBoxKalman` — all tracks stacked into
+  ``(T, d)`` means and ``(T, d, d)`` covariances sharing one set of system
+  matrices, with predict/update as batched matmuls and a batched
+  ``solve`` for the gain.  The trackers run on the batch layer; the scalar
+  classes remain the public single-track API and the property-test oracle.
 """
 
 from __future__ import annotations
@@ -134,3 +144,253 @@ class ConstantVelocityBoxKalman:
     def box(self) -> np.ndarray:
         """Current state as a box (without advancing time)."""
         return self._z_to_box(self._kf.x[:4])
+
+
+class BatchKalman:
+    """A bank of identical linear-Gaussian Kalman filters, stacked.
+
+    All filters share the system matrices ``F``, ``H``, ``Q``, ``R``; the
+    per-filter state lives in one ``(T, d)`` mean array and one
+    ``(T, d, d)`` covariance array.  ``predict``/``update`` are batched
+    matmuls plus one batched ``solve`` — no Python loop over tracks.
+
+    Rows are append-only via :meth:`add`; dead filters are compacted out
+    with :meth:`keep`.  The arrays grow geometrically so steady-state
+    insertion does not reallocate.
+    """
+
+    def __init__(
+        self,
+        transition: np.ndarray,
+        observation: np.ndarray,
+        process_noise: np.ndarray,
+        observation_noise: np.ndarray,
+        capacity: int = 16,
+    ):
+        self.F = np.asarray(transition, dtype=np.float64)
+        self.H = np.asarray(observation, dtype=np.float64)
+        self.Q = np.asarray(process_noise, dtype=np.float64)
+        self.R = np.asarray(observation_noise, dtype=np.float64)
+        d = self.F.shape[0]
+        k = self.H.shape[0]
+        if self.F.shape != (d, d):
+            raise ValueError(f"transition must be square, got {self.F.shape}")
+        if self.H.shape != (k, d):
+            raise ValueError(f"observation must be (k, {d}), got {self.H.shape}")
+        if self.Q.shape != (d, d):
+            raise ValueError(f"process_noise must be ({d}, {d}), got {self.Q.shape}")
+        if self.R.shape != (k, k):
+            raise ValueError(f"observation_noise must be ({k}, {k}), got {self.R.shape}")
+        self._dim = d
+        self._obs = k
+        self._size = 0
+        self._x = np.zeros((max(capacity, 1), d))
+        self._P = np.zeros((max(capacity, 1), d, d))
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def x(self) -> np.ndarray:
+        """(T, d) view of the live state means."""
+        return self._x[: self._size]
+
+    @property
+    def P(self) -> np.ndarray:
+        """(T, d, d) view of the live covariances."""
+        return self._P[: self._size]
+
+    def add(self, state: np.ndarray, covariance: np.ndarray) -> int:
+        """Append one filter; returns its row index."""
+        state = np.asarray(state, dtype=np.float64).reshape(-1)
+        covariance = np.asarray(covariance, dtype=np.float64)
+        if state.shape[0] != self._dim or covariance.shape != (self._dim, self._dim):
+            raise ValueError("state/covariance shape mismatch with the bank dimension")
+        if self._size == self._x.shape[0]:
+            new_cap = self._x.shape[0] * 2
+            self._x = np.concatenate([self._x, np.zeros_like(self._x)])[:new_cap]
+            self._P = np.concatenate([self._P, np.zeros_like(self._P)])[:new_cap]
+        row = self._size
+        self._x[row] = state
+        self._P[row] = covariance
+        self._size += 1
+        return row
+
+    def add_many(self, states: np.ndarray, covariances: np.ndarray) -> np.ndarray:
+        """Append a batch of filters at once; returns their row indices.
+
+        ``covariances`` may be a single ``(d, d)`` matrix (shared initial
+        uncertainty, the common spawn case) or one per state.
+        """
+        states = np.asarray(states, dtype=np.float64).reshape(-1, self._dim)
+        b = states.shape[0]
+        if b == 0:
+            return np.zeros(0, dtype=np.int64)
+        covariances = np.asarray(covariances, dtype=np.float64)
+        if covariances.shape not in ((self._dim, self._dim), (b, self._dim, self._dim)):
+            raise ValueError("covariance shape mismatch with the bank dimension")
+        cap = self._x.shape[0]
+        if self._size + b > cap:
+            while cap < self._size + b:
+                cap *= 2
+            grown_x = np.zeros((cap, self._dim))
+            grown_x[: self._size] = self._x[: self._size]
+            self._x = grown_x
+            grown_P = np.zeros((cap, self._dim, self._dim))
+            grown_P[: self._size] = self._P[: self._size]
+            self._P = grown_P
+        rows = np.arange(self._size, self._size + b, dtype=np.int64)
+        self._x[rows] = states
+        self._P[rows] = covariances
+        self._size += b
+        return rows
+
+    def keep(self, mask: np.ndarray) -> None:
+        """Compact the bank down to the rows where ``mask`` is True."""
+        mask = np.asarray(mask, dtype=bool).reshape(-1)
+        if mask.shape[0] != self._size:
+            raise ValueError(f"mask must have length {self._size}, got {mask.shape[0]}")
+        kept = int(mask.sum())
+        self._x[:kept] = self._x[: self._size][mask]
+        self._P[:kept] = self._P[: self._size][mask]
+        self._size = kept
+
+    def predict(self, rows: Optional[np.ndarray] = None) -> np.ndarray:
+        """Advance the selected filters one step; returns their state means.
+
+        ``rows=None`` advances every filter.
+        """
+        if rows is None:
+            x = self._x[: self._size] @ self.F.T
+            self._x[: self._size] = x
+            self._P[: self._size] = self.F @ self._P[: self._size] @ self.F.T + self.Q
+            return x
+        rows = np.asarray(rows, dtype=np.int64).reshape(-1)
+        x = self._x[rows] @ self.F.T
+        self._x[rows] = x
+        self._P[rows] = self.F @ self._P[rows] @ self.F.T + self.Q
+        return x
+
+    def update(self, rows: np.ndarray, z: np.ndarray) -> np.ndarray:
+        """Condition filters ``rows`` on observations ``z`` (one row each)."""
+        rows = np.asarray(rows, dtype=np.int64).reshape(-1)
+        z = np.asarray(z, dtype=np.float64).reshape(-1, self._obs)
+        if rows.shape[0] != z.shape[0]:
+            raise ValueError("rows and observations must have equal length")
+        if rows.shape[0] == 0:
+            return np.zeros((0, self._dim))
+        x = self._x[rows]  # (B, d)
+        P = self._P[rows]  # (B, d, d)
+        y = z - x @ self.H.T  # (B, k)
+        PHt = P @ self.H.T  # (B, d, k)
+        S = self.H @ PHt + self.R  # (B, k, k)
+        # K = PHt @ inv(S) solved as S^T K^T = PHt^T (one batched solve).
+        K = np.linalg.solve(S.transpose(0, 2, 1), PHt.transpose(0, 2, 1)).transpose(0, 2, 1)
+        x = x + np.einsum("bdk,bk->bd", K, y)
+        identity = np.eye(self._dim)
+        self._x[rows] = x
+        self._P[rows] = (identity - K @ self.H) @ P
+        return x
+
+
+class BatchBoxKalman:
+    """All SORT box-state filters of a tracker in one :class:`BatchKalman`.
+
+    System matrices and the conversion between boxes and the
+    ``[cx, cy, s, r, vcx, vcy, vs]`` state replicate
+    :class:`ConstantVelocityBoxKalman` (including the area-velocity clamp
+    on predict and the ``1e-6`` floors when converting back to boxes), but
+    over all tracks at once.
+    """
+
+    _DIM = 7
+
+    def __init__(self, capacity: int = 16):
+        F = np.eye(self._DIM)
+        F[0, 4] = F[1, 5] = F[2, 6] = 1.0
+        H = np.zeros((4, self._DIM))
+        H[0, 0] = H[1, 1] = H[2, 2] = H[3, 3] = 1.0
+        Q = np.eye(self._DIM)
+        Q[4:, 4:] *= 0.01
+        Q[6, 6] *= 0.01
+        R = np.diag([1.0, 1.0, 10.0, 10.0])
+        self._bank = BatchKalman(F, H, Q, R, capacity=capacity)
+
+    def __len__(self) -> int:
+        return len(self._bank)
+
+    @staticmethod
+    def boxes_to_z(boxes: np.ndarray) -> np.ndarray:
+        """Vectorized ``[x1,y1,x2,y2] -> [cx, cy, s, r]`` conversion."""
+        boxes = np.asarray(boxes, dtype=np.float64).reshape(-1, 4)
+        w = boxes[:, 2] - boxes[:, 0]
+        h = boxes[:, 3] - boxes[:, 1]
+        if np.any(w <= 0) or np.any(h <= 0):
+            raise ValueError("boxes must have positive size")
+        return np.stack([boxes[:, 0] + w / 2.0, boxes[:, 1] + h / 2.0, w * h, w / h], axis=1)
+
+    @staticmethod
+    def z_to_boxes(z: np.ndarray) -> np.ndarray:
+        """Vectorized ``[cx, cy, s, r] -> [x1,y1,x2,y2]`` conversion."""
+        z = np.asarray(z, dtype=np.float64).reshape(-1, 4)
+        s = np.maximum(z[:, 2], 1e-6)
+        r = np.maximum(z[:, 3], 1e-6)
+        w = np.sqrt(s * r)
+        h = s / w
+        cx, cy = z[:, 0], z[:, 1]
+        return np.stack(
+            [cx - w / 2.0, cy - h / 2.0, cx + w / 2.0, cy + h / 2.0], axis=1
+        )
+
+    def add(self, box: np.ndarray) -> int:
+        """Start a new filter at the given box; returns its row index."""
+        z = self.boxes_to_z(np.asarray(box, dtype=np.float64).reshape(1, 4))[0]
+        P = np.eye(self._DIM) * 10.0
+        P[4:, 4:] *= 1000.0  # high uncertainty on unobserved velocities
+        x0 = np.concatenate([z, np.zeros(3)])
+        return self._bank.add(x0, P)
+
+    def add_many(self, boxes: np.ndarray) -> np.ndarray:
+        """Start one filter per box in a single batch; returns row indices."""
+        boxes = np.asarray(boxes, dtype=np.float64).reshape(-1, 4)
+        if boxes.shape[0] == 0:
+            return np.zeros(0, dtype=np.int64)
+        z = self.boxes_to_z(boxes)
+        P = np.eye(self._DIM) * 10.0
+        P[4:, 4:] *= 1000.0
+        x0 = np.concatenate([z, np.zeros((boxes.shape[0], 3))], axis=1)
+        return self._bank.add_many(x0, P)
+
+    def keep(self, mask: np.ndarray) -> None:
+        self._bank.keep(mask)
+
+    def predict(self, rows: Optional[np.ndarray] = None) -> np.ndarray:
+        """Advance the selected filters; returns their predicted boxes.
+
+        Applies SORT's clamp: area-velocity is zeroed when it would drive
+        the area negative.
+        """
+        x = self._bank.x if rows is None else self._bank._x[np.asarray(rows, dtype=np.int64)]
+        negative = x[:, 2] + x[:, 6] <= 0
+        if rows is None:
+            self._bank.x[negative, 6] = 0.0
+        else:
+            sel = np.asarray(rows, dtype=np.int64).reshape(-1)[negative]
+            self._bank._x[sel, 6] = 0.0
+        state = self._bank.predict(rows)
+        return self.z_to_boxes(state[:, :4])
+
+    def update(self, rows: np.ndarray, boxes: np.ndarray) -> np.ndarray:
+        """Condition filters ``rows`` on observed boxes; returns corrected boxes."""
+        z = self.boxes_to_z(boxes)
+        state = self._bank.update(rows, z)
+        return self.z_to_boxes(state[:, :4])
+
+    @property
+    def boxes(self) -> np.ndarray:
+        """Current states as boxes (without advancing time)."""
+        return self.z_to_boxes(self._bank.x[:, :4])
+
+    def state_of(self, row: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Copy of ``(mean, covariance)`` for one filter (for snapshots)."""
+        return self._bank.x[row].copy(), self._bank.P[row].copy()

@@ -17,7 +17,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.tracker.kalman import ConstantVelocityBoxKalman
+from repro.tracker.kalman import BatchBoxKalman, ConstantVelocityBoxKalman, KalmanFilter
 
 
 def box_to_xsr(box: np.ndarray) -> tuple:
@@ -114,3 +114,202 @@ class KalmanMotion(MotionModel):
         # Prediction already advanced the filter state; nothing more to do.
         if self._predicted is None:
             self._kf.predict()
+
+
+# --------------------------------------------------------------------------- #
+# Batched motion banks
+# --------------------------------------------------------------------------- #
+#
+# The trackers keep all live tracks' motion state stacked in one of these
+# banks so per-frame predict/update/coast are single array operations.  Row
+# indices are positional: `keep(mask)` compacts rows exactly like filtering
+# a Python list, so the tracker's own columnar arrays stay aligned with the
+# bank by construction.
+
+
+def boxes_to_xsr(boxes: np.ndarray) -> tuple:
+    """Vectorized :func:`box_to_xsr`: returns ``(pos (N,3), r (N,))``."""
+    boxes = np.asarray(boxes, dtype=np.float64).reshape(-1, 4)
+    w = boxes[:, 2] - boxes[:, 0]
+    h = boxes[:, 3] - boxes[:, 1]
+    if np.any(w <= 0) or np.any(h <= 0):
+        raise ValueError("boxes must have positive size")
+    pos = np.stack([boxes[:, 0] + w / 2.0, boxes[:, 1] + h / 2.0, w], axis=1)
+    return pos, h / w
+
+
+def xsr_to_boxes(pos: np.ndarray, r: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`xsr_to_box` over stacked ``(N, 3)`` positions."""
+    pos = np.asarray(pos, dtype=np.float64).reshape(-1, 3)
+    s = np.maximum(pos[:, 2], 1e-6)
+    rr = np.maximum(np.asarray(r, dtype=np.float64).reshape(-1), 1e-6)
+    w = s
+    h = s * rr
+    x, y = pos[:, 0], pos[:, 1]
+    return np.stack([x - w / 2.0, y - h / 2.0, x + w / 2.0, y + h / 2.0], axis=1)
+
+
+class DecayMotionBank:
+    """All tracks' :class:`ExponentialDecayMotion` state, stacked.
+
+    Positions ``(T, 3)``, velocities ``(T, 3)`` and aspect ratios ``(T,)``
+    live in growing arrays; every operation is elementwise and therefore
+    bit-identical to looping the scalar model over tracks.
+    """
+
+    def __init__(self, eta: float = 0.7, capacity: int = 16):
+        if not (0.0 <= eta <= 1.0):
+            raise ValueError(f"eta must lie in [0, 1], got {eta}")
+        self.eta = float(eta)
+        cap = max(capacity, 1)
+        self._pos = np.zeros((cap, 3))
+        self._vel = np.zeros((cap, 3))
+        self._r = np.zeros(cap)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def add(self, box: np.ndarray) -> int:
+        pos, r = boxes_to_xsr(np.asarray(box, dtype=np.float64).reshape(1, 4))
+        if self._size == self._pos.shape[0]:
+            self._pos = np.concatenate([self._pos, np.zeros_like(self._pos)])
+            self._vel = np.concatenate([self._vel, np.zeros_like(self._vel)])
+            self._r = np.concatenate([self._r, np.zeros_like(self._r)])
+        row = self._size
+        self._pos[row] = pos[0]
+        self._vel[row] = 0.0
+        self._r[row] = r[0]
+        self._size += 1
+        return row
+
+    def add_many(self, boxes: np.ndarray) -> np.ndarray:
+        """Start one zero-velocity track per box; returns row indices."""
+        pos, r = boxes_to_xsr(boxes)
+        b = pos.shape[0]
+        if b == 0:
+            return np.zeros(0, dtype=np.int64)
+        while self._size + b > self._pos.shape[0]:
+            self._pos = np.concatenate([self._pos, np.zeros_like(self._pos)])
+            self._vel = np.concatenate([self._vel, np.zeros_like(self._vel)])
+            self._r = np.concatenate([self._r, np.zeros_like(self._r)])
+        rows = np.arange(self._size, self._size + b, dtype=np.int64)
+        self._pos[rows] = pos
+        self._vel[rows] = 0.0
+        self._r[rows] = r
+        self._size += b
+        return rows
+
+    def keep(self, mask: np.ndarray) -> None:
+        mask = np.asarray(mask, dtype=bool).reshape(-1)
+        kept = int(mask.sum())
+        self._pos[:kept] = self._pos[: self._size][mask]
+        self._vel[:kept] = self._vel[: self._size][mask]
+        self._r[:kept] = self._r[: self._size][mask]
+        self._size = kept
+
+    def predict_all(self) -> np.ndarray:
+        """Next-frame boxes of all tracks (pure, like the scalar model)."""
+        t = self._size
+        nxt = self._pos[:t] + self._vel[:t]
+        return xsr_to_boxes(nxt, self._r[:t])
+
+    def update(self, rows: np.ndarray, boxes: np.ndarray) -> None:
+        rows = np.asarray(rows, dtype=np.int64).reshape(-1)
+        if rows.size == 0:
+            return
+        new_pos, new_r = boxes_to_xsr(boxes)
+        old_pos = self._pos[rows]
+        self._vel[rows] = self.eta * self._vel[rows] + (1.0 - self.eta) * (new_pos - old_pos)
+        self._pos[rows] = new_pos
+        self._r[rows] = new_r
+
+    def coast(self, rows: np.ndarray) -> None:
+        rows = np.asarray(rows, dtype=np.int64).reshape(-1)
+        if rows.size == 0:
+            return
+        self._pos[rows] += self._vel[rows]
+
+    def snapshot(self, row: int) -> ExponentialDecayMotion:
+        """Scalar :class:`ExponentialDecayMotion` copy of one track's state."""
+        motion = ExponentialDecayMotion.__new__(ExponentialDecayMotion)
+        motion.eta = self.eta
+        motion.pos = self._pos[row].copy()
+        motion.vel = self._vel[row].copy()
+        motion.r = float(self._r[row])
+        return motion
+
+
+class KalmanMotionBank:
+    """All tracks' :class:`KalmanMotion` state in one :class:`BatchBoxKalman`.
+
+    Replicates the scalar wrapper's behavior: ``predict`` advances the
+    filters (mutating), and ``coast`` only advances filters that have never
+    been predicted (the prediction itself already consumed the time step).
+    """
+
+    def __init__(self, capacity: int = 16):
+        self._kf = BatchBoxKalman(capacity=capacity)
+        self._predicted = np.zeros(max(capacity, 1), dtype=bool)
+
+    def __len__(self) -> int:
+        return len(self._kf)
+
+    def add(self, box: np.ndarray) -> int:
+        row = self._kf.add(box)
+        if row >= self._predicted.shape[0]:
+            self._predicted = np.concatenate([self._predicted, np.zeros_like(self._predicted)])
+        self._predicted[row] = False
+        return row
+
+    def add_many(self, boxes: np.ndarray) -> np.ndarray:
+        """Start one filter per box in a single batch; returns row indices."""
+        rows = self._kf.add_many(boxes)
+        while len(self._kf) > self._predicted.shape[0]:
+            self._predicted = np.concatenate([self._predicted, np.zeros_like(self._predicted)])
+        self._predicted[rows] = False
+        return rows
+
+    def keep(self, mask: np.ndarray) -> None:
+        mask = np.asarray(mask, dtype=bool).reshape(-1)
+        kept = int(mask.sum())
+        self._predicted[:kept] = self._predicted[: len(self._kf)][mask]
+        self._kf.keep(mask)
+
+    def predict_all(self) -> np.ndarray:
+        boxes = self._kf.predict()
+        self._predicted[: len(self._kf)] = True
+        return boxes
+
+    def update(self, rows: np.ndarray, boxes: np.ndarray) -> None:
+        rows = np.asarray(rows, dtype=np.int64).reshape(-1)
+        if rows.size == 0:
+            return
+        self._kf.update(rows, boxes)
+
+    def coast(self, rows: np.ndarray) -> None:
+        # Like the scalar wrapper: a predicted filter already advanced this
+        # frame; only never-predicted filters step forward (flag left unset,
+        # matching KalmanMotion.coast).
+        rows = np.asarray(rows, dtype=np.int64).reshape(-1)
+        pending = rows[~self._predicted[rows]]
+        if pending.size:
+            self._kf.predict(pending)
+
+    def snapshot(self, row: int) -> KalmanMotion:
+        """Scalar :class:`KalmanMotion` copy of one track's state."""
+        x, P = self._kf.state_of(row)
+        motion = KalmanMotion.__new__(KalmanMotion)
+        kf = ConstantVelocityBoxKalman.__new__(ConstantVelocityBoxKalman)
+        F = np.eye(7)
+        F[0, 4] = F[1, 5] = F[2, 6] = 1.0
+        H = np.zeros((4, 7))
+        H[0, 0] = H[1, 1] = H[2, 2] = H[3, 3] = 1.0
+        Q = np.eye(7)
+        Q[4:, 4:] *= 0.01
+        Q[6, 6] *= 0.01
+        R = np.diag([1.0, 1.0, 10.0, 10.0])
+        kf._kf = KalmanFilter(F, H, Q, R, x, P)
+        motion._kf = kf
+        motion._predicted = self._kf.z_to_boxes(x[None, :4])[0] if self._predicted[row] else None
+        return motion

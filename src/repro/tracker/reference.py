@@ -1,0 +1,233 @@
+"""Scalar (pre-vectorization) reference trackers.
+
+These are the original per-track-object implementations of
+:class:`repro.tracker.sort.Sort` and
+:class:`repro.tracker.catdet_tracker.CaTDetTracker`, kept verbatim after the
+trackers moved to stacked columnar state (one motion bank + flat arrays per
+field instead of a Python list of track objects).  They serve two purposes:
+
+* **oracles** — the property tests drive both implementations with the same
+  detection streams and assert identical emitted detections and lifecycle
+  state (bit-identical for the decay motion model, allclose for Kalman,
+  whose batched matmuls may differ in the last ulp);
+* **baselines** — ``repro bench`` measures the columnar trackers against
+  these loops, making the ≥2x batched-vs-scalar gate a recorded number.
+
+Do not use them in production paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.boxes.box import clip_boxes, empty_boxes, is_valid
+from repro.detections import Detections
+from repro.tracker.association import associate_per_class
+from repro.tracker.catdet_tracker import TrackerConfig
+from repro.tracker.kalman import ConstantVelocityBoxKalman
+from repro.tracker.motion import ExponentialDecayMotion, KalmanMotion, MotionModel
+from repro.tracker.sort import SortConfig, Tracklet
+from repro.tracker.state import TrackState
+
+
+class _ScalarSortTrack:
+    def __init__(self, track_id: int, label: int, box: np.ndarray):
+        self.track_id = track_id
+        self.label = label
+        self.kf = ConstantVelocityBoxKalman(box)
+        self.hits = 1
+        self.time_since_update = 0
+        self.age = 0
+        self.last_box = np.asarray(box, dtype=np.float64).copy()
+
+
+class ScalarSort:
+    """The original per-track-object SORT loop (reference implementation)."""
+
+    def __init__(self, config: SortConfig = SortConfig()):
+        self.config = config
+        self._tracks: List[_ScalarSortTrack] = []
+        self._next_id = 0
+        self._frame = 0
+        self.tracklets: Dict[int, Tracklet] = {}
+
+    def reset(self) -> None:
+        self._tracks.clear()
+        self._next_id = 0
+        self._frame = 0
+        self.tracklets.clear()
+
+    def update(self, detections: Detections) -> Detections:
+        cfg = self.config
+        predictions = []
+        for track in self._tracks:
+            predictions.append(track.kf.predict())
+            track.age += 1
+            track.time_since_update += 1
+        pred_boxes = np.stack(predictions) if predictions else empty_boxes()
+        pred_labels = np.array([t.label for t in self._tracks], dtype=np.int64)
+
+        result = associate_per_class(
+            pred_boxes, pred_labels, detections.boxes, detections.labels, cfg.iou_threshold
+        )
+
+        for t_idx, d_idx in result.matches:
+            track = self._tracks[t_idx]
+            track.kf.update(detections.boxes[d_idx])
+            track.last_box = detections.boxes[d_idx].copy()
+            track.hits += 1
+            track.time_since_update = 0
+        for d_idx in result.unmatched_detections:
+            self._spawn(detections.boxes[d_idx], int(detections.labels[d_idx]))
+
+        self._tracks = [t for t in self._tracks if t.time_since_update <= cfg.max_age]
+
+        out_boxes, out_labels, out_ids = [], [], []
+        for track in self._tracks:
+            confirmed = track.hits >= cfg.min_hits or self._frame < cfg.min_hits
+            if track.time_since_update == 0 and confirmed:
+                out_boxes.append(track.last_box)
+                out_labels.append(track.label)
+                out_ids.append(track.track_id)
+                tracklet = self.tracklets.setdefault(
+                    track.track_id, Tracklet(track.track_id, track.label)
+                )
+                tracklet.append(self._frame, track.last_box)
+        self._frame += 1
+
+        if not out_boxes:
+            return Detections.empty()
+        return Detections(
+            np.stack(out_boxes),
+            np.ones(len(out_boxes)),
+            np.array(out_labels, dtype=np.int64),
+        )
+
+    def _spawn(self, box: np.ndarray, label: int) -> None:
+        if box[2] <= box[0] or box[3] <= box[1]:
+            return
+        self._tracks.append(_ScalarSortTrack(self._next_id, label, box))
+        self._next_id += 1
+
+
+class ScalarCaTDetTracker:
+    """The original per-track-object CaTDet tracker loop (reference)."""
+
+    def __init__(
+        self,
+        config: TrackerConfig = TrackerConfig(),
+        image_size: Optional[tuple] = None,
+    ):
+        self.config = config
+        self.image_size = image_size
+        self._tracks: List[TrackState] = []
+        self._next_id = 0
+        self._frames_processed = 0
+        self._last_predictions: Dict[int, np.ndarray] = {}
+
+    @property
+    def tracks(self) -> List[TrackState]:
+        return list(self._tracks)
+
+    @property
+    def frames_processed(self) -> int:
+        return self._frames_processed
+
+    def reset(self) -> None:
+        self._tracks.clear()
+        self._next_id = 0
+        self._frames_processed = 0
+        self._last_predictions.clear()
+
+    def predict(self) -> Detections:
+        self._last_predictions = {}
+        if not self._tracks:
+            return Detections.empty()
+        boxes = []
+        scores = []
+        labels = []
+        for track in self._tracks:
+            pred = track.motion.predict()
+            self._last_predictions[track.track_id] = pred
+            if not self._passes_filters(pred):
+                continue
+            boxes.append(self._clip(pred))
+            scores.append(min(track.confidence / self.config.max_confidence, 1.0))
+            labels.append(track.label)
+        if not boxes:
+            return Detections.empty()
+        return Detections(np.stack(boxes), np.array(scores), np.array(labels, dtype=np.int64))
+
+    def update(self, detections: Detections) -> None:
+        cfg = self.config
+        dets = detections.above_score(cfg.input_score_threshold)
+
+        if self._tracks and set(self._last_predictions) != {t.track_id for t in self._tracks}:
+            self._last_predictions = {t.track_id: t.motion.predict() for t in self._tracks}
+
+        track_boxes = (
+            np.stack([self._last_predictions[t.track_id] for t in self._tracks])
+            if self._tracks
+            else empty_boxes()
+        )
+        track_labels = np.array([t.label for t in self._tracks], dtype=np.int64)
+
+        result = associate_per_class(
+            track_boxes, track_labels, dets.boxes, dets.labels, cfg.iou_threshold
+        )
+
+        for t_idx, d_idx in result.matches:
+            self._tracks[t_idx].mark_matched(
+                dets.boxes[d_idx], cfg.match_gain, cfg.max_confidence
+            )
+        for t_idx in result.unmatched_tracks:
+            self._tracks[t_idx].mark_missed(cfg.miss_penalty)
+        for d_idx in result.unmatched_detections:
+            self._spawn(dets.boxes[d_idx], int(dets.labels[d_idx]))
+
+        self._tracks = [t for t in self._tracks if t.alive]
+        self._frames_processed += 1
+        self._last_predictions = {}
+
+    def _spawn(self, box: np.ndarray, label: int) -> None:
+        if not is_valid(box[None, :])[0]:
+            return
+        motion: MotionModel
+        if self.config.motion_model == "decay":
+            motion = ExponentialDecayMotion(box, eta=self.config.eta)
+        else:
+            motion = KalmanMotion(box)
+        self._tracks.append(
+            TrackState(
+                track_id=self._next_id,
+                label=label,
+                motion=motion,
+                confidence=self.config.initial_confidence,
+                last_box=np.asarray(box, dtype=np.float64).copy(),
+            )
+        )
+        self._next_id += 1
+
+    def _clip(self, box: np.ndarray) -> np.ndarray:
+        if self.image_size is None:
+            return box
+        w, h = self.image_size
+        return clip_boxes(box[None, :], w, h)[0]
+
+    def _passes_filters(self, box: np.ndarray) -> bool:
+        cfg = self.config
+        width = box[2] - box[0]
+        height = box[3] - box[1]
+        if width < cfg.min_prediction_width or height <= 0:
+            return False
+        if self.image_size is not None:
+            img_w, img_h = self.image_size
+            clipped = self._clip(box)
+            full_area = max(width * height, 1e-9)
+            vis_area = max(0.0, clipped[2] - clipped[0]) * max(0.0, clipped[3] - clipped[1])
+            if vis_area / full_area < cfg.min_visible_fraction:
+                return False
+        return True

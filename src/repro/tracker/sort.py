@@ -4,19 +4,24 @@ The conventional tracklet-producing tracker CaTDet's tracker is derived
 from: Kalman constant-velocity motion, Hungarian association over IoU, and a
 fixed ``max_age`` / ``min_hits`` lifecycle.  Included as the comparison
 baseline for tracker ablations.
+
+Track state is columnar: all Kalman filters live in one
+:class:`repro.tracker.kalman.BatchBoxKalman` and the lifecycle counters in
+flat arrays, so per-frame maintenance is batched array math rather than a
+loop over track objects (the original loop is preserved as
+:class:`repro.tracker.reference.ScalarSort`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 
-from repro.boxes.box import empty_boxes
 from repro.detections import Detections
 from repro.tracker.association import associate_per_class
-from repro.tracker.kalman import ConstantVelocityBoxKalman
+from repro.tracker.kalman import BatchBoxKalman
 
 
 @dataclass(frozen=True)
@@ -53,17 +58,6 @@ class Tracklet:
         return len(self.frames)
 
 
-class _SortTrack:
-    def __init__(self, track_id: int, label: int, box: np.ndarray):
-        self.track_id = track_id
-        self.label = label
-        self.kf = ConstantVelocityBoxKalman(box)
-        self.hits = 1
-        self.time_since_update = 0
-        self.age = 0
-        self.last_box = np.asarray(box, dtype=np.float64).copy()
-
-
 class Sort:
     """Frame-by-frame SORT tracker.
 
@@ -74,17 +68,42 @@ class Sort:
 
     def __init__(self, config: SortConfig = SortConfig()):
         self.config = config
-        self._tracks: List[_SortTrack] = []
+        self._size = 0
+        cap = 16
+        self._track_ids = np.zeros(cap, dtype=np.int64)
+        self._labels = np.zeros(cap, dtype=np.int64)
+        self._hits = np.zeros(cap, dtype=np.int64)
+        self._time_since_update = np.zeros(cap, dtype=np.int64)
+        self._age = np.zeros(cap, dtype=np.int64)
+        self._last_boxes = np.zeros((cap, 4))
+        self._kf = BatchBoxKalman()
         self._next_id = 0
         self._frame = 0
         self.tracklets: Dict[int, Tracklet] = {}
 
     def reset(self) -> None:
         """Drop all state."""
-        self._tracks.clear()
+        self._size = 0
+        self._kf = BatchBoxKalman()
         self._next_id = 0
         self._frame = 0
         self.tracklets.clear()
+
+    def _ensure_capacity(self, extra: int) -> None:
+        needed = self._size + extra
+        cap = self._track_ids.shape[0]
+        if needed <= cap:
+            return
+        while cap < needed:
+            cap *= 2
+        for name in ("_track_ids", "_labels", "_hits", "_time_since_update", "_age"):
+            arr = getattr(self, name)
+            grown = np.zeros(cap, dtype=np.int64)
+            grown[: self._size] = arr[: self._size]
+            setattr(self, name, grown)
+        grown_boxes = np.zeros((cap, 4))
+        grown_boxes[: self._size] = self._last_boxes[: self._size]
+        self._last_boxes = grown_boxes
 
     def update(self, detections: Detections) -> Detections:
         """Process one frame; returns confirmed tracks as detections.
@@ -92,52 +111,79 @@ class Sort:
         The returned scores are all 1.0 (SORT has no per-track confidence).
         """
         cfg = self.config
-        predictions = []
-        for track in self._tracks:
-            predictions.append(track.kf.predict())
-            track.age += 1
-            track.time_since_update += 1
-        pred_boxes = np.stack(predictions) if predictions else empty_boxes()
-        pred_labels = np.array([t.label for t in self._tracks], dtype=np.int64)
+        t = self._size
+        pred_boxes = self._kf.predict() if t else np.zeros((0, 4))
+        self._age[:t] += 1
+        self._time_since_update[:t] += 1
+        pred_labels = self._labels[:t]
 
         result = associate_per_class(
             pred_boxes, pred_labels, detections.boxes, detections.labels, cfg.iou_threshold
         )
 
-        for t_idx, d_idx in result.matches:
-            track = self._tracks[t_idx]
-            track.kf.update(detections.boxes[d_idx])
-            track.last_box = detections.boxes[d_idx].copy()
-            track.hits += 1
-            track.time_since_update = 0
-        for d_idx in result.unmatched_detections:
-            self._spawn(detections.boxes[d_idx], int(detections.labels[d_idx]))
+        if result.matches.shape[0]:
+            rows = result.matches[:, 0]
+            matched_boxes = detections.boxes[result.matches[:, 1]]
+            self._kf.update(rows, matched_boxes)
+            self._last_boxes[rows] = matched_boxes
+            self._hits[rows] += 1
+            self._time_since_update[rows] = 0
+        if result.unmatched_detections.size:
+            self._spawn_many(
+                detections.boxes[result.unmatched_detections],
+                detections.labels[result.unmatched_detections],
+            )
 
-        self._tracks = [t for t in self._tracks if t.time_since_update <= cfg.max_age]
+        keep = self._time_since_update[: self._size] <= cfg.max_age
+        if not keep.all():
+            kept = int(keep.sum())
+            self._track_ids[:kept] = self._track_ids[: self._size][keep]
+            self._labels[:kept] = self._labels[: self._size][keep]
+            self._hits[:kept] = self._hits[: self._size][keep]
+            self._time_since_update[:kept] = self._time_since_update[: self._size][keep]
+            self._age[:kept] = self._age[: self._size][keep]
+            self._last_boxes[:kept] = self._last_boxes[: self._size][keep]
+            self._kf.keep(keep)
+            self._size = kept
 
-        out_boxes, out_labels, out_ids = [], [], []
-        for track in self._tracks:
-            confirmed = track.hits >= cfg.min_hits or self._frame < cfg.min_hits
-            if track.time_since_update == 0 and confirmed:
-                out_boxes.append(track.last_box)
-                out_labels.append(track.label)
-                out_ids.append(track.track_id)
-                tracklet = self.tracklets.setdefault(
-                    track.track_id, Tracklet(track.track_id, track.label)
-                )
-                tracklet.append(self._frame, track.last_box)
+        # Emit confirmed tracks seen this frame, in track order.
+        t = self._size
+        confirmed = (self._hits[:t] >= cfg.min_hits) | (self._frame < cfg.min_hits)
+        emit = np.flatnonzero((self._time_since_update[:t] == 0) & confirmed)
+        for i in emit:
+            tid = int(self._track_ids[i])
+            tracklet = self.tracklets.setdefault(tid, Tracklet(tid, int(self._labels[i])))
+            tracklet.append(self._frame, self._last_boxes[i])
         self._frame += 1
 
-        if not out_boxes:
+        if emit.size == 0:
             return Detections.empty()
         return Detections(
-            np.stack(out_boxes),
-            np.ones(len(out_boxes)),
-            np.array(out_labels, dtype=np.int64),
+            self._last_boxes[emit],
+            np.ones(emit.size),
+            self._labels[emit].copy(),
         )
 
-    def _spawn(self, box: np.ndarray, label: int) -> None:
-        if box[2] <= box[0] or box[3] <= box[1]:
+    def _spawn_many(self, boxes: np.ndarray, labels: np.ndarray) -> None:
+        """Start one track per non-degenerate box, in input order.
+
+        Degenerate boxes are skipped without consuming a track id, exactly
+        as the original per-detection spawn loop did.
+        """
+        boxes = np.asarray(boxes, dtype=np.float64).reshape(-1, 4)
+        valid = (boxes[:, 2] > boxes[:, 0]) & (boxes[:, 3] > boxes[:, 1])
+        boxes = boxes[valid]
+        b = boxes.shape[0]
+        if b == 0:
             return
-        self._tracks.append(_SortTrack(self._next_id, label, box))
-        self._next_id += 1
+        self._ensure_capacity(b)
+        lo, hi = self._size, self._size + b
+        self._kf.add_many(boxes)
+        self._track_ids[lo:hi] = np.arange(self._next_id, self._next_id + b)
+        self._labels[lo:hi] = np.asarray(labels, dtype=np.int64).reshape(-1)[valid]
+        self._hits[lo:hi] = 1
+        self._time_since_update[lo:hi] = 0
+        self._age[lo:hi] = 0
+        self._last_boxes[lo:hi] = boxes
+        self._size = hi
+        self._next_id += b

@@ -79,3 +79,58 @@ class TestIoaMatrix:
         a = np.array([[0, 0, 2, 2]])
         b = np.array([[0, 0, 10, 10]])
         assert ioa_matrix(a, b)[0, 0] != ioa_matrix(b, a)[0, 0]
+
+
+class TestIouMatrixOutBuffer:
+    """The in-place variant NMS uses: result written into a scratch buffer."""
+
+    def _random(self, n, m, seed=0):
+        rng = np.random.default_rng(seed)
+        def boxes(k):
+            xy = rng.uniform(0, 300, size=(k, 2))
+            return np.concatenate([xy, xy + rng.uniform(1, 90, size=(k, 2))], axis=1)
+        return boxes(n), boxes(m)
+
+    def test_matches_allocating_variant_exactly(self):
+        a, b = self._random(17, 23)
+        out = np.empty((32, 32))
+        np.testing.assert_array_equal(
+            iou_matrix(a, b, out=out), iou_matrix(a, b)
+        )
+
+    def test_result_is_contiguous_view_of_buffer(self):
+        a, b = self._random(5, 7)
+        out = np.empty((16, 16))
+        got = iou_matrix(a, b, out=out)
+        assert got.shape == (5, 7)
+        assert got.flags["C_CONTIGUOUS"]
+        assert got.base is out or got.base is out.base or np.shares_memory(got, out)
+
+    def test_flat_buffer_accepted(self):
+        a, b = self._random(4, 6)
+        out = np.empty(64)
+        np.testing.assert_array_equal(iou_matrix(a, b, out=out), iou_matrix(a, b))
+
+    def test_too_small_buffer_raises(self):
+        a, b = self._random(8, 8)
+        with pytest.raises(ValueError, match="too small"):
+            iou_matrix(a, b, out=np.empty((4, 4)))
+
+    def test_wrong_dtype_or_layout_raises(self):
+        a, b = self._random(3, 3)
+        with pytest.raises(ValueError, match="C-contiguous float64"):
+            iou_matrix(a, b, out=np.empty((8, 8), dtype=np.float32))
+        with pytest.raises(ValueError, match="C-contiguous float64"):
+            iou_matrix(a, b, out=np.empty((8, 8)).T)
+
+    def test_degenerate_boxes_zero_with_buffer(self):
+        a = np.array([[0.0, 0.0, 0.0, 10.0]])  # zero width
+        b = np.array([[0.0, 0.0, 5.0, 5.0]])
+        out = np.full((4, 4), 99.0)
+        assert iou_matrix(a, b, out=out)[0, 0] == 0.0
+
+    def test_empty_inputs_skip_buffer(self):
+        a = np.zeros((0, 4))
+        b = np.array([[0.0, 0.0, 5.0, 5.0]])
+        got = iou_matrix(a, b, out=np.empty(16))
+        assert got.shape == (0, 1)

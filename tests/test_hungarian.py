@@ -87,3 +87,69 @@ class TestAgainstScipy:
         cost = np.ones((4, 4))
         rows, cols = hungarian(cost)
         assert cost[rows, cols].sum() == pytest.approx(4.0)
+
+
+class TestFastPaths:
+    """The single-row and diagonal-dominant shortcuts must be invisible:
+    same output as the full augmenting-path solver."""
+
+    def test_single_row_first_minimum(self):
+        rows, cols = hungarian(np.array([[3.0, 1.0, 1.0, 2.0]]))
+        assert rows.tolist() == [0]
+        assert cols.tolist() == [1]  # first of the tied minima
+
+    def test_single_column_first_minimum(self):
+        rows, cols = hungarian(np.array([[3.0], [1.0], [1.0]]))
+        assert rows.tolist() == [1]
+        assert cols.tolist() == [0]
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_diagonal_dominant_matches_scipy(self, seed):
+        """Strictly unique row minima at distinct columns -> the optimum is
+        unique, so ours and SciPy's must agree element-for-element."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 12))
+        cost = rng.uniform(1.0, 2.0, size=(n, n))
+        perm = rng.permutation(n)
+        cost[np.arange(n), perm] = rng.uniform(0.0, 0.5, size=n)
+        r1, c1 = hungarian(cost)
+        r2, c2 = scipy_lsa(cost)
+        np.testing.assert_array_equal(r1, r2)
+        np.testing.assert_array_equal(c1, c2)
+
+    def test_near_dominant_falls_through_to_full_solver(self):
+        """Duplicate argmin columns must NOT take the shortcut; the result
+        still has to be optimal."""
+        cost = np.array(
+            [
+                [0.1, 5.0, 5.0],
+                [0.2, 5.0, 6.0],  # both rows want column 0
+                [5.0, 0.3, 5.0],
+            ]
+        )
+        rows, cols = hungarian(cost)
+        r2, c2 = scipy_lsa(cost)
+        assert cost[rows, cols].sum() == pytest.approx(cost[r2, c2].sum())
+        assert sorted(cols.tolist()) == [0, 1, 2]
+
+    def test_tied_row_minimum_falls_through(self):
+        """A row whose minimum appears twice is not strictly unique."""
+        cost = np.array([[1.0, 1.0, 5.0], [5.0, 2.0, 5.0], [5.0, 5.0, 3.0]])
+        rows, cols = hungarian(cost)
+        r2, c2 = scipy_lsa(cost)
+        assert cost[rows, cols].sum() == pytest.approx(cost[r2, c2].sum())
+
+    @pytest.mark.parametrize("shape", [(3, 9), (9, 3)])
+    def test_rectangular_dominant_matches_scipy(self, shape):
+        rng = np.random.default_rng(99)
+        n, m = shape
+        k = min(n, m)
+        cost = rng.uniform(1.0, 2.0, size=shape)
+        if n <= m:
+            cost[np.arange(k), rng.permutation(m)[:k]] = 0.01 * (1 + np.arange(k))
+        else:
+            cost[rng.permutation(n)[:k], np.arange(k)] = 0.01 * (1 + np.arange(k))
+        r1, c1 = hungarian(cost)
+        r2, c2 = scipy_lsa(cost)
+        np.testing.assert_array_equal(r1, r2)
+        np.testing.assert_array_equal(c1, c2)

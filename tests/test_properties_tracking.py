@@ -135,3 +135,241 @@ class TestDelayMetricProperties:
             exit_ = record.exit_delay_at(threshold)
             if entry < len(record):  # detected at least once
                 assert entry + exit_ <= len(record) - 1
+
+
+# --------------------------------------------------------------------------- #
+# Vectorized-vs-scalar equivalence (the perf refactor's safety net)
+# --------------------------------------------------------------------------- #
+
+
+@st.composite
+def quantized_boxes_scores(draw, max_boxes=30):
+    """Integer-grid boxes and coarse scores — forces ties in NMS/merge."""
+    n = draw(st.integers(0, max_boxes))
+    boxes = []
+    for _ in range(n):
+        x = draw(st.integers(0, 30)) * 10.0
+        y = draw(st.integers(0, 30)) * 10.0
+        w = draw(st.integers(1, 12)) * 10.0
+        h = draw(st.integers(1, 12)) * 10.0
+        boxes.append([x, y, x + w, y + h])
+    scores = np.asarray([draw(st.integers(0, 10)) / 10.0 for _ in range(n)])
+    return np.asarray(boxes).reshape(-1, 4), scores
+
+
+@st.composite
+def labeled_box_sets(draw, max_boxes=12, num_classes=3):
+    """Two labeled box sets (tracks, detections) sharing a class alphabet."""
+    def one_side():
+        n = draw(st.integers(0, max_boxes))
+        boxes = []
+        for _ in range(n):
+            x = draw(st.integers(0, 40)) * 10.0
+            y = draw(st.integers(0, 40)) * 10.0
+            w = draw(st.integers(1, 10)) * 10.0
+            h = draw(st.integers(1, 10)) * 10.0
+            boxes.append([x, y, x + w, y + h])
+        labels = np.asarray(
+            [draw(st.integers(0, num_classes - 1)) for _ in range(n)], dtype=np.int64
+        )
+        return np.asarray(boxes).reshape(-1, 4), labels
+
+    tb, tl = one_side()
+    db, dl = one_side()
+    return tb, tl, db, dl
+
+
+class TestVectorizedKernelEquivalence:
+    """The array-level kernels must reproduce the preserved scalar loops
+    exactly — including tie-breaking order — on randomized inputs."""
+
+    @given(quantized_boxes_scores(), st.sampled_from([0.0, 0.3, 0.5, 0.7, 1.0]))
+    @settings(max_examples=80, deadline=None)
+    def test_nms_matches_scalar_reference(self, boxes_scores, threshold):
+        from repro.boxes.nms import nms
+        from repro.boxes.reference import scalar_nms
+
+        boxes, scores = boxes_scores
+        np.testing.assert_array_equal(
+            nms(boxes, scores, threshold), scalar_nms(boxes, scores, threshold)
+        )
+
+    @given(quantized_boxes_scores(max_boxes=14))
+    @settings(max_examples=40, deadline=None)
+    def test_merge_matches_scalar_reference(self, boxes_scores):
+        from repro.boxes.merge import greedy_merge_boxes
+        from repro.boxes.reference import scalar_greedy_merge_boxes
+
+        boxes, _ = boxes_scores
+        vec_boxes, vec_assign = greedy_merge_boxes(boxes)
+        ref_boxes, ref_assign = scalar_greedy_merge_boxes(boxes)
+        np.testing.assert_array_equal(vec_boxes, ref_boxes)
+        np.testing.assert_array_equal(vec_assign, ref_assign)
+
+    @given(labeled_box_sets(), st.sampled_from([0.0, 0.3]))
+    @settings(max_examples=60, deadline=None)
+    def test_stacked_association_matches_per_class_scan(self, sets, threshold):
+        """associate_per_class's label-sorted blocks == the naive full-scan
+        per-class decomposition calling the same per-class associate."""
+        from repro.tracker.association import associate, associate_per_class
+
+        tb, tl, db, dl = sets
+        result = associate_per_class(tb, tl, db, dl, threshold)
+
+        matches, u_tracks, u_dets = [], [], []
+        for cls in np.unique(np.concatenate([tl, dl])):
+            t_idx = np.flatnonzero(tl == cls)
+            d_idx = np.flatnonzero(dl == cls)
+            res = associate(tb[t_idx], db[d_idx], threshold)
+            if res.matches.shape[0]:
+                matches.append(
+                    np.stack(
+                        [t_idx[res.matches[:, 0]], d_idx[res.matches[:, 1]]], axis=1
+                    )
+                )
+            u_tracks.append(t_idx[res.unmatched_tracks])
+            u_dets.append(d_idx[res.unmatched_detections])
+        ref_matches = (
+            np.concatenate(matches, axis=0) if matches else np.zeros((0, 2), dtype=np.int64)
+        )
+        np.testing.assert_array_equal(result.matches, ref_matches)
+        np.testing.assert_array_equal(
+            result.unmatched_tracks,
+            np.sort(np.concatenate(u_tracks)) if u_tracks else np.zeros(0),
+        )
+        np.testing.assert_array_equal(
+            result.unmatched_detections,
+            np.sort(np.concatenate(u_dets)) if u_dets else np.zeros(0),
+        )
+
+
+@st.composite
+def box_walk(draw, max_steps=12):
+    """A random per-step action sequence for a handful of Kalman tracks."""
+    steps = []
+    for _ in range(draw(st.integers(1, max_steps))):
+        action = draw(st.sampled_from(["predict", "update"]))
+        jitter = draw(st.integers(-3, 3))
+        steps.append((action, jitter))
+    return steps
+
+
+class TestBatchKalmanEquivalence:
+    """BatchBoxKalman must track a bank of scalar filters to float tolerance
+    (batched matmul/solve reorders reductions, so exact equality is not
+    guaranteed — allclose at tight tolerance is)."""
+
+    @given(box_walk(), st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_batch_matches_scalar_filters(self, steps, num_tracks):
+        from repro.tracker.kalman import BatchBoxKalman, ConstantVelocityBoxKalman
+
+        base = np.asarray(
+            [[10.0 + 50 * i, 20.0, 40.0 + 50 * i, 80.0] for i in range(num_tracks)]
+        )
+        batch = BatchBoxKalman()
+        batch.add_many(base)
+        scalars = [ConstantVelocityBoxKalman(b) for b in base]
+
+        for action, jitter in steps:
+            if action == "predict":
+                got = batch.predict()
+                want = np.stack([kf.predict() for kf in scalars])
+            else:
+                obs = base + jitter
+                got = batch.update(np.arange(num_tracks), obs)
+                want = np.stack([kf.update(b) for kf, b in zip(scalars, obs)])
+            np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-9)
+
+
+@st.composite
+def tracked_stream(draw, max_frames=10, max_objects=6):
+    """Detection frames with smooth motion plus random clutter/dropout."""
+    n_obj = draw(st.integers(1, max_objects))
+    n_frames = draw(st.integers(2, max_frames))
+    starts = [
+        (draw(st.integers(0, 50)) * 20.0, draw(st.integers(0, 50)) * 20.0)
+        for _ in range(n_obj)
+    ]
+    vels = [(draw(st.integers(-4, 4)), draw(st.integers(-4, 4))) for _ in range(n_obj)]
+    sizes = [draw(st.integers(3, 10)) * 10.0 for _ in range(n_obj)]
+    labels = [draw(st.integers(0, 1)) for _ in range(n_obj)]
+    frames = []
+    for t in range(n_frames):
+        boxes, scores, labs = [], [], []
+        for i in range(n_obj):
+            if draw(st.booleans()) or t == 0:  # random dropout
+                x = starts[i][0] + vels[i][0] * t
+                y = starts[i][1] + vels[i][1] * t
+                boxes.append([x, y, x + sizes[i], y + sizes[i]])
+                scores.append(draw(st.integers(5, 10)) / 10.0)
+                labs.append(labels[i])
+        frames.append(
+            Detections(
+                np.asarray(boxes).reshape(-1, 4),
+                np.asarray(scores),
+                np.asarray(labs, dtype=np.int64),
+            )
+        )
+    return frames
+
+
+class TestColumnarTrackerEquivalence:
+    """The columnar trackers vs the preserved per-object scalar loops."""
+
+    @given(tracked_stream())
+    @settings(max_examples=30, deadline=None)
+    def test_catdet_decay_bit_identical(self, frames):
+        from repro.tracker.reference import ScalarCaTDetTracker
+
+        config = TrackerConfig(input_score_threshold=0.5)
+        vec = CaTDetTracker(config, image_size=(1200, 1200))
+        ref = ScalarCaTDetTracker(config, image_size=(1200, 1200))
+        for dets in frames:
+            pv, pr = vec.predict(), ref.predict()
+            np.testing.assert_array_equal(pv.boxes, pr.boxes)
+            np.testing.assert_array_equal(pv.scores, pr.scores)
+            np.testing.assert_array_equal(pv.labels, pr.labels)
+            vec.update(dets)
+            ref.update(dets)
+        assert [t.track_id for t in vec.tracks] == [t.track_id for t in ref.tracks]
+        for tv, tr in zip(vec.tracks, ref.tracks):
+            assert (tv.confidence, tv.hits, tv.misses, tv.age) == (
+                tr.confidence,
+                tr.hits,
+                tr.misses,
+                tr.age,
+            )
+            np.testing.assert_array_equal(tv.last_box, tr.last_box)
+
+    @given(tracked_stream())
+    @settings(max_examples=20, deadline=None)
+    def test_catdet_kalman_allclose(self, frames):
+        from repro.tracker.reference import ScalarCaTDetTracker
+
+        config = TrackerConfig(motion_model="kalman", input_score_threshold=0.5)
+        vec = CaTDetTracker(config, image_size=(1200, 1200))
+        ref = ScalarCaTDetTracker(config, image_size=(1200, 1200))
+        for dets in frames:
+            pv, pr = vec.predict(), ref.predict()
+            np.testing.assert_allclose(pv.boxes, pr.boxes, rtol=1e-8, atol=1e-8)
+            np.testing.assert_array_equal(pv.labels, pr.labels)
+            vec.update(dets)
+            ref.update(dets)
+        assert [t.track_id for t in vec.tracks] == [t.track_id for t in ref.tracks]
+
+    @given(tracked_stream())
+    @settings(max_examples=30, deadline=None)
+    def test_sort_matches_scalar(self, frames):
+        from repro.tracker.reference import ScalarSort
+        from repro.tracker.sort import Sort, SortConfig
+
+        config = SortConfig(max_age=2, min_hits=2)
+        vec, ref = Sort(config), ScalarSort(config)
+        for dets in frames:
+            rv, rr = vec.update(dets), ref.update(dets)
+            np.testing.assert_allclose(rv.boxes, rr.boxes, rtol=1e-8, atol=1e-8)
+            np.testing.assert_array_equal(rv.labels, rr.labels)
+        assert sorted(vec.tracklets) == sorted(ref.tracklets)
+        for tid, tracklet in vec.tracklets.items():
+            assert tracklet.frames == ref.tracklets[tid].frames

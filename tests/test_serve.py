@@ -529,3 +529,34 @@ class TestReport:
         assert "Serving report" in text
         assert "throughput" in text
         assert "(fleet)" in text
+
+
+class TestLongRunBufferedResults:
+    """Long served runs accumulate results in FrameResultBuffer — the
+    columnar storage must be invisible: byte-identical frames, list-like
+    access, bounded object churn."""
+
+    def test_long_run_through_buffer_is_byte_identical(self):
+        from repro.core.results import FrameResultBuffer
+        from repro.datasets.kitti import kitti_like_dataset
+
+        dataset = kitti_like_dataset(num_sequences=1, frames_per_sequence=240)
+        serial = run_on_dataset(CATDET, dataset, workers=1)
+        load = LoadSpec(pattern="replay", num_streams=1, frames_per_stream=240)
+        requests = generate_load(load, dataset)
+        report = DetectionServer(CATDET, policy=ServePolicy(max_batch_size=8)).run(
+            requests
+        )
+        (stream_id,) = report.frame_results
+        served = report.frame_results[stream_id]
+        assert isinstance(served, FrameResultBuffer)
+        reference = serial.sequences[dataset.sequences[0].name].frames
+        assert len(served) == len(reference) == 240
+        # Every access pattern downstream code uses: zip, index, slice.
+        for fa, fb in zip(served, reference):
+            assert_frames_identical(fa, fb)
+        assert_frames_identical(served[-1], reference[-1])
+        tail = served[230:]
+        assert isinstance(tail, list) and len(tail) == 10
+        for fa, fb in zip(tail, reference[230:]):
+            assert_frames_identical(fa, fb)
