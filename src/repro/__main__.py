@@ -13,6 +13,7 @@ Commands
 ``loadgen``             generate (and inspect) an open-loop arrival schedule
 ``worker``              drain a shared cluster work queue (multi-host execution)
 ``dispatch``            shard a spec grid across the worker fleet
+``status``              live fleet/queue health for a cluster queue directory
 ``cache``               inspect/prune the content-addressed result cache
 ``bench``               performance harness: systems fps + kernel speedups,
                         appended as ``BENCH_<n>.json`` (``--check`` gates
@@ -318,7 +319,38 @@ def _grid_type(convert):
     return parse
 
 
+def _serve_slo_gate(report, slo_p99_ms, slo_wait_p95_ms) -> int:
+    """The non-tune ``--slo-p99-ms`` acceptance gate (0 = pass, 1 = fail).
+
+    Fails on a p99 miss, on *any* shed frame (shed frames have no
+    latency — dropping load is not a pass), and — when bounded — on a
+    queue-wait p95 miss.  Prints one verdict line per check so CI logs
+    say exactly which bound broke.
+    """
+    fleet = report.slo["fleet"]
+    failures = []
+    p99 = float(fleet["p99_ms"])
+    if p99 > slo_p99_ms:
+        failures.append(f"p99 {p99:.1f} ms > target {slo_p99_ms:g} ms")
+    if report.frames_shed > 0:
+        failures.append(f"{report.frames_shed} frame(s) shed under the offered load")
+    if slo_wait_p95_ms is not None:
+        wait_p95 = float(fleet.get("wait_p95_ms", 0.0))
+        if wait_p95 > slo_wait_p95_ms:
+            failures.append(
+                f"queue-wait p95 {wait_p95:.1f} ms > target {slo_wait_p95_ms:g} ms"
+            )
+    if failures:
+        for failure in failures:
+            print(f"SLO FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"SLO PASS: p99 {p99:.1f} ms <= {slo_p99_ms:g} ms, nothing shed")
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs import make_sink
+
     try:
         spec = _serve_spec_from_args(args)
     except (KeyError, ValueError) as exc:
@@ -333,6 +365,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             result = session.tune_serve(
                 spec,
                 slo_p99_ms=args.slo_p99_ms,
+                slo_wait_p95_ms=args.slo_wait_p95_ms,
                 batch_sizes=args.batch_grid,
                 max_waits_ms=args.wait_grid,
                 use_cache=not args.no_cache,
@@ -350,11 +383,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
             print(result.best.report.format())
         _print_cache_stats(session)
         return 0 if result.best is not None else 1
-    report = session.serve(spec, use_cache=not args.no_cache)
+    try:
+        sink = make_sink(args.sink) if args.sink else None
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report = session.serve(spec, use_cache=not args.no_cache, sinks=sink)
+    finally:
+        if sink is not None:
+            sink.close()
     print(f"serving: {spec.label}")
     print(f"fingerprint: {spec.fingerprint[:16]}")
     print(report.format())
     _print_cache_stats(session)
+    if args.slo_p99_ms is not None:
+        return _serve_slo_gate(report, args.slo_p99_ms, args.slo_wait_p95_ms)
     return 0
 
 
@@ -515,6 +559,17 @@ def cmd_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_status(args: argparse.Namespace) -> int:
+    from repro.obs import gather_status, format_status
+
+    status = gather_status(args.queue_dir, stale_after=args.stale_after)
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+    else:
+        print(format_status(status))
+    return 0
+
+
 def cmd_dispatch(args: argparse.Namespace) -> int:
     from repro.cluster.coordinator import (
         ClusterTaskError,
@@ -650,6 +705,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
         [name, f"{k['speedup']:.2f}x"] for name, k in payload["kernels"].items()
     ]
     print(format_table(["kernel", "vectorized/scalar"], rows, title="kernels"))
+    overhead = payload.get("obs_overhead")
+    if overhead is not None:
+        print(
+            f"obs overhead: {overhead['instrumented_fps']:.1f} fps instrumented "
+            f"vs {overhead['plain_fps']:.1f} fps plain "
+            f"(ratio {overhead['ratio']:.3f})"
+        )
 
     if not args.no_write:
         path = write_bench(root, payload)
@@ -826,7 +888,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="sweep (batch size, max wait) policies and pick "
                          "the cheapest one meeting --slo-p99-ms")
     serve_p.add_argument("--slo-p99-ms", type=float, default=None,
-                         help="fleet p99 latency target for --tune feasibility")
+                         help="fleet p99 latency target: --tune feasibility, "
+                         "or (without --tune) an acceptance gate — exit 1 "
+                         "when p99 misses or any frame is shed")
+    serve_p.add_argument("--slo-wait-p95-ms", type=float, default=None,
+                         help="additional fleet p95 queue-wait bound for "
+                         "--tune feasibility and the --slo-p99-ms gate")
+    serve_p.add_argument("--sink", default=None, metavar="SPEC",
+                         help="stream per-frame/shed/summary records to a "
+                         "result sink: jsonl:<path>, table, or null")
     serve_p.add_argument("--batch-grid", type=_grid_type(int), default=(1, 2, 4, 8),
                          help="comma-separated max_batch_size grid for --tune")
     serve_p.add_argument("--wait-grid", type=_grid_type(float),
@@ -869,6 +939,19 @@ def build_parser() -> argparse.ArgumentParser:
                           help="do not route results through a shared cache "
                           "(envelopes still carry them inline)")
     worker_p.set_defaults(func=cmd_worker)
+
+    from repro.obs.health import DEFAULT_STALE_AFTER
+
+    status_p = sub.add_parser(
+        "status", help="live fleet/queue health for a cluster queue directory"
+    )
+    status_p.add_argument("queue_dir", help="shared queue directory to inspect")
+    status_p.add_argument("--json", action="store_true",
+                          help="emit the raw status document instead of tables")
+    status_p.add_argument("--stale-after", type=float, default=DEFAULT_STALE_AFTER,
+                          help="seconds without a heartbeat before a component "
+                          "is reported stale")
+    status_p.set_defaults(func=cmd_status)
 
     dispatch_p = sub.add_parser(
         "dispatch", help="shard an ExperimentSpec grid across the worker fleet"

@@ -234,6 +234,8 @@ class Session:
         spec: "Any",
         *,
         use_cache: bool = True,
+        metrics: "Any" = None,
+        sinks: "Any" = None,
     ) -> "Any":
         """Serve a :class:`~repro.api.spec.ServeSpec`, cached by fingerprint.
 
@@ -243,6 +245,11 @@ class Session:
         from the cache's ``serve/`` store instead of re-simulating.
         Cached reports carry the statistics only; per-frame detections
         (`report.frame_results`) are available on fresh runs.
+
+        ``metrics`` (a :class:`~repro.obs.registry.MetricsRegistry`) and
+        ``sinks`` (:class:`~repro.obs.sinks.Sink`\\ s) are forwarded to
+        the live server; they never affect the spec's fingerprint, and a
+        cache hit — having simulated nothing — emits nothing.
         """
         from repro.serve.loadgen import generate_load
         from repro.serve.server import DetectionServer, ServeReportStore
@@ -261,7 +268,11 @@ class Session:
         dataset = self.dataset(spec.dataset)
         requests = generate_load(spec.load, dataset)
         server = DetectionServer(
-            spec.system, policy=spec.policy, service=spec.service
+            spec.system,
+            policy=spec.policy,
+            service=spec.service,
+            metrics=metrics,
+            sinks=sinks,
         )
         report = server.run(requests)
         if store is not None and use_cache:
@@ -273,6 +284,7 @@ class Session:
         spec: "Any",
         *,
         slo_p99_ms: float,
+        slo_wait_p95_ms: Optional[float] = None,
         batch_sizes=None,
         max_waits_ms=None,
         use_cache: bool = True,
@@ -283,7 +295,11 @@ class Session:
         Thin wrapper over :func:`repro.serve.tune.tune_policy`: every
         grid point routes through :meth:`serve`, so a repeated tune of
         the same deployment is served entirely from the report cache.
-        Returns a :class:`repro.serve.tune.TuneResult`.
+        ``slo_wait_p95_ms`` additionally bounds the fleet's p95 *queue
+        wait* — a policy can meet end-to-end p99 while still parking
+        frames in the queue (large batches, long coalescing windows);
+        the wait bound rules those out.  Returns a
+        :class:`repro.serve.tune.TuneResult`.
         """
         from repro.serve.tune import (
             DEFAULT_BATCH_SIZES,
@@ -295,6 +311,7 @@ class Session:
             self,
             spec,
             slo_p99_ms=slo_p99_ms,
+            slo_wait_p95_ms=slo_wait_p95_ms,
             batch_sizes=DEFAULT_BATCH_SIZES if batch_sizes is None else batch_sizes,
             max_waits_ms=DEFAULT_MAX_WAITS_MS if max_waits_ms is None else max_waits_ms,
             use_cache=use_cache,

@@ -231,6 +231,55 @@ def bench_kernels(
     return out
 
 
+def bench_obs_overhead(
+    frames_per_sequence: int = 60,
+    repeats: int = 3,
+    on_progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Instrumented-vs-plain engine throughput for the same workload.
+
+    Runs the CaTDet pipeline over one synthetic sequence with and without
+    :meth:`~repro.engine.stages.StagePipeline.instrument`, interleaved
+    (so thermal/cache drift hits both sides equally) and best-of-repeats
+    (so a GC pause can't sink one side).  The ``ratio`` —
+    instrumented fps over plain fps — is what CI gates (≥ 0.97): the
+    per-stage timing and frame counters must cost under ~3%.
+    """
+    from repro.obs.registry import MetricsRegistry
+
+    if on_progress:
+        on_progress("obs overhead")
+    dataset = kitti_like_dataset(
+        num_sequences=1, frames_per_sequence=frames_per_sequence
+    )
+    config = BENCH_SYSTEMS["catdet"]
+
+    def run(instrumented: bool) -> float:
+        system = build_system(config)
+        frames = 0
+        start = time.perf_counter()
+        for sequence in dataset.sequences:
+            pipeline = system.build_pipeline()
+            if instrumented:
+                pipeline.instrument(MetricsRegistry())
+            pipeline.run_sequence(sequence)
+            frames += sequence.num_frames
+        return frames / (time.perf_counter() - start)
+
+    plain = 0.0
+    instrumented = 0.0
+    for _ in range(repeats):
+        plain = max(plain, run(False))
+        instrumented = max(instrumented, run(True))
+    return {
+        "frames": frames_per_sequence,
+        "repeats": repeats,
+        "plain_fps": plain,
+        "instrumented_fps": instrumented,
+        "ratio": instrumented / plain,
+    }
+
+
 def run_bench(
     quick: bool = False,
     num_tracks: int = 60,
@@ -247,9 +296,13 @@ def run_bench(
         kernels = bench_kernels(
             num_tracks=num_tracks, repeats=1, on_progress=on_progress
         )
+        obs_overhead = bench_obs_overhead(
+            frames_per_sequence=20, repeats=2, on_progress=on_progress
+        )
     else:
         systems = bench_systems(num_sequences=2, frames_per_sequence=60, on_progress=on_progress)
         kernels = bench_kernels(num_tracks=num_tracks, on_progress=on_progress)
+        obs_overhead = bench_obs_overhead(on_progress=on_progress)
     return {
         "schema": 1,
         "quick": quick,
@@ -262,6 +315,7 @@ def run_bench(
         },
         "systems": systems,
         "kernels": kernels,
+        "obs_overhead": obs_overhead,
     }
 
 

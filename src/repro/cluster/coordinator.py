@@ -140,6 +140,11 @@ def dispatch_specs(
     if not use_cache:
         cache_dir = None
     cache = ResultCache(cache_dir) if cache_dir is not None else None
+    m_specs = queue.metrics.counter(
+        "coordinator_specs_total",
+        "distinct grid points dispatched, by how they resolved",
+        labels=("resolution",),
+    )
 
     specs = list(specs)
     results_by_fp: Dict[str, Any] = {}
@@ -154,12 +159,14 @@ def dispatch_specs(
         if cached is not None:
             results_by_fp[fp] = cached
             cached_labels.append(spec.label)
+            m_specs.inc(labels=("cached",))
             continue
         task_id = queue.submit(
             protocol.experiment_task(spec.to_dict(), fp, use_cache=use_cache)
         )
         task_by_fp[fp] = task_id
         labels[task_id] = spec.label
+        m_specs.inc(labels=("dispatched",))
     total = len(results_by_fp) + len(task_by_fp)
     if on_progress is not None:
         for done, label in enumerate(cached_labels, start=1):

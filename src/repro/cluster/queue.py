@@ -46,6 +46,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from repro.cluster.protocol import validate_task
+from repro.obs.registry import MetricsRegistry, resolve_registry
 
 #: Default seconds a claimed task may go without a heartbeat before any
 #: observer may re-queue it.
@@ -90,6 +91,7 @@ class Lease:
         """Write the result envelope, then release the lease."""
         path = self.queue._write_json(self.queue.result_dir / f"{self.task_id}.json", result)
         self.path.unlink(missing_ok=True)
+        self.queue._m_tasks.inc(labels=("completed",))
         return path
 
     def fail(self, error: str) -> None:
@@ -106,6 +108,7 @@ class FileWorkQueue:
         *,
         lease_ttl: float = DEFAULT_LEASE_TTL,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if lease_ttl <= 0:
             raise ValueError(f"lease_ttl must be positive, got {lease_ttl}")
@@ -120,6 +123,24 @@ class FileWorkQueue:
         self.dead_dir = self.root / "dead"
         for d in (self.task_dir, self.lease_dir, self.result_dir, self.dead_dir):
             d.mkdir(parents=True, exist_ok=True)
+        # Per-process view of this process's queue traffic (every process
+        # touching a shared queue has its own registry; the fleet-wide
+        # truth stays on disk and is what `repro status` reads).
+        registry = resolve_registry(metrics)
+        self.metrics = registry
+        self._m_tasks = registry.counter(
+            "cluster_tasks_total",
+            "queue transitions performed by this process, by event",
+            labels=("event",),
+        )
+        self._m_depth = registry.gauge(
+            "cluster_queue_depth", "tasks by state at the last stats() sweep",
+            labels=("state",),
+        )
+        self._m_lease_age = registry.gauge(
+            "cluster_oldest_lease_age_seconds",
+            "age of the oldest live lease at the last stats() sweep",
+        )
 
     # ----------------------------------------------------------------- #
     # Producer side
@@ -140,6 +161,7 @@ class FileWorkQueue:
         record.setdefault("history", [])
         record["id"] = task_id
         self._write_json(self.task_dir / f"{task_id}.json", record)
+        self._m_tasks.inc(labels=("submitted",))
         return task_id
 
     def result(self, task_id: str) -> Optional[Dict[str, Any]]:
@@ -192,6 +214,7 @@ class FileWorkQueue:
             # Rewrite-in-place (atomic, same dir) both records the claimant
             # and freshens mtime, which is what the lease deadline reads.
             self._write_json(lease_path, task)
+            self._m_tasks.inc(labels=("claimed",))
             return Lease(self, entry.stem, task)
         return None
 
@@ -232,6 +255,7 @@ class FileWorkQueue:
                 recovered.append(task_id)
                 continue
             worker = task.get("worker", "?")
+            self._m_tasks.inc(labels=("lease_expired",))
             self._requeue(
                 task_id, task,
                 error=f"lease expired (worker {worker})",
@@ -240,13 +264,27 @@ class FileWorkQueue:
             recovered.append(task_id)
         return recovered
 
-    def stats(self) -> Dict[str, int]:
-        return {
+    def stats(self, *, now: Optional[float] = None) -> Dict[str, int]:
+        counts = {
             "pending": sum(1 for _ in self.task_dir.glob("*.json")),
             "leased": sum(1 for _ in self.lease_dir.glob("*.json")),
             "done": sum(1 for _ in self.result_dir.glob("*.json")),
             "dead": sum(1 for _ in self.dead_dir.glob("*.json")),
         }
+        # Refresh the observational gauges as a side effect: callers that
+        # poll stats() (workers' health beats, the coordinator) keep the
+        # registry's queue-depth view current for free.
+        now = time.time() if now is None else now
+        for state, count in counts.items():
+            self._m_depth.set(count, labels=(state,))
+        oldest = 0.0
+        for lease_path in self.lease_dir.glob("*.json"):
+            try:
+                oldest = max(oldest, now - lease_path.stat().st_mtime)
+            except OSError:
+                continue
+        self._m_lease_age.set(oldest)
+        return counts
 
     # ----------------------------------------------------------------- #
     # Internals
@@ -275,7 +313,9 @@ class FileWorkQueue:
         if record["attempts"] >= self.max_attempts:
             self._write_json(self.dead_dir / f"{task_id}.json", record)
             lease_path.unlink(missing_ok=True)
+            self._m_tasks.inc(labels=("dead_lettered",))
             return
+        self._m_tasks.inc(labels=("retried",))
         # Rewrite the held lease with the updated record, then move it back
         # to pending with ONE atomic rename.  Writing to tasks/ first and
         # unlinking the lease after would open a window where a concurrent
@@ -297,3 +337,4 @@ class FileWorkQueue:
             {"id": task_id, "error": error, "history": [error]},
         )
         lease_path.unlink(missing_ok=True)
+        self._m_tasks.inc(labels=("dead_lettered",))

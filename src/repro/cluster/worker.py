@@ -36,11 +36,22 @@ from repro.cluster.protocol import (
     result_envelope,
 )
 from repro.cluster.queue import FileWorkQueue, Lease, default_worker_id
+from repro.obs.health import HealthReporter, health_dir
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    resolve_registry,
+)
+from repro.obs.sinks import Sink, as_sinks
 
 #: Cache subdirectories under a shared queue root (kept separate from the
 #: queue's own state dirs).
 CACHE_SUBDIR = "cache"
 SEQ_CACHE_SUBDIR = "seq"
+
+#: Most recent structured lease-lost events kept on the worker (and
+#: published in its health snapshot).
+MAX_LEASE_LOST_EVENTS = 20
 
 
 def default_cache_dir(queue_root: Union[str, Path]) -> Path:
@@ -166,6 +177,19 @@ class Worker:
         Defaults to ``host:pid``.
     heartbeat_interval:
         Lease renewal period; defaults to a third of the queue's TTL.
+    metrics:
+        A :class:`~repro.obs.registry.MetricsRegistry` for this worker's
+        counters (tasks by outcome, lease-lost events, per-task service
+        time); defaults to the process-global registry.
+    sinks:
+        :class:`~repro.obs.sinks.Sink`\\ s receiving one ``worker.task``
+        record per finished/failed task and a ``worker.lease_lost``
+        record per lost lease.  Emitted, never closed — lifecycle
+        belongs to the caller.
+    health:
+        ``"auto"`` writes health snapshots to ``<queue>/health/`` while
+        :meth:`run` drains; a path overrides the directory; ``None``
+        disables health reporting.
     """
 
     def __init__(
@@ -175,6 +199,9 @@ class Worker:
         cache_dir: Optional[Union[str, Path]] = "auto",
         worker_id: Optional[str] = None,
         heartbeat_interval: Optional[float] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        sinks: Union[None, Sink, list] = None,
+        health: Optional[Union[str, Path]] = "auto",
     ):
         self.queue = queue if isinstance(queue, FileWorkQueue) else FileWorkQueue(queue)
         if cache_dir == "auto":
@@ -186,6 +213,12 @@ class Worker:
             if heartbeat_interval is not None
             else max(0.05, self.queue.lease_ttl / 3.0)
         )
+        self.metrics = resolve_registry(metrics)
+        self.sinks = as_sinks(sinks)
+        if health == "auto":
+            health = health_dir(self.queue.root)
+        self._health_dir = Path(health) if health is not None else None
+        self._health: Optional[HealthReporter] = None
         self.tasks_done = 0
         self.tasks_failed = 0
         #: Shards finished after an observer had already re-leased them
@@ -193,19 +226,73 @@ class Worker:
         #: harmless — but the count signals the lease TTL is too short
         #: for the shard size).
         self.leases_lost = 0
+        #: Structured records of those losses (task id, elapsed seconds,
+        #: attempt number), newest last; published in health snapshots.
+        self.lease_lost_events: list = []
+        self._m_tasks = self.metrics.counter(
+            "worker_tasks_total", "tasks finished by this worker, by outcome",
+            labels=("outcome",),
+        )
+        self._m_lease_lost = self.metrics.counter(
+            "worker_leases_lost_total",
+            "leases an observer expired while this worker kept executing",
+        )
+        self._m_task_seconds = self.metrics.histogram(
+            "worker_task_seconds", "wall-clock service time per executed task",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+
+    def _record_lease_lost(self, lease: Lease, elapsed: float) -> None:
+        """Satellite of the heartbeat-loss path: make the loss observable.
+
+        Before observability, a lease lost mid-execution was silently
+        folded into the envelope — no counter, no trace of *which* task
+        or how far in.  Now every loss emits a structured event through
+        the registry, the sinks, and the health snapshot.
+        """
+        event = {
+            "task_id": lease.task_id,
+            "elapsed_seconds": elapsed,
+            "attempt": int(lease.task.get("attempts", 0)) + 1,
+            "worker": self.worker_id,
+        }
+        self.leases_lost += 1
+        self.lease_lost_events.append(event)
+        del self.lease_lost_events[:-MAX_LEASE_LOST_EVENTS]
+        self._m_lease_lost.inc()
+        for sink in self.sinks:
+            sink.emit({"record": "worker.lease_lost", **event})
+
+    def _emit_task(self, task_id: str, outcome: str, elapsed: float) -> None:
+        self._m_tasks.inc(labels=(outcome,))
+        self._m_task_seconds.observe(elapsed)
+        for sink in self.sinks:
+            sink.emit(
+                {
+                    "record": "worker.task",
+                    "task_id": task_id,
+                    "outcome": outcome,
+                    "seconds": elapsed,
+                    "worker": self.worker_id,
+                }
+            )
 
     def run_one(self) -> bool:
         """Claim and finish (or fail) at most one task; ``True`` if claimed."""
         lease = self.queue.claim(self.worker_id)
         if lease is None:
             return False
+        if self._health is not None:
+            self._health.in_flight = lease.task_id
+            self._health.beat(force=True)
+        start = time.perf_counter()
         try:
             with _Heartbeat(lease, self.heartbeat_interval) as heartbeat:
                 envelope = execute_task(
                     lease.task, cache_dir=self.cache_dir, worker_id=self.worker_id
                 )
             if heartbeat.lost:
-                self.leases_lost += 1
+                self._record_lease_lost(lease, time.perf_counter() - start)
                 envelope["lease_lost"] = True
         except KeyboardInterrupt:
             # Put the shard straight back rather than waiting out the TTL.
@@ -214,9 +301,14 @@ class Worker:
         except Exception:
             self.tasks_failed += 1
             lease.fail(traceback.format_exc(limit=20))
+            self._emit_task(lease.task_id, "failed", time.perf_counter() - start)
             return True
+        finally:
+            if self._health is not None:
+                self._health.in_flight = None
         lease.complete(envelope)
         self.tasks_done += 1
+        self._emit_task(lease.task_id, "done", time.perf_counter() - start)
         return True
 
     def run(
@@ -235,24 +327,47 @@ class Worker:
         true — whichever comes first (``None`` limits mean forever, the
         daemon default).  Between claims the worker also sweeps expired
         peers' leases, so a fleet self-heals without a coordinator.
+
+        While draining, the worker refreshes a health snapshot (pid,
+        uptime, in-flight task, lease-lost events, metrics) under the
+        queue's ``health/`` directory — ``repro status`` reads it live.
+        A clean exit removes the snapshot; a crash leaves it to go stale.
         """
+        if self._health_dir is not None:
+            self._health = HealthReporter(
+                self._health_dir,
+                component="worker",
+                component_id=self.worker_id,
+                registry=self.metrics,
+            )
         processed = 0
         idle_since: Optional[float] = None
-        while True:
-            if should_stop is not None and should_stop():
-                return processed
-            if max_tasks is not None and processed >= max_tasks:
-                return processed
-            self.queue.recover_expired()
-            if self.run_one():
-                processed += 1
-                idle_since = None
-                if on_task is not None:
-                    on_task(processed)
-                continue
-            now = time.time()
-            if idle_since is None:
-                idle_since = now
-            if idle_timeout is not None and now - idle_since >= idle_timeout:
-                return processed
-            time.sleep(poll_interval)
+        try:
+            while True:
+                if self._health is not None and self._health.due():
+                    self._health.extra["lease_lost_events"] = list(
+                        self.lease_lost_events
+                    )
+                    self._health.extra["queue"] = self.queue.stats()
+                    self._health.beat()
+                if should_stop is not None and should_stop():
+                    return processed
+                if max_tasks is not None and processed >= max_tasks:
+                    return processed
+                self.queue.recover_expired()
+                if self.run_one():
+                    processed += 1
+                    idle_since = None
+                    if on_task is not None:
+                        on_task(processed)
+                    continue
+                now = time.time()
+                if idle_since is None:
+                    idle_since = now
+                if idle_timeout is not None and now - idle_since >= idle_timeout:
+                    return processed
+                time.sleep(poll_interval)
+        finally:
+            if self._health is not None:
+                self._health.close()
+                self._health = None

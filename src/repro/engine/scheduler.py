@@ -44,6 +44,27 @@ class SequenceExecutionError(RuntimeError):
         self.sequence_name = sequence_name
 
 
+def _count_mapped(executor: str, sequences: List[Sequence]) -> None:
+    """Per-run executor counters (one registry touch per map_sequences).
+
+    Deliberately not per-frame: executor throughput is the hot path, so
+    the always-on accounting is two counter bumps per *call*.  Per-frame
+    and per-stage signals are opt-in via
+    :meth:`repro.engine.stages.StagePipeline.instrument`.
+    """
+    from repro.obs.registry import default_registry
+
+    registry = default_registry()
+    registry.counter(
+        "executor_sequences_total", "sequences mapped, by executor kind",
+        labels=("executor",),
+    ).inc(len(sequences), labels=(executor,))
+    registry.counter(
+        "executor_frames_total", "frames mapped, by executor kind",
+        labels=("executor",),
+    ).inc(sum(s.num_frames for s in sequences), labels=(executor,))
+
+
 def effective_cpu_count() -> int:
     """CPUs actually available to this process (affinity-aware)."""
     try:
@@ -171,6 +192,7 @@ class SerialExecutor:
             results.append(target.process_sequence(sequence))
             if on_progress is not None:
                 on_progress(len(results), len(sequences), sequence.name)
+        _count_mapped("serial", sequences)
         return results
 
 
@@ -237,6 +259,7 @@ class ParallelExecutor:
                         on_progress(
                             done_count, len(sequences), by_future[future].name
                         )
+            _count_mapped("process", sequences)
             return [f.result() for f in futures]
         except (KeyboardInterrupt, SystemExit):
             # Don't wait for in-flight sequences on ^C — drop the pool's
@@ -341,6 +364,7 @@ class FrameParallelExecutor:
                             on_progress(
                                 done_sequences, len(sequences), sequences[i].name
                             )
+            _count_mapped("frames", sequences)
             return results  # type: ignore[return-value]
         except (KeyboardInterrupt, SystemExit):
             interrupted = True

@@ -1,0 +1,73 @@
+"""Observability & live-ops: metrics, health snapshots, result sinks.
+
+``repro.obs`` is a dependency-free leaf package — stdlib only, imported
+by every other layer (engine, cluster, serve) and importing none of
+them.  Three surfaces:
+
+* :mod:`repro.obs.registry` — in-process metrics (``Counter`` /
+  ``Gauge`` / fixed-bucket ``Histogram``) behind a thread-safe
+  :class:`MetricsRegistry` whose ``snapshot()`` is plain JSON.
+* :mod:`repro.obs.health` — atomic per-component health files next to a
+  queue, read back by ``repro status`` (:mod:`repro.obs.status`).
+* :mod:`repro.obs.sinks` — a tiny ``Sink`` interface (jsonl, summary
+  table, null) so long runs stream records instead of accumulating.
+"""
+
+from repro.obs.health import (
+    DEFAULT_STALE_AFTER,
+    HEALTH_SUBDIR,
+    HealthReporter,
+    health_dir,
+    read_health,
+)
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    exponential_buckets,
+    linear_buckets,
+    resolve_registry,
+    set_default_registry,
+)
+from repro.obs.sinks import (
+    JsonlSink,
+    MultiSink,
+    NullSink,
+    Sink,
+    SummaryTableSink,
+    as_sinks,
+    make_sink,
+)
+from repro.obs.status import format_status, gather_status
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "set_default_registry",
+    "resolve_registry",
+    "linear_buckets",
+    "exponential_buckets",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "HealthReporter",
+    "read_health",
+    "health_dir",
+    "HEALTH_SUBDIR",
+    "DEFAULT_STALE_AFTER",
+    "Sink",
+    "NullSink",
+    "JsonlSink",
+    "SummaryTableSink",
+    "MultiSink",
+    "make_sink",
+    "as_sinks",
+    "gather_status",
+    "format_status",
+]

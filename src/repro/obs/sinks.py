@@ -1,0 +1,156 @@
+"""Pluggable result sinks: stream records out instead of accumulating.
+
+A :class:`Sink` receives small JSON-able dicts as a run progresses —
+per-frame serve results, per-task worker acks, end-of-run summaries —
+so long runs can write as they go rather than holding everything in
+memory for a final report.  The interface is deliberately tiny
+(``emit`` / ``flush`` / ``close``) so new backends are one small class.
+
+Sinks are configured either programmatically (``Worker(sinks=[...])``,
+``Session.serve(..., sinks=[...])``) or from CLI specs via
+:func:`make_sink`::
+
+    jsonl:<path>   append one JSON object per line to <path>
+    table          human summary table on stdout at close
+    null           discard (the explicit no-op)
+
+Every record a component emits carries a ``"record"`` key naming its
+type (``"serve.frame"``, ``"worker.task"``, ``"serve.summary"``, ...),
+so one stream can safely multiplex record kinds.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, IO, Iterable, List, Optional, Sequence, Union
+
+
+class Sink:
+    """Receives a stream of JSON-able record dicts."""
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def __enter__(self) -> "Sink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class NullSink(Sink):
+    """Discards everything (the explicit no-op backend)."""
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        pass
+
+
+class JsonlSink(Sink):
+    """Appends one compact JSON object per line to a file.
+
+    The file handle is opened lazily on first emit and line-buffered at
+    close/flush boundaries — a crashed run leaves every flushed record
+    intact and parseable, which is the point of streaming.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._fh: Optional[IO[str]] = None
+        self.records_written = 0
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self.records_written += 1
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class SummaryTableSink(Sink):
+    """Counts records by type and prints one summary table at close."""
+
+    def __init__(self, write=None):
+        # ``write`` defaults to print-to-stdout at close time, injectable
+        # for tests.
+        self._write = write
+        self.counts: Dict[str, int] = {}
+        self.total = 0
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        kind = str(record.get("record", "?"))
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        self.total += 1
+
+    def format(self) -> str:
+        from repro.harness.tables import format_table
+
+        rows = [[kind, count] for kind, count in sorted(self.counts.items())]
+        rows.append(["total", self.total])
+        return format_table(["record", "count"], rows, title="sink summary")
+
+    def close(self) -> None:
+        text = self.format()
+        if self._write is not None:
+            self._write(text)
+        else:
+            print(text)
+
+
+class MultiSink(Sink):
+    """Fans every record out to each wrapped sink."""
+
+    def __init__(self, sinks: Sequence[Sink]):
+        self.sinks: List[Sink] = list(sinks)
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        for sink in self.sinks:
+            sink.emit(record)
+
+    def flush(self) -> None:
+        for sink in self.sinks:
+            sink.flush()
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+def make_sink(spec: str) -> Sink:
+    """Build a sink from a CLI spec string (see module docs)."""
+    kind, _, arg = spec.partition(":")
+    if kind == "jsonl":
+        if not arg:
+            raise ValueError("jsonl sink needs a path: jsonl:<path>")
+        return JsonlSink(arg)
+    if kind == "table":
+        return SummaryTableSink()
+    if kind == "null":
+        return NullSink()
+    raise ValueError(
+        f"unknown sink spec {spec!r} (expected jsonl:<path>, table, or null)"
+    )
+
+
+def as_sinks(sinks: Union[None, Sink, Iterable[Sink]]) -> List[Sink]:
+    """Normalize a sinks argument: None, one sink, or an iterable."""
+    if sinks is None:
+        return []
+    if isinstance(sinks, Sink):
+        return [sinks]
+    return list(sinks)

@@ -1,0 +1,158 @@
+"""Fleet status: one read-only view over a queue directory.
+
+``repro status <queue-dir>`` is an operator's glance at a running
+fleet: queue depth by state (pending / leased / done / dead), lease
+ages, dead-letter reasons, and per-component health (from the
+``health/`` files workers and servers refresh — see
+:mod:`repro.obs.health`).
+
+This module reads the queue's documented directory layout directly
+(``tasks/ leases/ results/ dead/``, see :mod:`repro.cluster.queue`)
+rather than importing the cluster package, so ``repro.obs`` stays a
+leaf: every other layer may depend on it, it depends on nothing.
+All reads are snapshot-style and race-tolerant — files appearing or
+vanishing mid-scan are fine, status is an observation not a transaction.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs.health import DEFAULT_STALE_AFTER, health_dir, read_health
+
+#: Queue state directories, in display order (mirrors FileWorkQueue).
+_QUEUE_DIRS = ("tasks", "leases", "results", "dead")
+_STATE_NAMES = {"tasks": "pending", "leases": "leased", "results": "done", "dead": "dead"}
+
+
+def _count(directory: Path) -> int:
+    return sum(1 for _ in directory.glob("*.json")) if directory.is_dir() else 0
+
+
+def _dead_letters(directory: Path, limit: int = 20) -> List[Dict[str, Any]]:
+    out: List[Dict[str, Any]] = []
+    if not directory.is_dir():
+        return out
+    for path in sorted(directory.glob("*.json"))[:limit]:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                record = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            continue
+        history = record.get("history") or []
+        reason = str(history[-1]) if history else str(record.get("error", "?"))
+        # First line only: dead-letter reasons are often full tracebacks.
+        reason = reason.strip().splitlines()[-1] if reason.strip() else "?"
+        out.append(
+            {
+                "id": record.get("id", path.stem),
+                "attempts": record.get("attempts", len(history)),
+                "reason": reason,
+            }
+        )
+    return out
+
+
+def _lease_ages(directory: Path, now: float) -> List[float]:
+    ages = []
+    if not directory.is_dir():
+        return ages
+    for path in directory.glob("*.json"):
+        try:
+            ages.append(max(0.0, now - path.stat().st_mtime))
+        except OSError:
+            continue
+    return ages
+
+
+def gather_status(
+    queue_root: Union[str, Path],
+    *,
+    stale_after: float = DEFAULT_STALE_AFTER,
+    now: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Everything ``repro status`` shows, as one JSON-able dict."""
+    root = Path(queue_root)
+    now = time.time() if now is None else now
+    counts = {
+        _STATE_NAMES[name]: _count(root / name) for name in _QUEUE_DIRS
+    }
+    ages = _lease_ages(root / "leases", now)
+    return {
+        "queue": str(root),
+        "counts": counts,
+        "oldest_lease_age_seconds": max(ages) if ages else 0.0,
+        "dead_letters": _dead_letters(root / "dead"),
+        "components": read_health(health_dir(root), stale_after=stale_after, now=now),
+    }
+
+
+def _metric_total(metrics: Dict[str, Any], name: str) -> Optional[float]:
+    """Sum of a counter/gauge's series inside a metrics snapshot."""
+    metric = metrics.get(name)
+    if not isinstance(metric, dict):
+        return None
+    return sum(s.get("value", 0) for s in metric.get("series", []))
+
+
+def format_status(status: Dict[str, Any]) -> str:
+    """Render a gathered status dict as the operator-facing report."""
+    from repro.harness.tables import format_table
+
+    parts: List[str] = []
+    counts = status["counts"]
+    parts.append(
+        format_table(
+            ["pending", "leased", "done", "dead", "oldest lease (s)"],
+            [[
+                counts["pending"],
+                counts["leased"],
+                counts["done"],
+                counts["dead"],
+                round(status["oldest_lease_age_seconds"], 1),
+            ]],
+            title=f"queue {status['queue']}",
+        )
+    )
+
+    components = status.get("components", [])
+    if components:
+        rows = []
+        for c in components:
+            metrics = c.get("metrics", {})
+            done = _metric_total(metrics, "worker_tasks_total")
+            rows.append(
+                [
+                    c.get("component", "?"),
+                    c.get("id", "?"),
+                    c.get("host", "?"),
+                    "stale" if c.get("stale") else "live",
+                    round(c.get("uptime_seconds", 0.0), 1),
+                    round(c.get("age_seconds", 0.0), 1),
+                    c.get("in_flight") or "-",
+                    int(done) if done is not None else "-",
+                ]
+            )
+        parts.append(
+            format_table(
+                ["component", "id", "host", "state", "uptime (s)", "beat age (s)", "in flight", "tasks"],
+                rows,
+                title="components",
+            )
+        )
+    else:
+        parts.append("no component health files (is anything running?)")
+
+    dead = status.get("dead_letters", [])
+    if dead:
+        parts.append(
+            format_table(
+                ["task", "attempts", "reason"],
+                [[d["id"], d["attempts"], d["reason"][:80]] for d in dead],
+                title="dead letters",
+            )
+        )
+    return "\n\n".join(parts)

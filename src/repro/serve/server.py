@@ -38,11 +38,21 @@ from repro.core.results import FrameResult, FrameResultBuffer
 from repro.core.systems import DetectionSystem
 from repro.datasets.types import Sequence
 from repro.engine.stages import StagePipeline, run_frame_batch
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    MetricsRegistry,
+    resolve_registry,
+)
+from repro.obs.sinks import Sink, as_sinks
 from repro.serve.batcher import MicroBatcher, QueuedFrame
 from repro.serve.loadgen import FrameRequest
-from repro.serve.slo import SLOAccount
+from repro.serve.slo import DEFAULT_MAX_EXACT_SAMPLES, SLOAccount
 
-REPORT_FORMAT = "repro-serve-report/1"
+# Format 2 added shed-reason splits, queue-wait/compute percentiles and
+# fleet histograms to the SLO section; format-1 cache entries fail
+# `from_dict` and are therefore clean cache misses, never misreads.
+REPORT_FORMAT = "repro-serve-report/2"
 
 #: Shedding policies for a full admission queue.
 SHED_OLDEST = "oldest"  #: drop the oldest queued frame, admit the new one
@@ -340,9 +350,15 @@ class ServeReport:
             title="Serving report",
         )
         slo_ms = self.slo.get("slo_ms")
+        shed_reasons = fleet.get("shed_reasons") or {}
+        shed_detail = (
+            " (" + ", ".join(f"{k}: {v}" for k, v in sorted(shed_reasons.items())) + ")"
+            if shed_reasons
+            else ""
+        )
         summary = (
             f"offered {self.frames_offered} frames, served {self.frames_served}, "
-            f"shed {self.frames_shed}\n"
+            f"shed {self.frames_shed}{shed_detail}\n"
             f"batches: {self.batches} (mean size {self.mean_batch_size:.2f}), "
             f"detector invocations: {self.invocations}\n"
             f"throughput: {self.throughput_fps:.1f} frames/s over "
@@ -351,6 +367,11 @@ class ServeReport:
         )
         if slo_ms is not None:
             summary += f"\nSLO: {slo_ms:.0f} ms end-to-end"
+        if "wait_p95_ms" in fleet:
+            summary += (
+                f"\nqueue wait p95: {fleet['wait_p95_ms']:.1f} ms, "
+                f"compute p95: {fleet['compute_p95_ms']:.1f} ms"
+            )
         return f"{table}\n{summary}"
 
 
@@ -382,6 +403,21 @@ class DetectionServer:
         both an explicit ``service`` and a ``device`` is an error (an
         uncalibrated service model would silently disagree with the
         profile).  With neither, the ``"abstract"`` profile applies.
+    metrics:
+        A :class:`~repro.obs.registry.MetricsRegistry` receiving the
+        live counters and histograms (frames in/out, drops by reason,
+        queue-wait/compute/latency, batch sizes); defaults to the
+        process-global registry.  The registry observes the *simulated*
+        clock's durations, matching the report.
+    sinks:
+        :class:`~repro.obs.sinks.Sink`\\ s receiving one ``serve.frame``
+        record per served frame, one ``serve.shed`` per dropped frame
+        and a final ``serve.summary`` — the streaming alternative to
+        holding ``frame_results`` for the whole run.  The server emits
+        but never closes them; lifecycle belongs to the caller.
+    max_exact_samples:
+        Per-stream bound on exact latency samples before SLO percentiles
+        switch to histogram estimates (see :mod:`repro.serve.slo`).
     """
 
     def __init__(
@@ -391,6 +427,9 @@ class DetectionServer:
         policy: ServePolicy = ServePolicy(),
         service: Optional[ServiceModel] = None,
         device: Optional[str] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        sinks: Union[None, Sink, List[Sink]] = None,
+        max_exact_samples: int = DEFAULT_MAX_EXACT_SAMPLES,
     ):
         if service is None:
             service = ServiceModel.for_device(device or "abstract")
@@ -403,6 +442,9 @@ class DetectionServer:
         self.system = build_system(system) if isinstance(system, SystemConfig) else system
         self.policy = policy
         self.service = service
+        self.metrics = resolve_registry(metrics)
+        self.sinks = as_sinks(sinks)
+        self.max_exact_samples = max_exact_samples
         self.batcher = MicroBatcher(
             max_batch_size=policy.max_batch_size,
             max_wait=policy.max_wait_ms / 1e3,
@@ -448,7 +490,7 @@ class DetectionServer:
             states.append(state)
             work.append((state.pipeline, item.request.sequence, item.request.frame))
         before = self._measured_invocations()
-        frame_results = run_frame_batch(work)
+        frame_results = run_frame_batch(work, metrics=self.metrics)
         invocations = self._measured_invocations() - before
         macs = sum(fr.ops.total for fr in frame_results)
         for state, fr in zip(states, frame_results):
@@ -472,7 +514,9 @@ class DetectionServer:
         # returned below aliases the per-stream result lists.
         self._streams = {}
         wall_start = time.perf_counter()
-        account = SLOAccount(self.policy.slo_ms / 1e3)
+        account = SLOAccount(
+            self.policy.slo_ms / 1e3, max_exact_samples=self.max_exact_samples
+        )
         arrivals = deque(requests)
         queue: List[QueuedFrame] = []
         now = 0.0
@@ -481,17 +525,64 @@ class DetectionServer:
         compute_seconds = 0.0
         last_completion = 0.0
 
+        # Live-registry handles, resolved once per run (get-or-create).
+        m_frames = self.metrics.counter(
+            "serve_frames_total", "frames through the server", labels=("direction",)
+        )
+        m_drops = self.metrics.counter(
+            "serve_drops_total", "frames dropped, by reason", labels=("reason",)
+        )
+        m_batches = self.metrics.counter("serve_batches_total", "dispatched batches")
+        m_invocations = self.metrics.counter(
+            "serve_invocations_total", "batched detector invocations"
+        )
+        m_wait = self.metrics.histogram(
+            "serve_queue_wait_seconds", "arrival to dispatch",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        m_compute = self.metrics.histogram(
+            "serve_compute_seconds", "modeled batch service time",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        m_latency = self.metrics.histogram(
+            "serve_latency_seconds", "arrival to completion",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        m_batch_size = self.metrics.histogram(
+            "serve_batch_size", "frames per dispatched batch",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        m_depth = self.metrics.gauge(
+            "serve_queue_depth", "admitted frames awaiting dispatch"
+        )
+
+        def shed(request: FrameRequest, reason: str) -> None:
+            account.record_shed(request.stream, reason)
+            m_drops.inc(labels=(reason,))
+            for sink in self.sinks:
+                sink.emit(
+                    {
+                        "record": "serve.shed",
+                        "stream": request.stream,
+                        "frame": request.frame,
+                        "reason": reason,
+                        "arrival_s": request.arrival,
+                    }
+                )
+
         def admit(request: FrameRequest) -> None:
             # A frame is batchable from the moment it arrives, so its
             # coalescing deadline counts from the arrival timestamp.
+            m_frames.inc(labels=("in",))
             if len(queue) >= self.policy.queue_capacity:
                 if self.policy.shed_policy == SHED_OLDEST:
                     victim = queue.pop(0)
-                    account.record_shed(victim.request.stream)
+                    shed(victim.request, "shed_oldest")
                 else:
-                    account.record_shed(request.stream)
+                    shed(request, "reject_newest")
                     return
             queue.append(QueuedFrame(request=request, enqueued=request.arrival))
+            m_depth.set(len(queue))
 
         while arrivals or queue:
             # Fold in everything that has arrived by the current time.
@@ -512,6 +603,7 @@ class DetectionServer:
                 continue
             for item in batch:
                 queue.remove(item)
+            m_depth.set(len(queue))
             _, batch_inv, macs = self._execute(batch)
             service = self.service.batch_seconds(batch_inv, macs, len(batch))
             completion = now + service
@@ -519,13 +611,30 @@ class DetectionServer:
             invocations += batch_inv
             compute_seconds += service
             last_completion = completion
+            m_batches.inc()
+            m_invocations.inc(batch_inv)
+            m_batch_size.observe(len(batch))
+            m_compute.observe(service)
             for item in batch:
+                wait = now - item.request.arrival
+                latency = completion - item.request.arrival
                 account.record(
-                    item.request.stream,
-                    wait=now - item.request.arrival,
-                    compute=service,
-                    latency=completion - item.request.arrival,
+                    item.request.stream, wait=wait, compute=service, latency=latency
                 )
+                m_frames.inc(labels=("out",))
+                m_wait.observe(wait)
+                m_latency.observe(latency)
+                for sink in self.sinks:
+                    sink.emit(
+                        {
+                            "record": "serve.frame",
+                            "stream": item.request.stream,
+                            "frame": item.request.frame,
+                            "wait_ms": wait * 1e3,
+                            "compute_ms": service * 1e3,
+                            "latency_ms": latency * 1e3,
+                        }
+                    )
             # The engine is busy until `completion`: arrivals during the
             # batch just queue up (and may be shed) before the next
             # dispatch decision at `completion`.
@@ -534,6 +643,21 @@ class DetectionServer:
             now = completion
 
         fleet = account.fleet()
+        for sink in self.sinks:
+            sink.emit(
+                {
+                    "record": "serve.summary",
+                    "frames_offered": len(requests),
+                    "frames_served": fleet.served,
+                    "frames_shed": fleet.shed,
+                    "shed_reasons": dict(sorted(fleet.shed_reasons.items())),
+                    "batches": batches,
+                    "invocations": invocations,
+                    "makespan_seconds": last_completion,
+                    "p99_ms": fleet.percentile(99.0) * 1e3,
+                }
+            )
+            sink.flush()
         return ServeReport(
             policy=self.policy,
             service=self.service,

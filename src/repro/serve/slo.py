@@ -7,77 +7,193 @@ Every served frame contributes three durations:
 * **latency** — arrival to completion (wait + compute, end to end).
 
 Frames the admission queue sheds never reach the engine; they are
-counted separately (a shed frame is an SLO *loss*, not a latency
+counted separately **by reason** (``shed_oldest`` — displaced from a
+full queue in favour of a fresher arrival; ``reject_newest`` — the
+arrival itself refused; a shed frame is an SLO *loss*, not a latency
 sample).  All durations are seconds on the server's simulated clock, so
 the statistics are exact and deterministic; the reporting layer converts
 to milliseconds.
+
+Memory is bounded: each accumulator keeps exact per-frame sample lists
+only up to ``max_exact_samples`` frames, while *always* feeding three
+fixed-bucket :class:`~repro.obs.registry.Histogram`\\ s (latency, wait,
+compute).  Below the bound, percentiles are exact (``numpy.percentile``
+over the lists); beyond it the sample lists are released and percentiles
+come from the histograms — within one bucket width of exact, which the
+test suite pins.  Means, counts and maxima are running scalars and stay
+exact at any scale.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
+
+from repro.obs.registry import DEFAULT_LATENCY_BUCKETS, Histogram
 
 #: The percentiles every latency report carries.
 REPORT_PERCENTILES = (50.0, 95.0, 99.0)
 
+#: Exact per-frame samples kept per accumulator before switching to
+#: histogram-estimated percentiles (~100 KB of floats per stream).
+DEFAULT_MAX_EXACT_SAMPLES = 4096
+
+#: Shed reason recorded when the caller does not name one.
+SHED_UNSPECIFIED = "unspecified"
+
 
 class LatencyStats:
-    """Streaming accumulator of one stream's (or the fleet's) samples."""
+    """Streaming accumulator of one stream's (or the fleet's) samples.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    max_exact_samples:
+        Served frames beyond this release the exact sample lists and
+        switch :meth:`percentile` to the histogram estimate.
+    buckets:
+        Upper bounds (seconds) of the backing histograms; the default
+        layout spans ~1 ms to ~80 s geometrically.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_exact_samples: int = DEFAULT_MAX_EXACT_SAMPLES,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        if max_exact_samples < 1:
+            raise ValueError(
+                f"max_exact_samples must be >= 1, got {max_exact_samples}"
+            )
+        self.max_exact_samples = int(max_exact_samples)
         self.latencies: List[float] = []
         self.waits: List[float] = []
         self.computes: List[float] = []
+        self.hist_latency = Histogram("latency_seconds", buckets=buckets)
+        self.hist_wait = Histogram("wait_seconds", buckets=buckets)
+        self.hist_compute = Histogram("compute_seconds", buckets=buckets)
+        self.served = 0
         self.shed = 0
+        self.shed_reasons: Dict[str, int] = {}
         self.violations = 0
+        self._sum_wait = 0.0
+        self._sum_compute = 0.0
+        self._max_latency = 0.0
 
     @property
-    def served(self) -> int:
-        return len(self.latencies)
+    def exact(self) -> bool:
+        """Whether percentiles still come from exact sample lists."""
+        return self.served <= self.max_exact_samples
+
+    def _overflow(self) -> None:
+        """Release the exact lists; the histograms carry on alone."""
+        self.latencies = []
+        self.waits = []
+        self.computes = []
 
     def add(self, wait: float, compute: float, latency: float, *, violated: bool) -> None:
-        self.waits.append(float(wait))
-        self.computes.append(float(compute))
-        self.latencies.append(float(latency))
+        wait, compute, latency = float(wait), float(compute), float(latency)
+        self.served += 1
+        self._sum_wait += wait
+        self._sum_compute += compute
+        if latency > self._max_latency:
+            self._max_latency = latency
+        self.hist_wait.observe(wait)
+        self.hist_compute.observe(compute)
+        self.hist_latency.observe(latency)
+        if self.exact:
+            self.waits.append(wait)
+            self.computes.append(compute)
+            self.latencies.append(latency)
+        elif self.latencies:
+            self._overflow()
         if violated:
             self.violations += 1
 
-    def add_shed(self) -> None:
+    def add_shed(self, reason: str = SHED_UNSPECIFIED) -> None:
         self.shed += 1
+        self.shed_reasons[reason] = self.shed_reasons.get(reason, 0) + 1
 
     def merge(self, other: "LatencyStats") -> None:
-        self.latencies.extend(other.latencies)
-        self.waits.extend(other.waits)
-        self.computes.extend(other.computes)
+        both_exact = (
+            len(self.latencies) == self.served
+            and len(other.latencies) == other.served
+        )
+        self.served += other.served
         self.shed += other.shed
+        for reason, count in other.shed_reasons.items():
+            self.shed_reasons[reason] = self.shed_reasons.get(reason, 0) + count
         self.violations += other.violations
+        self._sum_wait += other._sum_wait
+        self._sum_compute += other._sum_compute
+        self._max_latency = max(self._max_latency, other._max_latency)
+        self.hist_latency.merge(other.hist_latency)
+        self.hist_wait.merge(other.hist_wait)
+        self.hist_compute.merge(other.hist_compute)
+        if both_exact and self.exact:
+            self.latencies.extend(other.latencies)
+            self.waits.extend(other.waits)
+            self.computes.extend(other.computes)
+        else:
+            # Either side overflowed (or the union just did): the merged
+            # accumulator is histogram-only from here on.
+            self._overflow()
+
+    def _percentile(self, samples: List[float], hist: Histogram, q: float) -> float:
+        if self.served == 0:
+            return 0.0
+        if len(samples) == self.served:
+            return float(np.percentile(np.asarray(samples), q))
+        return hist.quantile(q)
 
     def percentile(self, q: float) -> float:
         """The ``q``-th latency percentile in seconds (0 when empty)."""
-        if not self.latencies:
-            return 0.0
-        return float(np.percentile(np.asarray(self.latencies), q))
+        return self._percentile(self.latencies, self.hist_latency, q)
+
+    def wait_percentile(self, q: float) -> float:
+        """The ``q``-th queue-wait percentile in seconds."""
+        return self._percentile(self.waits, self.hist_wait, q)
+
+    def compute_percentile(self, q: float) -> float:
+        """The ``q``-th compute-time percentile in seconds."""
+        return self._percentile(self.computes, self.hist_compute, q)
 
     def mean_wait(self) -> float:
-        return float(np.mean(self.waits)) if self.waits else 0.0
+        return self._sum_wait / self.served if self.served else 0.0
 
     def mean_compute(self) -> float:
-        return float(np.mean(self.computes)) if self.computes else 0.0
+        return self._sum_compute / self.served if self.served else 0.0
 
-    def to_dict(self) -> Dict[str, Any]:
-        """Summary in milliseconds (JSON-safe; samples are not included)."""
+    def to_dict(self, *, include_histograms: bool = False) -> Dict[str, Any]:
+        """Summary in milliseconds (JSON-safe; raw samples not included).
+
+        ``include_histograms`` additionally embeds the wait/compute/
+        latency bucket snapshots — the fleet entry of a
+        :class:`~repro.serve.server.ServeReport` carries them so
+        downstream consumers (the tuner, dashboards) can re-estimate any
+        quantile without the samples.
+        """
         out: Dict[str, Any] = {
             "served": self.served,
             "shed": self.shed,
+            "shed_reasons": dict(sorted(self.shed_reasons.items())),
             "violations": self.violations,
+            "exact": self.exact,
             "mean_wait_ms": self.mean_wait() * 1e3,
             "mean_compute_ms": self.mean_compute() * 1e3,
-            "max_ms": (max(self.latencies) * 1e3) if self.latencies else 0.0,
+            "max_ms": self._max_latency * 1e3,
         }
         for q in REPORT_PERCENTILES:
             out[f"p{q:g}_ms"] = self.percentile(q) * 1e3
+            out[f"wait_p{q:g}_ms"] = self.wait_percentile(q) * 1e3
+        out["compute_p95_ms"] = self.compute_percentile(95.0) * 1e3
+        if include_histograms:
+            out["histograms"] = {
+                "latency_seconds": self.hist_latency.snapshot(),
+                "wait_seconds": self.hist_wait.snapshot(),
+                "compute_seconds": self.hist_compute.snapshot(),
+            }
         return out
 
 
@@ -90,30 +206,45 @@ class SLOAccount:
         The end-to-end latency objective; a served frame whose latency
         exceeds it counts as a violation.  ``None`` disables violation
         counting (latency distributions are still tracked).
+    max_exact_samples / buckets:
+        Forwarded to every per-stream :class:`LatencyStats`.
     """
 
-    def __init__(self, slo_seconds: Optional[float] = None):
+    def __init__(
+        self,
+        slo_seconds: Optional[float] = None,
+        *,
+        max_exact_samples: int = DEFAULT_MAX_EXACT_SAMPLES,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ):
         if slo_seconds is not None and slo_seconds <= 0:
             raise ValueError(f"slo_seconds must be positive, got {slo_seconds}")
         self.slo_seconds = slo_seconds
+        self.max_exact_samples = max_exact_samples
+        self.buckets = tuple(buckets)
         self.streams: Dict[str, LatencyStats] = {}
+
+    def _new_stats(self) -> LatencyStats:
+        return LatencyStats(
+            max_exact_samples=self.max_exact_samples, buckets=self.buckets
+        )
 
     def _stream(self, stream: str) -> LatencyStats:
         stats = self.streams.get(stream)
         if stats is None:
-            stats = self.streams[stream] = LatencyStats()
+            stats = self.streams[stream] = self._new_stats()
         return stats
 
     def record(self, stream: str, wait: float, compute: float, latency: float) -> None:
         violated = self.slo_seconds is not None and latency > self.slo_seconds
         self._stream(stream).add(wait, compute, latency, violated=violated)
 
-    def record_shed(self, stream: str) -> None:
-        self._stream(stream).add_shed()
+    def record_shed(self, stream: str, reason: str = SHED_UNSPECIFIED) -> None:
+        self._stream(stream).add_shed(reason)
 
     def fleet(self) -> LatencyStats:
         """All streams' samples merged into one distribution."""
-        merged = LatencyStats()
+        merged = self._new_stats()
         for stats in self.streams.values():
             merged.merge(stats)
         return merged
@@ -121,7 +252,7 @@ class SLOAccount:
     def to_dict(self) -> Dict[str, Any]:
         return {
             "slo_ms": None if self.slo_seconds is None else self.slo_seconds * 1e3,
-            "fleet": self.fleet().to_dict(),
+            "fleet": self.fleet().to_dict(include_histograms=True),
             "streams": {
                 name: stats.to_dict() for name, stats in sorted(self.streams.items())
             },

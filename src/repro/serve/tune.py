@@ -45,6 +45,11 @@ class PolicyCandidate:
         return float(self.report.slo["fleet"]["p99_ms"])
 
     @property
+    def wait_p95_ms(self) -> float:
+        """Fleet p95 queue wait (0.0 for pre-observability cached reports)."""
+        return float(self.report.slo["fleet"].get("wait_p95_ms", 0.0))
+
+    @property
     def cost_seconds(self) -> float:
         """Modeled engine-busy seconds — the "price" of this policy."""
         return self.report.compute_seconds
@@ -71,6 +76,7 @@ class TuneResult:
     slo_p99_ms: float
     candidates: List[PolicyCandidate]
     best: Optional[PolicyCandidate]
+    slo_wait_p95_ms: Optional[float] = None
 
     def format(self) -> str:
         """Human-readable sweep table plus the verdict."""
@@ -89,21 +95,28 @@ class TuneResult:
                     policy.max_batch_size,
                     policy.max_wait_ms,
                     cand.p99_ms,
+                    cand.wait_p95_ms,
                     cand.report.frames_shed,
                     cand.cost_seconds,
                     cand.report.throughput_fps,
                     marker,
                 ]
             )
+        title = f"Policy sweep — SLO p99 <= {self.slo_p99_ms:.0f} ms"
+        if self.slo_wait_p95_ms is not None:
+            title += f", queue-wait p95 <= {self.slo_wait_p95_ms:.0f} ms"
         table = format_table(
-            ["batch", "wait(ms)", "p99(ms)", "shed", "busy(s)", "fps", ""],
+            ["batch", "wait(ms)", "p99(ms)", "qwait p95", "shed", "busy(s)", "fps", ""],
             rows,
             precision=1,
-            title=f"Policy sweep — SLO p99 <= {self.slo_p99_ms:.0f} ms",
+            title=title,
         )
         if self.best is None:
+            bounds = f"p99 <= {self.slo_p99_ms:.0f} ms"
+            if self.slo_wait_p95_ms is not None:
+                bounds += f" with queue-wait p95 <= {self.slo_wait_p95_ms:.0f} ms"
             verdict = (
-                f"no swept policy meets p99 <= {self.slo_p99_ms:.0f} ms — "
+                f"no swept policy meets {bounds} — "
                 "the offered load is infeasible on this device"
             )
         else:
@@ -122,6 +135,7 @@ def tune_policy(
     spec: ServeSpec,
     *,
     slo_p99_ms: float,
+    slo_wait_p95_ms: Optional[float] = None,
     batch_sizes: Seq[int] = DEFAULT_BATCH_SIZES,
     max_waits_ms: Seq[float] = DEFAULT_MAX_WAITS_MS,
     use_cache: bool = True,
@@ -143,6 +157,11 @@ def tune_policy(
         The base deployment to tune.
     slo_p99_ms:
         Feasibility target for the fleet p99 end-to-end latency.
+    slo_wait_p95_ms:
+        Optional additional bound on the fleet p95 *queue wait*.  End-to-end
+        p99 can hide a policy that meets the deadline only by batching
+        aggressively and parking frames in the queue; bounding queue wait
+        keeps the admission-to-dispatch delay itself under control.
     batch_sizes / max_waits_ms:
         The grid axes.
     on_progress:
@@ -150,6 +169,10 @@ def tune_policy(
     """
     if slo_p99_ms <= 0:
         raise ValueError(f"slo_p99_ms must be positive, got {slo_p99_ms}")
+    if slo_wait_p95_ms is not None and slo_wait_p95_ms <= 0:
+        raise ValueError(
+            f"slo_wait_p95_ms must be positive, got {slo_wait_p95_ms}"
+        )
     if not batch_sizes or not max_waits_ms:
         raise ValueError("batch_sizes and max_waits_ms must be non-empty")
     grid = [
@@ -165,6 +188,11 @@ def tune_policy(
         feasible = (
             float(report.slo["fleet"]["p99_ms"]) <= slo_p99_ms
             and report.frames_shed == 0
+            and (
+                slo_wait_p95_ms is None
+                or float(report.slo["fleet"].get("wait_p95_ms", 0.0))
+                <= slo_wait_p95_ms
+            )
         )
         candidates.append(
             PolicyCandidate(spec=point, report=report, feasible=feasible)
@@ -173,4 +201,9 @@ def tune_policy(
             on_progress(i + 1, len(grid), f"batch={batch} wait={wait:g}ms")
     feasible = [c for c in candidates if c.feasible]
     best = min(feasible, key=PolicyCandidate.sort_key) if feasible else None
-    return TuneResult(slo_p99_ms=slo_p99_ms, candidates=candidates, best=best)
+    return TuneResult(
+        slo_p99_ms=slo_p99_ms,
+        candidates=candidates,
+        best=best,
+        slo_wait_p95_ms=slo_wait_p95_ms,
+    )

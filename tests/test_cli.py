@@ -283,3 +283,115 @@ class TestClusterCommands:
         assert main(argv) == 0
         err = capsys.readouterr().err
         assert "[progress] 1/2" in err and "[progress] 2/2" in err
+
+
+SERVE_GATE = [
+    "serve", "catdet", "resnet50", "resnet10a",
+    "--streams", "2", "--frames", "10", "--sequences", "1",
+    "--seq-frames", "10",
+]
+
+
+class TestServeSloGate:
+    def test_gate_passes_with_generous_target(self, capsys):
+        assert main([*SERVE_GATE, "--slo-p99-ms", "100000"]) == 0
+        assert "SLO PASS" in capsys.readouterr().out
+
+    def test_gate_fails_on_p99_miss(self, capsys):
+        assert main([*SERVE_GATE, "--slo-p99-ms", "0.001"]) == 1
+        err = capsys.readouterr().err
+        assert "SLO FAIL" in err and "p99" in err
+
+    def test_gate_fails_on_shed_frames(self, capsys):
+        # A 1-slot queue under 4 bursty streams must shed; even a huge
+        # p99 target cannot make dropped load pass the gate.
+        argv = [
+            "serve", "catdet", "resnet50", "resnet10a",
+            "--streams", "4", "--frames", "10", "--sequences", "1",
+            "--seq-frames", "10", "--rate", "1000", "--queue-capacity", "1",
+            "--slo-p99-ms", "100000000",
+        ]
+        assert main(argv) == 1
+        err = capsys.readouterr().err
+        assert "SLO FAIL" in err and "shed" in err
+
+    def test_gate_fails_on_queue_wait_bound(self, capsys):
+        argv = [*SERVE_GATE, "--slo-p99-ms", "100000",
+                "--slo-wait-p95-ms", "0.0001"]
+        assert main(argv) == 1
+        assert "queue-wait p95" in capsys.readouterr().err
+
+    def test_tune_accepts_wait_bound(self, capsys):
+        argv = [*SERVE_GATE, "--tune", "--slo-p99-ms", "100000",
+                "--slo-wait-p95-ms", "100000",
+                "--batch-grid", "1,2", "--wait-grid", "0"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "queue-wait p95 <= 100000 ms" in out and "qwait p95" in out
+
+
+class TestServeSink:
+    def test_jsonl_sink_records_balance(self, tmp_path, capsys):
+        path = tmp_path / "frames.jsonl"
+        assert main([*SERVE_GATE, "--sink", f"jsonl:{path}"]) == 0
+        capsys.readouterr()
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        kinds = {}
+        for record in records:
+            kinds[record["record"]] = kinds.get(record["record"], 0) + 1
+        assert kinds["serve.summary"] == 1
+        (summary,) = [r for r in records if r["record"] == "serve.summary"]
+        # Conservation: every offered frame is served or shed.
+        assert summary["frames_offered"] == (
+            summary["frames_served"] + summary["frames_shed"]
+        )
+        assert kinds["serve.frame"] == summary["frames_served"]
+        assert kinds.get("serve.shed", 0) == summary["frames_shed"]
+
+    def test_table_sink_prints_summary(self, capsys):
+        assert main([*SERVE_GATE, "--sink", "table"]) == 0
+        out = capsys.readouterr().out
+        assert "sink summary" in out and "serve.frame" in out
+
+    def test_bad_sink_spec_is_a_usage_error(self, capsys):
+        assert main([*SERVE_GATE, "--sink", "bogus:x"]) == 2
+        assert "unknown sink" in capsys.readouterr().err
+
+
+class TestStatus:
+    def test_status_after_dispatch_and_drain(self, tmp_path, capsys):
+        spec = ExperimentSpec.from_dict(json.loads(
+            _example_spec_json(capsys)
+        ))
+        payload = spec.to_dict()
+        payload["dataset"]["num_sequences"] = 1
+        payload["dataset"]["frames_per_sequence"] = 10
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps(payload))
+        queue_dir = str(tmp_path / "queue")
+        assert main(["dispatch", str(spec_file), "--queue-dir", queue_dir,
+                     "--no-wait"]) == 0
+        capsys.readouterr()
+
+        assert main(["status", queue_dir]) == 0
+        out = capsys.readouterr().out
+        assert "pending" in out and "is anything running?" in out
+
+        assert main(["worker", queue_dir, "--max-tasks", "1",
+                     "--idle-timeout", "30", "--poll", "0.02"]) == 0
+        capsys.readouterr()
+
+        assert main(["status", queue_dir, "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["counts"]["done"] == 1
+        assert status["counts"]["dead"] == 0
+        assert status["counts"]["pending"] == 0
+
+    def test_status_on_missing_queue_is_empty_not_crash(self, tmp_path, capsys):
+        assert main(["status", str(tmp_path / "nowhere")]) == 0
+        assert "pending" in capsys.readouterr().out
+
+
+def _example_spec_json(capsys):
+    assert main(["spec", "--example"]) == 0
+    return capsys.readouterr().out

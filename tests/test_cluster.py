@@ -357,6 +357,121 @@ class TestFaultTolerance:
         assert sequence_result_to_dict(rebuilt) == sequence_result_to_dict(direct)
 
 
+class TestClusterObservability:
+    def test_queue_metrics_count_transitions(self, tmp_path):
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        queue = FileWorkQueue(tmp_path / "q", lease_ttl=10, metrics=reg)
+        task_id = queue.submit(
+            sequence_task(CONFIG, dataset=DATASET.to_dict(), index=0)
+        )
+        queue.submit(sequence_task(CONFIG, dataset=DATASET.to_dict(), index=1))
+        lease = queue.claim("w1")
+        assert lease.task_id == task_id
+        lease.complete({"ok": True})
+        tasks = reg.get("cluster_tasks_total")
+        assert tasks.value(("submitted",)) == 2
+        assert tasks.value(("claimed",)) == 1
+        assert tasks.value(("completed",)) == 1
+        # stats() refreshes the depth gauges as a side effect.
+        queue.stats()
+        depth = reg.get("cluster_queue_depth")
+        assert depth.value(("pending",)) == 1
+        assert depth.value(("done",)) == 1
+
+    def test_expired_lease_increments_retry_and_dead_letter_counters(
+        self, tmp_path
+    ):
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        queue = FileWorkQueue(
+            tmp_path / "q", lease_ttl=10, max_attempts=2, metrics=reg
+        )
+        queue.submit(sequence_task(CONFIG, dataset=DATASET.to_dict(), index=0))
+        for _ in range(2):
+            queue.claim("doomed")
+            queue.recover_expired(now=time.time() + 11)
+        tasks = reg.get("cluster_tasks_total")
+        assert tasks.value(("lease_expired",)) == 2
+        assert tasks.value(("retried",)) == 1
+        assert tasks.value(("dead_lettered",)) == 1
+
+    def test_lease_lost_without_sigkill_is_counted_and_structured(
+        self, tmp_path, monkeypatch
+    ):
+        """The lease-lost path emits a counter, an event, and a sink record.
+
+        No SIGKILL involved: an observer expires the lease while the
+        worker keeps executing (the slow-shard/short-TTL scenario), and
+        the loss must surface as telemetry instead of a silent envelope
+        flag.
+        """
+        from repro.cluster import worker as worker_mod
+        from repro.obs import MetricsRegistry, Sink
+
+        class ListSink(Sink):
+            def __init__(self):
+                self.records = []
+
+            def emit(self, record):
+                self.records.append(record)
+
+        queue = FileWorkQueue(tmp_path / "q", lease_ttl=1.0)
+        task_id = queue.submit(
+            sequence_task(CONFIG, dataset=DATASET.to_dict(), index=0)
+        )
+        reg = MetricsRegistry()
+        sink = ListSink()
+        worker = Worker(
+            queue, cache_dir=None, heartbeat_interval=0.05,
+            metrics=reg, sinks=sink, health=None,
+        )
+        real_execute = worker_mod.execute_task
+
+        def expire_then_execute(task, **kwargs):
+            # Observer's view: the lease aged out; re-queue it while the
+            # original worker is still mid-execution...
+            assert queue.recover_expired(now=time.time() + 2.0) == [task_id]
+            # ...and outlive a few heartbeat periods so the renewal
+            # thread notices the lease file is gone.
+            time.sleep(0.3)
+            return real_execute(task, **kwargs)
+
+        monkeypatch.setattr(worker_mod, "execute_task", expire_then_execute)
+        assert worker.run_one()
+        assert worker.tasks_done == 1
+        assert worker.leases_lost == 1
+        (event,) = worker.lease_lost_events
+        assert event["task_id"] == task_id
+        assert event["attempt"] == 1
+        assert event["elapsed_seconds"] > 0
+        assert event["worker"] == worker.worker_id
+        assert reg.get("worker_leases_lost_total").value() == 1
+        lost = [r for r in sink.records if r["record"] == "worker.lease_lost"]
+        assert len(lost) == 1 and lost[0]["task_id"] == task_id
+
+    def test_worker_health_file_lifecycle(self, tmp_path):
+        from repro.obs import health_dir, read_health
+
+        queue = FileWorkQueue(tmp_path / "q")
+        queue.submit(sequence_task(CONFIG, dataset=DATASET.to_dict(), index=0))
+        worker = Worker(queue, cache_dir=None, heartbeat_interval=0.2)
+        seen = {}
+
+        def on_task(processed):
+            seen["records"] = read_health(health_dir(queue.root))
+
+        worker.run(max_tasks=1, poll_interval=0.02, idle_timeout=30,
+                   on_task=on_task)
+        (record,) = seen["records"]
+        assert record["component"] == "worker"
+        assert record["id"] == worker.worker_id
+        # Clean shutdown removes the snapshot: nothing left to go stale.
+        assert read_health(health_dir(queue.root)) == []
+
+
 class TestExecutorParity:
     def test_every_registered_executor_kind_is_byte_identical(self, tmp_path):
         dataset = Session().dataset(DATASET)

@@ -1,0 +1,409 @@
+"""Observability subsystem tests: registry, histograms, sinks, health, status.
+
+The load-bearing guarantees:
+
+* registry get-or-create is idempotent but raises on shape drift (type,
+  labels, or bucket layout changing under an existing name);
+* histogram quantile *brackets* provably contain ``numpy.percentile``
+  for arbitrary workloads and bucket layouts (hypothesis-pinned);
+* ``snapshot()`` is JSON-native and lossless under concurrent writers;
+* health files are atomic, rate-limited, age out as stale, and vanish
+  on clean shutdown;
+* ``gather_status`` reads a live queue directory without importing (or
+  perturbing) the cluster machinery.
+"""
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    HealthReporter,
+    Histogram,
+    JsonlSink,
+    MetricsRegistry,
+    MultiSink,
+    NullSink,
+    Sink,
+    SummaryTableSink,
+    as_sinks,
+    default_registry,
+    exponential_buckets,
+    format_status,
+    gather_status,
+    health_dir,
+    linear_buckets,
+    make_sink,
+    read_health,
+    resolve_registry,
+    set_default_registry,
+)
+
+
+class TestBucketLayouts:
+    def test_linear(self):
+        assert linear_buckets(1.0, 2.0, 3) == (1.0, 3.0, 5.0)
+
+    def test_exponential(self):
+        assert exponential_buckets(1.0, 2.0, 4) == (1.0, 2.0, 4.0, 8.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            linear_buckets(0.0, -1.0, 3)
+        with pytest.raises(ValueError):
+            linear_buckets(0.0, 1.0, 0)
+        with pytest.raises(ValueError):
+            exponential_buckets(0.0, 2.0, 3)
+        with pytest.raises(ValueError):
+            exponential_buckets(1.0, 1.0, 3)
+
+
+class TestCounterAndGauge:
+    def test_counter_accumulates(self):
+        c = Counter("hits")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+        assert c.total() == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter("hits").inc(-1)
+
+    def test_counter_labels(self):
+        c = Counter("drops", labels=("reason",))
+        c.inc(labels=("oldest",))
+        c.inc(2, labels=("newest",))
+        assert c.value(("oldest",)) == 1
+        assert c.total() == 3
+        assert c.labels_seen() == [("newest",), ("oldest",)]
+
+    def test_label_arity_checked(self):
+        c = Counter("drops", labels=("reason",))
+        with pytest.raises(ValueError, match="expects 1 label"):
+            c.inc()
+        with pytest.raises(ValueError, match="expects 1 label"):
+            c.inc(labels=("a", "b"))
+
+    def test_gauge_set_inc_dec(self):
+        g = Gauge("depth")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value() == 12
+
+
+class TestHistogram:
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError, match="at least one bucket"):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError, match="strictly increase"):
+            Histogram("h", buckets=(1.0, 1.0, 2.0))
+
+    def test_counts_sum_mean(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 10.0):
+            h.observe(v)
+        assert h.count() == 4
+        assert h.sum() == 15.0
+        assert h.mean() == pytest.approx(3.75)
+
+    def test_overflow_bucket_is_implicit(self):
+        h = Histogram("h", buckets=(1.0,))
+        h.observe(5.0)
+        (series,) = h.snapshot()["series"]
+        assert series["counts"] == [0, 1]
+
+    def test_empty_quantile_is_zero(self):
+        h = Histogram("h", buckets=(1.0, 2.0))
+        assert h.quantile(99) == 0.0
+        assert h.quantile_bracket(99) == (0.0, 0.0)
+
+    def test_quantile_clamped_to_observed_extremes(self):
+        h = Histogram("h", buckets=(100.0,))
+        for v in (3.0, 4.0, 5.0):
+            h.observe(v)
+        assert h.quantile(0) == 3.0
+        assert h.quantile(100) == 5.0
+        lo, hi = h.quantile_bracket(50)
+        assert 3.0 <= lo <= hi <= 5.0
+
+    def test_merge_requires_same_bounds(self):
+        a = Histogram("h", buckets=(1.0, 2.0))
+        b = Histogram("h", buckets=(1.0, 3.0))
+        with pytest.raises(ValueError, match="different bounds"):
+            a.merge(b)
+
+    def test_merge_folds_counts(self):
+        a = Histogram("h", buckets=(1.0, 2.0))
+        b = Histogram("h", buckets=(1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(5.0)
+        a.merge(b)
+        assert a.count() == 3
+        assert a.sum() == 7.0
+
+    @given(
+        samples=st.lists(
+            st.floats(min_value=0.0, max_value=1e4, allow_nan=False,
+                      allow_infinity=False),
+            min_size=1,
+            max_size=200,
+        ),
+        edges=st.lists(
+            st.floats(min_value=1e-3, max_value=1e4, allow_nan=False,
+                      allow_infinity=False),
+            min_size=1,
+            max_size=12,
+            unique=True,
+        ),
+        q=st.sampled_from([0, 1, 25, 50, 75, 90, 95, 99, 100]),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_bracket_contains_numpy_percentile(self, samples, edges, q):
+        """The pinned property: exact percentile lies inside the bracket."""
+        h = Histogram("h", buckets=sorted(edges))
+        for v in samples:
+            h.observe(v)
+        exact = float(np.percentile(samples, q))
+        lo, hi = h.quantile_bracket(q)
+        assert lo - 1e-9 <= exact <= hi + 1e-9
+        # The point estimate stays inside its own hard bounds too.
+        assert lo - 1e-9 <= h.quantile(q) <= hi + 1e-9
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits", "first")
+        b = reg.counter("hits", "second help ignored")
+        assert a is b
+        assert reg.get("hits") is a
+        assert reg.names() == ["hits"]
+
+    def test_type_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            reg.gauge("x")
+
+    def test_label_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x", labels=("a",))
+        with pytest.raises(ValueError, match="labels"):
+            reg.counter("x", labels=("b",))
+
+    def test_bucket_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="bucket bounds"):
+            reg.histogram("h", buckets=(1.0, 3.0))
+
+    def test_snapshot_round_trips_through_json(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(3)
+        reg.gauge("depth", labels=("state",)).set(7, labels=("pending",))
+        reg.histogram("lat", buckets=(1.0, 2.0)).observe(1.5)
+        snap = reg.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_default_registry_swap_and_resolve(self):
+        fresh = MetricsRegistry()
+        previous = set_default_registry(fresh)
+        try:
+            assert default_registry() is fresh
+            assert resolve_registry(None) is fresh
+            mine = MetricsRegistry()
+            assert resolve_registry(mine) is mine
+        finally:
+            set_default_registry(previous)
+
+    def test_concurrent_observe_snapshot_is_lossless(self):
+        """4 writer threads; the final snapshot is exact and JSON-stable."""
+        reg = MetricsRegistry()
+        counter = reg.counter("ops", labels=("thread",))
+        hist = reg.histogram("vals", buckets=(10.0, 100.0, 1000.0))
+        per_thread = 500
+
+        def writer(tid: int) -> None:
+            labels = (f"t{tid}",)
+            for i in range(per_thread):
+                counter.inc(labels=labels)
+                hist.observe(float(i))
+
+        threads = [threading.Thread(target=writer, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = reg.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert counter.total() == 4 * per_thread
+        (series,) = snap["vals"]["series"]
+        assert series["count"] == 4 * per_thread
+        assert sum(series["counts"]) == 4 * per_thread
+        assert series["sum"] == pytest.approx(4 * sum(range(per_thread)))
+
+
+class TestSinks:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "out" / "records.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit({"record": "a", "n": 1})
+            sink.emit({"record": "b", "n": 2})
+        lines = path.read_text().splitlines()
+        assert [json.loads(l)["record"] for l in lines] == ["a", "b"]
+        assert sink.records_written == 2
+
+    def test_summary_table_counts_by_kind(self):
+        out = []
+        sink = SummaryTableSink(write=out.append)
+        for kind in ("x", "x", "y"):
+            sink.emit({"record": kind})
+        sink.close()
+        assert "x" in out[0] and "y" in out[0]
+        assert sink.counts == {"x": 2, "y": 1}
+
+    def test_multi_sink_fans_out(self, tmp_path):
+        jsonl = JsonlSink(tmp_path / "a.jsonl")
+        table = SummaryTableSink(write=lambda _: None)
+        multi = MultiSink([jsonl, table])
+        multi.emit({"record": "z"})
+        multi.close()
+        assert jsonl.records_written == 1 and table.total == 1
+
+    def test_make_sink_specs(self, tmp_path):
+        assert isinstance(make_sink(f"jsonl:{tmp_path}/s.jsonl"), JsonlSink)
+        assert isinstance(make_sink("table"), SummaryTableSink)
+        assert isinstance(make_sink("null"), NullSink)
+        with pytest.raises(ValueError, match="unknown sink"):
+            make_sink("bogus")
+        with pytest.raises(ValueError, match="needs a path"):
+            make_sink("jsonl:")
+
+    def test_as_sinks_normalizes(self):
+        one = NullSink()
+        assert as_sinks(None) == []
+        assert as_sinks(one) == [one]
+        assert as_sinks([one, one]) == [one, one]
+
+
+class TestHealth:
+    def test_beat_writes_and_read_health_sees_it(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("worker_tasks_total", labels=("outcome",)).inc(
+            labels=("done",)
+        )
+        rep = HealthReporter(
+            tmp_path, component="worker", component_id="w0", registry=reg
+        )
+        rep.in_flight = "task-1"
+        rep.extra["note"] = "hi"
+        assert rep.beat(force=True)
+        (record,) = read_health(tmp_path)
+        assert record["component"] == "worker" and record["id"] == "w0"
+        assert record["in_flight"] == "task-1"
+        assert record["note"] == "hi"
+        assert "worker_tasks_total" in record["metrics"]
+        assert record["stale"] is False and record["age_seconds"] >= 0
+
+    def test_beat_is_rate_limited(self, tmp_path):
+        rep = HealthReporter(
+            tmp_path, component="worker", component_id="w0", interval=60.0
+        )
+        assert rep.beat()
+        assert not rep.due()
+        assert not rep.beat()  # within the interval
+        assert rep.beat(force=True)
+        assert rep.due(now=time.time() + 61)
+
+    def test_stale_flag_from_mtime(self, tmp_path):
+        rep = HealthReporter(tmp_path, component="server", component_id="s0")
+        rep.beat(force=True)
+        (record,) = read_health(tmp_path, stale_after=5.0,
+                                now=time.time() + 60)
+        assert record["stale"] is True
+
+    def test_close_removes_file(self, tmp_path):
+        rep = HealthReporter(tmp_path, component="worker", component_id="w0")
+        rep.beat(force=True)
+        assert rep.path.exists()
+        rep.close()
+        assert not rep.path.exists()
+        assert read_health(tmp_path) == []
+
+    def test_unparseable_files_skipped(self, tmp_path):
+        (tmp_path / "junk.json").write_text("{ not json")
+        (tmp_path / "list.json").write_text("[1, 2]")
+        assert read_health(tmp_path) == []
+
+    def test_component_id_is_sanitized(self, tmp_path):
+        rep = HealthReporter(
+            tmp_path, component="worker", component_id="host:1234/x"
+        )
+        assert "/" not in rep.path.name and ":" not in rep.path.name
+
+
+class TestStatus:
+    def _queue_with_work(self, tmp_path):
+        from repro.cluster.protocol import sequence_task
+        from repro.cluster.queue import FileWorkQueue
+        from repro.core.config import SystemConfig
+
+        queue = FileWorkQueue(tmp_path / "q", lease_ttl=10, max_attempts=1)
+        config = SystemConfig("catdet", "resnet50", "resnet10a")
+        dataset = {"family": "kitti", "num_sequences": 1,
+                   "frames_per_sequence": 5}
+        for i in range(3):
+            queue.submit(sequence_task(config, dataset=dataset, index=i))
+        return queue
+
+    def test_counts_and_lease_age(self, tmp_path):
+        queue = self._queue_with_work(tmp_path)
+        lease = queue.claim("w1")
+        lease.complete({"ok": True})
+        queue.claim("w2")  # still leased
+        status = gather_status(queue.root)
+        assert status["counts"] == {
+            "pending": 1, "leased": 1, "done": 1, "dead": 0,
+        }
+        assert status["oldest_lease_age_seconds"] >= 0
+
+    def test_dead_letters_surface_reason(self, tmp_path):
+        queue = self._queue_with_work(tmp_path)
+        queue.claim("w1")
+        # max_attempts=1: the expired lease dead-letters immediately.
+        queue.recover_expired(now=time.time() + 11)
+        status = gather_status(queue.root)
+        assert status["counts"]["dead"] == 1
+        (dead,) = status["dead_letters"]
+        assert "lease expired" in dead["reason"]
+
+    def test_components_from_health_dir(self, tmp_path):
+        queue = self._queue_with_work(tmp_path)
+        rep = HealthReporter(
+            health_dir(queue.root), component="worker", component_id="w7"
+        )
+        rep.beat(force=True)
+        status = gather_status(queue.root)
+        (component,) = status["components"]
+        assert component["id"] == "w7"
+        text = format_status(status)
+        assert "w7" in text and "pending" in text
+
+    def test_format_without_components(self, tmp_path):
+        queue = self._queue_with_work(tmp_path)
+        text = format_status(gather_status(queue.root))
+        assert "is anything running?" in text
+
+    def test_status_json_round_trips(self, tmp_path):
+        queue = self._queue_with_work(tmp_path)
+        status = gather_status(queue.root)
+        assert json.loads(json.dumps(status)) == status

@@ -560,3 +560,178 @@ class TestLongRunBufferedResults:
         assert isinstance(tail, list) and len(tail) == 10
         for fa, fb in zip(tail, reference[230:]):
             assert_frames_identical(fa, fb)
+
+
+class TestBoundedMemoryAccounting:
+    """LatencyStats beyond ``max_exact_samples``: lists released,
+    histogram percentiles within one bucket width of exact."""
+
+    def _synthetic(self, n, max_exact, rng_seed=3):
+        from repro.serve.slo import LatencyStats
+
+        rng = np.random.default_rng(rng_seed)
+        latencies = rng.gamma(shape=2.0, scale=0.05, size=n)
+        stats = LatencyStats(max_exact_samples=max_exact)
+        for lat in latencies:
+            stats.add(lat * 0.4, lat * 0.6, lat, violated=False)
+        return stats, latencies
+
+    def test_exact_below_the_bound(self):
+        stats, latencies = self._synthetic(100, max_exact=4096)
+        assert stats.exact
+        assert stats.percentile(99) == pytest.approx(
+            float(np.percentile(latencies, 99))
+        )
+
+    def test_overflow_releases_lists_and_keeps_scalars_exact(self):
+        stats, latencies = self._synthetic(500, max_exact=64)
+        assert not stats.exact
+        assert stats.latencies == [] and stats.waits == [] and stats.computes == []
+        assert stats.served == 500
+        assert stats.mean_wait() == pytest.approx(float(np.mean(latencies)) * 0.4)
+        assert stats.to_dict()["max_ms"] == pytest.approx(
+            float(np.max(latencies)) * 1e3
+        )
+
+    def test_histogram_p99_within_one_bucket_width_of_exact(self):
+        stats, latencies = self._synthetic(2000, max_exact=64)
+        exact = float(np.percentile(latencies, 99))
+        estimate = stats.percentile(99)
+        # The estimate must land inside the hard bracket, whose span is
+        # at most one bucket width (clamped to observed extremes).
+        lo, hi = stats.hist_latency.quantile_bracket(99)
+        assert lo <= estimate <= hi
+        assert lo <= exact <= hi
+        bounds = stats.hist_latency.bounds
+        idx = int(np.searchsorted(bounds, exact))
+        lower_edge = bounds[idx - 1] if idx > 0 else 0.0
+        upper_edge = bounds[idx] if idx < len(bounds) else float(np.max(latencies))
+        width = upper_edge - lower_edge
+        assert abs(estimate - exact) <= width
+
+    def test_merge_of_overflowed_stats_is_histogram_backed(self):
+        from repro.serve.slo import LatencyStats
+
+        a, la = self._synthetic(300, max_exact=64, rng_seed=1)
+        b, lb = self._synthetic(40, max_exact=4096, rng_seed=2)
+        a.merge(b)
+        assert a.served == 340 and not a.exact
+        combined = np.concatenate([la, lb])
+        exact = float(np.percentile(combined, 95))
+        lo, hi = a.hist_latency.quantile_bracket(95)
+        assert lo <= exact <= hi
+        assert lo <= a.percentile(95) <= hi
+
+    def test_server_respects_max_exact_samples(self, kitti_small):
+        load = LoadSpec(pattern="uniform", num_streams=2, rate_hz=30.0,
+                        frames_per_stream=30)
+        requests = generate_load(load, kitti_small)
+        bounded = DetectionServer(CATDET, max_exact_samples=8).run(requests)
+        unbounded = DetectionServer(CATDET).run(requests)
+        assert bounded.slo["fleet"]["exact"] is False
+        assert unbounded.slo["fleet"]["exact"] is True
+        assert bounded.frames_served == unbounded.frames_served
+        # Scalar stats stay exact either way; percentiles agree within
+        # the histogram bracket.
+        assert bounded.slo["fleet"]["mean_wait_ms"] == pytest.approx(
+            unbounded.slo["fleet"]["mean_wait_ms"]
+        )
+
+
+class TestShedReasons:
+    def _overload(self, kitti_small, shed_policy):
+        sequence = kitti_small.sequences[0]
+        requests = [
+            FrameRequest(
+                stream=f"s{i}", sequence=sequence, frame=f, arrival=0.001 * (f + 1)
+            )
+            for f in range(6)
+            for i in range(2)
+        ]
+        requests.sort(key=lambda r: (r.arrival, r.stream))
+        policy = ServePolicy(
+            max_batch_size=2, max_wait_ms=0.0, queue_capacity=3,
+            shed_policy=shed_policy, slo_ms=500.0,
+        )
+        service = ServiceModel(invocation_overhead_ms=50.0, gops_per_second=2000.0)
+        return DetectionServer(CATDET, policy=policy, service=service).run(requests)
+
+    def test_oldest_policy_reports_shed_oldest(self, kitti_small):
+        report = self._overload(kitti_small, "oldest")
+        reasons = report.slo["fleet"]["shed_reasons"]
+        assert reasons == {"shed_oldest": report.frames_shed}
+
+    def test_newest_policy_reports_reject_newest(self, kitti_small):
+        report = self._overload(kitti_small, "newest")
+        reasons = report.slo["fleet"]["shed_reasons"]
+        assert reasons == {"reject_newest": report.frames_shed}
+
+    def test_drop_counters_split_by_reason(self, kitti_small):
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        report = self._overload_with_metrics(kitti_small, "oldest", reg)
+        drops = reg.get("serve_drops_total")
+        assert drops.total() == report.frames_shed
+        assert drops.value(("shed_oldest",)) == report.frames_shed
+        frames = reg.get("serve_frames_total")
+        assert frames.value(("in",)) == report.frames_offered
+        assert frames.value(("out",)) == report.frames_served
+
+    def _overload_with_metrics(self, kitti_small, shed_policy, registry):
+        sequence = kitti_small.sequences[0]
+        requests = [
+            FrameRequest(
+                stream=f"s{i}", sequence=sequence, frame=f, arrival=0.001 * (f + 1)
+            )
+            for f in range(6)
+            for i in range(2)
+        ]
+        requests.sort(key=lambda r: (r.arrival, r.stream))
+        policy = ServePolicy(
+            max_batch_size=2, max_wait_ms=0.0, queue_capacity=3,
+            shed_policy=shed_policy, slo_ms=500.0,
+        )
+        service = ServiceModel(invocation_overhead_ms=50.0, gops_per_second=2000.0)
+        return DetectionServer(
+            CATDET, policy=policy, service=service, metrics=registry
+        ).run(requests)
+
+    def test_shed_records_reach_sinks(self, kitti_small):
+        from repro.obs import Sink
+
+        class ListSink(Sink):
+            def __init__(self):
+                self.records = []
+
+            def emit(self, record):
+                self.records.append(record)
+
+        sink = ListSink()
+        sequence = kitti_small.sequences[0]
+        requests = [
+            FrameRequest(
+                stream=f"s{i}", sequence=sequence, frame=f, arrival=0.001 * (f + 1)
+            )
+            for f in range(6)
+            for i in range(2)
+        ]
+        requests.sort(key=lambda r: (r.arrival, r.stream))
+        policy = ServePolicy(
+            max_batch_size=2, max_wait_ms=0.0, queue_capacity=3,
+            shed_policy="oldest", slo_ms=500.0,
+        )
+        service = ServiceModel(invocation_overhead_ms=50.0, gops_per_second=2000.0)
+        report = DetectionServer(
+            CATDET, policy=policy, service=service, sinks=sink
+        ).run(requests)
+        kinds = {}
+        for record in sink.records:
+            kinds[record["record"]] = kinds.get(record["record"], 0) + 1
+        assert kinds["serve.frame"] == report.frames_served
+        assert kinds["serve.shed"] == report.frames_shed
+        assert kinds["serve.summary"] == 1
+        (summary,) = [r for r in sink.records if r["record"] == "serve.summary"]
+        assert summary["frames_offered"] == report.frames_offered
+        shed = [r for r in sink.records if r["record"] == "serve.shed"]
+        assert all(r["reason"] == "shed_oldest" for r in shed)

@@ -127,3 +127,58 @@ class TestTunePolicy:
             on_progress=lambda done, total, label: seen.append((done, total)),
         )
         assert seen == [(i + 1, 4) for i in range(4)]
+
+
+class TestQueueWaitBound:
+    def test_wait_bound_tightens_feasibility(self, tuned):
+        """A generous p99 with a tiny queue-wait bound must reject more
+        candidates than the p99 target alone."""
+        session, _ = tuned
+        unbounded = tune_policy(
+            session, _base_spec(), slo_p99_ms=10_000.0,
+            batch_sizes=BATCH_GRID, max_waits_ms=WAIT_GRID,
+        )
+        bounded = tune_policy(
+            session, _base_spec(), slo_p99_ms=10_000.0, slo_wait_p95_ms=0.001,
+            batch_sizes=BATCH_GRID, max_waits_ms=WAIT_GRID,
+        )
+        assert all(c.feasible for c in unbounded.candidates)
+        assert not any(c.feasible for c in bounded.candidates)
+        assert bounded.best is None
+        assert bounded.slo_wait_p95_ms == 0.001
+        # The verdict names the wait bound, not just the p99 target.
+        assert "queue-wait p95" in bounded.format()
+
+    def test_loose_wait_bound_changes_nothing(self, tuned):
+        session, _ = tuned
+        plain = tune_policy(
+            session, _base_spec(), slo_p99_ms=SLO_P99_MS,
+            batch_sizes=BATCH_GRID, max_waits_ms=WAIT_GRID,
+        )
+        bounded = tune_policy(
+            session, _base_spec(), slo_p99_ms=SLO_P99_MS,
+            slo_wait_p95_ms=1e6,
+            batch_sizes=BATCH_GRID, max_waits_ms=WAIT_GRID,
+        )
+        assert [c.feasible for c in bounded.candidates] == [
+            c.feasible for c in plain.candidates
+        ]
+        assert bounded.best.spec.fingerprint == plain.best.spec.fingerprint
+
+    def test_candidates_surface_wait_percentile(self, tuned):
+        _, result = tuned
+        assert all(c.wait_p95_ms >= 0.0 for c in result.candidates)
+        # Saturating unbatched policies park frames in the queue; the
+        # batched ones drain it — waits must reflect that ordering.
+        slow = max(c.wait_p95_ms for c in result.candidates
+                   if c.spec.policy.max_batch_size == 1)
+        fast = min(c.wait_p95_ms for c in result.candidates
+                   if c.spec.policy.max_batch_size == 8)
+        assert slow > fast
+
+    def test_validation(self, tuned):
+        session, _ = tuned
+        with pytest.raises(ValueError, match="slo_wait_p95_ms"):
+            tune_policy(
+                session, _base_spec(), slo_p99_ms=100.0, slo_wait_p95_ms=0.0
+            )
