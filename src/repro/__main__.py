@@ -10,6 +10,8 @@ Commands
 ``spec``                run declarative ExperimentSpec JSON (file or grid)
 ``serve``               micro-batched multi-stream serving + SLO report
                         (``--tune`` sweeps policies against an SLO target)
+``query``               temporal-logic scenario search over detection/track
+                        streams (offline replay or ``--serve`` online)
 ``loadgen``             generate (and inspect) an open-loop arrival schedule
 ``worker``              drain a shared cluster work queue (multi-host execution)
 ``dispatch``            shard a spec grid across the worker fleet
@@ -503,6 +505,123 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _example_query():
+    from repro.query import (
+        BoxInRegion,
+        Eventually,
+        QuerySpec,
+        Region,
+        Then,
+        TrackPersisted,
+    )
+
+    return QuerySpec(
+        name="car-enters-and-persists",
+        expr=Then(
+            (
+                Eventually(BoxInRegion(Region(0, 0, 621, 375), label=0, min_score=0.5)),
+                Eventually(TrackPersisted(5, label=0), within=40),
+            )
+        ),
+    )
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    from repro.query import QueryReport, QuerySpec, evaluate_frames
+
+    if args.example:
+        print(_example_query().to_json(indent=2))
+        return 0
+    if args.kind is None or args.spec is None:
+        print("error: repro query <system...> --spec QUERY.json (or --example)",
+              file=sys.stderr)
+        return 2
+    try:
+        with open(args.spec, encoding="utf-8") as fh:
+            query = QuerySpec.from_json(fh.read())
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: bad query spec: {exc}", file=sys.stderr)
+        return 2
+
+    system = SystemConfig(
+        args.kind,
+        args.refinement,
+        args.proposal,
+        c_thresh=args.c_thresh,
+        seed=args.seed,
+        detailed_ops=False,
+    )
+    dataset_spec = DatasetSpec(
+        args.dataset,
+        num_sequences=args.sequences,
+        frames_per_sequence=args.seq_frames,
+    )
+    session = _session(args)
+
+    if args.serve:
+        # Online: per-stream evaluators inside the micro-batched server.
+        from repro.api.spec import ServeSpec
+        from repro.obs import make_sink
+        from repro.serve.loadgen import LoadSpec
+
+        spec = ServeSpec(
+            system=system,
+            dataset=dataset_spec,
+            load=LoadSpec(
+                pattern=args.pattern,
+                num_streams=args.streams,
+                rate_hz=args.rate,
+                frames_per_stream=args.frames,
+                seed=args.load_seed,
+            ),
+            query=query,
+        )
+        try:
+            sink = make_sink(args.sink) if args.sink else None
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        try:
+            report = session.serve(spec, use_cache=not args.no_cache, sinks=sink)
+        finally:
+            if sink is not None:
+                sink.close()
+        qreport = report.query_report()
+        mode = f"served ({spec.label})"
+    else:
+        # Offline: replay the same streams through system.stream().
+        # Detections are deterministic per (stream, frame), so the
+        # windows — and the formatted table — match --serve byte for
+        # byte as long as the server sheds nothing (the query default
+        # is the replay pattern, which offers load at native fps);
+        # batching and arrival timing never change the windows, only
+        # dropped frames can.
+        import itertools
+
+        from repro.core.pipeline import build_system
+
+        dataset = session.dataset(dataset_spec)
+        by_stream = {}
+        for i in range(args.streams):
+            seq = dataset.sequences[i % len(dataset.sequences)]
+            frames = list(
+                itertools.islice(build_system(system).stream(seq), args.frames)
+            )
+            name = f"s{i}:{seq.name}"
+            by_stream[name] = evaluate_frames(query, frames, stream=name)
+        qreport = QueryReport.build(query, by_stream)
+        mode = f"offline replay ({args.streams} stream(s))"
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(qreport.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"wrote query report to {args.out}", file=sys.stderr)
+    print(f"query: {mode}")
+    print(qreport.format())
+    _print_cache_stats(session)
+    return 0
+
+
 def _add_serve_flags(parser: argparse.ArgumentParser) -> None:
     """Load-shape flags shared by ``serve`` and ``loadgen``."""
     from repro.serve.loadgen import LOAD_PATTERNS
@@ -905,6 +1024,35 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_flags(serve_p)
     _add_progress_flag(serve_p)
     serve_p.set_defaults(func=cmd_serve)
+
+    query_p = sub.add_parser(
+        "query", help="scenario query: temporal-logic event search over streams"
+    )
+    query_p.add_argument("kind", nargs="?", default=None, choices=SYSTEMS.names())
+    query_p.add_argument("refinement", nargs="?", default=None)
+    query_p.add_argument("proposal", nargs="?", default=None)
+    query_p.add_argument("--c-thresh", type=float, default=0.1)
+    query_p.add_argument("--seed", type=int, default=0,
+                         help="detector-simulation seed")
+    query_p.add_argument("--spec", default=None, metavar="FILE",
+                         help="query spec JSON file (see --example)")
+    query_p.add_argument("--example", action="store_true",
+                         help="print a template query spec and exit")
+    _add_serve_flags(query_p)
+    query_p.add_argument("--serve", action="store_true",
+                         help="evaluate online inside the micro-batched "
+                         "server instead of offline replay (same windows "
+                         "either way — that's the determinism contract)")
+    query_p.add_argument("--sink", default=None, metavar="SPEC",
+                         help="(with --serve) stream query.window records "
+                         "to a result sink: jsonl:<path>, table, or null")
+    query_p.add_argument("--out", default=None,
+                         help="write the report JSON to this path")
+    _add_cache_flags(query_p)
+    # Unlike `serve`, default to the replay pattern: it offers load at the
+    # sequence's native fps, so nothing is shed and --serve windows match
+    # the offline replay byte for byte.
+    query_p.set_defaults(func=cmd_query, pattern="replay")
 
     loadgen_p = sub.add_parser(
         "loadgen", help="generate an open-loop arrival schedule over a dataset"

@@ -51,6 +51,10 @@ __all__ = [
     "fingerprint_dataset",
     "Session",
     "build_dataset",
+    "QuerySpec",
+    "QueryReport",
+    "QueryEvaluator",
+    "evaluate_frames",
 ]
 
 _LAZY = {
@@ -66,6 +70,10 @@ _LAZY = {
     "fingerprint_dataset": "repro.api.cache",
     "Session": "repro.api.session",
     "build_dataset": "repro.api.session",
+    "QuerySpec": "repro.query.spec",
+    "QueryReport": "repro.query.offline",
+    "QueryEvaluator": "repro.query.automaton",
+    "evaluate_frames": "repro.query.offline",
 }
 
 

@@ -273,11 +273,40 @@ class Session:
             service=spec.service,
             metrics=metrics,
             sinks=sinks,
+            query=spec.query,
         )
         report = server.run(requests)
         if store is not None and use_cache:
             store.store(spec.fingerprint, report, spec=spec.to_dict())
         return report
+
+    def query(
+        self,
+        spec: ExperimentSpec,
+        query: "Any",
+        *,
+        use_cache: bool = True,
+    ) -> "Any":
+        """Evaluate a scenario query over an experiment's cached results.
+
+        Runs ``spec`` through :meth:`run` (revisits load from the cache),
+        then replays each sequence's frames through the offline reference
+        evaluator — one stream per sequence, named after it.  Returns a
+        :class:`~repro.query.offline.QueryReport`; the window table it
+        formats is byte-identical to the one a served run of the same
+        frames produces.
+        """
+        from repro.query.offline import QueryReport, evaluate_frames
+        from repro.query.spec import QuerySpec
+
+        if not isinstance(query, QuerySpec):
+            raise TypeError(f"query must be a QuerySpec, got {type(query).__name__}")
+        result = self.run(spec, use_cache=use_cache)
+        by_stream = {
+            name: evaluate_frames(query, seq.frames, stream=name)
+            for name, seq in result.run.sequences.items()
+        }
+        return QueryReport.build(query, by_stream)
 
     def tune_serve(
         self,

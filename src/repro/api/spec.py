@@ -304,6 +304,12 @@ class ServeSpec:
     historical serving defaults) applies; a ``device`` on the
     :class:`SystemConfig` itself, if any, takes precedence over that
     fallback so offline timing and serving simulate the same hardware.
+
+    ``query`` optionally attaches a scenario query
+    (:class:`~repro.query.spec.QuerySpec`) evaluated online per stream
+    during the run; its windows land in the report's ``query_windows``
+    section.  Like every other section it is part of the fingerprint —
+    the same deployment under a different query is a different report.
     """
 
     system: SystemConfig
@@ -312,8 +318,10 @@ class ServeSpec:
     policy: "Any" = None
     service: "Any" = None
     device: Optional[str] = None
+    query: "Any" = None
 
     def __post_init__(self) -> None:
+        from repro.query.spec import QuerySpec
         from repro.serve.loadgen import LoadSpec
         from repro.serve.server import ServePolicy, ServiceModel
 
@@ -333,6 +341,10 @@ class ServeSpec:
             )
         if self.device is not None and not isinstance(self.device, str):
             raise TypeError(f"device must be a string, got {type(self.device).__name__}")
+        if self.query is not None and not isinstance(self.query, QuerySpec):
+            raise TypeError(
+                f"query must be a QuerySpec, got {type(self.query).__name__}"
+            )
         if self.service is None:
             device = self.device or self.system.device or "abstract"
             object.__setattr__(self, "service", ServiceModel.for_device(device))
@@ -369,10 +381,12 @@ class ServeSpec:
             "policy": self.policy.to_dict(),
             "service": self.service.to_dict(),
             "device": self.device,
+            "query": None if self.query is None else self.query.to_dict(),
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ServeSpec":
+        from repro.query.spec import QuerySpec
         from repro.serve.loadgen import LoadSpec
         from repro.serve.server import ServePolicy, ServiceModel
 
@@ -390,6 +404,11 @@ class ServeSpec:
             policy=ServePolicy.from_dict(data.get("policy", {})),
             service=ServiceModel.from_dict(data.get("service", {})),
             device=data.get("device"),
+            query=(
+                None
+                if data.get("query") is None
+                else QuerySpec.from_dict(data["query"])
+            ),
         )
 
     def to_json(self, *, indent: Optional[int] = None) -> str:

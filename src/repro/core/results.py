@@ -104,6 +104,12 @@ class FrameResult:
     ``timing`` is populated only when the system was configured with a
     modeled device (``SystemConfig(device=...)``); it is the per-frame
     estimate of the :class:`~repro.engine.stages.TimingAccountingStage`.
+
+    ``track_ids`` carries the per-detection track identity assigned by
+    the tracker's feedback loop (length ``len(detections)``, -1 where no
+    track claimed the detection); ``None`` for tracker-less systems.
+    Excluded from dataclass comparison — numpy array equality is
+    elementwise.
     """
 
     frame: int
@@ -112,6 +118,7 @@ class FrameResult:
     num_regions: int = 0
     coverage_fraction: float = 0.0
     timing: Optional[FrameTiming] = None
+    track_ids: Optional[np.ndarray] = field(default=None, compare=False)
 
 
 class FrameResultBuffer(SequenceABC):
@@ -137,13 +144,14 @@ class FrameResultBuffer(SequenceABC):
         self._ops = np.zeros((cap, 4))  # proposal, refinement, from_tracker, from_proposal
         self._timing = np.zeros((cap, 3))  # gpu_seconds, cpu_seconds, num_launches
         self._has_timing = np.zeros(cap, dtype=bool)
+        self._has_track_ids = np.zeros(cap, dtype=bool)
         self._detections = DetectionsBuffer(capacity_frames=cap)
         self._size = 0
 
     def append(self, result: FrameResult) -> None:
         if self._size == self._frame.shape[0]:
             cap = self._frame.shape[0] * 2
-            for name in ("_frame", "_num_regions", "_has_timing"):
+            for name in ("_frame", "_num_regions", "_has_timing", "_has_track_ids"):
                 old = getattr(self, name)
                 grown = np.zeros(cap, dtype=old.dtype)
                 grown[: self._size] = old
@@ -174,11 +182,16 @@ class FrameResultBuffer(SequenceABC):
                 result.timing.num_launches,
             )
             self._has_timing[i] = True
-        self._detections.append(result.detections)
+        self._has_track_ids[i] = result.track_ids is not None
+        self._detections.append(result.detections, result.track_ids)
         self._size += 1
 
     def __len__(self) -> int:
         return self._size
+
+    def frame_track_ids(self, index: int) -> np.ndarray:
+        """Track ids of frame ``index`` (-1 where none was attached)."""
+        return self._detections.frame_track_ids(index)
 
     def _materialize(self, i: int) -> FrameResult:
         timing = None
@@ -200,6 +213,9 @@ class FrameResultBuffer(SequenceABC):
             num_regions=int(self._num_regions[i]),
             coverage_fraction=float(self._coverage[i]),
             timing=timing,
+            track_ids=(
+                self._detections.frame_track_ids(i) if self._has_track_ids[i] else None
+            ),
         )
 
     def __getitem__(self, index: Union[int, slice]):

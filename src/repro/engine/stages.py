@@ -60,6 +60,9 @@ class FrameContext:
         Fraction of the image covered by ``mask`` (1.0 for full frame).
     detections:
         The frame's final detections (set by the refinement stage).
+    track_ids:
+        Per-detection track identity array (set by the tracker stage's
+        ``end_frame`` feedback; ``None`` for tracker-less systems).
     ops:
         The frame's operation account (set by the accounting stage).
     num_regions:
@@ -78,6 +81,7 @@ class FrameContext:
         "mask",
         "coverage_fraction",
         "detections",
+        "track_ids",
         "ops",
         "num_regions",
         "timing",
@@ -92,6 +96,7 @@ class FrameContext:
         self.mask: Optional[RegionMask] = None
         self.coverage_fraction: float = 1.0
         self.detections: Detections = Detections.empty()
+        self.track_ids = None
         self.ops: OpsAccount = OpsAccount()
         self.num_regions: int = 0
         self.timing: Optional[FrameTiming] = None
@@ -105,6 +110,7 @@ class FrameContext:
             num_regions=self.num_regions,
             coverage_fraction=self.coverage_fraction,
             timing=self.timing,
+            track_ids=self.track_ids,
         )
 
 
@@ -273,7 +279,7 @@ class TrackerStage(Stage):
         ctx.tracked = self.tracker.predict()
 
     def end_frame(self, ctx: FrameContext) -> None:
-        self.tracker.update(ctx.detections)
+        ctx.track_ids = self.tracker.update(ctx.detections)
 
     def per_stream(self) -> "TrackerStage":
         # The tracker is the one genuinely stateful stage: each stream of

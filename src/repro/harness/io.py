@@ -86,6 +86,9 @@ def _frame_dict(frame: FrameResult) -> Dict[str, Any]:
         "num_regions": frame.num_regions,
         "coverage": frame.coverage_fraction,
     }
+    if frame.track_ids is not None:
+        # Optional key: pre-query-layer payloads stay loadable.
+        out["track_ids"] = np.asarray(frame.track_ids, dtype=np.int64).tolist()
     if frame.timing is not None:
         # Optional key keeps pre-cost-layer payloads loadable while the
         # cluster protocol ships timing losslessly between hosts.
@@ -99,7 +102,11 @@ def _frame_dict(frame: FrameResult) -> Dict[str, Any]:
 
 def _frame_from_dict(data: Dict[str, Any]) -> FrameResult:
     timing = data.get("timing")
+    track_ids = data.get("track_ids")
     return FrameResult(
+        track_ids=(
+            None if track_ids is None else np.asarray(track_ids, dtype=np.int64)
+        ),
         frame=data["frame"],
         detections=Detections(
             boxes=np.asarray(data["boxes"], dtype=np.float64).reshape(-1, 4),

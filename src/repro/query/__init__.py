@@ -1,0 +1,84 @@
+"""Scenario queries: temporal-logic event search over detection/track streams.
+
+The query layer turns the repo's detection systems into a queryable
+event system.  A :class:`~repro.query.spec.QuerySpec` describes a
+scenario — "a car appears and persists >= N frames", "a pedestrian
+enters this region and then disappears" — as frame-local propositions
+(:mod:`repro.query.props`) combined with temporal operators
+(:mod:`repro.query.spec`).  Specs compile to a small phase automaton
+evaluated strictly online (:mod:`repro.query.automaton`), one
+:class:`~repro.core.results.FrameResult` at a time, emitting
+frames-of-interest windows with per-phase match provenance; an
+independent offline reference plus multi-camera conjunction and the
+window-table report live in :mod:`repro.query.offline`.
+
+Entry points: ``repro query`` on the CLI,
+:meth:`repro.api.session.Session.query` for cached offline evaluation,
+and ``ServeSpec(query=...)`` / ``DetectionServer(query=...)`` for
+per-stream online evaluation inside the serving loop.
+"""
+
+from repro.query.automaton import (
+    FramesOfInterest,
+    Phase,
+    QueryEvaluator,
+    QueryWindow,
+    compile_phases,
+)
+from repro.query.offline import QueryReport, conjoin, evaluate_frames, scene_of_stream
+from repro.query.props import (
+    AllOf,
+    AnyOf,
+    BoxInRegion,
+    ClassPresent,
+    CountAtLeast,
+    FrameState,
+    Not,
+    Prop,
+    Region,
+    TrackBook,
+    TrackEnteredRegion,
+    TrackLeftRegion,
+    TrackPersisted,
+    prop_from_dict,
+)
+from repro.query.spec import (
+    Always,
+    Eventually,
+    QuerySpec,
+    TemporalExpr,
+    Then,
+    expr_from_dict,
+)
+
+__all__ = [
+    "AllOf",
+    "Always",
+    "AnyOf",
+    "BoxInRegion",
+    "ClassPresent",
+    "CountAtLeast",
+    "Eventually",
+    "FrameState",
+    "FramesOfInterest",
+    "Not",
+    "Phase",
+    "Prop",
+    "QueryEvaluator",
+    "QueryReport",
+    "QuerySpec",
+    "QueryWindow",
+    "Region",
+    "TemporalExpr",
+    "Then",
+    "TrackBook",
+    "TrackEnteredRegion",
+    "TrackLeftRegion",
+    "TrackPersisted",
+    "compile_phases",
+    "conjoin",
+    "evaluate_frames",
+    "expr_from_dict",
+    "prop_from_dict",
+    "scene_of_stream",
+]

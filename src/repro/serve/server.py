@@ -50,9 +50,10 @@ from repro.serve.loadgen import FrameRequest
 from repro.serve.slo import DEFAULT_MAX_EXACT_SAMPLES, SLOAccount
 
 # Format 2 added shed-reason splits, queue-wait/compute percentiles and
-# fleet histograms to the SLO section; format-1 cache entries fail
-# `from_dict` and are therefore clean cache misses, never misreads.
-REPORT_FORMAT = "repro-serve-report/2"
+# fleet histograms to the SLO section; format 3 added the scenario-query
+# section (`query_windows`).  Older cache entries fail `from_dict` and
+# are therefore clean cache misses, never misreads.
+REPORT_FORMAT = "repro-serve-report/3"
 
 #: Shedding policies for a full admission queue.
 SHED_OLDEST = "oldest"  #: drop the oldest queued frame, admit the new one
@@ -248,6 +249,11 @@ class ServeReport:
     :meth:`to_dict`, so cached reports carry statistics only.
     ``wall_seconds`` measures this host's Python and is likewise
     excluded (it is not part of the deterministic result).
+
+    ``query_windows`` is the serialized
+    :class:`~repro.query.offline.QueryReport` of the deployment's
+    scenario query (``None`` when the server ran without one).  Being a
+    deterministic function of the spec it *is* cached.
     """
 
     policy: ServePolicy
@@ -260,8 +266,18 @@ class ServeReport:
     makespan_seconds: float
     compute_seconds: float
     slo: Dict[str, Any]
+    query_windows: Optional[Dict[str, Any]] = None
     frame_results: Optional[Dict[str, SequenceType[FrameResult]]] = None
     wall_seconds: float = 0.0
+
+    def query_report(self):
+        """The scenario-query :class:`~repro.query.offline.QueryReport`
+        (``None`` when the deployment had no query)."""
+        if self.query_windows is None:
+            return None
+        from repro.query.offline import QueryReport
+
+        return QueryReport.from_dict(self.query_windows)
 
     @property
     def mean_batch_size(self) -> float:
@@ -301,6 +317,7 @@ class ServeReport:
             "throughput_fps": self.throughput_fps,
             "utilization": self.utilization,
             "slo": self.slo,
+            "query_windows": self.query_windows,
         }
 
     @classmethod
@@ -321,6 +338,7 @@ class ServeReport:
             makespan_seconds=data["makespan_seconds"],
             compute_seconds=data["compute_seconds"],
             slo=data["slo"],
+            query_windows=data.get("query_windows"),
         )
 
     def format(self) -> str:
@@ -372,18 +390,23 @@ class ServeReport:
                 f"\nqueue wait p95: {fleet['wait_p95_ms']:.1f} ms, "
                 f"compute p95: {fleet['compute_p95_ms']:.1f} ms"
             )
+        query_report = self.query_report()
+        if query_report is not None:
+            summary += f"\n\n{query_report.format()}"
         return f"{table}\n{summary}"
 
 
 class _StreamState:
     """One stream's causal serving state."""
 
-    __slots__ = ("pipeline", "sequence", "results")
+    __slots__ = ("pipeline", "sequence", "results", "query")
 
-    def __init__(self, pipeline: StagePipeline):
+    def __init__(self, pipeline: StagePipeline, query=None):
         self.pipeline = pipeline
         self.sequence: Optional[Sequence] = None
         self.results = FrameResultBuffer()
+        # Per-stream scenario-query evaluator, cloned like the tracker.
+        self.query = query
 
 
 class DetectionServer:
@@ -418,6 +441,14 @@ class DetectionServer:
     max_exact_samples:
         Per-stream bound on exact latency samples before SLO percentiles
         switch to histogram estimates (see :mod:`repro.serve.slo`).
+    query:
+        A :class:`~repro.query.spec.QuerySpec` evaluated online against
+        every stream — each stream gets its own strictly-causal
+        :class:`~repro.query.automaton.QueryEvaluator` (cloned per
+        stream exactly like tracker state).  Emitted windows flow
+        through the sinks (``query.window`` records), the
+        ``serve_query_events_total`` counter, and the report's
+        ``query_windows`` section.
     """
 
     def __init__(
@@ -430,6 +461,7 @@ class DetectionServer:
         metrics: Optional[MetricsRegistry] = None,
         sinks: Union[None, Sink, List[Sink]] = None,
         max_exact_samples: int = DEFAULT_MAX_EXACT_SAMPLES,
+        query=None,
     ):
         if service is None:
             service = ServiceModel.for_device(device or "abstract")
@@ -442,6 +474,14 @@ class DetectionServer:
         self.system = build_system(system) if isinstance(system, SystemConfig) else system
         self.policy = policy
         self.service = service
+        if query is not None:
+            from repro.query.spec import QuerySpec
+
+            if not isinstance(query, QuerySpec):
+                raise TypeError(
+                    f"query must be a QuerySpec, got {type(query).__name__}"
+                )
+        self.query = query
         self.metrics = resolve_registry(metrics)
         self.sinks = as_sinks(sinks)
         self.max_exact_samples = max_exact_samples
@@ -470,7 +510,12 @@ class DetectionServer:
                 if self._shareable
                 else self.system.build_pipeline()
             )
-            state = self._streams[request.stream] = _StreamState(pipeline)
+            evaluator = None
+            if self.query is not None:
+                from repro.query.automaton import QueryEvaluator
+
+                evaluator = QueryEvaluator(self.query, request.stream)
+            state = self._streams[request.stream] = _StreamState(pipeline, evaluator)
         if state.sequence is not request.sequence:
             state.pipeline.begin_sequence(request.sequence)
             state.sequence = request.sequence
@@ -482,7 +527,13 @@ class DetectionServer:
         )
 
     def _execute(self, batch: List[QueuedFrame]) -> tuple:
-        """Run one batch through the engine; returns (results, inv, macs)."""
+        """Run one batch through the engine.
+
+        Returns ``(results, invocations, macs, windows)`` — the last
+        being the frames-of-interest windows the streams' query
+        evaluators completed on this batch's frames (empty without a
+        query).
+        """
         work = []
         states = []
         for item in batch:
@@ -493,9 +544,14 @@ class DetectionServer:
         frame_results = run_frame_batch(work, metrics=self.metrics)
         invocations = self._measured_invocations() - before
         macs = sum(fr.ops.total for fr in frame_results)
+        windows = []
         for state, fr in zip(states, frame_results):
             state.results.append(fr)
-        return frame_results, invocations, macs
+            if state.query is not None:
+                window = state.query.observe(fr)
+                if window is not None:
+                    windows.append(window)
+        return frame_results, invocations, macs, windows
 
     # ------------------------------------------------------------------ #
 
@@ -555,6 +611,16 @@ class DetectionServer:
         m_depth = self.metrics.gauge(
             "serve_queue_depth", "admitted frames awaiting dispatch"
         )
+        m_query = (
+            self.metrics.counter(
+                "serve_query_events_total",
+                "frames-of-interest windows emitted by the scenario query",
+                labels=("stream",),
+            )
+            if self.query is not None
+            else None
+        )
+        query_events = 0
 
         def shed(request: FrameRequest, reason: str) -> None:
             account.record_shed(request.stream, reason)
@@ -604,7 +670,21 @@ class DetectionServer:
             for item in batch:
                 queue.remove(item)
             m_depth.set(len(queue))
-            _, batch_inv, macs = self._execute(batch)
+            _, batch_inv, macs, qwindows = self._execute(batch)
+            for window in qwindows:
+                query_events += 1
+                m_query.inc(labels=(window.stream,))
+                for sink in self.sinks:
+                    sink.emit(
+                        {
+                            "record": "query.window",
+                            "query": self.query.name,
+                            "stream": window.stream,
+                            "start": window.start,
+                            "end": window.end,
+                            "phases": list(window.phases),
+                        }
+                    )
             service = self.service.batch_seconds(batch_inv, macs, len(batch))
             completion = now + service
             batches += 1
@@ -643,20 +723,32 @@ class DetectionServer:
             now = completion
 
         fleet = account.fleet()
+        query_windows = None
+        if self.query is not None:
+            from repro.query.offline import QueryReport
+
+            by_stream = {
+                stream: state.query.finish()
+                for stream, state in self._streams.items()
+                if state.query is not None
+            }
+            query_windows = QueryReport.build(self.query, by_stream).to_dict()
+        summary_record = {
+            "record": "serve.summary",
+            "frames_offered": len(requests),
+            "frames_served": fleet.served,
+            "frames_shed": fleet.shed,
+            "shed_reasons": dict(sorted(fleet.shed_reasons.items())),
+            "batches": batches,
+            "invocations": invocations,
+            "makespan_seconds": last_completion,
+            "p99_ms": fleet.percentile(99.0) * 1e3,
+        }
+        if self.query is not None:
+            summary_record["query"] = self.query.name
+            summary_record["query_events"] = query_events
         for sink in self.sinks:
-            sink.emit(
-                {
-                    "record": "serve.summary",
-                    "frames_offered": len(requests),
-                    "frames_served": fleet.served,
-                    "frames_shed": fleet.shed,
-                    "shed_reasons": dict(sorted(fleet.shed_reasons.items())),
-                    "batches": batches,
-                    "invocations": invocations,
-                    "makespan_seconds": last_completion,
-                    "p99_ms": fleet.percentile(99.0) * 1e3,
-                }
-            )
+            sink.emit(summary_record)
             sink.flush()
         return ServeReport(
             policy=self.policy,
@@ -669,6 +761,7 @@ class DetectionServer:
             makespan_seconds=last_completion,
             compute_seconds=compute_seconds,
             slo=account.to_dict(),
+            query_windows=query_windows,
             frame_results={
                 stream: state.results for stream, state in sorted(self._streams.items())
             },

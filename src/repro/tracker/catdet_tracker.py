@@ -224,15 +224,21 @@ class CaTDetTracker:
         scores = np.minimum(self._confidence[:t] / cfg.max_confidence, 1.0)
         return Detections(out_boxes[mask], scores[mask], self._labels[:t][mask].copy())
 
-    def update(self, detections: Detections) -> None:
+    def update(self, detections: Detections) -> np.ndarray:
         """Feed back the calibrated detections of the current frame.
 
         High-confidence detections are associated to the tracks' predicted
         locations; matches update motion and confidence, misses coast, and
         emerging objects spawn new tracks with zero initial velocity.
+
+        Returns the per-detection track identity for every *input*
+        detection (length ``len(detections)``): the matched track's id, a
+        freshly spawned id, or -1 for detections the tracker ignored
+        (below the input score threshold, or an invalid box).
         """
         cfg = self.config
-        dets = detections.above_score(cfg.input_score_threshold)
+        keep = detections.scores >= cfg.input_score_threshold
+        dets = detections.select(keep)
         t = self._size
 
         # Predicted boxes for association: use cached predictions from the
@@ -252,6 +258,10 @@ class CaTDetTracker:
             track_boxes, track_labels, dets.boxes, dets.labels, cfg.iou_threshold
         )
 
+        det_ids = np.full(len(dets), -1, dtype=np.int64)
+        if result.matches.shape[0]:
+            det_ids[result.matches[:, 1]] = self._track_ids[result.matches[:, 0]]
+
         if result.matches.shape[0]:
             rows = result.matches[:, 0]
             matched_boxes = dets.boxes[result.matches[:, 1]]
@@ -270,10 +280,11 @@ class CaTDetTracker:
             self._misses[rows] += 1
             self._age[rows] += 1
         if result.unmatched_detections.size:
-            self._spawn_many(
+            spawned = self._spawn_many(
                 dets.boxes[result.unmatched_detections],
                 dets.labels[result.unmatched_detections],
             )
+            det_ids[result.unmatched_detections] = spawned
 
         alive = self._confidence[: self._size] >= 0.0
         if not alive.all():
@@ -291,22 +302,29 @@ class CaTDetTracker:
         self._pred_boxes = None
         self._pred_ids = None
 
+        track_ids = np.full(len(detections), -1, dtype=np.int64)
+        track_ids[np.flatnonzero(keep)] = det_ids
+        return track_ids
+
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
 
-    def _spawn_many(self, boxes: np.ndarray, labels: np.ndarray) -> None:
+    def _spawn_many(self, boxes: np.ndarray, labels: np.ndarray) -> np.ndarray:
         """Start one track per valid box, in input order.
 
         Invalid boxes are skipped without consuming a track id, exactly as
-        the original per-detection spawn loop did.
+        the original per-detection spawn loop did.  Returns the assigned
+        track id per *input* box (-1 for skipped invalid boxes).
         """
         boxes = np.asarray(boxes, dtype=np.float64).reshape(-1, 4)
         valid = is_valid(boxes)
+        assigned = np.full(valid.shape[0], -1, dtype=np.int64)
         boxes = boxes[valid]
         b = boxes.shape[0]
         if b == 0:
-            return
+            return assigned
+        assigned[np.flatnonzero(valid)] = np.arange(self._next_id, self._next_id + b)
         self._ensure_capacity(b)
         lo, hi = self._size, self._size + b
         self._bank.add_many(boxes)
@@ -319,3 +337,4 @@ class CaTDetTracker:
         self._last_boxes[lo:hi] = boxes
         self._size = hi
         self._next_id += b
+        return assigned

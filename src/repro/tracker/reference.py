@@ -161,9 +161,10 @@ class ScalarCaTDetTracker:
             return Detections.empty()
         return Detections(np.stack(boxes), np.array(scores), np.array(labels, dtype=np.int64))
 
-    def update(self, detections: Detections) -> None:
+    def update(self, detections: Detections) -> np.ndarray:
         cfg = self.config
-        dets = detections.above_score(cfg.input_score_threshold)
+        keep = detections.scores >= cfg.input_score_threshold
+        dets = detections.select(keep)
 
         if self._tracks and set(self._last_predictions) != {t.track_id for t in self._tracks}:
             self._last_predictions = {t.track_id: t.motion.predict() for t in self._tracks}
@@ -179,22 +180,28 @@ class ScalarCaTDetTracker:
             track_boxes, track_labels, dets.boxes, dets.labels, cfg.iou_threshold
         )
 
+        det_ids = np.full(len(dets), -1, dtype=np.int64)
         for t_idx, d_idx in result.matches:
+            det_ids[d_idx] = self._tracks[t_idx].track_id
             self._tracks[t_idx].mark_matched(
                 dets.boxes[d_idx], cfg.match_gain, cfg.max_confidence
             )
         for t_idx in result.unmatched_tracks:
             self._tracks[t_idx].mark_missed(cfg.miss_penalty)
         for d_idx in result.unmatched_detections:
-            self._spawn(dets.boxes[d_idx], int(dets.labels[d_idx]))
+            det_ids[d_idx] = self._spawn(dets.boxes[d_idx], int(dets.labels[d_idx]))
 
         self._tracks = [t for t in self._tracks if t.alive]
         self._frames_processed += 1
         self._last_predictions = {}
 
-    def _spawn(self, box: np.ndarray, label: int) -> None:
+        track_ids = np.full(len(detections), -1, dtype=np.int64)
+        track_ids[np.flatnonzero(keep)] = det_ids
+        return track_ids
+
+    def _spawn(self, box: np.ndarray, label: int) -> int:
         if not is_valid(box[None, :])[0]:
-            return
+            return -1
         motion: MotionModel
         if self.config.motion_model == "decay":
             motion = ExponentialDecayMotion(box, eta=self.config.eta)
@@ -209,7 +216,9 @@ class ScalarCaTDetTracker:
                 last_box=np.asarray(box, dtype=np.float64).copy(),
             )
         )
+        spawned = self._next_id
         self._next_id += 1
+        return spawned
 
     def _clip(self, box: np.ndarray) -> np.ndarray:
         if self.image_size is None:

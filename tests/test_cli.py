@@ -358,6 +358,68 @@ class TestServeSink:
         assert "unknown sink" in capsys.readouterr().err
 
 
+class TestQueryCommand:
+    QUERY_ARGS = [
+        "query", "catdet", "resnet50", "resnet10a",
+        "--sequences", "2", "--seq-frames", "30",
+        "--streams", "2", "--frames", "30", "--no-cache",
+    ]
+
+    def _spec_file(self, tmp_path, capsys):
+        assert main(["query", "--example"]) == 0
+        text = capsys.readouterr().out
+        path = tmp_path / "query.json"
+        path.write_text(text)
+        return str(path)
+
+    def test_example_round_trips(self, capsys):
+        from repro.query import QuerySpec
+
+        assert main(["query", "--example"]) == 0
+        spec = QuerySpec.from_json(capsys.readouterr().out)
+        assert spec.name == "car-enters-and-persists"
+
+    def test_spec_required(self, capsys):
+        assert main(["query", "catdet", "resnet50", "resnet10a"]) == 2
+        assert "--spec" in capsys.readouterr().err
+
+    def test_bad_spec_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "nope"}')
+        assert main(["query", "catdet", "resnet50", "resnet10a",
+                     "--spec", str(path)]) == 2
+        assert "bad query spec" in capsys.readouterr().err
+
+    def test_offline_and_serve_print_identical_tables(
+        self, tmp_path, capsys
+    ):
+        spec_file = self._spec_file(tmp_path, capsys)
+        assert main([*self.QUERY_ARGS, "--spec", spec_file]) == 0
+        offline = capsys.readouterr().out
+        assert main([*self.QUERY_ARGS, "--spec", spec_file, "--serve"]) == 0
+        served = capsys.readouterr().out
+        strip = lambda text: "\n".join(
+            line for line in text.splitlines() if not line.startswith("query:")
+        )
+        assert strip(offline) == strip(served)
+        assert "window(s) over 2 stream(s)" in offline
+
+    def test_out_file_and_sink(self, tmp_path, capsys):
+        spec_file = self._spec_file(tmp_path, capsys)
+        out = tmp_path / "report.json"
+        sink = tmp_path / "events.jsonl"
+        assert main([*self.QUERY_ARGS, "--spec", spec_file, "--serve",
+                     "--out", str(out), "--sink", f"jsonl:{sink}"]) == 0
+        capsys.readouterr()
+        report = json.loads(out.read_text())
+        total = sum(len(f["windows"]) for f in report["streams"].values())
+        records = [json.loads(line) for line in sink.read_text().splitlines()]
+        window_records = [r for r in records if r["record"] == "query.window"]
+        assert len(window_records) == total
+        (summary,) = [r for r in records if r["record"] == "serve.summary"]
+        assert summary["query_events"] == total
+
+
 class TestStatus:
     def test_status_after_dispatch_and_drain(self, tmp_path, capsys):
         spec = ExperimentSpec.from_dict(json.loads(

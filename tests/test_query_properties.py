@@ -1,0 +1,152 @@
+"""Property tests: online query evaluation == the offline reference.
+
+The automaton (:mod:`repro.query.automaton`) and the dynamic program
+(:mod:`repro.query.offline`) implement the same matching semantics with
+completely different algorithms — an NFA advanced one frame at a time
+versus an O(T^2 K) search over materialized timelines.  Hypothesis holds
+them equivalent window-for-window over random specs and random
+detection/track streams, plus the structural invariants every window
+set must satisfy (ordering, non-overlap, in-bounds ticks).
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.results import FrameResult, OpsAccount
+from repro.detections import Detections
+from repro.query import (
+    AllOf,
+    Always,
+    AnyOf,
+    ClassPresent,
+    CountAtLeast,
+    Eventually,
+    Not,
+    QueryEvaluator,
+    QuerySpec,
+    Then,
+    TrackPersisted,
+    evaluate_frames,
+)
+
+
+@st.composite
+def atomic_prop(draw):
+    kind = draw(st.sampled_from(["class", "count", "persist"]))
+    if kind == "class":
+        return ClassPresent(draw(st.integers(0, 1)))
+    if kind == "count":
+        return CountAtLeast(
+            draw(st.integers(1, 3)),
+            label=draw(st.sampled_from([None, 0, 1])),
+        )
+    return TrackPersisted(
+        draw(st.integers(1, 3)), label=draw(st.sampled_from([None, 0, 1]))
+    )
+
+
+@st.composite
+def proposition(draw):
+    base = draw(atomic_prop())
+    wrap = draw(st.sampled_from(["plain", "not", "all", "any"]))
+    if wrap == "not":
+        return Not(base)
+    if wrap == "all":
+        return AllOf((base, draw(atomic_prop())))
+    if wrap == "any":
+        return AnyOf((base, draw(atomic_prop())))
+    return base
+
+
+@st.composite
+def temporal_step(draw):
+    prop = draw(proposition())
+    if draw(st.booleans()):
+        return Eventually(prop, within=draw(st.sampled_from([None, 1, 2, 4])))
+    frames = draw(st.integers(1, 3))
+    within = draw(st.sampled_from([None, frames, frames + 3]))
+    return Always(prop, frames=frames, within=within)
+
+
+@st.composite
+def query_spec(draw):
+    n_steps = draw(st.integers(1, 3))
+    if n_steps == 1:
+        expr = draw(temporal_step())
+    else:
+        expr = Then(tuple(draw(temporal_step()) for _ in range(n_steps)))
+    return QuerySpec("prop-test", expr)
+
+
+@st.composite
+def frame_timeline(draw, max_frames=24):
+    """Random frames: 0..3 detections each, labels and track ids varied."""
+    n_frames = draw(st.integers(1, max_frames))
+    frames = []
+    for t in range(n_frames):
+        n = draw(st.integers(0, 3))
+        xs = [20.0 * i for i in range(n)]
+        boxes = np.asarray(
+            [[x, 10.0, x + 16.0, 26.0] for x in xs], dtype=float
+        ).reshape(-1, 4)
+        labels = np.asarray([draw(st.integers(0, 1)) for _ in range(n)], int)
+        ids = np.asarray(
+            [draw(st.sampled_from([-1, 1, 2, 3])) for _ in range(n)],
+            dtype=np.int64,
+        )
+        if draw(st.booleans()):
+            track_ids = ids
+        else:
+            track_ids = None  # tracker-less frames: ids default to -1
+        frames.append(
+            FrameResult(
+                frame=t,
+                detections=Detections(boxes, np.ones(n), labels),
+                ops=OpsAccount(),
+                track_ids=track_ids,
+            )
+        )
+    return frames
+
+
+def online_windows(spec, frames):
+    ev = QueryEvaluator(spec, stream="s")
+    for fr in frames:
+        ev.observe(fr)
+    return ev.windows
+
+
+class TestOnlineOfflineEquivalence:
+    @given(query_spec(), frame_timeline())
+    @settings(max_examples=120, deadline=None)
+    def test_windows_identical(self, spec, frames):
+        online = online_windows(spec, frames)
+        offline = evaluate_frames(spec, frames, stream="s").windows
+        assert online == offline
+
+    @given(query_spec(), frame_timeline())
+    @settings(max_examples=60, deadline=None)
+    def test_window_invariants(self, spec, frames):
+        windows = online_windows(spec, frames)
+        n_phases = len(
+            spec.expr.steps if isinstance(spec.expr, Then) else (spec.expr,)
+        )
+        prev_end = -1
+        for w in windows:
+            assert 0 <= w.start_tick <= w.end_tick < len(frames)
+            assert w.start_tick > prev_end  # never overlaps the previous
+            prev_end = w.end_tick
+            assert len(w.phases) == n_phases
+            assert w.phases[-1] == w.end
+            assert w.start == frames[w.start_tick].frame
+            assert w.end == frames[w.end_tick].frame
+
+    @given(query_spec(), frame_timeline())
+    @settings(max_examples=40, deadline=None)
+    def test_online_is_prefix_stable(self, spec, frames):
+        """Windows already emitted never change as more frames arrive."""
+        full = online_windows(spec, frames)
+        cut = len(frames) // 2
+        prefix = online_windows(spec, frames[:cut])
+        completed = [w for w in full if w.end_tick < cut]
+        assert prefix == completed
