@@ -13,6 +13,9 @@ Commands
 ``query``               temporal-logic scenario search over detection/track
                         streams (offline replay or ``--serve`` online)
 ``loadgen``             generate (and inspect) an open-loop arrival schedule
+``fleet``               replicated serving: ``run`` a (possibly autoscaled)
+                        replica fleet, ``tune`` the cheapest fleet meeting
+                        an SLO, ``report`` a saved fleet report
 ``worker``              drain a shared cluster work queue (multi-host execution)
 ``dispatch``            shard a spec grid across the worker fleet
 ``status``              live fleet/queue health for a cluster queue directory
@@ -290,6 +293,7 @@ def _serve_spec_from_args(args: argparse.Namespace):
             rate_hz=args.rate,
             frames_per_stream=args.frames,
             seed=args.load_seed,
+            rates=args.rate_per_stream,
         ),
         policy=ServePolicy(
             max_batch_size=args.batch_size,
@@ -472,6 +476,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         rate_hz=args.rate,
         frames_per_stream=args.frames,
         seed=args.load_seed,
+        rates=args.rate_per_stream,
     )
     requests = generate_load(load, dataset)
     if args.out:
@@ -502,6 +507,211 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
               f"(aggregate offered rate ~{offered:.1f} frames/s)")
     else:
         print(f"{len(requests)} frame(s) over {span:.2f}s")
+    return 0
+
+
+def _fleet_spec_from_args(args: argparse.Namespace):
+    from repro.fleet import AutoscalerPolicy, FleetSpec
+    from repro.serve.loadgen import LoadSpec
+    from repro.serve.server import ServePolicy
+
+    system = SystemConfig(
+        args.kind,
+        args.refinement,
+        args.proposal,
+        c_thresh=args.c_thresh,
+        seed=args.seed,
+        detailed_ops=False,  # throughput path: skip Table-3 extras
+    )
+    autoscaler = None
+    if getattr(args, "autoscale", False):
+        # The controller defends --slo-p99-ms when given (the same number
+        # the acceptance gate checks), else the policy's own SLO.
+        budget = args.slo_p99_ms if args.slo_p99_ms is not None else args.slo_ms
+        autoscaler = AutoscalerPolicy(
+            min_replicas=args.min_replicas,
+            max_replicas=args.max_replicas,
+            interval_s=args.interval_s,
+            cooldown_s=args.cooldown_s,
+            slo_p99_ms=budget,
+            scale_out_wait_share=args.scale_out_wait_share,
+            scale_in_occupancy=args.scale_in_occupancy,
+        )
+    return FleetSpec(
+        system=system,
+        dataset=DatasetSpec(
+            args.dataset,
+            num_sequences=args.sequences,
+            frames_per_sequence=args.seq_frames,
+        ),
+        load=LoadSpec(
+            pattern=args.pattern,
+            num_streams=args.streams,
+            rate_hz=args.rate,
+            frames_per_stream=args.frames,
+            seed=args.load_seed,
+            rates=args.rate_per_stream,
+        ),
+        policy=ServePolicy(
+            max_batch_size=args.batch_size,
+            max_wait_ms=args.max_wait_ms,
+            queue_capacity=args.queue_capacity,
+            shed_policy=args.shed,
+            slo_ms=args.slo_ms,
+        ),
+        replicas=args.replicas,
+        devices=args.devices,
+        placement=args.placement,
+        autoscaler=autoscaler,
+    )
+
+
+def _fleet_slo_gate(report, slo_p99_ms) -> int:
+    """The fleet ``--slo-p99-ms`` acceptance gate (0 = pass, 1 = fail).
+
+    Fails on a fleet p99 miss, on *any* shed frame, and on any dead
+    stream (a stream that never got a frame served is an availability
+    failure no latency percentile can reveal).
+    """
+    fleet = report.slo["fleet"]
+    failures = []
+    p99 = float(fleet["p99_ms"])
+    if p99 > slo_p99_ms:
+        failures.append(f"p99 {p99:.1f} ms > target {slo_p99_ms:g} ms")
+    if report.frames_shed > 0:
+        failures.append(f"{report.frames_shed} frame(s) shed under the offered load")
+    if report.dead_streams:
+        failures.append(
+            f"{len(report.dead_streams)} dead stream(s): "
+            + ", ".join(report.dead_streams)
+        )
+    if failures:
+        for failure in failures:
+            print(f"SLO FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"SLO PASS: p99 {p99:.1f} ms <= {slo_p99_ms:g} ms, "
+        "nothing shed, no dead streams"
+    )
+    return 0
+
+
+def cmd_fleet_run(args: argparse.Namespace) -> int:
+    from repro.obs import make_sink
+
+    try:
+        spec = _fleet_spec_from_args(args)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    session = _session(args)
+    try:
+        sink = make_sink(args.sink) if args.sink else None
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    metrics = None
+    reporter = None
+    if args.status_dir:
+        from repro.obs import MetricsRegistry
+        from repro.obs.health import HealthReporter, health_dir
+
+        metrics = MetricsRegistry()
+        reporter = HealthReporter(
+            health_dir(args.status_dir),
+            component="fleet",
+            component_id=spec.fingerprint[:12],
+            registry=metrics,
+        )
+        reporter.beat(force=True)
+    try:
+        report = session.serve_fleet(
+            spec, use_cache=not args.no_cache, metrics=metrics, sinks=sink
+        )
+    finally:
+        if sink is not None:
+            sink.close()
+    if reporter is not None:
+        reporter.extra.update(
+            {
+                "label": spec.label,
+                "replicas": report.peak_replicas,
+                "frames_served": report.frames_served,
+                "frames_shed": report.frames_shed,
+                "scale_events": len(report.scale_events),
+                "p99_ms": float(report.slo["fleet"]["p99_ms"]),
+            }
+        )
+        reporter.beat(force=True)
+    print(f"fleet: {spec.label}")
+    print(f"fingerprint: {spec.fingerprint[:16]}")
+    print(report.format())
+    if args.report_out:
+        payload = report.to_dict()
+        payload["spec"] = spec.to_dict()
+        with open(args.report_out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote fleet report to {args.report_out}", file=sys.stderr)
+    _print_cache_stats(session)
+    if args.slo_p99_ms is not None:
+        return _fleet_slo_gate(report, args.slo_p99_ms)
+    return 0
+
+
+def cmd_fleet_tune(args: argparse.Namespace) -> int:
+    try:
+        spec = _fleet_spec_from_args(args)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    session = _session(args)
+    try:
+        result = session.tune_fleet(
+            spec,
+            slo_p99_ms=args.slo_p99_ms,
+            replica_counts=args.replica_grid,
+            device_mixes=args.device_mix,
+            batch_sizes=args.batch_grid,
+            use_cache=not args.no_cache,
+            on_progress=_progress(args),
+        )
+    except (KeyError, ValueError) as exc:
+        # e.g. an unknown device in --device-mix or a batch size the
+        # policy rejects.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"tuning fleet: {spec.system.label} @ {spec.dataset.family} "
+          f"x{spec.load.num_streams} {spec.load.pattern}")
+    print(result.format())
+    if result.best is not None:
+        print()
+        print(f"fingerprint: {result.best.spec.fingerprint[:16]}")
+        print(result.best.report.format())
+    _print_cache_stats(session)
+    return 0 if result.best is not None else 1
+
+
+def cmd_fleet_report(args: argparse.Namespace) -> int:
+    from repro.fleet import FleetReport, FleetSpec
+
+    try:
+        with open(args.file, encoding="utf-8") as fh:
+            data = json.load(fh)
+        report = FleetReport.from_dict(data)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: bad fleet report: {exc}", file=sys.stderr)
+        return 2
+    if isinstance(data.get("spec"), dict):
+        try:
+            spec = FleetSpec.from_dict(data["spec"])
+        except (ValueError, KeyError, TypeError):
+            pass  # report still renders without its spec header
+        else:
+            print(f"fleet: {spec.label}")
+            print(f"fingerprint: {spec.fingerprint[:16]}")
+    print(report.format())
+    if args.slo_p99_ms is not None:
+        return _fleet_slo_gate(report, args.slo_p99_ms)
     return 0
 
 
@@ -573,6 +783,7 @@ def cmd_query(args: argparse.Namespace) -> int:
                 rate_hz=args.rate,
                 frames_per_stream=args.frames,
                 seed=args.load_seed,
+                rates=args.rate_per_stream,
             ),
             query=query,
         )
@@ -644,6 +855,10 @@ def _add_serve_flags(parser: argparse.ArgumentParser) -> None:
                         help="frames per generated sequence")
     parser.add_argument("--load-seed", type=int, default=0,
                         help="arrival-schedule seed (stochastic patterns)")
+    parser.add_argument("--rate-per-stream", type=_grid_type(float),
+                        default=None, metavar="R0,R1,...",
+                        help="heterogeneous per-stream rates in frames/s "
+                        "(stream i uses rate i mod len; overrides --rate)")
 
 
 def cmd_worker(args: argparse.Namespace) -> int:
@@ -1062,6 +1277,118 @@ def build_parser() -> argparse.ArgumentParser:
                            help="write the schedule as JSON to this path")
     _add_cache_flags(loadgen_p)
     loadgen_p.set_defaults(func=cmd_loadgen)
+
+    from repro.fleet import AutoscalerPolicy as _AS
+    from repro.fleet.router import PLACEMENT_POLICIES
+
+    fleet_p = sub.add_parser(
+        "fleet",
+        help="replicated serving: run/tune a replica fleet, inspect a report",
+    )
+    fleet_sub = fleet_p.add_subparsers(dest="fleet_command", required=True)
+
+    def _add_fleet_flags(p: argparse.ArgumentParser) -> None:
+        """System, load, policy and fleet-shape flags shared by run/tune."""
+        p.add_argument("kind", choices=SYSTEMS.names())
+        p.add_argument("refinement")
+        p.add_argument("proposal", nargs="?", default=None)
+        p.add_argument("--c-thresh", type=float, default=0.1)
+        p.add_argument("--seed", type=int, default=0,
+                       help="detector-simulation seed")
+        _add_serve_flags(p)
+        p.add_argument("--batch-size", type=int, default=8,
+                       help="per-replica micro-batch flush size")
+        p.add_argument("--max-wait-ms", type=float, default=25.0,
+                       help="max coalescing delay for the oldest ready frame")
+        p.add_argument("--queue-capacity", type=int, default=64,
+                       help="per-replica admission queue bound before shedding")
+        p.add_argument("--shed", choices=("oldest", "newest"), default="oldest",
+                       help="which frame to drop when a replica queue overflows")
+        p.add_argument("--slo-ms", type=float, default=200.0,
+                       help="end-to-end latency objective")
+        p.add_argument("--replicas", type=int, default=2,
+                       help="initial replica count (the static count "
+                       "without --autoscale)")
+        p.add_argument("--devices", type=_grid_type(str),
+                       default=("abstract",), metavar="DEV0,DEV1,...",
+                       help="device-profile cycle: spawned replica i runs on "
+                       "devices[i %% len] (one name = homogeneous fleet)")
+        p.add_argument("--placement", choices=PLACEMENT_POLICIES.names(),
+                       default="least_loaded",
+                       help="policy routing new streams to replicas "
+                       "(sticky thereafter)")
+        _add_cache_flags(p)
+
+    fleet_run_p = fleet_sub.add_parser(
+        "run", help="serve the offered load over a (possibly autoscaled) fleet"
+    )
+    _add_fleet_flags(fleet_run_p)
+    fleet_run_p.add_argument("--autoscale", action="store_true",
+                             help="enable the metrics-driven replica-count "
+                             "control loop")
+    fleet_run_p.add_argument("--min-replicas", type=int, default=_AS.min_replicas,
+                             help="autoscaler lower bound")
+    fleet_run_p.add_argument("--max-replicas", type=int, default=_AS.max_replicas,
+                             help="autoscaler upper bound")
+    fleet_run_p.add_argument("--interval-s", type=float, default=_AS.interval_s,
+                             help="control-tick period (simulated seconds)")
+    fleet_run_p.add_argument("--cooldown-s", type=float, default=_AS.cooldown_s,
+                             help="minimum time between scale actions")
+    fleet_run_p.add_argument("--scale-out-wait-share", type=float,
+                             default=_AS.scale_out_wait_share,
+                             help="budget share the windowed queue-wait p95 "
+                             "may consume before scaling out")
+    fleet_run_p.add_argument("--scale-in-occupancy", type=float,
+                             default=_AS.scale_in_occupancy,
+                             help="windowed mean batch size below this "
+                             "fraction of --batch-size scales in")
+    fleet_run_p.add_argument("--slo-p99-ms", type=float, default=None,
+                             help="fleet p99 acceptance gate (exit 1 on a "
+                             "miss, any shed frame, or a dead stream); with "
+                             "--autoscale, also the controller's budget")
+    fleet_run_p.add_argument("--sink", default=None, metavar="SPEC",
+                             help="stream per-frame/fleet.scale/summary "
+                             "records to a result sink: jsonl:<path>, table, "
+                             "or null")
+    fleet_run_p.add_argument("--report-out", default=None, metavar="FILE",
+                             help="write the fleet report (plus its spec) as "
+                             "JSON for `repro fleet report`")
+    fleet_run_p.add_argument("--status-dir", default=None, metavar="DIR",
+                             help="publish a fleet health heartbeat under "
+                             "DIR/health for `repro status DIR`")
+    fleet_run_p.set_defaults(func=cmd_fleet_run)
+
+    fleet_tune_p = fleet_sub.add_parser(
+        "tune", help="sweep replica count x device mix x batch size for the "
+        "cheapest fleet meeting --slo-p99-ms"
+    )
+    _add_fleet_flags(fleet_tune_p)
+    fleet_tune_p.add_argument("--slo-p99-ms", type=float, required=True,
+                              help="fleet p99 feasibility target")
+    fleet_tune_p.add_argument("--replica-grid", type=_grid_type(int),
+                              default=None, metavar="N0,N1,...",
+                              help="replica-count axis (default: 1,2,3,4)")
+    fleet_tune_p.add_argument("--device-mix", action="append",
+                              type=_grid_type(str), default=None,
+                              metavar="DEV0,DEV1,...",
+                              help="a device-cycle axis point; repeat the "
+                              "flag per mix (default: just --devices)")
+    fleet_tune_p.add_argument("--batch-grid", type=_grid_type(int),
+                              default=None, metavar="B0,B1,...",
+                              help="max_batch_size axis (default: just "
+                              "--batch-size)")
+    _add_progress_flag(fleet_tune_p)
+    fleet_tune_p.set_defaults(func=cmd_fleet_tune)
+
+    fleet_report_p = fleet_sub.add_parser(
+        "report", help="pretty-print (and optionally gate) a saved fleet "
+        "report JSON from --report-out"
+    )
+    fleet_report_p.add_argument("file", help="fleet report JSON path")
+    fleet_report_p.add_argument("--slo-p99-ms", type=float, default=None,
+                                help="re-apply the acceptance gate to the "
+                                "saved report")
+    fleet_report_p.set_defaults(func=cmd_fleet_report)
 
     from repro.cluster.queue import DEFAULT_LEASE_TTL, DEFAULT_MAX_ATTEMPTS
 

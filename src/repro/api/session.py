@@ -280,6 +280,85 @@ class Session:
             store.store(spec.fingerprint, report, spec=spec.to_dict())
         return report
 
+    def serve_fleet(
+        self,
+        spec: "Any",
+        *,
+        use_cache: bool = True,
+        metrics: "Any" = None,
+        sinks: "Any" = None,
+    ) -> "Any":
+        """Serve a :class:`~repro.fleet.spec.FleetSpec`, cached by fingerprint.
+
+        The fleet simulation (replicated servers, stream routing, an
+        optional autoscaler) stays a deterministic discrete-event run,
+        so its :class:`~repro.fleet.server.FleetReport` is a pure
+        function of the spec and caches exactly like a serve report —
+        in the same store root, which is what makes
+        :meth:`tune_fleet`'s sweeps nearly free on revisits.
+
+        ``metrics`` / ``sinks`` are forwarded to the live fleet server
+        (the fleet-level registry and the ``fleet.scale`` /
+        ``fleet.summary`` record streams); they never affect the
+        fingerprint, and a cache hit emits nothing.
+        """
+        from repro.fleet.server import FleetReportStore, FleetServer
+        from repro.serve.loadgen import generate_load
+
+        store = (
+            FleetReportStore(self.cache.root) if self.cache is not None else None
+        )
+        if store is not None and use_cache:
+            cached = store.load(spec.fingerprint)
+            if cached is not None:
+                self.cache.hits += 1
+                return cached
+            self.cache.misses += 1
+        dataset = self.dataset(spec.dataset)
+        requests = generate_load(spec.load, dataset)
+        server = FleetServer(spec, metrics=metrics, sinks=sinks)
+        report = server.run(requests)
+        if store is not None and use_cache:
+            store.store(spec.fingerprint, report, spec=spec.to_dict())
+        return report
+
+    def tune_fleet(
+        self,
+        spec: "Any",
+        *,
+        slo_p99_ms: float,
+        replica_counts=None,
+        device_mixes=None,
+        batch_sizes=None,
+        use_cache: bool = True,
+        on_progress: Optional[Callable[[int, int, str], None]] = None,
+    ) -> "Any":
+        """Sweep static fleet shapes for ``spec``, pick the cheapest feasible.
+
+        Thin wrapper over :func:`repro.fleet.tune.tune_fleet`: every
+        swept point (replica count x device mix x batch size) routes
+        through :meth:`serve_fleet`, so a repeated tune is served
+        entirely from the report cache.  Feasibility requires meeting
+        the p99 target with zero shed frames and zero dead streams; the
+        objective is modeled cost-per-frame (allocated replica-time at
+        each device's hourly rate).  Returns a
+        :class:`repro.fleet.tune.FleetTuneResult`.
+        """
+        from repro.fleet.tune import DEFAULT_REPLICA_COUNTS, tune_fleet
+
+        return tune_fleet(
+            self,
+            spec,
+            slo_p99_ms=slo_p99_ms,
+            replica_counts=(
+                DEFAULT_REPLICA_COUNTS if replica_counts is None else replica_counts
+            ),
+            device_mixes=device_mixes,
+            batch_sizes=batch_sizes,
+            use_cache=use_cache,
+            on_progress=on_progress,
+        )
+
     def query(
         self,
         spec: ExperimentSpec,

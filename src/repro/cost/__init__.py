@@ -9,16 +9,21 @@ engine's per-frame :class:`~repro.engine.stages.TimingAccountingStage`
 :class:`~repro.serve.server.ServiceModel` (``ServeSpec(device=...)``).
 
 Profiles are frozen, JSON-round-trippable, and registered by name
-(:data:`DEVICE_PROFILES`; built-ins ``"titanx"`` and ``"abstract"``,
-extend with :func:`register_device`).
+(:data:`DEVICE_PROFILES`; built-ins ``"titanx"``, ``"abstract"`` and the
+heterogeneous serving pair ``"edge"`` / ``"datacenter"``, extend with
+:func:`register_device`).  Every profile carries a ``cost_per_hour``
+dollar proxy, so device-time converts to the cost-per-frame objective
+fleet tuning minimizes.
 """
 
 from repro.core.results import FrameTiming
 from repro.cost.model import CostModel
 from repro.cost.profile import (
     ABSTRACT,
+    DATACENTER,
     DEFAULT_DEVICE,
     DEVICE_PROFILES,
+    EDGE,
     GIGA,
     TITANX,
     DeviceProfile,
@@ -30,9 +35,11 @@ from repro.cost.profile import (
 __all__ = [
     "ABSTRACT",
     "CostModel",
+    "DATACENTER",
     "DEFAULT_DEVICE",
     "DEVICE_PROFILES",
     "DeviceProfile",
+    "EDGE",
     "FrameTiming",
     "GIGA",
     "TITANX",

@@ -23,6 +23,12 @@ Built-in profiles
     A neutral accelerator reproducing the serving layer's historical
     defaults (2 ms per batched invocation, 2000 Gops/s sustained, no CPU
     overhead).  The default wherever no device is named.
+``"edge"`` / ``"datacenter"``
+    The heterogeneous-fleet pair the serving tuner sweeps: a slow cheap
+    edge box and a fast expensive datacenter accelerator.  Their
+    ``cost_per_hour`` is a modeled dollar proxy (arbitrary but mutually
+    consistent units) that turns "engine-busy seconds" into the
+    cost-per-frame objective ``repro fleet tune`` minimizes.
 
 Third-party scenarios register their own with :func:`register_device`::
 
@@ -70,6 +76,12 @@ class DeviceProfile:
         Per-frame CPU seconds (data loading, framework wrapping).
     cpu_invocation_overhead:
         Per-launch CPU seconds (tensor slicing, NMS shares).
+    cost_per_hour:
+        Modeled price of keeping one such device allocated for an hour
+        (a dollar *proxy* in arbitrary but mutually consistent units —
+        what matters is edge vs datacenter ratios, not absolute money).
+        Fleet tuning divides allocated device-time priced at this rate
+        by frames served to get cost-per-frame.
     """
 
     name: str
@@ -78,6 +90,7 @@ class DeviceProfile:
     trunk_macs_per_pixel: float = 66_000.0
     cpu_frame_overhead: float = 0.0
     cpu_invocation_overhead: float = 0.0
+    cost_per_hour: float = 1.0
 
     def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
@@ -88,6 +101,8 @@ class DeviceProfile:
             raise ValueError("workload parameters must be >= 0")
         if self.cpu_frame_overhead < 0 or self.cpu_invocation_overhead < 0:
             raise ValueError("CPU overheads must be >= 0")
+        if self.cost_per_hour <= 0:
+            raise ValueError(f"cost_per_hour must be positive, got {self.cost_per_hour}")
 
     # ------------------------------------------------------------------ #
     # Derived quantities (single definitions — consumers never recompute)
@@ -108,6 +123,11 @@ class DeviceProfile:
         """Total fixed cost per invocation (launch + CPU share), in ms."""
         return (self.launch_overhead_seconds + self.cpu_invocation_overhead) * 1e3
 
+    @property
+    def cost_per_second(self) -> float:
+        """The hourly allocation price as a per-second rate."""
+        return self.cost_per_hour / 3600.0
+
     # ------------------------------------------------------------------ #
     # JSON round trip
     # ------------------------------------------------------------------ #
@@ -121,6 +141,7 @@ class DeviceProfile:
             "trunk_macs_per_pixel": self.trunk_macs_per_pixel,
             "cpu_frame_overhead": self.cpu_frame_overhead,
             "cpu_invocation_overhead": self.cpu_invocation_overhead,
+            "cost_per_hour": self.cost_per_hour,
         }
 
     @classmethod
@@ -150,6 +171,7 @@ def profile_from_service_rates(
     gops_per_second: float,
     *,
     name: str = "custom",
+    cost_per_hour: float = 1.0,
 ) -> DeviceProfile:
     """An ad-hoc profile from serving-layer rates (uncalibrated devices).
 
@@ -172,6 +194,7 @@ def profile_from_service_rates(
         alpha=alpha,
         base_crop_pixels=(invocation_overhead_ms / 1e3) / alpha,
         trunk_macs_per_pixel=1.0,
+        cost_per_hour=cost_per_hour,
     )
 
 
@@ -217,6 +240,19 @@ TITANX = register_device(
 #: defaults: 2 ms per batched invocation, 2000 Gops/s, no CPU model.
 ABSTRACT = register_device(
     profile_from_service_rates(2.0, 2000.0, name="abstract")
+)
+
+#: Heterogeneous-fleet pair for replica placement and fleet tuning: the
+#: edge box is ~16x slower but 8x cheaper per hour than the datacenter
+#: accelerator, so which mix is cheapest genuinely depends on the load
+#: (a calm fleet of edge boxes beats an idle datacenter card; a bursty
+#: one doesn't).
+EDGE = register_device(
+    profile_from_service_rates(6.0, 500.0, name="edge", cost_per_hour=0.5)
+)
+
+DATACENTER = register_device(
+    profile_from_service_rates(1.5, 8000.0, name="datacenter", cost_per_hour=4.0)
 )
 
 DEFAULT_DEVICE = ABSTRACT.name

@@ -1,0 +1,216 @@
+"""The metrics-driven control loop sizing the fleet.
+
+The autoscaler is deliberately *not* clairvoyant: it reads only the
+observability signals any operator could read off the PR-7 dashboards —
+the per-replica ``serve_queue_wait_seconds`` / ``serve_compute_seconds``
+/ ``serve_batch_size`` histograms — and it reads them **windowed**: each
+control tick diffs the cumulative bucket counts against the previous
+tick's, so decisions reflect what happened *since the last look*, not a
+lifetime average that an old burst would pollute forever.
+
+The two rules (see :class:`~repro.fleet.spec.AutoscalerPolicy` for the
+knobs):
+
+* **Scale out on wait, not latency.**  p99 latency alone cannot say
+  whether another replica would help: if *compute* dominates, frames are
+  slow because the model is expensive and more replicas just idle.  Only
+  when the windowed queue-wait p95 both eats a configured share of the
+  SLO budget *and* exceeds the windowed compute p95 is the fleet
+  actually under-provisioned.
+* **Scale in on occupancy collapse.**  When windowed mean batch size
+  falls below a fraction of the batch-size cap while waits are
+  comfortable, replicas are dispatching fragments — capacity is idling
+  and the cheapest-to-lose replica can drain.
+
+Quantiles over a *window* come from the diffed bucket counts with a
+conservative upper-bound estimate (the bucket's upper edge), so the
+controller never scales out on an optimistic read.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.fleet.replica import ACTIVE, Replica
+from repro.fleet.spec import AutoscalerPolicy
+
+#: Scale-action names (also the ``action`` field of ``fleet.scale``
+#: sink records and the label of ``fleet_scale_events_total``).
+SCALE_OUT = "scale_out"
+SCALE_IN = "scale_in"
+
+#: The histograms the controller windows, per replica.
+_WINDOWED = (
+    "serve_queue_wait_seconds",
+    "serve_compute_seconds",
+    "serve_batch_size",
+)
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One control-tick verdict: what to do and the signal that said so."""
+
+    action: str  # SCALE_OUT or SCALE_IN
+    reason: str
+    signals: Dict[str, float]
+
+
+class _Window:
+    """Merged bucket-count deltas of one histogram across the fleet."""
+
+    __slots__ = ("bounds", "counts", "count", "sum")
+
+    def __init__(self, bounds: Tuple[float, ...]) -> None:
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def add(self, counts: List[int], count: int, total: float) -> None:
+        for i, c in enumerate(counts):
+            self.counts[i] += c
+        self.count += count
+        self.sum += total
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile_upper(self, q: float) -> float:
+        """Conservative ``q``-th percentile: the holding bucket's upper edge.
+
+        Overflow clamps to the last bound — an underestimate there, but
+        by then the signal is far past any threshold that matters.
+        """
+        if not self.count:
+            return 0.0
+        rank = max(1, math.ceil(q / 100.0 * self.count))
+        remaining = rank
+        for i, c in enumerate(self.counts):
+            remaining -= c
+            if remaining <= 0:
+                return self.bounds[min(i, len(self.bounds) - 1)]
+        return self.bounds[-1]  # pragma: no cover - counts sum == count
+
+
+class Autoscaler:
+    """Windowed, hysteretic replica-count controller.
+
+    The autoscaler only *decides*; executing a decision (spawning,
+    draining, re-pinning streams) is the
+    :class:`~repro.fleet.server.FleetServer`'s job, because moving
+    streams safely needs the fleet's routing and queue state.
+    """
+
+    def __init__(self, policy: AutoscalerPolicy, max_batch_size: int) -> None:
+        self.policy = policy
+        self.max_batch_size = max_batch_size
+        self.next_check = policy.interval_s
+        self._last_action: Optional[float] = None
+        # (replica index, metric) -> cumulative (counts, count, sum) at
+        # the previous tick; the diff against it is the tick's window.
+        self._prev: Dict[Tuple[int, str], Tuple[List[int], int, float]] = {}
+        self.last_signals: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def _window(self, name: str, replicas: List[Replica]) -> _Window:
+        window: Optional[_Window] = None
+        for replica in replicas:
+            metric = replica.metrics.get(name)
+            if metric is None:  # pragma: no cover - handles exist from birth
+                continue
+            if window is None:
+                window = _Window(metric.bounds)
+            snap = metric.snapshot()
+            for series in snap["series"]:
+                counts = series["counts"]
+                count = series["count"]
+                total = series["sum"]
+                key = (replica.index, name)
+                prev = self._prev.get(key)
+                if prev is None:
+                    delta = (list(counts), count, total)
+                else:
+                    delta = (
+                        [c - p for c, p in zip(counts, prev[0])],
+                        count - prev[1],
+                        total - prev[2],
+                    )
+                self._prev[key] = (list(counts), count, total)
+                window.add(*delta)
+        if window is None:
+            window = _Window((0.0,))
+        return window
+
+    def _cooled_down(self, now: float) -> bool:
+        return (
+            self._last_action is None
+            or now - self._last_action >= self.policy.cooldown_s
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def tick(self, now: float, replicas: List[Replica]) -> Optional[Decision]:
+        """One control tick over the serving replicas.
+
+        Always consumes the window (so the next tick's diff starts
+        here) and advances ``next_check``; returns a :class:`Decision`
+        or ``None`` to hold.
+        """
+        while self.next_check <= now:
+            self.next_check += self.policy.interval_s
+        wait = self._window("serve_queue_wait_seconds", replicas)
+        compute = self._window("serve_compute_seconds", replicas)
+        batch = self._window("serve_batch_size", replicas)
+
+        wait_p95 = wait.quantile_upper(95.0)
+        compute_p95 = compute.quantile_upper(95.0)
+        occupancy = batch.mean
+        active = sum(1 for r in replicas if r.state == ACTIVE)
+        budget = self.policy.slo_p99_ms / 1e3
+        wait_limit = self.policy.scale_out_wait_share * budget
+        self.last_signals = {
+            "wait_p95_ms": wait_p95 * 1e3,
+            "compute_p95_ms": compute_p95 * 1e3,
+            "occupancy": occupancy,
+            "active_replicas": active,
+        }
+        if not self._cooled_down(now):
+            return None
+        if (
+            wait_p95 > wait_limit
+            and wait_p95 > compute_p95
+            and active < self.policy.max_replicas
+        ):
+            self._last_action = now
+            return Decision(
+                action=SCALE_OUT,
+                reason=(
+                    f"queue-wait p95 {wait_p95 * 1e3:.0f} ms exceeds "
+                    f"{self.policy.scale_out_wait_share:.0%} of the "
+                    f"{self.policy.slo_p99_ms:.0f} ms budget and dominates "
+                    f"compute p95 {compute_p95 * 1e3:.0f} ms"
+                ),
+                signals=dict(self.last_signals),
+            )
+        if (
+            occupancy < self.policy.scale_in_occupancy * self.max_batch_size
+            and wait_p95 <= 0.5 * wait_limit
+            and active > self.policy.min_replicas
+        ):
+            self._last_action = now
+            return Decision(
+                action=SCALE_IN,
+                reason=(
+                    f"batch occupancy {occupancy:.2f} below "
+                    f"{self.policy.scale_in_occupancy:.0%} of the "
+                    f"{self.max_batch_size}-frame cap with queue-wait p95 "
+                    f"{wait_p95 * 1e3:.0f} ms well inside budget"
+                ),
+                signals=dict(self.last_signals),
+            )
+        return None

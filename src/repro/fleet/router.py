@@ -1,0 +1,128 @@
+"""Stream-to-replica routing: sticky pins plus pluggable placement.
+
+The router answers one question — *which replica serves this stream?* —
+and answers it **once** per stream: the first frame of a stream picks a
+replica via the placement policy, and every later frame follows the pin.
+Sticky routing is what makes replication correctness-preserving: all of
+a stream's state (tracker identities, scenario-query windows, frame
+sequence numbers) lives wherever its frames go, so frames of one stream
+must never interleave across replicas.  Rebalancing therefore moves the
+*pin* (plus any still-queued frames) — never an in-flight frame, whose
+results were already computed at dispatch time.
+
+Placement policies are registered by name (the same plugin idiom as
+load patterns and dataset families)::
+
+    from repro.fleet import register_placement
+
+    @register_placement("random-ish")
+    def _place(stream, replicas):
+        ...  # -> the chosen replica
+
+Policies are deterministic functions of the candidate replicas' state;
+ties always break toward the lowest replica index so routing is stable
+under dict-ordering accidents.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.api.registry import Registry
+
+#: Placement-policy name → ``(stream, replicas) -> replica``.
+PLACEMENT_POLICIES = Registry("placement policy")
+
+
+def register_placement(name: str, *, override: bool = False):
+    """Decorator registering a placement policy under ``name``."""
+
+    def _decorate(fn):
+        PLACEMENT_POLICIES.register(name, fn, override=override)
+        return fn
+
+    return _decorate
+
+
+@register_placement("least_loaded")
+def _least_loaded(stream: str, replicas: List) -> object:
+    """The replica with the shallowest queue (the classic default).
+
+    Reads the same queue-depth signal the ``serve_queue_depth`` gauge
+    exports, so "load" here is exactly what the dashboards show.
+    """
+    return min(replicas, key=lambda r: (r.queue_depth, r.index))
+
+
+@register_placement("round_robin")
+def _round_robin(stream: str, replicas: List) -> object:
+    """Cycle by pin count — spreads *streams* evenly, ignoring their rates."""
+    return min(replicas, key=lambda r: (r.pinned_streams, r.index))
+
+
+@register_placement("cost_aware")
+def _cost_aware(stream: str, replicas: List) -> object:
+    """Prefer the cheapest replica that still has queue headroom.
+
+    With a heterogeneous fleet (edge + datacenter), filling cheap
+    capacity first minimizes cost-per-frame; the expensive replicas
+    absorb the overflow.  A replica has headroom while its queue sits
+    below half its capacity — past that, sending more streams to it
+    trades money for latency, so fall back to least-loaded over all.
+    """
+    cheap = [r for r in replicas if r.queue_depth < max(1, r.queue_capacity // 2)]
+    if cheap:
+        return min(cheap, key=lambda r: (r.cost_per_second, r.queue_depth, r.index))
+    return min(replicas, key=lambda r: (r.queue_depth, r.index))
+
+
+class FleetRouter:
+    """Sticky stream-to-replica pins over a placement policy.
+
+    The router holds only the pin table; replica lifecycle (spawn,
+    drain, retire) belongs to the :class:`~repro.fleet.replica.ReplicaSet`
+    and the control loop — they call :meth:`repin` when moving streams.
+    """
+
+    def __init__(self, placement: str = "least_loaded") -> None:
+        self.placement = placement
+        self._place = PLACEMENT_POLICIES.get(placement)
+        self.pins: Dict[str, int] = {}
+
+    def route(self, stream: str, replicas: List) -> object:
+        """The replica serving ``stream``, pinning it on first sight.
+
+        ``replicas`` are the currently *active* replicas (placement
+        candidates).  If a stream's pin points at a replica no longer in
+        the candidate list (the control loop drains replicas by
+        re-pinning first, so this is a should-not-happen backstop), the
+        stream is placed afresh.
+        """
+        if not replicas:
+            raise ValueError("cannot route: no active replicas")
+        index = self.pins.get(stream)
+        if index is not None:
+            for replica in replicas:
+                if replica.index == index:
+                    return replica
+        chosen = self._place(stream, replicas)
+        self.pins[stream] = chosen.index
+        chosen.pinned_streams += 1
+        return chosen
+
+    def repin(self, stream: str, source, target) -> None:
+        """Move ``stream``'s pin from ``source`` to ``target``.
+
+        Bookkeeping only — the caller moves the stream's queued frames.
+        ``source`` may be ``None`` for a not-yet-pinned stream.
+        """
+        if self.pins.get(stream) == target.index:
+            return
+        self.pins[stream] = target.index
+        target.pinned_streams += 1
+        if source is not None:
+            source.pinned_streams -= 1
+
+    def streams_on(self, replica) -> List[str]:
+        """Streams currently pinned to ``replica``, in sorted order."""
+        return sorted(s for s, i in self.pins.items() if i == replica.index)

@@ -146,6 +146,31 @@ def format_status(status: Dict[str, Any]) -> str:
     else:
         parts.append("no component health files (is anything running?)")
 
+    fleets = [c for c in components if c.get("component") == "fleet"]
+    if fleets:
+        rows = []
+        for c in fleets:
+            p99 = c.get("p99_ms")
+            rows.append(
+                [
+                    c.get("id", "?"),
+                    "stale" if c.get("stale") else "live",
+                    c.get("replicas", "-"),
+                    c.get("frames_served", "-"),
+                    c.get("frames_shed", "-"),
+                    c.get("scale_events", "-"),
+                    round(float(p99), 1) if p99 is not None else "-",
+                ]
+            )
+        parts.append(
+            format_table(
+                ["fleet", "state", "peak replicas", "served", "shed",
+                 "scale events", "p99 (ms)"],
+                rows,
+                title="fleets",
+            )
+        )
+
     dead = status.get("dead_letters", [])
     if dead:
         parts.append(

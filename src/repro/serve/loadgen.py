@@ -20,7 +20,7 @@ adding a stream never perturbs the others' arrivals.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -59,6 +59,15 @@ class LoadSpec:
     rate_hz:
         Per-stream frame arrival rate (ignored by ``"replay"``, which
         uses each sequence's native fps).
+    rates:
+        Optional per-stream rate overrides for *heterogeneous* offered
+        load: stream ``i`` arrives at ``rates[i % len(rates)]`` frames/s
+        instead of the uniform ``rate_hz``.  A busy intersection camera
+        and a quiet parking-lot one are different streams — skewed rates
+        are what gives fleet routing something to balance.  Determinism
+        is untouched: each stream keeps its own RNG child keyed by
+        ``(seed, pattern, stream index)``, so changing one stream's rate
+        never perturbs another's arrivals.
     frames_per_stream:
         Frames each stream offers (capped by its sequence length;
         ``None`` = the whole sequence).
@@ -71,6 +80,7 @@ class LoadSpec:
     rate_hz: float = 15.0
     frames_per_stream: Optional[int] = 60
     seed: int = 0
+    rates: Optional[Tuple[float, ...]] = None
 
     def __post_init__(self) -> None:
         if not self.pattern or not isinstance(self.pattern, str):
@@ -83,6 +93,19 @@ class LoadSpec:
             raise ValueError(
                 f"frames_per_stream must be >= 1, got {self.frames_per_stream}"
             )
+        if self.rates is not None:
+            rates = tuple(float(r) for r in self.rates)
+            if not rates:
+                raise ValueError("rates must be non-empty when given (or None)")
+            if any(r <= 0 for r in rates):
+                raise ValueError(f"per-stream rates must be positive, got {rates}")
+            object.__setattr__(self, "rates", rates)
+
+    def stream_rate(self, stream_index: int) -> float:
+        """Stream ``stream_index``'s arrival rate in frames/s."""
+        if self.rates is None:
+            return self.rate_hz
+        return self.rates[stream_index % len(self.rates)]
 
     def stream_frames(self, sequence: Sequence) -> int:
         """How many frames one stream over ``sequence`` offers."""
@@ -91,13 +114,18 @@ class LoadSpec:
         return min(self.frames_per_stream, sequence.num_frames)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "pattern": self.pattern,
             "num_streams": self.num_streams,
             "rate_hz": self.rate_hz,
             "frames_per_stream": self.frames_per_stream,
             "seed": self.seed,
         }
+        # Key omitted when unset so pre-existing spec fingerprints (and
+        # their cached reports) stay valid.
+        if self.rates is not None:
+            out["rates"] = list(self.rates)
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "LoadSpec":
@@ -168,23 +196,23 @@ def schedule_to_dicts(requests: List[FrameRequest]) -> List[Dict[str, Any]]:
 
 @register_load_pattern("poisson")
 def _poisson(spec: LoadSpec, stream_index: int, sequence: Sequence, rng) -> np.ndarray:
-    """Memoryless arrivals at ``rate_hz`` (exponential inter-arrivals)."""
+    """Memoryless arrivals at the stream's rate (exponential inter-arrivals)."""
     frames = spec.stream_frames(sequence)
-    return np.cumsum(rng.exponential(1.0 / spec.rate_hz, size=frames))
+    return np.cumsum(rng.exponential(1.0 / spec.stream_rate(stream_index), size=frames))
 
 
 @register_load_pattern("uniform")
 def _uniform(spec: LoadSpec, stream_index: int, sequence: Sequence, rng) -> np.ndarray:
-    """Metronome arrivals: exactly ``rate_hz`` frames per second."""
+    """Metronome arrivals: exactly the stream's rate in frames per second."""
     frames = spec.stream_frames(sequence)
-    return (np.arange(frames, dtype=np.float64) + 1.0) / spec.rate_hz
+    return (np.arange(frames, dtype=np.float64) + 1.0) / spec.stream_rate(stream_index)
 
 
 @register_load_pattern("replay")
 def _replay(spec: LoadSpec, stream_index: int, sequence: Sequence, rng) -> np.ndarray:
     """Trace replay: frames at the sequence's native capture timestamps."""
     frames = spec.stream_frames(sequence)
-    fps = float(sequence.fps) if sequence.fps else spec.rate_hz
+    fps = float(sequence.fps) if sequence.fps else spec.stream_rate(stream_index)
     return np.arange(frames, dtype=np.float64) / fps
 
 
@@ -217,9 +245,11 @@ def _bursty(spec: LoadSpec, stream_index: int, sequence: Sequence, rng) -> np.nd
     """
     frames = spec.stream_frames(sequence)
     # Stationary occupancy is proportional to dwell time; solve the calm
-    # rate so the stationary mean is exactly rate_hz.
+    # rate so the stationary mean is exactly the stream's rate.
     p_calm = BURSTY_CALM_DWELL_S / (BURSTY_CALM_DWELL_S + BURSTY_BURST_DWELL_S)
-    calm_rate = spec.rate_hz / (p_calm + (1.0 - p_calm) * BURSTY_FACTOR)
+    calm_rate = spec.stream_rate(stream_index) / (
+        p_calm + (1.0 - p_calm) * BURSTY_FACTOR
+    )
     burst_rate = calm_rate * BURSTY_FACTOR
     arrivals = np.empty(frames, dtype=np.float64)
     t = 0.0
@@ -257,13 +287,14 @@ def _diurnal(spec: LoadSpec, stream_index: int, sequence: Sequence, rng) -> np.n
     provisions for.
     """
     frames = spec.stream_frames(sequence)
-    peak = spec.rate_hz * (1.0 + DIURNAL_AMPLITUDE)
+    base = spec.stream_rate(stream_index)
+    peak = base * (1.0 + DIURNAL_AMPLITUDE)
     arrivals = np.empty(frames, dtype=np.float64)
     t = 0.0
     emitted = 0
     while emitted < frames:
         t += rng.exponential(1.0 / peak)
-        rate = spec.rate_hz * (
+        rate = base * (
             1.0 + DIURNAL_AMPLITUDE * np.sin(2.0 * np.pi * t / DIURNAL_PERIOD_S)
         )
         if rng.random() * peak <= rate:

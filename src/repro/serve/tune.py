@@ -20,6 +20,7 @@ Surfaced on the CLI as ``repro serve --tune --slo-p99-ms <target>``.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 from typing import Callable, List, Optional, Sequence as Seq
 
@@ -53,6 +54,24 @@ class PolicyCandidate:
     def cost_seconds(self) -> float:
         """Modeled engine-busy seconds — the "price" of this policy."""
         return self.report.compute_seconds
+
+    @property
+    def cost_per_frame(self) -> float:
+        """Engine-busy time priced at the device's hourly rate, per frame.
+
+        The explicit $-proxy readback of what feasibility's min-busy
+        pick optimizes: ``compute_seconds`` converted to money through
+        the :class:`~repro.cost.DeviceProfile`'s ``cost_per_hour`` and
+        amortized over served frames.  ``inf`` when nothing was served
+        (an all-shed policy has no meaningful unit cost).  The fleet
+        tuner prices *allocated* replica-time instead of busy-time —
+        see :mod:`repro.fleet.tune`.
+        """
+        served = self.report.frames_served
+        if not served:
+            return float("inf")
+        rate = self.spec.service.cost_model().profile.cost_per_second
+        return self.report.compute_seconds * rate / served
 
     def sort_key(self):
         policy = self.spec.policy
@@ -90,6 +109,7 @@ class TuneResult:
                 marker = "<= best"
             elif cand.feasible:
                 marker = "ok"
+            cpf = cand.cost_per_frame
             rows.append(
                 [
                     policy.max_batch_size,
@@ -98,6 +118,9 @@ class TuneResult:
                     cand.wait_p95_ms,
                     cand.report.frames_shed,
                     cand.cost_seconds,
+                    # Cost per *kiloframe*: per-frame values are dust
+                    # (milliseconds of device-time at dollars-per-hour).
+                    None if not math.isfinite(cpf) else cpf * 1e3,
                     cand.report.throughput_fps,
                     marker,
                 ]
@@ -106,9 +129,10 @@ class TuneResult:
         if self.slo_wait_p95_ms is not None:
             title += f", queue-wait p95 <= {self.slo_wait_p95_ms:.0f} ms"
         table = format_table(
-            ["batch", "wait(ms)", "p99(ms)", "qwait p95", "shed", "busy(s)", "fps", ""],
+            ["batch", "wait(ms)", "p99(ms)", "qwait p95", "shed", "busy(s)",
+             "cost/kf", "fps", ""],
             rows,
-            precision=1,
+            precision=3,
             title=title,
         )
         if self.best is None:

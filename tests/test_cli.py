@@ -454,6 +454,73 @@ class TestStatus:
         assert "pending" in capsys.readouterr().out
 
 
+TINY_FLEET = [
+    "fleet", "run", "single", "resnet10a",
+    "--streams", "2", "--frames", "10", "--rate", "5",
+    "--devices", "edge", "--replicas", "2",
+]
+
+
+class TestFleet:
+    def test_run_report_roundtrip_and_gate(self, tmp_path, capsys):
+        report_file = tmp_path / "fleet.json"
+        argv = [*TINY_FLEET, "--report-out", str(report_file),
+                "--slo-p99-ms", "5000"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Fleet report" in out and "SLO PASS" in out
+        assert main(["fleet", "report", str(report_file),
+                     "--slo-p99-ms", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "Fleet report" in out and "SLO PASS" in out
+        # An unmeetable target fails the same saved report.
+        assert main(["fleet", "report", str(report_file),
+                     "--slo-p99-ms", "0.001"]) == 1
+
+    def test_run_publishes_fleet_health(self, tmp_path, capsys):
+        status_dir = tmp_path / "ops"
+        assert main([*TINY_FLEET, "--status-dir", str(status_dir)]) == 0
+        capsys.readouterr()
+        assert main(["status", str(status_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "fleets" in out and "peak replicas" in out
+
+    def test_autoscale_flags_and_sink(self, tmp_path, capsys):
+        sink_file = tmp_path / "records.jsonl"
+        argv = [*TINY_FLEET, "--replicas", "1", "--autoscale",
+                "--max-replicas", "2", "--interval-s", "0.5",
+                "--sink", f"jsonl:{sink_file}"]
+        assert main(argv) == 0
+        records = [json.loads(line) for line in
+                   sink_file.read_text().splitlines()]
+        kinds = {r.get("record") for r in records}
+        assert "fleet.summary" in kinds
+
+    def test_tune_picks_and_caches(self, tmp_path, capsys):
+        argv = ["fleet", "tune", "single", "resnet10a",
+                "--streams", "2", "--frames", "10", "--rate", "5",
+                "--devices", "edge", "--slo-p99-ms", "5000",
+                "--replica-grid", "1,2", "--batch-grid", "2,4",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Fleet sweep" in out and "best fleet:" in out
+        assert "4 miss(es)" in out
+        assert main(argv) == 0
+        assert "4 hit(s), 0 miss(es)" in capsys.readouterr().out
+
+    def test_unknown_device_is_a_usage_error(self, capsys):
+        argv = ["fleet", "run", "single", "resnet10a", "--devices", "warp"]
+        assert main(argv) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_rate_per_stream_flag(self, capsys):
+        assert main(["loadgen", "--pattern", "uniform", "--streams", "3",
+                     "--frames", "5", "--rate-per-stream", "2,10"]) == 0
+        out = capsys.readouterr().out
+        assert "~14.0 frames/s" in out
+
+
 def _example_spec_json(capsys):
     assert main(["spec", "--example"]) == 0
     return capsys.readouterr().out

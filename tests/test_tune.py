@@ -94,6 +94,20 @@ class TestTunePolicy:
         assert "Policy sweep" in text
         assert "best policy: max_batch_size=8" in text
 
+    def test_candidates_surface_cost_per_frame(self, tuned):
+        import math
+
+        _, result = tuned
+        for cand in result.candidates:
+            if cand.report.frames_served:
+                cpf = cand.cost_per_frame
+                assert math.isfinite(cpf) and cpf >= 0.0
+                rate = cand.spec.service.cost_model().profile.cost_per_second
+                assert cpf == pytest.approx(
+                    cand.cost_seconds * rate / cand.report.frames_served
+                )
+        assert "cost/kf" in result.format()
+
     def test_infeasible_everywhere_returns_none(self, tuned):
         session, _ = tuned
         result = tune_policy(
