@@ -1,0 +1,109 @@
+"""Fast-tuning acceptance gate: cold sweeps must beat serial live compute.
+
+Pins the compute/timing split end to end: a cold 12-point ``tune_policy``
+sweep — one engine pass recorded into a compute trace, the rest replayed
+(in parallel when cores allow) — must be at least 3x faster than the
+pre-split behavior of running the full engine per grid point, while every
+candidate report stays byte-identical to the serial live run.
+"""
+
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.api.session import Session
+from repro.api.spec import DatasetSpec, ServeSpec
+from repro.bench import bench_tune_sweep
+from repro.core.config import SystemConfig
+from repro.engine.scheduler import effective_cpu_count
+from repro.serve import LoadSpec, ServePolicy, ServiceModel
+
+#: The guaranteed floor on 2+ CPUs; trace replay alone clears it even on
+#: one core (measured ~4-5x), parallel workers only widen the margin.
+MIN_SPEEDUP = 3.0
+
+BATCH_GRID = (1, 2, 4)
+WAIT_GRID = (0.0, 10.0, 25.0, 50.0)
+
+
+def _spec() -> ServeSpec:
+    return ServeSpec(
+        system=SystemConfig("catdet", "resnet50", "resnet10a", detailed_ops=False),
+        dataset=DatasetSpec("kitti", num_sequences=2, frames_per_sequence=30),
+        load=LoadSpec(
+            pattern="uniform", num_streams=3, rate_hz=5.0, frames_per_stream=20
+        ),
+        policy=ServePolicy(slo_ms=500.0),
+        service=ServiceModel(invocation_overhead_ms=50.0, gops_per_second=1e6),
+    )
+
+
+def _sweep(tmp_path, name: str, workers):
+    session = Session(cache_dir=tmp_path / name)
+    start = time.perf_counter()
+    result = session.tune_serve(
+        _spec(),
+        slo_p99_ms=300.0,
+        batch_sizes=BATCH_GRID,
+        max_waits_ms=WAIT_GRID,
+        workers=workers,
+    )
+    return result, time.perf_counter() - start, session
+
+
+@pytest.mark.benchmark
+def test_cold_sweep_at_least_3x_faster_than_serial_live():
+    out = bench_tune_sweep()
+    assert out["grid_points"] == 12
+    assert out["frames_replayed"] > 0, "fast path never replayed a trace"
+    assert out["speedup"] >= MIN_SPEEDUP, (
+        f"cold 12-point sweep only {out['speedup']:.1f}x faster than the "
+        f"serial live baseline (serial {out['serial_seconds']:.2f}s, fast "
+        f"{out['fast_seconds']:.2f}s); need >= {MIN_SPEEDUP}x"
+    )
+
+
+@pytest.mark.benchmark
+def test_parallel_sweep_byte_identical_to_serial(tmp_path):
+    if effective_cpu_count() < 2:
+        workers = 2  # pool still runs on one core; only the wall clock suffers
+    else:
+        workers = min(2, effective_cpu_count())
+    serial, _, _ = _sweep(tmp_path, "serial", workers=1)
+    par, _, _ = _sweep(tmp_path, "par", workers=workers)
+
+    assert len(serial.candidates) == len(par.candidates) == 12
+    assert (serial.best is None) == (par.best is None)
+    if serial.best is not None:
+        assert serial.best.spec.fingerprint == par.best.spec.fingerprint
+    for a, b in zip(serial.candidates, par.candidates):
+        assert a.spec.fingerprint == b.spec.fingerprint
+        assert a.feasible == b.feasible
+        assert a.alias_of == b.alias_of
+        assert a.report.to_dict() == b.report.to_dict()
+
+
+@pytest.mark.benchmark
+def test_trace_replay_point_faster_than_live(tmp_path):
+    """A single warm-trace point beats its own live compute by a wide margin."""
+    spec = _spec()
+    cached = Session(cache_dir=tmp_path / "cache")
+    cached.serve(spec)  # records the trace
+    assert cached.trace_misses == 1
+
+    point = replace(spec, policy=replace(spec.policy, max_batch_size=4))
+    start = time.perf_counter()
+    cached.serve(point)
+    replay_time = time.perf_counter() - start
+    assert cached.trace_hits == 1
+    assert cached.frames_replayed > 0
+
+    live = Session()
+    start = time.perf_counter()
+    live.serve(point, use_cache=False)
+    live_time = time.perf_counter() - start
+    assert live_time / replay_time >= 2.0, (
+        f"trace replay only {live_time / replay_time:.1f}x faster than live "
+        f"(live {live_time:.3f}s, replay {replay_time:.3f}s)"
+    )

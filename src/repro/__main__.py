@@ -70,6 +70,12 @@ def _print_cache_stats(session: Session) -> None:
             f"[cache] {session.cache_hits} hit(s), "
             f"{session.cache_misses} miss(es) in {session.cache.root}"
         )
+        if session.trace_hits or session.trace_misses:
+            print(
+                f"[trace] {session.trace_hits} hit(s), "
+                f"{session.trace_misses} miss(es), "
+                f"{session.frames_replayed} frame(s) replayed"
+            )
 
 
 def cmd_models(args: argparse.Namespace) -> int:
@@ -354,6 +360,30 @@ def _serve_slo_gate(report, slo_p99_ms, slo_wait_p95_ms) -> int:
     return 0
 
 
+def _write_tune_json(path: str, result) -> None:
+    """Machine-readable sweep dump: candidates in grid order with their
+    full report payloads — what the CI equality check diffs between a
+    serial and a parallel run of the same sweep."""
+    payload = {
+        "slo_p99_ms": result.slo_p99_ms,
+        "slo_wait_p95_ms": result.slo_wait_p95_ms,
+        "best": None if result.best is None else result.best.spec.fingerprint,
+        "candidates": [
+            {
+                "fingerprint": c.spec.fingerprint,
+                "batch": c.spec.policy.max_batch_size,
+                "wait_ms": c.spec.policy.max_wait_ms,
+                "feasible": c.feasible,
+                "alias_of": c.alias_of,
+                "report": c.report.to_dict(),
+            }
+            for c in result.candidates
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True, allow_nan=True)
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.obs import make_sink
 
@@ -376,11 +406,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 max_waits_ms=args.wait_grid,
                 use_cache=not args.no_cache,
                 on_progress=_progress(args),
+                workers=args.workers,
             )
         except ValueError as exc:
             # e.g. a grid value ServePolicy rejects (batch size 0).
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        if args.tune_out:
+            _write_tune_json(args.tune_out, result)
         print(f"tuning: {spec.label} on device {spec.device or 'custom'}")
         print(result.format())
         if result.best is not None:
@@ -674,6 +707,7 @@ def cmd_fleet_tune(args: argparse.Namespace) -> int:
             batch_sizes=args.batch_grid,
             use_cache=not args.no_cache,
             on_progress=_progress(args),
+            workers=args.workers,
         )
     except (KeyError, ValueError) as exc:
         # e.g. an unknown device in --device-mix or a batch size the
@@ -1236,6 +1270,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--wait-grid", type=_grid_type(float),
                          default=(0.0, 10.0, 25.0, 50.0),
                          help="comma-separated max_wait_ms grid for --tune")
+    serve_p.add_argument("--workers", type=_workers_count, default=1,
+                         help="evaluate cold --tune grid points in N "
+                         "processes sharing the cache (1 = serial, 0 = one "
+                         "per CPU); results are identical at any count")
+    serve_p.add_argument("--tune-out", default=None, metavar="FILE",
+                         help="write the --tune sweep (candidates in grid "
+                         "order, full reports) as JSON to FILE")
     _add_cache_flags(serve_p)
     _add_progress_flag(serve_p)
     serve_p.set_defaults(func=cmd_serve)
@@ -1377,6 +1418,10 @@ def build_parser() -> argparse.ArgumentParser:
                               default=None, metavar="B0,B1,...",
                               help="max_batch_size axis (default: just "
                               "--batch-size)")
+    fleet_tune_p.add_argument("--workers", type=_workers_count, default=1,
+                              help="evaluate cold grid points in N processes "
+                              "sharing the cache (1 = serial, 0 = one per "
+                              "CPU); results are identical at any count")
     _add_progress_flag(fleet_tune_p)
     fleet_tune_p.set_defaults(func=cmd_fleet_tune)
 

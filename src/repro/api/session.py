@@ -77,6 +77,12 @@ class Session:
         # id -> (weakref, fingerprint): sweeps call run_experiment once per
         # operating point on one dataset object; hash its content once.
         self._dataset_fp_memo: Dict[int, Tuple[weakref.ref, str]] = {}
+        # Compute-trace accounting (see repro.serve.trace): how many
+        # serving simulations found a recorded compute phase to replay,
+        # and how many admitted frames skipped the engine because of it.
+        self.trace_hits = 0
+        self.trace_misses = 0
+        self.frames_replayed = 0
 
     def _dataset_fingerprint(self, dataset: Dataset) -> str:
         entry = self._dataset_fp_memo.get(id(dataset))
@@ -267,6 +273,7 @@ class Session:
             self.cache.misses += 1
         dataset = self.dataset(spec.dataset)
         requests = generate_load(spec.load, dataset)
+        trace_store, trace_key, trace = self._load_trace(spec, use_cache)
         server = DetectionServer(
             spec.system,
             policy=spec.policy,
@@ -274,11 +281,49 @@ class Session:
             metrics=metrics,
             sinks=sinks,
             query=spec.query,
+            trace=trace,
+            record_trace=trace_store is not None,
         )
         report = server.run(requests)
+        self._finish_trace(trace_store, trace_key, trace, server)
         if store is not None and use_cache:
             store.store(spec.fingerprint, report, spec=spec.to_dict())
         return report
+
+    def _load_trace(self, spec: "Any", use_cache: bool):
+        """The stored :class:`~repro.serve.trace.ComputeTrace` for
+        ``spec``'s (system, dataset, load), plus its store and key.
+
+        Returns ``(None, None, None)`` when caching is off — the server
+        then runs the plain live path with no recording.
+        """
+        if self.cache is None or not use_cache:
+            return None, None, None
+        from repro.serve.trace import TraceStore, trace_fingerprint
+
+        trace_store = TraceStore(self.cache.root)
+        trace_key = trace_fingerprint(spec)
+        trace = trace_store.load(trace_key)
+        if trace is not None:
+            self.trace_hits += 1
+        else:
+            self.trace_misses += 1
+        return trace_store, trace_key, trace
+
+    def _finish_trace(self, trace_store, trace_key, trace, server) -> None:
+        """Account a finished run's replays and persist its out-trace.
+
+        Stored only when strictly longer than what the store held — a
+        shedding policy's truncated trace must never clobber the full
+        no-shed recording that every other grid point replays from.
+        """
+        if trace_store is None:
+            return
+        self.frames_replayed += server.frames_replayed
+        recorded = server.recorded_trace
+        stored_frames = trace.total_frames if trace is not None else 0
+        if recorded is not None and recorded.total_frames > stored_frames:
+            trace_store.store(trace_key, recorded)
 
     def serve_fleet(
         self,
@@ -316,8 +361,16 @@ class Session:
             self.cache.misses += 1
         dataset = self.dataset(spec.dataset)
         requests = generate_load(spec.load, dataset)
-        server = FleetServer(spec, metrics=metrics, sinks=sinks)
+        trace_store, trace_key, trace = self._load_trace(spec, use_cache)
+        server = FleetServer(
+            spec,
+            metrics=metrics,
+            sinks=sinks,
+            trace=trace,
+            record_trace=trace_store is not None,
+        )
         report = server.run(requests)
+        self._finish_trace(trace_store, trace_key, trace, server)
         if store is not None and use_cache:
             store.store(spec.fingerprint, report, spec=spec.to_dict())
         return report
@@ -332,6 +385,7 @@ class Session:
         batch_sizes=None,
         use_cache: bool = True,
         on_progress: Optional[Callable[[int, int, str], None]] = None,
+        workers: Optional[int] = None,
     ) -> "Any":
         """Sweep static fleet shapes for ``spec``, pick the cheapest feasible.
 
@@ -357,6 +411,7 @@ class Session:
             batch_sizes=batch_sizes,
             use_cache=use_cache,
             on_progress=on_progress,
+            workers=workers,
         )
 
     def query(
@@ -397,6 +452,7 @@ class Session:
         max_waits_ms=None,
         use_cache: bool = True,
         on_progress: Optional[Callable[[int, int, str], None]] = None,
+        workers: Optional[int] = None,
     ) -> "Any":
         """Sweep batching policies for ``spec`` and pick the SLO-optimal one.
 
@@ -424,6 +480,7 @@ class Session:
             max_waits_ms=DEFAULT_MAX_WAITS_MS if max_waits_ms is None else max_waits_ms,
             use_cache=use_cache,
             on_progress=on_progress,
+            workers=workers,
         )
 
     def run_experiment(

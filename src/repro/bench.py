@@ -51,6 +51,7 @@ REGRESSION_TOLERANCE = 0.2
 GATED_METRICS = (
     "kernels.tracker_catdet.speedup",
     "kernels.tracker_sort.speedup",
+    "tune_sweep.speedup",
 )
 
 
@@ -280,6 +281,81 @@ def bench_obs_overhead(
     }
 
 
+def bench_tune_sweep(
+    workers: Optional[int] = None,
+    on_progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Cold 12-point policy sweep: serial live compute vs fast tuning.
+
+    The baseline re-runs the full engine for every grid point — the
+    pre-compute/timing-split behavior.  The fast side is a cold
+    ``tune_policy`` sweep over the same grid with a fresh cache: grid
+    dedupe collapses the inert ``max_wait_ms`` axis at batch size 1, the
+    first cold point records the shared compute trace, and the remaining
+    points replay it across ``workers`` processes.  Both sides run in
+    this process on this machine, so the ``speedup`` ratio transfers
+    across CI runners and is gated like the kernel ratios.
+    """
+    import tempfile
+    from dataclasses import replace
+
+    from repro.api.session import Session
+    from repro.api.spec import DatasetSpec, ServeSpec
+    from repro.engine.scheduler import effective_cpu_count
+    from repro.serve import LoadSpec, ServePolicy, ServiceModel
+
+    if workers is None:
+        workers = min(2, effective_cpu_count())
+    spec = ServeSpec(
+        system=SystemConfig("catdet", "resnet50", "resnet10a", detailed_ops=False),
+        dataset=DatasetSpec("kitti", num_sequences=2, frames_per_sequence=60),
+        load=LoadSpec(
+            pattern="uniform", num_streams=4, rate_hz=10.0, frames_per_stream=50
+        ),
+        policy=ServePolicy(slo_ms=500.0),
+        service=ServiceModel(invocation_overhead_ms=50.0, gops_per_second=1e6),
+    )
+    batch_grid = (1, 2, 4)
+    wait_grid = (0.0, 10.0, 25.0, 50.0)
+    grid = [(b, w) for b in batch_grid for w in wait_grid]
+
+    if on_progress:
+        on_progress("tune_sweep serial baseline")
+    live = Session()  # no cache: every point is a full engine pass
+    start = time.perf_counter()
+    for batch, wait in grid:
+        point = replace(
+            spec,
+            policy=replace(spec.policy, max_batch_size=batch, max_wait_ms=wait),
+        )
+        live.serve(point, use_cache=False)
+    serial_seconds = time.perf_counter() - start
+
+    if on_progress:
+        on_progress(f"tune_sweep fast ({workers} workers)")
+    with tempfile.TemporaryDirectory() as tmp:
+        session = Session(cache_dir=tmp)
+        start = time.perf_counter()
+        result = session.tune_serve(
+            spec,
+            slo_p99_ms=300.0,
+            batch_sizes=batch_grid,
+            max_waits_ms=wait_grid,
+            workers=workers,
+        )
+        fast_seconds = time.perf_counter() - start
+        aliases = sum(1 for c in result.candidates if c.alias_of is not None)
+    return {
+        "grid_points": len(grid),
+        "unique_points": len(grid) - aliases,
+        "workers": workers,
+        "serial_seconds": serial_seconds,
+        "fast_seconds": fast_seconds,
+        "speedup": serial_seconds / fast_seconds,
+        "frames_replayed": session.frames_replayed,
+    }
+
+
 def run_bench(
     quick: bool = False,
     num_tracks: int = 60,
@@ -303,6 +379,9 @@ def run_bench(
         systems = bench_systems(num_sequences=2, frames_per_sequence=60, on_progress=on_progress)
         kernels = bench_kernels(num_tracks=num_tracks, on_progress=on_progress)
         obs_overhead = bench_obs_overhead(on_progress=on_progress)
+    # The sweep workload is identical in quick and full mode for the same
+    # reason the kernel workloads are: its speedup ratio is gated.
+    tune_sweep = bench_tune_sweep(on_progress=on_progress)
     return {
         "schema": 1,
         "quick": quick,
@@ -316,6 +395,7 @@ def run_bench(
         "systems": systems,
         "kernels": kernels,
         "obs_overhead": obs_overhead,
+        "tune_sweep": tune_sweep,
     }
 
 

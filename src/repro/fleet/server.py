@@ -295,6 +295,8 @@ class FleetServer:
         metrics: Optional[MetricsRegistry] = None,
         sinks: Union[None, Sink, List[Sink]] = None,
         max_exact_samples: int = DEFAULT_MAX_EXACT_SAMPLES,
+        trace=None,
+        record_trace: bool = False,
     ) -> None:
         self.spec = spec
         self.system = system if system is not None else build_system(spec.system)
@@ -310,6 +312,15 @@ class FleetServer:
         except TypeError:
             self._shareable = False
         self._streams: Dict[str, _FleetStream] = {}
+        # Compute/timing split (see repro.serve.trace): stream state is
+        # fleet-owned and strictly causal per stream, so the same trace
+        # a bare DetectionServer recorded replays here regardless of
+        # replica count, placement or autoscaling.
+        self._trace = trace
+        self._record_trace = bool(record_trace)
+        self._trace_runner = None
+        self.frames_replayed = 0
+        self.recorded_trace = None
 
     # ------------------------------------------------------------------ #
     # Stream state (fleet-owned)
@@ -340,6 +351,10 @@ class FleetServer:
         return sum(getattr(d, "invocations", 0) for d in self.system._detectors())
 
     def _execute(self, batch: List[QueuedFrame]) -> tuple:
+        if self._trace_runner is not None:
+            from repro.serve.trace import traced_execute
+
+            return traced_execute(self, batch)
         work = []
         states = []
         for item in batch:
@@ -453,6 +468,14 @@ class FleetServer:
         schedule are identical (detector caches persist — pure values).
         """
         self._streams = {}
+        if self._trace is not None or self._record_trace:
+            from repro.serve.trace import TraceRunner
+
+            self._trace_runner = TraceRunner(
+                self._trace, shareable=self._shareable
+            )
+        else:
+            self._trace_runner = None
         wall_start = time.perf_counter()
         spec = self.spec
         account = SLOAccount(
@@ -678,6 +701,9 @@ class FleetServer:
                 if state.query is not None
             }
             query_windows = QueryReport.build(self.query, by_stream).to_dict()
+        if self._trace_runner is not None:
+            self.frames_replayed = self._trace_runner.frames_replayed
+            self.recorded_trace = self._trace_runner.out_trace()
         offered_streams = sorted({r.stream for r in requests})
         slo = account.to_dict()
         served_by = {

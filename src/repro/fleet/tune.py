@@ -128,6 +128,7 @@ def tune_fleet(
     batch_sizes: Optional[Seq[int]] = None,
     use_cache: bool = True,
     on_progress: Optional[Callable[[int, int, str], None]] = None,
+    workers: Optional[int] = None,
 ) -> FleetTuneResult:
     """Sweep static fleet shapes and pick the cheapest feasible one.
 
@@ -151,7 +152,13 @@ def tune_fleet(
     batch_sizes:
         Batching axis; defaults to just ``spec.policy.max_batch_size``.
     on_progress:
-        Optional ``callback(done, total, label)`` per evaluated point.
+        Optional ``callback(done, total, label)`` per evaluated point —
+        grid order when serial, completion order under ``workers``.
+    workers:
+        Evaluate cold grid points in ``workers`` processes sharing the
+        session's cache (``0`` = one per core, ``None``/``1`` = serial);
+        all fleet shapes of one deployment replay a single compute
+        trace, so results are identical at any worker count.
     """
     if slo_p99_ms <= 0:
         raise ValueError(f"slo_p99_ms must be positive, got {slo_p99_ms}")
@@ -175,16 +182,41 @@ def tune_fleet(
         for mix in mixes
         for batch in batches
     ]
-    candidates: List[FleetCandidate] = []
-    for i, (count, mix, batch) in enumerate(grid):
-        point = replace(
-            spec,
-            replicas=count,
-            devices=mix,
-            autoscaler=None,
-            policy=replace(spec.policy, max_batch_size=batch),
+    from repro.serve.tune import sweep_reports
+
+    points: List[FleetSpec] = []
+    labels: List[str] = []
+    for count, mix, batch in grid:
+        points.append(
+            replace(
+                spec,
+                replicas=count,
+                devices=mix,
+                autoscaler=None,
+                policy=replace(spec.policy, max_batch_size=batch),
+            )
         )
-        report = session.serve_fleet(point, use_cache=use_cache)
+        labels.append(f"replicas={count} devices={'+'.join(mix)} batch={batch}")
+
+    done = 0
+
+    def progress(label: str) -> None:
+        nonlocal done
+        done += 1
+        if on_progress is not None:
+            on_progress(done, len(grid), label)
+
+    reports = sweep_reports(
+        session,
+        "fleet",
+        points,
+        labels,
+        use_cache=use_cache,
+        workers=workers,
+        progress=progress,
+    )
+    candidates: List[FleetCandidate] = []
+    for point, report in zip(points, reports):
         feasible = (
             float(report.slo["fleet"]["p99_ms"]) <= slo_p99_ms
             and report.frames_shed == 0
@@ -193,12 +225,6 @@ def tune_fleet(
         candidates.append(
             FleetCandidate(spec=point, report=report, feasible=feasible)
         )
-        if on_progress is not None:
-            on_progress(
-                i + 1,
-                len(grid),
-                f"replicas={count} devices={'+'.join(mix)} batch={batch}",
-            )
     feasible = [c for c in candidates if c.feasible]
     best = min(feasible, key=FleetCandidate.sort_key) if feasible else None
     return FleetTuneResult(

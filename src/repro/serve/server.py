@@ -462,6 +462,8 @@ class DetectionServer:
         sinks: Union[None, Sink, List[Sink]] = None,
         max_exact_samples: int = DEFAULT_MAX_EXACT_SAMPLES,
         query=None,
+        trace=None,
+        record_trace: bool = False,
     ):
         if service is None:
             service = ServiceModel.for_device(device or "abstract")
@@ -499,6 +501,15 @@ class DetectionServer:
             # stage sharing, hence no coalescing for this system kind).
             self._shareable = False
         self._streams: Dict[str, _StreamState] = {}
+        # Compute/timing split (see repro.serve.trace): an optional
+        # recorded ComputeTrace to replay, and whether to record this
+        # run's own outgoing trace.  Both off by default — the live path
+        # is untouched unless a Session wires a trace store in.
+        self._trace = trace
+        self._record_trace = bool(record_trace)
+        self._trace_runner = None
+        self.frames_replayed = 0
+        self.recorded_trace = None
 
     # ------------------------------------------------------------------ #
 
@@ -534,6 +545,10 @@ class DetectionServer:
         evaluators completed on this batch's frames (empty without a
         query).
         """
+        if self._trace_runner is not None:
+            from repro.serve.trace import traced_execute
+
+            return traced_execute(self, batch)
         work = []
         states = []
         for item in batch:
@@ -569,6 +584,14 @@ class DetectionServer:
         # tracker state would make a repeat run diverge, and the report
         # returned below aliases the per-stream result lists.
         self._streams = {}
+        if self._trace is not None or self._record_trace:
+            from repro.serve.trace import TraceRunner
+
+            self._trace_runner = TraceRunner(
+                self._trace, shareable=self._shareable
+            )
+        else:
+            self._trace_runner = None
         wall_start = time.perf_counter()
         account = SLOAccount(
             self.policy.slo_ms / 1e3, max_exact_samples=self.max_exact_samples
@@ -722,6 +745,9 @@ class DetectionServer:
                 admit(arrivals.popleft())
             now = completion
 
+        if self._trace_runner is not None:
+            self.frames_replayed = self._trace_runner.frames_replayed
+            self.recorded_trace = self._trace_runner.out_trace()
         fleet = account.fleet()
         query_windows = None
         if self.query is not None:

@@ -35,11 +35,19 @@ DEFAULT_MAX_WAITS_MS = (0.0, 10.0, 25.0, 50.0)
 
 @dataclass(frozen=True)
 class PolicyCandidate:
-    """One evaluated grid point of a tuning sweep."""
+    """One evaluated grid point of a tuning sweep.
+
+    ``alias_of`` names the canonical grid point this one collapsed into
+    when their policy-bearing fingerprints were equal (at
+    ``max_batch_size=1`` the coalescing window is inert, so every
+    ``max_wait_ms`` value is the same effective policy).  An alias was
+    never simulated — it shares the canonical point's report.
+    """
 
     spec: ServeSpec
     report: ServeReport
     feasible: bool
+    alias_of: Optional[str] = None
 
     @property
     def p99_ms(self) -> float:
@@ -107,6 +115,8 @@ class TuneResult:
             marker = ""
             if cand is self.best:
                 marker = "<= best"
+            elif cand.alias_of is not None:
+                marker = f"= {cand.alias_of}"
             elif cand.feasible:
                 marker = "ok"
             cpf = cand.cost_per_frame
@@ -154,6 +164,121 @@ class TuneResult:
         return f"{table}\n{verdict}"
 
 
+def _evaluate_point(item):
+    """Worker-process entry: evaluate one sweep point end to end.
+
+    Builds its own :class:`~repro.api.session.Session` over the shared
+    cache directory (content-addressed atomic writes make concurrent
+    workers safe) and returns the report as a plain dict — the parent
+    reconstructs it exactly like a cache hit, statistics only.
+    """
+    kind, cache_dir, spec_dict, use_cache = item
+    from repro.api.session import Session
+
+    session = Session(cache_dir=cache_dir)
+    if kind == "serve":
+        from repro.api.spec import ServeSpec as _Spec
+
+        report = session.serve(_Spec.from_dict(spec_dict), use_cache=use_cache)
+    elif kind == "fleet":
+        from repro.fleet.spec import FleetSpec as _Spec
+
+        report = session.serve_fleet(_Spec.from_dict(spec_dict), use_cache=use_cache)
+    else:
+        raise ValueError(f"unknown sweep kind: {kind!r}")
+    return report.to_dict()
+
+
+def sweep_reports(
+    session,
+    kind: str,
+    specs: Seq,
+    labels: Seq[str],
+    *,
+    use_cache: bool = True,
+    workers: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+):
+    """Evaluate independent sweep specs, optionally across processes.
+
+    The engine of both tuners.  Serial (``workers`` in ``{None, 1}``)
+    evaluates in order through ``session``; parallel fans cold points
+    out over :func:`repro.utils.parmap.parallel_map` after (a) resolving
+    already-cached fingerprints in-process — a re-tune never spawns a
+    pool — and (b) evaluating the *first* cold point in-process to
+    record the shared compute trace, so every worker replays it instead
+    of re-running the engine.  Results come back in spec order;
+    ``progress(label)`` fires per finished point, in completion order
+    when parallel.
+    """
+    from repro.utils.parmap import parallel_map, resolve_workers
+
+    total = len(specs)
+    notify = progress if progress is not None else (lambda label: None)
+    run = session.serve if kind == "serve" else session.serve_fleet
+    if resolve_workers(workers, total) <= 1:
+        reports = []
+        for point, label in zip(specs, labels):
+            reports.append(run(point, use_cache=use_cache))
+            notify(label)
+        return reports
+
+    if kind == "serve":
+        from repro.serve.server import ServeReport as _Report
+        from repro.serve.server import ServeReportStore as _Store
+    else:
+        from repro.fleet.server import FleetReport as _Report
+        from repro.fleet.server import FleetReportStore as _Store
+
+    cache_dir = str(session.cache.root) if session.cache is not None else None
+    store = (
+        _Store(session.cache.root)
+        if session.cache is not None and use_cache
+        else None
+    )
+    reports = [None] * total
+    pending: List[int] = []
+    for i, point in enumerate(specs):
+        if store is not None and point.fingerprint in store:
+            reports[i] = run(point, use_cache=use_cache)
+            notify(labels[i])
+        else:
+            pending.append(i)
+    if pending and cache_dir is not None and use_cache:
+        # Warm the shared compute trace before fanning out.
+        first = pending.pop(0)
+        reports[first] = run(specs[first], use_cache=use_cache)
+        notify(labels[first])
+    if pending:
+        items = [
+            (kind, cache_dir, specs[i].to_dict(), use_cache) for i in pending
+        ]
+        results = parallel_map(
+            _evaluate_point,
+            items,
+            workers=workers,
+            on_progress=lambda done, n, label: notify(label),
+            labels=[labels[i] for i in pending],
+        )
+        for i, payload in zip(pending, results):
+            reports[i] = _Report.from_dict(payload)
+    return reports
+
+
+def _effective_fingerprint(point: ServeSpec) -> str:
+    """Fingerprint of ``point``'s *effective* policy.
+
+    At ``max_batch_size=1`` the micro-batcher dispatches any non-empty
+    frontier immediately, so ``max_wait_ms`` cannot influence the run;
+    canonicalizing it to ``0.0`` before fingerprinting makes all such
+    grid points collapse into one simulation.
+    """
+    policy = point.policy
+    if policy.max_batch_size == 1 and policy.max_wait_ms != 0.0:
+        point = replace(point, policy=replace(policy, max_wait_ms=0.0))
+    return point.fingerprint
+
+
 def tune_policy(
     session,
     spec: ServeSpec,
@@ -164,6 +289,7 @@ def tune_policy(
     max_waits_ms: Seq[float] = DEFAULT_MAX_WAITS_MS,
     use_cache: bool = True,
     on_progress: Optional[Callable[[int, int, str], None]] = None,
+    workers: Optional[int] = None,
 ) -> TuneResult:
     """Sweep ``(max_batch_size, max_wait_ms)`` and pick the SLO-optimal policy.
 
@@ -189,7 +315,16 @@ def tune_policy(
     batch_sizes / max_waits_ms:
         The grid axes.
     on_progress:
-        Optional ``callback(done, total, label)`` per evaluated point.
+        Optional ``callback(done, total, label)`` per resolved grid
+        point (aliases resolve the moment their canonical point does).
+        Serial sweeps fire in grid order; parallel sweeps fire in
+        completion order — the returned candidate list is in grid order
+        either way.
+    workers:
+        Evaluate cold grid points in ``workers`` processes sharing the
+        session's cache (``0`` = one per core, ``None``/``1`` = serial).
+        The first cold point runs in-process to record the shared
+        compute trace; results are identical at any worker count.
     """
     if slo_p99_ms <= 0:
         raise ValueError(f"slo_p99_ms must be positive, got {slo_p99_ms}")
@@ -202,13 +337,67 @@ def tune_policy(
     grid = [
         (int(batch), float(wait)) for batch in batch_sizes for wait in max_waits_ms
     ]
-    candidates: List[PolicyCandidate] = []
-    for i, (batch, wait) in enumerate(grid):
+    total = len(grid)
+
+    # Collapse grid points with equal effective-policy fingerprints: the
+    # first occurrence (in grid order) is canonical and gets simulated;
+    # the rest become aliases sharing its report.
+    points: List[ServeSpec] = []
+    owner: List[int] = []  # grid index -> unique index
+    alias_of: List[Optional[str]] = []
+    unique_specs: List[ServeSpec] = []
+    unique_labels: List[str] = []
+    unique_aliases: List[List[int]] = []  # unique index -> alias grid indices
+    unique_by_fp: dict = {}
+    for gi, (batch, wait) in enumerate(grid):
         point = replace(
             spec,
             policy=replace(spec.policy, max_batch_size=batch, max_wait_ms=wait),
         )
-        report = session.serve(point, use_cache=use_cache)
+        points.append(point)
+        fp = _effective_fingerprint(point)
+        ui = unique_by_fp.get(fp)
+        if ui is None:
+            ui = unique_by_fp[fp] = len(unique_specs)
+            unique_specs.append(point)
+            unique_labels.append(f"batch={batch} wait={wait:g}ms")
+            unique_aliases.append([])
+            alias_of.append(None)
+        else:
+            unique_aliases[ui].append(gi)
+            alias_of.append(unique_labels[ui])
+        owner.append(ui)
+
+    done = 0
+
+    def fire(label: str) -> None:
+        nonlocal done
+        done += 1
+        if on_progress is not None:
+            on_progress(done, total, label)
+
+    ui_by_label = {label: ui for ui, label in enumerate(unique_labels)}
+
+    def progress(label: str) -> None:
+        ui = ui_by_label[label]
+        fire(label)
+        for gi in unique_aliases[ui]:
+            batch, wait = grid[gi]
+            fire(f"batch={batch} wait={wait:g}ms (= {label})")
+
+    reports = sweep_reports(
+        session,
+        "serve",
+        unique_specs,
+        unique_labels,
+        use_cache=use_cache,
+        workers=workers,
+        progress=progress,
+    )
+
+    candidates: List[PolicyCandidate] = []
+    for gi, point in enumerate(points):
+        report = reports[owner[gi]]
         feasible = (
             float(report.slo["fleet"]["p99_ms"]) <= slo_p99_ms
             and report.frames_shed == 0
@@ -219,10 +408,13 @@ def tune_policy(
             )
         )
         candidates.append(
-            PolicyCandidate(spec=point, report=report, feasible=feasible)
+            PolicyCandidate(
+                spec=point,
+                report=report,
+                feasible=feasible,
+                alias_of=alias_of[gi],
+            )
         )
-        if on_progress is not None:
-            on_progress(i + 1, len(grid), f"batch={batch} wait={wait:g}ms")
     feasible = [c for c in candidates if c.feasible]
     best = min(feasible, key=PolicyCandidate.sort_key) if feasible else None
     return TuneResult(

@@ -1,0 +1,96 @@
+"""Deterministic process-pool map for independent sweep points.
+
+The tuning sweeps evaluate grid points that are pure functions of their
+spec — no shared state beyond the content-addressed cache, whose atomic
+writes already make concurrent writers safe.  :func:`parallel_map`
+fans such items out over a :class:`~concurrent.futures.
+ProcessPoolExecutor` and reassembles results **in input order** whatever
+order the workers finish in, so a parallel sweep returns exactly the
+serial sweep's list.  Progress callbacks fire in *as-completed* order —
+that is the whole point of watching a parallel sweep.
+
+Mirrors the fail-fast discipline of
+:class:`repro.engine.scheduler.ParallelExecutor`: the first worker
+exception cancels everything still pending and re-raises in the caller;
+Ctrl-C abandons the pool without waiting for stragglers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.engine.scheduler import effective_cpu_count
+
+
+def resolve_workers(workers: Optional[int], num_items: int) -> int:
+    """The worker-process count a ``workers`` request resolves to.
+
+    ``None`` or ``1`` mean serial; ``0`` means one per available core;
+    explicit counts are clamped to the number of items (an idle worker
+    is pure spawn cost).
+    """
+    if workers is None:
+        return 1
+    workers = int(workers)
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    if workers == 0:
+        workers = effective_cpu_count()
+    return max(1, min(workers, num_items))
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    *,
+    workers: Optional[int] = 1,
+    on_progress: Optional[Callable[[int, int, str], None]] = None,
+    labels: Optional[Sequence[str]] = None,
+) -> List[Any]:
+    """``[fn(item) for item in items]``, optionally across processes.
+
+    Results always come back in input order.  ``on_progress(done,
+    total, label)`` fires once per finished item — in input order when
+    serial, in completion order when parallel.  ``fn`` and every item
+    must be picklable when ``workers`` resolves past 1.
+    """
+    total = len(items)
+    names = list(labels) if labels is not None else [str(i) for i in range(total)]
+    if labels is not None and len(names) != total:
+        raise ValueError(
+            f"labels/items length mismatch: {len(names)} != {total}"
+        )
+    workers = resolve_workers(workers, total)
+    if workers <= 1 or total <= 1:
+        out = []
+        for i, item in enumerate(items):
+            out.append(fn(item))
+            if on_progress is not None:
+                on_progress(i + 1, total, names[i])
+        return out
+
+    from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
+        futures = [pool.submit(fn, item) for item in items]
+        index = {f: i for i, f in enumerate(futures)}
+        pending = set(futures)
+        done_count = 0
+        while pending:
+            finished, pending = wait(pending, return_when=FIRST_EXCEPTION)
+            for future in finished:
+                exc = future.exception()
+                if exc is not None:
+                    for f in pending:
+                        f.cancel()
+                    raise exc
+                done_count += 1
+                if on_progress is not None:
+                    on_progress(done_count, total, names[index[future]])
+        return [f.result() for f in futures]
+    except KeyboardInterrupt:
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    finally:
+        pool.shutdown(wait=True, cancel_futures=True)

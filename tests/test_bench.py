@@ -64,6 +64,16 @@ class TestRegressionCheck:
         assert bench.check_regression({"kernels": {}}, _payload()) == []
         assert bench.check_regression(_payload(), {"kernels": {}}) == []
 
+    def test_tune_sweep_ratio_is_gated(self):
+        assert "tune_sweep.speedup" in bench.GATED_METRICS
+        base = {"tune_sweep": {"speedup": 5.0}}
+        slower = {"tune_sweep": {"speedup": 3.0}}
+        failures = bench.check_regression(slower, base, tolerance=0.2)
+        assert len(failures) == 1
+        assert "tune_sweep" in failures[0]
+        # Baselines predating the metric never gate it.
+        assert bench.check_regression(slower, _payload()) == []
+
 
 class TestKernelBench:
     def test_tiny_run_has_all_kernels_and_positive_rates(self):

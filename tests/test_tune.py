@@ -84,7 +84,9 @@ class TestTunePolicy:
             max_waits_ms=WAIT_GRID,
         )
         assert session.cache_misses == misses_before  # zero new computes
-        assert session.cache_hits == hits_before + len(first.candidates)
+        # Aliases never touch the cache: only canonical points are served.
+        unique = [c for c in first.candidates if c.alias_of is None]
+        assert session.cache_hits == hits_before + len(unique)
         assert again.best.spec.fingerprint == first.best.spec.fingerprint
         assert again.best.report.to_dict() == first.best.report.to_dict()
 
@@ -141,6 +143,116 @@ class TestTunePolicy:
             on_progress=lambda done, total, label: seen.append((done, total)),
         )
         assert seen == [(i + 1, 4) for i in range(4)]
+
+
+class TestGridDedupe:
+    def test_wait_axis_collapses_at_batch_one(self, tuned):
+        """Any ``max_wait_ms`` at ``max_batch_size=1`` is the same
+        effective policy: one simulation, the rest are marked aliases."""
+        _, result = tuned
+        aliases = [c for c in result.candidates if c.alias_of is not None]
+        assert len(aliases) == 1
+        (alias,) = aliases
+        assert alias.spec.policy.max_batch_size == 1
+        assert alias.spec.policy.max_wait_ms == 40.0
+        assert alias.alias_of == "batch=1 wait=0ms"
+        canonical = next(
+            c for c in result.candidates
+            if c.spec.policy.max_batch_size == 1
+            and c.spec.policy.max_wait_ms == 0.0
+        )
+        assert canonical.alias_of is None
+        assert alias.report is canonical.report
+        assert alias.feasible == canonical.feasible
+
+    def test_cold_sweep_simulates_only_unique_points(self, tmp_path):
+        session = Session(cache_dir=tmp_path / "cache")
+        result = session.tune_serve(
+            _base_spec(),
+            slo_p99_ms=SLO_P99_MS,
+            batch_sizes=BATCH_GRID,
+            max_waits_ms=WAIT_GRID,
+        )
+        unique = [c for c in result.candidates if c.alias_of is None]
+        assert len(unique) == 3  # (1,*) collapsed; (8,0) and (8,40) distinct
+        assert session.cache_misses == len(unique)
+
+    def test_best_is_never_an_alias(self, tuned):
+        _, result = tuned
+        assert result.best.alias_of is None
+
+    def test_format_marks_aliases(self, tuned):
+        _, result = tuned
+        assert "= batch=1 wait=0ms" in result.format()
+
+
+class TestParallelSweep:
+    def test_workers_match_serial_byte_for_byte(self, tmp_path):
+        serial_session = Session(cache_dir=tmp_path / "a")
+        serial = serial_session.tune_serve(
+            _base_spec(),
+            slo_p99_ms=SLO_P99_MS,
+            batch_sizes=BATCH_GRID,
+            max_waits_ms=WAIT_GRID,
+        )
+        par_session = Session(cache_dir=tmp_path / "b")
+        par = par_session.tune_serve(
+            _base_spec(),
+            slo_p99_ms=SLO_P99_MS,
+            batch_sizes=BATCH_GRID,
+            max_waits_ms=WAIT_GRID,
+            workers=2,
+        )
+        assert par.best.spec.fingerprint == serial.best.spec.fingerprint
+        for a, b in zip(serial.candidates, par.candidates):
+            assert a.spec.fingerprint == b.spec.fingerprint
+            assert a.feasible == b.feasible
+            assert a.alias_of == b.alias_of
+            assert a.report.to_dict() == b.report.to_dict()
+
+    def test_parallel_progress_covers_every_point_once(self, tmp_path):
+        session = Session(cache_dir=tmp_path / "cache")
+        seen = []
+        session.tune_serve(
+            _base_spec(),
+            slo_p99_ms=SLO_P99_MS,
+            batch_sizes=BATCH_GRID,
+            max_waits_ms=WAIT_GRID,
+            workers=2,
+            on_progress=lambda done, total, label: seen.append(
+                (done, total, label)
+            ),
+        )
+        # As-completed ordering, but the counter is dense and total fixed.
+        assert [d for d, _, _ in seen] == [1, 2, 3, 4]
+        assert all(t == 4 for _, t, _ in seen)
+        labels = {label.split(" (= ")[0] for _, _, label in seen}
+        assert labels == {
+            f"batch={b} wait={w:g}ms" for b in BATCH_GRID for w in WAIT_GRID
+        }
+
+    def test_parallel_retune_is_serial_cache_hits(self, tmp_path):
+        """A warm re-tune never spawns a pool: every unique point is
+        already cached, so hits land on the parent session."""
+        session = Session(cache_dir=tmp_path / "cache")
+        first = session.tune_serve(
+            _base_spec(),
+            slo_p99_ms=SLO_P99_MS,
+            batch_sizes=BATCH_GRID,
+            max_waits_ms=WAIT_GRID,
+            workers=2,
+        )
+        hits_before = session.cache_hits
+        again = session.tune_serve(
+            _base_spec(),
+            slo_p99_ms=SLO_P99_MS,
+            batch_sizes=BATCH_GRID,
+            max_waits_ms=WAIT_GRID,
+            workers=2,
+        )
+        unique = [c for c in first.candidates if c.alias_of is None]
+        assert session.cache_hits == hits_before + len(unique)
+        assert again.best.report.to_dict() == first.best.report.to_dict()
 
 
 class TestQueueWaitBound:
